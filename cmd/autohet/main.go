@@ -1,0 +1,156 @@
+// Command autohet runs the AutoHet RL search on one DNN model and prints
+// the per-layer heterogeneous crossbar strategy it finds, alongside the
+// homogeneous baselines.
+//
+// Usage:
+//
+//	autohet -model VGG16 -rounds 300
+//	autohet -model ResNet152 -candidates 32x32,36x32,72x64,288x256,576x512
+//	autohet -model AlexNet -noshare        # disable tile-shared allocation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/rl"
+	"autohet/internal/search"
+	"autohet/internal/sim"
+	"autohet/internal/xbar"
+)
+
+func main() {
+	model := flag.String("model", "VGG16", "model: AlexNet, VGG16, ResNet152")
+	rounds := flag.Int("rounds", 300, "RL search rounds (paper: 300)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	cands := flag.String("candidates", xbar.ShapeNames(xbar.DefaultCandidates()),
+		"comma-separated crossbar candidates, e.g. 32x32,36x32,72x64")
+	noshare := flag.Bool("noshare", false, "disable the tile-shared allocation scheme")
+	verbose := flag.Bool("v", false, "log every round that improves the best strategy")
+	objective := flag.String("objective", "rue", "search objective: rue (Eq. 2), util, energy, or area")
+	saveAgent := flag.String("save-agent", "", "write the trained DDPG agent to this file")
+	hwConfig := flag.String("hwconfig", "", "JSON hardware-config file (see hw.Config; empty = paper defaults)")
+	flag.Parse()
+
+	if err := run(*model, *rounds, *seed, *cands, !*noshare, *verbose, *objective, *saveAgent, *hwConfig); err != nil {
+		fmt.Fprintln(os.Stderr, "autohet:", err)
+		os.Exit(1)
+	}
+}
+
+// objectiveFn resolves the -objective flag. The non-RUE objectives are
+// extensions for deployment-specific searches (DESIGN.md §5).
+func objectiveFn(name string) (func(*sim.Result) float64, error) {
+	switch name {
+	case "rue":
+		return nil, nil // search default: Eq. 2
+	case "util":
+		return func(r *sim.Result) float64 { return r.Utilization }, nil
+	case "energy":
+		return func(r *sim.Result) float64 { return 1 / r.EnergyNJ }, nil
+	case "area":
+		return func(r *sim.Result) float64 { return 1 / r.AreaUM2 }, nil
+	default:
+		return nil, fmt.Errorf("unknown objective %q (have rue, util, energy, area)", name)
+	}
+}
+
+func run(modelName string, rounds int, seed int64, candList string, shared, verbose bool, objective, saveAgent, hwConfig string) error {
+	m, err := dnn.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	candidates, err := xbar.ParseShapeList(candList)
+	if err != nil {
+		return err
+	}
+	ds, err := dnn.DatasetFor(m.Name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model:      %v\n", m)
+	fmt.Printf("dataset:    %v\n", ds)
+	fmt.Printf("candidates: %s  tile-shared: %t\n\n", xbar.ShapeNames(candidates), shared)
+
+	cfg, err := hw.LoadConfig(hwConfig)
+	if err != nil {
+		return err
+	}
+	env, err := search.NewEnv(cfg, m, candidates, shared)
+	if err != nil {
+		return err
+	}
+
+	// Homogeneous baselines over the candidate set.
+	evals, best, err := search.BestHomogeneous(env, candidates)
+	if err != nil {
+		return err
+	}
+	// Mark the RUE-best (*) and the utilization/energy Pareto set (p).
+	front := search.ParetoFront(evals, search.ObjEnergy, search.ObjNegUtil)
+	onFront := map[int]bool{}
+	for _, i := range front {
+		onFront[i] = true
+	}
+	fmt.Println("homogeneous baselines (* best RUE, p util/energy Pareto-optimal):")
+	for i, e := range evals {
+		marker := " "
+		if onFront[i] {
+			marker = "p"
+		}
+		if i == best {
+			marker = "*"
+		}
+		r := e.Result
+		fmt.Printf("  %s %-8v util %6.2f%%  energy %10.4g nJ  RUE %10.4g  power %.2f W\n",
+			marker, candidates[i], r.Utilization, r.EnergyNJ, r.RUE(), r.PowerW())
+	}
+
+	opts := search.DefaultOptions()
+	opts.Rounds = rounds
+	opts.Agent = rl.DefaultAgentConfig(search.StateDim)
+	opts.Agent.Seed = seed
+	opts.UpdateStride = m.NumMappable()/16 + 1
+	opts.Objective, err = objectiveFn(objective)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		opts.Progress = func(rs search.RoundStats) {
+			if rs.Best {
+				fmt.Printf("  round %3d: new best RUE %.4g\n", rs.Round, rs.RUE)
+			}
+		}
+	}
+
+	fmt.Printf("\nsearching %d rounds...\n", rounds)
+	res, err := search.AutoHet(env, opts)
+	if err != nil {
+		return err
+	}
+	r := res.BestResult
+	fmt.Printf("\nbest strategy: %s\n", res.Best)
+	fmt.Printf("  util %.2f%%  energy %.4g nJ  RUE %.4g (%.2fx best homogeneous)\n",
+		r.Utilization, r.EnergyNJ, r.RUE(), r.RUE()/evals[best].Result.RUE())
+	fmt.Printf("  latency %.4g ns  area %.4g µm²  occupied tiles %d\n",
+		r.LatencyNS, r.AreaUM2, r.OccupiedTiles)
+	fmt.Printf("  search time %v (simulator %v)\n", res.TotalTime.Round(1e6), res.SimTime.Round(1e6))
+	if saveAgent != "" {
+		f, err := os.Create(saveAgent)
+		if err != nil {
+			return err
+		}
+		if err := res.Agent.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  trained agent written to %s\n", saveAgent)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Command capacity sizes an accelerator deployment for inference serving:
+// it builds the mapping, derives the pipelined throughput ceiling, and runs
+// Poisson request streams at rising load fractions, printing the latency
+// distribution and stability at each — the provisioning table an edge
+// deployment needs.
+//
+// Usage:
+//
+//	capacity -model VGG16 -strategy "L1:72x64 L2-L16:576x512"
+//	capacity -model AlexNet -shape 128x128 -balance 50
+//	capacity -model AlexNet -shape 128x128 -requests 20000 -loads 0.5,0.9,1.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/serving"
+	"autohet/internal/sim"
+	"autohet/internal/xbar"
+)
+
+func main() {
+	model := flag.String("model", "VGG16", "model name (see dnn.ByName)")
+	shape := flag.String("shape", "128x128", "homogeneous crossbar shape")
+	strategy := flag.String("strategy", "", "explicit strategy (overrides -shape)")
+	balance := flag.Int("balance", 0, "extra-tile budget for pipeline balancing by weight replication (0 = off)")
+	requests := flag.Int("requests", 5000, "requests per load point")
+	loads := flag.String("loads", "0.25,0.5,0.8,0.95,1.2", "load fractions of the capacity ceiling")
+	seed := flag.Int64("seed", 42, "arrival-process seed")
+	hwConfig := flag.String("hwconfig", "", "JSON hardware-config file (empty = paper defaults)")
+	flag.Parse()
+
+	if err := run(*model, *shape, *strategy, *balance, *requests, *loads, *seed, *hwConfig); err != nil {
+		fmt.Fprintln(os.Stderr, "capacity:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, shapeText, strategyText string, balance, requests int, loadsText string, seed int64, hwConfig string) error {
+	m, err := dnn.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	cfg, err := hw.LoadConfig(hwConfig)
+	if err != nil {
+		return err
+	}
+	var st accel.Strategy
+	if strategyText != "" {
+		st, err = accel.ParseStrategy(strategyText)
+	} else {
+		var s xbar.Shape
+		s, err = xbar.ParseShape(shapeText)
+		st = accel.Homogeneous(m.NumMappable(), s)
+	}
+	if err != nil {
+		return err
+	}
+	if len(st) != m.NumMappable() {
+		return fmt.Errorf("strategy covers %d layers, %s has %d", len(st), m.Name, m.NumMappable())
+	}
+
+	var loadFracs []float64
+	for _, part := range strings.Split(loadsText, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad load fraction %q", part)
+		}
+		loadFracs = append(loadFracs, v)
+	}
+
+	var pr *sim.PipelineResult
+	if balance > 0 {
+		br, err := sim.BalancePipeline(cfg, m, st, true, balance)
+		if err != nil {
+			return err
+		}
+		pr = br.Pipeline
+		fmt.Printf("balanced pipeline: %.2fx interval speedup for %d extra tiles (replication %v)\n",
+			br.Speedup(), br.ExtraTiles, br.Replication)
+	} else {
+		p, err := accel.BuildPlan(cfg, m, st, true)
+		if err != nil {
+			return err
+		}
+		pr, err = sim.SimulateBatch(p, 1)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("model:    %v\n", m)
+	fmt.Printf("pipeline: fill %.4g ns, interval %.4g ns (bottleneck %s)\n",
+		pr.FillNS, pr.IntervalNS, pr.Bottleneck.Layer.Name)
+	fmt.Printf("capacity: %.0f inferences/s\n\n", 1e9/pr.IntervalNS)
+
+	fmt.Printf("%-8s %-8s %-12s %-12s %-12s %-8s %s\n",
+		"load", "stable", "p50 (µs)", "p95 (µs)", "p99 (µs)", "queue", "util")
+	for _, frac := range loadFracs {
+		w := serving.Workload{
+			ArrivalRate: frac * 1e9 / pr.IntervalNS,
+			Requests:    requests,
+			Seed:        seed,
+		}
+		stats, err := serving.Serve(pr, w)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-8t %-12.1f %-12.1f %-12.1f %-8d %.0f%%\n",
+			fmt.Sprintf("%.0f%%", 100*frac), stats.Stable,
+			stats.P50NS/1000, stats.P95NS/1000, stats.P99NS/1000,
+			stats.MaxQueue, 100*stats.Utilization)
+	}
+	return nil
+}

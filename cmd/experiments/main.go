@@ -1,0 +1,86 @@
+// Command experiments regenerates the paper's evaluation tables and figures
+// (see DESIGN.md §2 for the experiment index).
+//
+// Usage:
+//
+//	experiments -run all                # every experiment, paper order
+//	experiments -run fig9 -rounds 300   # one experiment, paper-scale search
+//	experiments -run table5 -csv out/   # also emit CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"autohet/internal/experiments"
+	"autohet/internal/report"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, ext, or one of "+
+		strings.Join(experiments.Names, ", ")+" / "+strings.Join(experiments.Extensions, ", "))
+	rounds := flag.Int("rounds", 300, "RL search rounds per search (paper: 300)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	csvDir := flag.String("csv", "", "directory to also write per-table CSV files into")
+	flag.Parse()
+
+	suite := experiments.NewSuite(*rounds, *seed)
+	var names []string
+	switch *run {
+	case "all":
+		names = experiments.Names
+	case "ext":
+		names = experiments.Extensions
+	default:
+		names = strings.Split(*run, ",")
+	}
+	isExtension := func(name string) bool {
+		for _, e := range experiments.Extensions {
+			if e == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		var tables []*report.Table
+		var err error
+		if isExtension(name) {
+			tables, err = suite.RunExtension(name)
+		} else {
+			tables, err = suite.Run(name)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for i, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: render %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, fmt.Sprintf("%s_%d.csv", name, i), t); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", name, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+func writeCSV(dir, name string, t *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}

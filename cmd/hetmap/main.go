@@ -1,0 +1,102 @@
+// Command hetmap maps a DNN model onto the heterogeneous accelerator under
+// an explicit crossbar strategy and dumps the resulting tile allocation,
+// with and without the tile-shared scheme.
+//
+// Usage:
+//
+//	hetmap -model AlexNet -shape 64x64          # homogeneous strategy
+//	hetmap -model VGG16 -manual                 # the paper's Fig. 3 manual strategy
+//	hetmap -model VGG16 -shape 64x64 -tiles     # also dump every tile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/sim"
+	"autohet/internal/xbar"
+)
+
+func main() {
+	model := flag.String("model", "AlexNet", "model: AlexNet, VGG16, ResNet152")
+	shape := flag.String("shape", "64x64", "homogeneous crossbar shape, e.g. 64x64 or 36x32")
+	manual := flag.Bool("manual", false, "use the paper's manual heterogeneous VGG16 strategy instead of -shape")
+	dumpTiles := flag.Bool("tiles", false, "dump every occupied tile")
+	drawXB := flag.Bool("xb", false, "draw each layer's first-crossbar cell occupancy as ASCII")
+	hwConfig := flag.String("hwconfig", "", "JSON hardware-config file (empty = paper defaults)")
+	flag.Parse()
+
+	if err := run(*model, *shape, *manual, *dumpTiles, *drawXB, *hwConfig); err != nil {
+		fmt.Fprintln(os.Stderr, "hetmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, shapeText string, manual, dumpTiles, drawXB bool, hwConfig string) error {
+	m, err := dnn.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	var st accel.Strategy
+	if manual {
+		st = accel.ManualHetero(m.NumMappable())
+	} else {
+		s, err := xbar.ParseShape(shapeText)
+		if err != nil {
+			return err
+		}
+		st = accel.Homogeneous(m.NumMappable(), s)
+	}
+	cfg, err := hw.LoadConfig(hwConfig)
+	if err != nil {
+		return err
+	}
+
+	for _, shared := range []bool{false, true} {
+		label := "tile-based"
+		if shared {
+			label = "tile-shared"
+		}
+		p, err := accel.BuildPlan(cfg, m, st, shared)
+		if err != nil {
+			return err
+		}
+		r, err := sim.Simulate(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s allocation ==\n", label)
+		fmt.Printf("%s\n", r)
+		for _, la := range p.Layers {
+			fmt.Printf("  L%-3d %-22s %v grid %dx%d → %d slots in %d tiles (array util %.1f%%)\n",
+				la.Layer.Index+1, la.Layer.String(), la.Shape,
+				la.Mapping.GridRows, la.Mapping.GridCols,
+				la.SlotsNeeded(), p.LayerTiles(la.Layer.Index), 100*la.Mapping.Utilization())
+		}
+		if shared && len(p.Remaps) > 0 {
+			fmt.Println("  remapped tiles (Algorithm 1 combMap):")
+			for head, tails := range p.Remaps {
+				fmt.Printf("    tile %d absorbed %v\n", head, tails)
+			}
+		}
+		if dumpTiles {
+			if err := p.RenderOccupancy(os.Stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("  %s\n\n", p.OccupancySummary())
+		if drawXB && !shared { // cell maps are allocation-independent
+			for _, la := range p.Layers {
+				if err := la.Mapping.RenderMapping(os.Stdout, 32); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

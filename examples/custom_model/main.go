@@ -1,0 +1,72 @@
+// Custom model + tailored candidates (paper §4.4: "users can tailor
+// heterogeneous crossbars based on the architecture of their target DNNs").
+//
+// This example defines a small keyword-spotting CNN whose 5×5 kernels
+// misalign with both power-of-two SXBs and the paper's multiple-of-9 RXBs,
+// derives candidate heights as multiples of k²=25 instead, and lets the RL
+// agent pick per-layer shapes.
+//
+//	go run ./examples/custom_model
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/search"
+	"autohet/internal/xbar"
+)
+
+func main() {
+	// A 6-layer CNN for 40x40 single-channel audio spectrograms.
+	model, err := dnn.NewModel("KWS-CNN", 40, 40, 1, []*dnn.Layer{
+		{Name: "conv1", Kind: dnn.Conv, K: 5, InC: 1, OutC: 32, Stride: 1, Pad: 2},
+		{Name: "pool1", Kind: dnn.Pool, K: 2, Stride: 2},
+		{Name: "conv2", Kind: dnn.Conv, K: 5, InC: 32, OutC: 64, Stride: 1, Pad: 2},
+		{Name: "pool2", Kind: dnn.Pool, K: 2, Stride: 2},
+		{Name: "conv3", Kind: dnn.Conv, K: 5, InC: 64, OutC: 64, Stride: 1, Pad: 2},
+		{Name: "pool3", Kind: dnn.Pool, K: 2, Stride: 2},
+		{Name: "fc1", Kind: dnn.FC, K: 1, InC: 64 * 5 * 5, OutC: 128, Stride: 1},
+		{Name: "fc2", Kind: dnn.FC, K: 1, InC: 128, OutC: 12, Stride: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workload:", model)
+
+	// Tailored rectangular candidates: heights are multiples of 5²=25 so a
+	// 5×5 kernel column wastes no rows (the §3.3 recipe applied to k=5),
+	// plus one small square for the narrow FC tail.
+	candidates := []xbar.Shape{
+		xbar.Square(32),
+		xbar.Rect(25, 32),
+		xbar.Rect(50, 64),
+		xbar.Rect(100, 128),
+		xbar.Rect(200, 256),
+	}
+	fmt.Println("tailored candidates:", xbar.ShapeNames(candidates))
+
+	// Show why: per-layer Eq.-4 utilization of conv2 on a 64x64 SXB vs the
+	// tailored 50x64 RXB.
+	conv2 := model.Mappable()[1]
+	fmt.Printf("conv2 utilization on 64x64: %.1f%%, on 50x64: %.1f%%\n",
+		100*xbar.Utilization(conv2, xbar.Square(64)),
+		100*xbar.Utilization(conv2, xbar.Rect(50, 64)))
+
+	env, err := search.NewEnv(hw.DefaultConfig(), model, candidates, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := search.DefaultOptions()
+	opts.Rounds = 100
+	res, err := search.AutoHet(env, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := res.BestResult
+	fmt.Printf("strategy: %s\n", res.Best)
+	fmt.Printf("result:   util %.1f%%, energy %.3g nJ, RUE %.3g (%.2fx over the best homogeneous candidate)\n",
+		r.Utilization, r.EnergyNJ, r.RUE(), r.RUE()/res.RefRUE)
+}

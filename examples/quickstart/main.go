@@ -1,0 +1,55 @@
+// Quickstart: run the AutoHet RL search on VGG16/CIFAR-10 with the paper's
+// default crossbar candidates and print the resulting heterogeneous
+// per-layer strategy next to the best homogeneous baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/search"
+	"autohet/internal/xbar"
+)
+
+func main() {
+	// 1. Pick a workload. The zoo carries the paper's three models with
+	//    their dataset-defined input shapes.
+	model := dnn.VGG16()
+	fmt.Println("workload:", model)
+
+	// 2. Build the search environment: hardware config (§4.1 defaults),
+	//    crossbar candidates (32x32, 36x32, 72x64, 288x256, 576x512), and
+	//    the tile-shared allocation scheme enabled.
+	env, err := search.NewEnv(hw.DefaultConfig(), model, xbar.DefaultCandidates(), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Baseline: the best homogeneous accelerator.
+	evals, best, err := search.BestHomogeneous(env, xbar.SquareCandidates())
+	if err != nil {
+		log.Fatal(err)
+	}
+	homo := evals[best].Result
+	fmt.Printf("best homogeneous (%v): util %.1f%%, energy %.3g nJ, RUE %.3g\n",
+		evals[best].Strategy[0], homo.Utilization, homo.EnergyNJ, homo.RUE())
+
+	// 4. Run the RL search. 120 rounds keeps the example fast; the paper
+	//    uses 300.
+	opts := search.DefaultOptions()
+	opts.Rounds = 120
+	res, err := search.AutoHet(env, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Report the heterogeneous result.
+	r := res.BestResult
+	fmt.Printf("AutoHet strategy: %s\n", res.Best)
+	fmt.Printf("AutoHet: util %.1f%%, energy %.3g nJ, RUE %.3g (%.2fx over best homogeneous)\n",
+		r.Utilization, r.EnergyNJ, r.RUE(), r.RUE()/homo.RUE())
+}

@@ -1,0 +1,59 @@
+// Serving: size an AutoHet accelerator for an edge inference service.
+// The layer pipeline (each layer's weights resident in its own crossbars)
+// lets consecutive requests overlap; this example finds the throughput
+// ceiling of a VGG16 deployment, then drives Poisson request streams at
+// rising intensities and reports the latency distribution and stability.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/serving"
+	"autohet/internal/sim"
+)
+
+func main() {
+	m := dnn.VGG16()
+	// The strategy the paper-scale RL search settles on for VGG16
+	// (Table 3, +Hy column): a small RXB for layer 1, 576x512 elsewhere.
+	st, err := accel.ParseStrategy("L1:72x64 L2-L16:576x512")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := accel.BuildPlan(hw.DefaultConfig(), m, st, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pr, err := sim.SimulateBatch(p, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workload:", m)
+	fmt.Println("pipeline:", pr)
+	fmt.Printf("capacity: %.0f inferences/s\n\n", 1e9/pr.IntervalNS)
+
+	fmt.Printf("%-10s %-10s %-12s %-12s %-10s %s\n",
+		"load", "stable", "p50 (µs)", "p99 (µs)", "queue", "util")
+	for _, frac := range []float64{0.25, 0.5, 0.8, 0.95, 1.2} {
+		w := serving.Workload{
+			ArrivalRate: frac * 1e9 / pr.IntervalNS,
+			Requests:    5000,
+			Seed:        42,
+		}
+		stats, err := serving.Serve(pr, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-10t %-12.1f %-12.1f %-10d %.0f%%\n",
+			fmt.Sprintf("%.0f%%", 100*frac), stats.Stable,
+			stats.P50NS/1000, stats.P99NS/1000, stats.MaxQueue, 100*stats.Utilization)
+	}
+	fmt.Println("\nabove 100% of capacity the queue grows without bound — provision below the ceiling")
+}

@@ -1,0 +1,62 @@
+// Tile sharing: reproduce the paper's Fig. 8 walk-through of Algorithm 1.
+// Three layers needing 2/1/1 crossbar slots land on three 4-slot tiles
+// under tile-based allocation (8 of 12 slots wasted); the tile-shared
+// scheme folds them into one fully occupied tile and releases the other two.
+//
+//	go run ./examples/tileshare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/xbar"
+)
+
+func main() {
+	// Three small layers sized so their 32x32 mappings need 2, 1, and 1
+	// logical crossbars (as in Fig. 8's L1–L3).
+	mk := func(name string, inC, outC int) *dnn.Layer {
+		return &dnn.Layer{Name: name, Kind: dnn.Conv, K: 1, InC: inC, OutC: outC,
+			Stride: 1, InH: 8, InW: 8}
+	}
+	model, err := dnn.NewFlatModel("fig8", 8, 8, 16, []*dnn.Layer{
+		mk("L1", 16, 64), // 1 band × 2 column groups = 2 slots
+		mk("L2", 16, 16), // 1 slot
+		mk("L3", 32, 20), // 1 slot
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	strategy := accel.Homogeneous(3, xbar.Square(32))
+	cfg := hw.DefaultConfig() // 4 slots per tile
+
+	for _, shared := range []bool{false, true} {
+		label := "(a) without tile-shared allocation"
+		if shared {
+			label = "(b) with tile-shared allocation"
+		}
+		p, err := accel.BuildPlan(cfg, model, strategy, shared)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(label)
+		for _, t := range p.Tiles {
+			status := "occupied"
+			if t.Used() == 0 {
+				status = "released"
+			}
+			fmt.Printf("  %-48s %s\n", t, status)
+		}
+		fmt.Printf("  occupied tiles: %d, empty slots in occupied tiles: %.0f%%\n\n",
+			p.OccupiedTiles(), 100*p.EmptySlotFraction())
+		if shared {
+			for head, tails := range p.Remaps {
+				fmt.Printf("  combMap: tile %d absorbed tiles %v\n", head, tails)
+			}
+		}
+	}
+}

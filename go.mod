@@ -1,0 +1,3 @@
+module autohet
+
+go 1.22

@@ -1,0 +1,45 @@
+package accel
+
+import (
+	"testing"
+
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/xbar"
+)
+
+func BenchmarkBuildPlanTileBased(b *testing.B) {
+	cfg := hw.DefaultConfig()
+	m := dnn.VGG16()
+	st := Homogeneous(m.NumMappable(), xbar.Square(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildPlan(cfg, m, st, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildPlanTileShared(b *testing.B) {
+	cfg := hw.DefaultConfig()
+	m := dnn.VGG16()
+	st := Homogeneous(m.NumMappable(), xbar.Square(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildPlan(cfg, m, st, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildPlanResNet152(b *testing.B) {
+	cfg := hw.DefaultConfig()
+	m := dnn.ResNet152()
+	st := Homogeneous(m.NumMappable(), xbar.Rect(288, 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildPlan(cfg, m, st, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package accel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"autohet/internal/xbar"
+)
+
+func TestParseStrategy(t *testing.T) {
+	st, err := ParseStrategy("L1-L10:512x512 L11-L16:256x256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ManualHetero(16)
+	if len(st) != 16 {
+		t.Fatalf("len = %d", len(st))
+	}
+	for i := range want {
+		if st[i] != want[i] {
+			t.Fatalf("layer %d: %v vs %v", i, st[i], want[i])
+		}
+	}
+}
+
+func TestParseStrategySingles(t *testing.T) {
+	st, err := ParseStrategy("L1:32x32 L2:36x32 L3-L3:64x64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 3 || st[1] != xbar.Rect(36, 32) || st[2] != xbar.Square(64) {
+		t.Fatalf("st = %v", st)
+	}
+}
+
+func TestParseStrategyErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(empty)",
+		"L1",
+		"L1:badshape",
+		"X1:32x32",
+		"L2:32x32",          // must start at L1
+		"L1:32x32 L3:32x32", // gap
+		"L1-L0:32x32",       // inverted range
+		"L1:32x32 L1:64x64", // overlap
+		"L1-X5:32x32",       // malformed range
+		"La:32x32",          // non-numeric
+	}
+	for _, text := range bad {
+		if _, err := ParseStrategy(text); err == nil {
+			t.Errorf("ParseStrategy(%q) succeeded, want error", text)
+		}
+	}
+}
+
+// Property: String → ParseStrategy is the identity for any valid strategy.
+func TestStrategyStringRoundTrip(t *testing.T) {
+	pool := xbar.MixedPool()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		st := make(Strategy, n)
+		for i := range st {
+			st[i] = pool[rng.Intn(len(pool))]
+		}
+		back, err := ParseStrategy(st.String())
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range st {
+			if back[i] != st[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,315 @@
+package accel
+
+import (
+	"fmt"
+
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/xbar"
+)
+
+// Placement records which tile holds how many of a layer's crossbar slots.
+type Placement struct {
+	TileID int
+	Slots  int
+}
+
+// LayerAlloc is the full allocation of one layer: its crossbar-grid mapping
+// and where those logical crossbars physically live.
+type LayerAlloc struct {
+	Layer   *dnn.Layer
+	Shape   xbar.Shape
+	Mapping xbar.Mapping
+	// Copies is the weight-replication factor (PipeLayer-style, the
+	// paper's reference [21]): the whole crossbar grid is instantiated
+	// Copies times so sliding-window MVMs run in parallel, dividing the
+	// layer's latency at the cost of extra crossbars. Always ≥ 1.
+	Copies int
+	// WeightBits is the layer's weight precision. With b < cfg.WeightBits
+	// only b of the PE's bit-plane crossbars operate, scaling the layer's
+	// conversions (and energy) by b/8 — the mixed-precision extension in
+	// the spirit of the paper's AutoML-quantization related work (§5).
+	WeightBits int
+	Placements []Placement
+}
+
+// SlotsNeeded returns the number of logical crossbar slots the layer needs:
+// one per crossbar of its mapping grid, times the replication factor.
+func (la *LayerAlloc) SlotsNeeded() int { return la.Mapping.Crossbars() * la.Copies }
+
+// Plan is a complete mapping of a model onto the heterogeneous accelerator
+// under a strategy, after tile allocation (tile-based always; tile-shared
+// remapping when requested).
+type Plan struct {
+	Cfg      hw.Config
+	Model    *dnn.Model
+	Strategy Strategy
+	Layers   []*LayerAlloc
+	Tiles    []*Tile
+	Shared   bool
+	// Remaps records Algorithm 1's combMap: for each head tile ID, the
+	// tail tile IDs whose occupants were folded into it.
+	Remaps map[int][]int
+}
+
+// Replication assigns a weight-duplication factor to each mappable layer
+// (indexed like Strategy). Nil means no replication.
+type Replication []int
+
+// Validate checks the replication covers the model with factors ≥ 1.
+func (r Replication) Validate(m *dnn.Model) error {
+	if r == nil {
+		return nil
+	}
+	if len(r) != m.NumMappable() {
+		return fmt.Errorf("accel: replication covers %d layers, model %q has %d", len(r), m.Name, m.NumMappable())
+	}
+	for i, c := range r {
+		if c < 1 {
+			return fmt.Errorf("accel: layer %d replication factor %d < 1", i, c)
+		}
+	}
+	return nil
+}
+
+// Precision assigns per-layer weight bit-widths (indexed like Strategy).
+// Nil means the config's full WeightBits everywhere.
+type Precision []int
+
+// Validate checks the precision covers the model with widths in
+// [1, maxBits].
+func (p Precision) Validate(m *dnn.Model, maxBits int) error {
+	if p == nil {
+		return nil
+	}
+	if len(p) != m.NumMappable() {
+		return fmt.Errorf("accel: precision covers %d layers, model %q has %d", len(p), m.Name, m.NumMappable())
+	}
+	for i, b := range p {
+		if b < 1 || b > maxBits {
+			return fmt.Errorf("accel: layer %d weight bits %d outside [1,%d]", i, b, maxBits)
+		}
+	}
+	return nil
+}
+
+// PlanSpec bundles every per-layer mapping decision: crossbar shapes
+// (always required), optional weight replication, optional mixed
+// precision, and the allocation scheme.
+type PlanSpec struct {
+	Strategy    Strategy
+	Replication Replication
+	Precision   Precision
+	Shared      bool
+}
+
+// BuildPlan maps the model onto tiles under the strategy. With shared=false
+// it performs the conventional tile-based allocation (§2.2.2: whole tiles
+// per layer, round-up). With shared=true it then runs the paper's
+// Algorithm 1 to fold under-filled tiles together.
+func BuildPlan(cfg hw.Config, m *dnn.Model, st Strategy, shared bool) (*Plan, error) {
+	return Build(cfg, m, PlanSpec{Strategy: st, Shared: shared})
+}
+
+// BuildPlanReplicated is BuildPlan with per-layer weight replication.
+func BuildPlanReplicated(cfg hw.Config, m *dnn.Model, st Strategy, repl Replication, shared bool) (*Plan, error) {
+	return Build(cfg, m, PlanSpec{Strategy: st, Replication: repl, Shared: shared})
+}
+
+// Build maps the model onto tiles under a full plan specification.
+func Build(cfg hw.Config, m *dnn.Model, spec PlanSpec) (*Plan, error) {
+	st, repl, shared := spec.Strategy, spec.Replication, spec.Shared
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := st.Validate(m); err != nil {
+		return nil, err
+	}
+	if err := repl.Validate(m); err != nil {
+		return nil, err
+	}
+	if err := spec.Precision.Validate(m, cfg.WeightBits); err != nil {
+		return nil, err
+	}
+	p := &Plan{Cfg: cfg, Model: m, Strategy: st, Remaps: map[int][]int{}}
+	slotsPerTile := cfg.PEsPerTile
+	nextID := 0
+	for _, l := range m.Mappable() {
+		shape := st[l.Index]
+		la := &LayerAlloc{
+			Layer: l, Shape: shape, Mapping: xbar.MapLayer(l, shape),
+			Copies: 1, WeightBits: cfg.WeightBits,
+		}
+		if repl != nil {
+			la.Copies = repl[l.Index]
+		}
+		if spec.Precision != nil {
+			la.WeightBits = spec.Precision[l.Index]
+		}
+		need := la.SlotsNeeded()
+		// Tile-based: allocate ⌈need/slotsPerTile⌉ fresh tiles to this
+		// layer only.
+		for need > 0 {
+			t := &Tile{ID: nextID, Shape: shape, Slots: slotsPerTile}
+			nextID++
+			put := need
+			if put > slotsPerTile {
+				put = slotsPerTile
+			}
+			t.place(l.Index, put)
+			la.Placements = append(la.Placements, Placement{TileID: t.ID, Slots: put})
+			p.Tiles = append(p.Tiles, t)
+			need -= put
+		}
+		p.Layers = append(p.Layers, la)
+	}
+	if len(p.Tiles) > cfg.TilesPerBank {
+		return nil, fmt.Errorf("accel: model %q needs %d tiles, bank has %d", m.Name, len(p.Tiles), cfg.TilesPerBank)
+	}
+	if shared {
+		p.applyTileSharing()
+	}
+	return p, nil
+}
+
+// tileByID returns the tile with the given ID (IDs are dense, but tiles may
+// be removed by sharing, so scan).
+func (p *Plan) tileByID(id int) *Tile {
+	for _, t := range p.Tiles {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// OccupiedTiles returns the number of tiles holding at least one slot.
+func (p *Plan) OccupiedTiles() int {
+	n := 0
+	for _, t := range p.Tiles {
+		if t.Used() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// OccupiedTilesByShape breaks OccupiedTiles down per crossbar shape.
+func (p *Plan) OccupiedTilesByShape() map[xbar.Shape]int {
+	out := map[xbar.Shape]int{}
+	for _, t := range p.Tiles {
+		if t.Used() > 0 {
+			out[t.Shape]++
+		}
+	}
+	return out
+}
+
+// UsedCells returns the weight-holding logical cells across all layers
+// (replicated copies hold real weights and count).
+func (p *Plan) UsedCells() int64 {
+	var total int64
+	for _, la := range p.Layers {
+		total += la.Mapping.UsedCells * int64(la.Copies)
+	}
+	return total
+}
+
+// AllocatedCells returns the logical cells of every slot in every occupied
+// tile — the denominator of tile-level utilization. Empty slots of occupied
+// tiles count as wastage; fully freed tiles do not.
+func (p *Plan) AllocatedCells() int64 {
+	var total int64
+	for _, t := range p.Tiles {
+		if t.Used() > 0 {
+			total += int64(t.Slots) * int64(t.Shape.Cells())
+		}
+	}
+	return total
+}
+
+// Utilization returns the tile-level crossbar utilization in percent:
+// weight cells over allocated cells, counting empty slots in occupied tiles
+// (the paper's crossbar-utilization metric, e.g. Fig. 5's 27/128).
+func (p *Plan) Utilization() float64 {
+	alloc := p.AllocatedCells()
+	if alloc == 0 {
+		return 0
+	}
+	return 100 * float64(p.UsedCells()) / float64(alloc)
+}
+
+// EmptySlotFraction returns the fraction of slots in occupied tiles that
+// hold no weights (Fig. 4's "empty crossbars" proportion).
+func (p *Plan) EmptySlotFraction() float64 {
+	used, total := 0, 0
+	for _, t := range p.Tiles {
+		if t.Used() > 0 {
+			used += t.Used()
+			total += t.Slots
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(total-used) / float64(total)
+}
+
+// Area returns the silicon area in µm²: the sum of occupied tiles' areas
+// (each sized by its crossbar shape) plus the bank global controller.
+func (p *Plan) Area() float64 {
+	total := hw.GlobalCtrlArea
+	for _, t := range p.Tiles {
+		if t.Used() > 0 {
+			total += p.Cfg.TileArea(t.Shape)
+		}
+	}
+	return total
+}
+
+// LayerTiles returns the number of distinct tiles holding slots of the
+// given layer.
+func (p *Plan) LayerTiles(layerIndex int) int {
+	n := 0
+	for _, t := range p.Tiles {
+		for _, o := range t.Occupants {
+			if o.LayerIndex == layerIndex {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Validate cross-checks internal consistency: every layer's slots are fully
+// placed, no tile is over-filled, and placements agree with occupancies.
+// Tests and the simulator call it after construction and after sharing.
+func (p *Plan) Validate() error {
+	perLayerPlaced := map[int]int{}
+	for _, t := range p.Tiles {
+		if t.Used() > t.Slots {
+			return fmt.Errorf("accel: tile %d overfilled: %d/%d", t.ID, t.Used(), t.Slots)
+		}
+		for _, o := range t.Occupants {
+			perLayerPlaced[o.LayerIndex] += o.Slots
+			if p.Strategy[o.LayerIndex] != t.Shape {
+				return fmt.Errorf("accel: tile %d shape %v holds layer %d wanting %v",
+					t.ID, t.Shape, o.LayerIndex, p.Strategy[o.LayerIndex])
+			}
+		}
+	}
+	for _, la := range p.Layers {
+		if got := perLayerPlaced[la.Layer.Index]; got != la.SlotsNeeded() {
+			return fmt.Errorf("accel: layer %d placed %d slots, needs %d", la.Layer.Index, got, la.SlotsNeeded())
+		}
+		var fromPlacements int
+		for _, pl := range la.Placements {
+			fromPlacements += pl.Slots
+		}
+		if fromPlacements != la.SlotsNeeded() {
+			return fmt.Errorf("accel: layer %d placements total %d, need %d", la.Layer.Index, fromPlacements, la.SlotsNeeded())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/xbar"
+)
+
+// flatModel builds a test model from (k, inC, outC) conv specs with 1×1
+// feature maps, sidestepping channel chaining.
+func flatModel(t *testing.T, specs ...[3]int) *dnn.Model {
+	t.Helper()
+	var layers []*dnn.Layer
+	for i, s := range specs {
+		l := &dnn.Layer{
+			Name: "c", Kind: dnn.Conv, K: s[0], InC: s[1], OutC: s[2],
+			Stride: 1, Pad: 0, InH: 8, InW: 8,
+		}
+		_ = i
+		layers = append(layers, l)
+	}
+	m, err := dnn.NewFlatModel("test", 8, 8, specs[0][1], layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func cfg() hw.Config { return hw.DefaultConfig() }
+
+// Paper Fig. 5: 128 3×3×12 kernels. On 64×64 the layer fills one 4-slot
+// tile exactly → 27/32 utilization; on 128×128 it uses 1 of 4 slots →
+// 27/128. ADC counting is exercised in package sim.
+func TestPlanFig5Utilization(t *testing.T) {
+	m := flatModel(t, [3]int{3, 12, 128})
+
+	p64, err := BuildPlan(cfg(), m, Homogeneous(1, xbar.Square(64)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p64.Utilization(); math.Abs(got-100*27.0/32.0) > 1e-9 {
+		t.Fatalf("64x64 utilization = %v%%, want 27/32", got)
+	}
+	if p64.OccupiedTiles() != 1 {
+		t.Fatalf("64x64 tiles = %d, want 1", p64.OccupiedTiles())
+	}
+
+	p128, err := BuildPlan(cfg(), m, Homogeneous(1, xbar.Square(128)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p128.Utilization(); math.Abs(got-100*27.0/128.0) > 1e-9 {
+		t.Fatalf("128x128 utilization = %v%%, want 27/128", got)
+	}
+}
+
+// Paper Fig. 4: empty-crossbar proportion of VGG16 L1–L4 on 64×64 crossbars
+// averages ≈24% with 4 slots per tile and ≈60% with 32.
+func TestPlanFig4EmptyFractions(t *testing.T) {
+	m := dnn.VGG16()
+	measure := func(slots int) float64 {
+		c := cfg()
+		c.PEsPerTile = slots
+		var sum float64
+		for _, l := range m.Mappable()[:4] {
+			single, err := dnn.NewFlatModel("one", l.InH, l.InW, l.InC, []*dnn.Layer{{
+				Name: l.Name, Kind: l.Kind, K: l.K, InC: l.InC, OutC: l.OutC,
+				Stride: l.Stride, Pad: l.Pad, InH: l.InH, InW: l.InW,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := BuildPlan(c, single, Homogeneous(1, xbar.Square(64)), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += p.EmptySlotFraction()
+		}
+		return sum / 4
+	}
+	e4 := measure(4)
+	e32 := measure(32)
+	if math.Abs(e4-0.24) > 0.03 {
+		t.Fatalf("avg empty at 4 slots/tile = %.3f, paper ≈0.24", e4)
+	}
+	if math.Abs(e32-0.60) > 0.05 {
+		t.Fatalf("avg empty at 32 slots/tile = %.3f, paper ≈0.60", e32)
+	}
+	if e32 <= e4 {
+		t.Fatal("empty fraction must grow with tile size")
+	}
+}
+
+// Paper Fig. 8: three layers needing 2/1/1 slots on 4-slot tiles occupy
+// three tiles without sharing and one tile with sharing.
+func TestPlanFig8TileSharing(t *testing.T) {
+	m := flatModel(t,
+		[3]int{1, 16, 64}, // 2 slots on 32x32 (64 output columns)
+		[3]int{1, 16, 16}, // 1 slot
+		[3]int{1, 32, 20}, // 1 slot
+	)
+	st := Homogeneous(3, xbar.Square(32))
+
+	plain, err := BuildPlan(cfg(), m, st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.OccupiedTiles() != 3 {
+		t.Fatalf("tile-based occupied = %d, want 3", plain.OccupiedTiles())
+	}
+	if plain.EmptySlotFraction() != 8.0/12.0 {
+		t.Fatalf("tile-based empty = %v, want 8/12", plain.EmptySlotFraction())
+	}
+
+	shared, err := BuildPlan(cfg(), m, st, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.OccupiedTiles() != 1 {
+		t.Fatalf("shared occupied = %d, want 1", shared.OccupiedTiles())
+	}
+	if err := shared.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !shared.Shared || len(shared.Remaps) == 0 {
+		t.Fatal("sharing metadata missing")
+	}
+	occupied := shared.Tiles[0]
+	for _, tl := range shared.Tiles {
+		if tl.Used() > 0 {
+			occupied = tl
+		}
+	}
+	if !occupied.SharesLayers() {
+		t.Fatal("surviving tile must hold multiple layers")
+	}
+}
+
+// Sharing never merges tiles of different crossbar shapes.
+func TestSharingRespectsShapeGroups(t *testing.T) {
+	m := flatModel(t, [3]int{1, 16, 16}, [3]int{1, 16, 16})
+	st := Strategy{xbar.Square(32), xbar.Square(64)}
+	p, err := BuildPlan(cfg(), m, st, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OccupiedTiles() != 2 {
+		t.Fatalf("occupied = %d, want 2 (different shapes cannot share)", p.OccupiedTiles())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharingImprovesUtilizationNeverHurts(t *testing.T) {
+	for _, model := range []*dnn.Model{dnn.AlexNet(), dnn.VGG16()} {
+		for _, s := range xbar.SquareCandidates() {
+			st := Homogeneous(model.NumMappable(), s)
+			plain, err := BuildPlan(cfg(), model, st, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared, err := BuildPlan(cfg(), model, st, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := shared.Validate(); err != nil {
+				t.Fatalf("%s/%v: %v", model.Name, s, err)
+			}
+			if shared.OccupiedTiles() > plain.OccupiedTiles() {
+				t.Errorf("%s/%v: sharing increased tiles %d→%d", model.Name, s,
+					plain.OccupiedTiles(), shared.OccupiedTiles())
+			}
+			if shared.Utilization()+1e-9 < plain.Utilization() {
+				t.Errorf("%s/%v: sharing reduced utilization %.2f→%.2f", model.Name, s,
+					plain.Utilization(), shared.Utilization())
+			}
+			if shared.UsedCells() != plain.UsedCells() {
+				t.Errorf("%s/%v: sharing changed used cells", model.Name, s)
+			}
+		}
+	}
+}
+
+func TestRepackOptimalNeverWorseThanTwoPointer(t *testing.T) {
+	model := dnn.VGG16()
+	for _, s := range []xbar.Shape{xbar.Square(64), xbar.Square(256)} {
+		st := Homogeneous(model.NumMappable(), s)
+		twoPtr, err := BuildPlan(cfg(), model, st, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repack, err := BuildPlan(cfg(), model, st, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repack.RepackOptimal()
+		if err := repack.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if repack.OccupiedTiles() > twoPtr.OccupiedTiles() {
+			t.Errorf("%v: repack %d tiles > two-pointer %d", s,
+				repack.OccupiedTiles(), twoPtr.OccupiedTiles())
+		}
+		// Repack achieves the bin-packing lower bound per group.
+		usedSlots := 0
+		for _, tl := range repack.Tiles {
+			usedSlots += tl.Used()
+		}
+		lower := (usedSlots + cfg().PEsPerTile - 1) / cfg().PEsPerTile
+		if repack.OccupiedTiles() != lower {
+			t.Errorf("%v: repack %d tiles, lower bound %d", s, repack.OccupiedTiles(), lower)
+		}
+	}
+}
+
+func TestBuildPlanErrors(t *testing.T) {
+	m := dnn.AlexNet()
+	// Strategy length mismatch.
+	if _, err := BuildPlan(cfg(), m, Homogeneous(2, xbar.Square(64)), false); err == nil {
+		t.Fatal("strategy mismatch must error")
+	}
+	// Invalid config.
+	bad := cfg()
+	bad.PEsPerTile = 0
+	if _, err := BuildPlan(bad, m, Homogeneous(m.NumMappable(), xbar.Square(64)), false); err == nil {
+		t.Fatal("invalid config must error")
+	}
+	// Bank capacity exceeded.
+	tiny := cfg()
+	tiny.TilesPerBank = 2
+	if _, err := BuildPlan(tiny, m, Homogeneous(m.NumMappable(), xbar.Square(32)), false); err == nil {
+		t.Fatal("bank overflow must error")
+	}
+}
+
+func TestLayerTilesAndPlacements(t *testing.T) {
+	m := flatModel(t, [3]int{1, 16, 300}) // 300 cols on 32x32 → 10 slots → 3 tiles
+	p, err := BuildPlan(cfg(), m, Homogeneous(1, xbar.Square(32)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LayerTiles(0) != 3 {
+		t.Fatalf("LayerTiles = %d, want 3", p.LayerTiles(0))
+	}
+	if got := p.Layers[0].SlotsNeeded(); got != 10 {
+		t.Fatalf("SlotsNeeded = %d, want 10", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAreaGrowsWithOccupiedTiles(t *testing.T) {
+	m := dnn.VGG16()
+	st := Homogeneous(m.NumMappable(), xbar.Square(64))
+	plain, _ := BuildPlan(cfg(), m, st, false)
+	shared, _ := BuildPlan(cfg(), m, st, true)
+	if shared.Area() > plain.Area() {
+		t.Fatalf("sharing must not increase area: %v > %v", shared.Area(), plain.Area())
+	}
+	if plain.Area() <= hw.GlobalCtrlArea {
+		t.Fatal("area must include tiles")
+	}
+}
+
+func TestOccupiedTilesByShape(t *testing.T) {
+	m := flatModel(t, [3]int{1, 16, 16}, [3]int{1, 16, 16})
+	st := Strategy{xbar.Square(32), xbar.Square(64)}
+	p, _ := BuildPlan(cfg(), m, st, false)
+	by := p.OccupiedTilesByShape()
+	if by[xbar.Square(32)] != 1 || by[xbar.Square(64)] != 1 {
+		t.Fatalf("by shape = %v", by)
+	}
+}
+
+func TestTileString(t *testing.T) {
+	tl := &Tile{ID: 3, Shape: xbar.Square(64), Slots: 4}
+	tl.place(1, 2)
+	tl.place(4, 1)
+	want := "tile 3 (64x64): 3/4 slots [L2:2 L5:1]"
+	if got := tl.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestTilePlacePanics(t *testing.T) {
+	tl := &Tile{ID: 0, Shape: xbar.Square(32), Slots: 2}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("overflow place did not panic")
+			}
+		}()
+		tl.place(0, 3)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero place did not panic")
+			}
+		}()
+		tl.place(0, 0)
+	}()
+}
+
+func TestPlaceMergesSameLayer(t *testing.T) {
+	tl := &Tile{ID: 0, Shape: xbar.Square(32), Slots: 4}
+	tl.place(2, 1)
+	tl.place(2, 2)
+	if len(tl.Occupants) != 1 || tl.Occupants[0].Slots != 3 {
+		t.Fatalf("occupants = %v", tl.Occupants)
+	}
+}

@@ -1,0 +1,75 @@
+package accel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderOccupancy writes an ASCII view of the plan's occupied tiles: one
+// line per tile, one cell per slot, each slot labeled with the letter of
+// the layer occupying it ('a' = L1, 'b' = L2, …, wrapping for deep models;
+// '.' = empty). It is the debugging view the hetmap tool exposes.
+func (p *Plan) RenderOccupancy(w io.Writer) error {
+	tiles := make([]*Tile, 0, len(p.Tiles))
+	for _, t := range p.Tiles {
+		if t.Used() > 0 {
+			tiles = append(tiles, t)
+		}
+	}
+	sort.Slice(tiles, func(i, j int) bool { return tiles[i].ID < tiles[j].ID })
+	if _, err := fmt.Fprintf(w, "%d occupied tiles (%c = L1, %c = L2, …; . = empty slot)\n",
+		len(tiles), layerGlyph(0), layerGlyph(1)); err != nil {
+		return err
+	}
+	for _, t := range tiles {
+		cells := make([]byte, 0, t.Slots)
+		for _, o := range t.Occupants {
+			g := layerGlyph(o.LayerIndex)
+			for i := 0; i < o.Slots; i++ {
+				cells = append(cells, g)
+			}
+		}
+		for len(cells) < t.Slots {
+			cells = append(cells, '.')
+		}
+		shared := ""
+		if t.SharesLayers() {
+			shared = "  (shared)"
+		}
+		if _, err := fmt.Fprintf(w, "  tile %4d %-9s [%s]%s\n", t.ID, t.Shape.String(), string(cells), shared); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// layerGlyph maps a layer index to a display letter, cycling a–z then A–Z.
+func layerGlyph(index int) byte {
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return letters[index%len(letters)]
+}
+
+// OccupancySummary returns a one-line histogram of tile fill levels, e.g.
+// "fill: 4/4×12 3/4×2 1/4×1".
+func (p *Plan) OccupancySummary() string {
+	counts := map[int]int{}
+	slots := 0
+	for _, t := range p.Tiles {
+		if t.Used() > 0 {
+			counts[t.Used()]++
+			slots = t.Slots
+		}
+	}
+	levels := make([]int, 0, len(counts))
+	for l := range counts {
+		levels = append(levels, l)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	parts := make([]string, 0, len(levels))
+	for _, l := range levels {
+		parts = append(parts, fmt.Sprintf("%d/%d×%d", l, slots, counts[l]))
+	}
+	return "fill: " + strings.Join(parts, " ")
+}

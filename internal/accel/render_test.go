@@ -1,0 +1,75 @@
+package accel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"autohet/internal/xbar"
+)
+
+func TestRenderOccupancy(t *testing.T) {
+	m := flatModel(t,
+		[3]int{1, 16, 64}, // 2 slots
+		[3]int{1, 16, 16}, // 1 slot
+		[3]int{1, 32, 20}, // 1 slot
+	)
+	p, err := BuildPlan(cfg(), m, Homogeneous(3, xbar.Square(32)), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.RenderOccupancy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// One occupied tile after sharing, holding all three layers (a, b, c).
+	if !strings.Contains(out, "1 occupied tiles") {
+		t.Fatalf("render:\n%s", out)
+	}
+	for _, glyph := range []string{"a", "b", "c", "(shared)"} {
+		if !strings.Contains(out, glyph) {
+			t.Fatalf("render missing %q:\n%s", glyph, out)
+		}
+	}
+}
+
+func TestRenderShowsEmptySlots(t *testing.T) {
+	m := flatModel(t, [3]int{1, 16, 16}) // 1 of 4 slots
+	p, err := BuildPlan(cfg(), m, Homogeneous(1, xbar.Square(32)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.RenderOccupancy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[a...]") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestLayerGlyphWraps(t *testing.T) {
+	if layerGlyph(0) != 'a' || layerGlyph(25) != 'z' || layerGlyph(26) != 'A' {
+		t.Fatal("glyph mapping wrong")
+	}
+	if layerGlyph(52) != 'a' {
+		t.Fatal("glyph must wrap after 52 layers")
+	}
+}
+
+func TestOccupancySummary(t *testing.T) {
+	m := flatModel(t,
+		[3]int{1, 16, 64},
+		[3]int{1, 16, 16},
+	)
+	p, err := BuildPlan(cfg(), m, Homogeneous(2, xbar.Square(32)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.OccupancySummary()
+	// Two tiles: one with 2/4 used, one with 1/4.
+	if !strings.Contains(s, "2/4×1") || !strings.Contains(s, "1/4×1") {
+		t.Fatalf("summary = %q", s)
+	}
+}

@@ -1,0 +1,149 @@
+package accel
+
+import (
+	"sort"
+
+	"autohet/internal/xbar"
+)
+
+// Tile-shared crossbar allocation (paper §3.4, Algorithm 1). Tiles are
+// grouped by crossbar shape — only same-shape tiles may share. Within a
+// group, tiles are sorted ascending by empty-slot count and a two-pointer
+// sweep folds the tail tile's occupants (the emptiest tile, holding the
+// fewest slots) into the head tile's free slots whenever they fit:
+// hEmpty + tEmpty ≥ slotsPerTile ⇔ tUsed ≤ hEmpty. The freed tail tile is
+// released for other layers or models.
+
+func (p *Plan) applyTileSharing() {
+	p.Shared = true
+	groups := map[xbar.Shape][]*Tile{}
+	var shapes []xbar.Shape
+	for _, t := range p.Tiles {
+		if t.Used() == 0 {
+			continue
+		}
+		if _, ok := groups[t.Shape]; !ok {
+			shapes = append(shapes, t.Shape)
+		}
+		groups[t.Shape] = append(groups[t.Shape], t)
+	}
+	// Deterministic group order (map iteration is randomized).
+	sort.Slice(shapes, func(i, j int) bool {
+		if shapes[i].R != shapes[j].R {
+			return shapes[i].R < shapes[j].R
+		}
+		return shapes[i].C < shapes[j].C
+	})
+	for _, s := range shapes {
+		p.shareGroup(groups[s])
+	}
+}
+
+// shareGroup runs Algorithm 1 over one same-shape tile group.
+func (p *Plan) shareGroup(list []*Tile) {
+	sort.SliceStable(list, func(i, j int) bool {
+		if list[i].Empty() != list[j].Empty() {
+			return list[i].Empty() < list[j].Empty()
+		}
+		return list[i].ID < list[j].ID
+	})
+	head, tail := 0, len(list)-1
+	for head < tail {
+		h, t := list[head], list[tail]
+		if h.Empty()+t.Empty() >= h.Slots {
+			p.moveOccupants(t, h)
+			p.Remaps[h.ID] = append(p.Remaps[h.ID], t.ID)
+			tail--
+		} else {
+			head++
+		}
+	}
+}
+
+// RepackOptimal is the ablation alternative to Algorithm 1 (see DESIGN.md
+// §5): within each shape group it repacks every occupied slot into
+// ⌈used/slotsPerTile⌉ tiles — the bin-packing optimum when layer slots may
+// split arbitrarily across tiles. It frees the most tiles possible but
+// moves far more weight data than the two-pointer scheme; the benchmark
+// BenchmarkAllocSchemes contrasts the two.
+func (p *Plan) RepackOptimal() {
+	p.Shared = true
+	groups := map[xbar.Shape][]*Tile{}
+	for _, t := range p.Tiles {
+		if t.Used() > 0 {
+			groups[t.Shape] = append(groups[t.Shape], t)
+		}
+	}
+	for _, list := range groups {
+		// Gather per-layer slot totals in this group.
+		perLayer := map[int]int{}
+		var order []int
+		for _, t := range list {
+			for _, o := range t.Occupants {
+				if _, ok := perLayer[o.LayerIndex]; !ok {
+					order = append(order, o.LayerIndex)
+				}
+				perLayer[o.LayerIndex] += o.Slots
+			}
+			t.Occupants = nil
+		}
+		sort.Ints(order)
+		// Refill tiles densely in ID order.
+		sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+		ti := 0
+		for _, li := range order {
+			need := perLayer[li]
+			la := p.Layers[li]
+			la.Placements = la.Placements[:0]
+			for need > 0 {
+				t := list[ti]
+				if t.Empty() == 0 {
+					ti++
+					continue
+				}
+				put := need
+				if put > t.Empty() {
+					put = t.Empty()
+				}
+				t.place(li, put)
+				la.Placements = append(la.Placements, Placement{TileID: t.ID, Slots: put})
+				need -= put
+				if t.Empty() == 0 {
+					ti++
+				}
+			}
+		}
+	}
+}
+
+// moveOccupants relocates every occupant of src into dst, updating the
+// owning layers' placement records. src ends fully empty (released).
+func (p *Plan) moveOccupants(src, dst *Tile) {
+	for _, o := range src.Occupants {
+		dst.place(o.LayerIndex, o.Slots)
+		la := p.Layers[o.LayerIndex]
+		// Drop the src placement and fold its slots into a dst placement.
+		kept := la.Placements[:0]
+		moved := 0
+		for _, pl := range la.Placements {
+			if pl.TileID == src.ID {
+				moved += pl.Slots
+				continue
+			}
+			kept = append(kept, pl)
+		}
+		la.Placements = kept
+		merged := false
+		for i := range la.Placements {
+			if la.Placements[i].TileID == dst.ID {
+				la.Placements[i].Slots += moved
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			la.Placements = append(la.Placements, Placement{TileID: dst.ID, Slots: moved})
+		}
+	}
+	src.Occupants = nil
+}

@@ -1,0 +1,152 @@
+// Package accel models the heterogeneous ReRAM accelerator itself: the
+// bank→tile→PE→crossbar hierarchy (paper Fig. 1/Fig. 6), the mapping of a
+// DNN model onto tiles under a per-layer crossbar strategy, the baseline
+// tile-based allocation, and the paper's tile-shared allocation scheme
+// (Algorithm 1). It produces the occupancy, utilization, and area metrics
+// that the search reward and the experiment harness consume.
+//
+// Granularity: a PE groups hw.Config.XBPerPE physical 1-bit crossbars that
+// jointly store one 8-bit weight plane, so a PE is one *logical* crossbar
+// slot. A tile provides PEsPerTile slots. The paper's "number of crossbars
+// contained in one tile" (Fig. 4) and "PEs in each tile" (Fig. 11c) both
+// refer to these slots.
+package accel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"autohet/internal/dnn"
+	"autohet/internal/xbar"
+)
+
+// Strategy assigns one crossbar shape to each mappable layer, indexed by
+// dnn.Layer.Index. It is the RL agent's output (Fig. 6: L0:XB0 … Ln:XBn).
+type Strategy []xbar.Shape
+
+// Homogeneous returns a strategy that uses the same shape for all n layers
+// (the baseline accelerators of §4.1).
+func Homogeneous(n int, s xbar.Shape) Strategy {
+	st := make(Strategy, n)
+	for i := range st {
+		st[i] = s
+	}
+	return st
+}
+
+// ManualHetero returns the paper's Fig. 3 hand-tuned VGG16 strategy:
+// 512×512 crossbars for the first ten layers and 256×256 for the last six.
+func ManualHetero(n int) Strategy {
+	st := make(Strategy, n)
+	for i := range st {
+		if i < 10 {
+			st[i] = xbar.Square(512)
+		} else {
+			st[i] = xbar.Square(256)
+		}
+	}
+	return st
+}
+
+// FromIndices decodes a strategy from candidate indices (the RL action
+// sequence).
+func FromIndices(candidates []xbar.Shape, indices []int) (Strategy, error) {
+	st := make(Strategy, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(candidates) {
+			return nil, fmt.Errorf("accel: action %d for layer %d out of range [0,%d)", idx, i, len(candidates))
+		}
+		st[i] = candidates[idx]
+	}
+	return st, nil
+}
+
+// Validate checks the strategy covers the model's mappable layers with
+// valid shapes.
+func (st Strategy) Validate(m *dnn.Model) error {
+	if len(st) != m.NumMappable() {
+		return fmt.Errorf("accel: strategy covers %d layers, model %q has %d mappable", len(st), m.Name, m.NumMappable())
+	}
+	for i, s := range st {
+		if !s.Valid() {
+			return fmt.Errorf("accel: layer %d has invalid crossbar shape %v", i, s)
+		}
+	}
+	return nil
+}
+
+// ParseStrategy parses the run-length format produced by Strategy.String,
+// e.g. "L1-L10:512x512 L11-L16:256x256". Ranges must be contiguous from L1
+// with no gaps or overlaps.
+func ParseStrategy(text string) (Strategy, error) {
+	text = strings.TrimSpace(text)
+	if text == "" || text == "(empty)" {
+		return nil, fmt.Errorf("accel: empty strategy text")
+	}
+	var st Strategy
+	next := 1
+	for _, tok := range strings.Fields(text) {
+		parts := strings.SplitN(tok, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("accel: bad strategy token %q", tok)
+		}
+		shape, err := xbar.ParseShape(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("accel: token %q: %w", tok, err)
+		}
+		rangeText := parts[0]
+		if !strings.HasPrefix(rangeText, "L") {
+			return nil, fmt.Errorf("accel: bad layer range %q", rangeText)
+		}
+		lo, hi := 0, 0
+		if dash := strings.Index(rangeText, "-"); dash >= 0 {
+			lo, err = strconv.Atoi(rangeText[1:dash])
+			if err != nil {
+				return nil, fmt.Errorf("accel: bad layer range %q", rangeText)
+			}
+			if !strings.HasPrefix(rangeText[dash+1:], "L") {
+				return nil, fmt.Errorf("accel: bad layer range %q", rangeText)
+			}
+			hi, err = strconv.Atoi(rangeText[dash+2:])
+		} else {
+			lo, err = strconv.Atoi(rangeText[1:])
+			hi = lo
+		}
+		if err != nil {
+			return nil, fmt.Errorf("accel: bad layer range %q", rangeText)
+		}
+		if lo != next || hi < lo {
+			return nil, fmt.Errorf("accel: layer range %q out of order (expected L%d)", rangeText, next)
+		}
+		for i := lo; i <= hi; i++ {
+			st = append(st, shape)
+		}
+		next = hi + 1
+	}
+	return st, nil
+}
+
+// String renders the strategy as run-length-encoded shape assignments,
+// e.g. "L1-L10:512x512 L11-L16:256x256".
+func (st Strategy) String() string {
+	if len(st) == 0 {
+		return "(empty)"
+	}
+	out := ""
+	start := 0
+	for i := 1; i <= len(st); i++ {
+		if i == len(st) || st[i] != st[start] {
+			if out != "" {
+				out += " "
+			}
+			if start == i-1 {
+				out += fmt.Sprintf("L%d:%v", start+1, st[start])
+			} else {
+				out += fmt.Sprintf("L%d-L%d:%v", start+1, i, st[start])
+			}
+			start = i
+		}
+	}
+	return out
+}

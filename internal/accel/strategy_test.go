@@ -1,0 +1,82 @@
+package accel
+
+import (
+	"testing"
+
+	"autohet/internal/dnn"
+	"autohet/internal/xbar"
+)
+
+func TestHomogeneous(t *testing.T) {
+	st := Homogeneous(5, xbar.Square(64))
+	if len(st) != 5 {
+		t.Fatalf("len = %d", len(st))
+	}
+	for _, s := range st {
+		if s != xbar.Square(64) {
+			t.Fatalf("shape %v", s)
+		}
+	}
+}
+
+func TestManualHetero(t *testing.T) {
+	// Fig. 3: 512×512 for the first ten layers, 256×256 for the rest.
+	st := ManualHetero(16)
+	for i := 0; i < 10; i++ {
+		if st[i] != xbar.Square(512) {
+			t.Fatalf("layer %d = %v", i, st[i])
+		}
+	}
+	for i := 10; i < 16; i++ {
+		if st[i] != xbar.Square(256) {
+			t.Fatalf("layer %d = %v", i, st[i])
+		}
+	}
+}
+
+func TestFromIndices(t *testing.T) {
+	cands := xbar.DefaultCandidates()
+	st, err := FromIndices(cands, []int{0, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st[0] != cands[0] || st[1] != cands[4] || st[2] != cands[2] {
+		t.Fatalf("FromIndices = %v", st)
+	}
+	if _, err := FromIndices(cands, []int{5}); err == nil {
+		t.Fatal("out-of-range action must error")
+	}
+	if _, err := FromIndices(cands, []int{-1}); err == nil {
+		t.Fatal("negative action must error")
+	}
+}
+
+func TestStrategyValidate(t *testing.T) {
+	m := dnn.AlexNet()
+	st := Homogeneous(m.NumMappable(), xbar.Square(64))
+	if err := st.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := Homogeneous(3, xbar.Square(64)).Validate(m); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	bad := Homogeneous(m.NumMappable(), xbar.Square(64))
+	bad[2] = xbar.Shape{}
+	if err := bad.Validate(m); err == nil {
+		t.Fatal("invalid shape must error")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	st := ManualHetero(16)
+	if got := st.String(); got != "L1-L10:512x512 L11-L16:256x256" {
+		t.Fatalf("String = %q", got)
+	}
+	single := Strategy{xbar.Square(32)}
+	if got := single.String(); got != "L1:32x32" {
+		t.Fatalf("String = %q", got)
+	}
+	if Strategy(nil).String() != "(empty)" {
+		t.Fatal("empty string wrong")
+	}
+}

@@ -1,0 +1,69 @@
+package accel
+
+import (
+	"fmt"
+
+	"autohet/internal/xbar"
+)
+
+// Occupancy records that a layer occupies some slots of a tile.
+type Occupancy struct {
+	LayerIndex int // dnn.Layer.Index
+	Slots      int
+}
+
+// Tile is one accelerator tile: Slots logical crossbar slots (PEs), all of
+// one crossbar shape. Crossbars within a tile are homogeneous; shapes vary
+// only across tiles (§3.1).
+type Tile struct {
+	ID        int
+	Shape     xbar.Shape
+	Slots     int
+	Occupants []Occupancy
+}
+
+// Used returns the number of occupied slots.
+func (t *Tile) Used() int {
+	total := 0
+	for _, o := range t.Occupants {
+		total += o.Slots
+	}
+	return total
+}
+
+// Empty returns the number of unoccupied slots (emptyXBNum in Algorithm 1).
+func (t *Tile) Empty() int { return t.Slots - t.Used() }
+
+// place adds a layer's occupancy, panicking on overflow — callers size
+// placements to fit.
+func (t *Tile) place(layerIndex, slots int) {
+	if slots <= 0 {
+		panic(fmt.Sprintf("accel: placing %d slots", slots))
+	}
+	if slots > t.Empty() {
+		panic(fmt.Sprintf("accel: tile %d overflow: placing %d into %d empty", t.ID, slots, t.Empty()))
+	}
+	// Merge with an existing occupancy of the same layer if present.
+	for i := range t.Occupants {
+		if t.Occupants[i].LayerIndex == layerIndex {
+			t.Occupants[i].Slots += slots
+			return
+		}
+	}
+	t.Occupants = append(t.Occupants, Occupancy{LayerIndex: layerIndex, Slots: slots})
+}
+
+// SharesLayers reports whether more than one layer occupies the tile.
+func (t *Tile) SharesLayers() bool { return len(t.Occupants) > 1 }
+
+// String renders the tile, e.g. "tile 3 (64x64): 3/4 slots [L2:2 L5:1]".
+func (t *Tile) String() string {
+	occ := ""
+	for i, o := range t.Occupants {
+		if i > 0 {
+			occ += " "
+		}
+		occ += fmt.Sprintf("L%d:%d", o.LayerIndex+1, o.Slots)
+	}
+	return fmt.Sprintf("tile %d (%v): %d/%d slots [%s]", t.ID, t.Shape, t.Used(), t.Slots, occ)
+}

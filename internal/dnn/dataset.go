@@ -1,0 +1,50 @@
+package dnn
+
+import "fmt"
+
+// Dataset describes an inference input source (paper §4.1). Only the input
+// tensor shape influences the accelerator metrics; image counts and class
+// counts are carried for workload generation and reporting.
+type Dataset struct {
+	Name    string
+	H, W, C int
+	Images  int
+	Classes int
+}
+
+// The three paper datasets, plus a token-sequence descriptor for the
+// transformer extension (shape = embedded sequence, seq×1×d).
+var (
+	MNIST    = Dataset{Name: "MNIST", H: 28, W: 28, C: 1, Images: 70000, Classes: 10}
+	CIFAR10  = Dataset{Name: "CIFAR-10", H: 32, W: 32, C: 3, Images: 60000, Classes: 10}
+	ImageNet = Dataset{Name: "ImageNet", H: 224, W: 224, C: 3, Images: 1400000, Classes: 1000}
+	TextSeq  = Dataset{Name: "text-cls", H: 128, W: 1, C: 768, Images: 67000, Classes: 2}
+)
+
+// DatasetFor returns the dataset the paper pairs with the given model
+// (AlexNet→MNIST, VGG16→CIFAR-10, ResNet152→ImageNet); the extension
+// models pair with the dataset matching their input shape.
+func DatasetFor(model string) (Dataset, error) {
+	switch model {
+	case "AlexNet", "alexnet", "LeNet-5", "LeNet5", "lenet5":
+		return MNIST, nil
+	case "VGG16", "vgg16", "VGG11", "vgg11", "DepthwiseNet", "depthwisenet":
+		return CIFAR10, nil
+	case "ResNet152", "resnet152", "ResNet18", "resnet18":
+		return ImageNet, nil
+	case "BERT-Base", "bertbase", "bert":
+		return TextSeq, nil
+	default:
+		return Dataset{}, fmt.Errorf("dnn: no dataset pairing for model %q", model)
+	}
+}
+
+// Matches reports whether the dataset's input shape equals the model's.
+func (d Dataset) Matches(m *Model) bool {
+	return d.H == m.InH && d.W == m.InW && d.C == m.InC
+}
+
+// String returns e.g. "MNIST (28x28x1, 70000 images, 10 classes)".
+func (d Dataset) String() string {
+	return fmt.Sprintf("%s (%dx%dx%d, %d images, %d classes)", d.Name, d.H, d.W, d.C, d.Images, d.Classes)
+}

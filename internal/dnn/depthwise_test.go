@@ -1,0 +1,35 @@
+package dnn
+
+import "testing"
+
+func TestDepthwiseNetStructure(t *testing.T) {
+	m := DepthwiseNet()
+	// stem + 4×(dw+pw) + fc = 10 mappable layers.
+	if m.NumMappable() != 10 {
+		t.Fatalf("mappable = %d, want 10", m.NumMappable())
+	}
+	var dwCount int
+	for _, l := range m.Mappable() {
+		if l.GroupCount() > 1 {
+			dwCount++
+			if l.Groups != l.InC || l.InC != l.OutC {
+				t.Errorf("layer %s is not depthwise: groups=%d in=%d out=%d", l.Name, l.Groups, l.InC, l.OutC)
+			}
+			if l.K != 3 {
+				t.Errorf("depthwise kernel %d", l.K)
+			}
+		}
+	}
+	if dwCount != 4 {
+		t.Fatalf("depthwise layers = %d, want 4", dwCount)
+	}
+	if !CIFAR10.Matches(m) {
+		t.Fatal("DepthwiseNet input must match CIFAR-10")
+	}
+	// Depthwise weights are tiny relative to pointwise.
+	dw := m.Mappable()[1]
+	pw := m.Mappable()[2]
+	if dw.Weights() >= pw.Weights() {
+		t.Fatalf("dw weights %d should be far below pw %d", dw.Weights(), pw.Weights())
+	}
+}

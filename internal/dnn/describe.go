@@ -1,0 +1,48 @@
+package dnn
+
+import (
+	"fmt"
+	"io"
+)
+
+// Describe writes a per-layer summary table of the model: shapes, weights,
+// MACs — the view used to sanity-check zoo builders against published
+// architectures.
+func (m *Model) Describe(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s (input %dx%dx%d)\n", m.Name, m.InH, m.InW, m.InC); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-4s %-16s %-6s %-22s %-12s %-12s\n",
+		"L", "name", "type", "shape", "weights", "MACs")
+	if _, err := io.WriteString(w, header); err != nil {
+		return err
+	}
+	var totalW, totalMACs int64
+	for _, l := range m.Layers {
+		idx := "-"
+		if l.Index >= 0 {
+			idx = fmt.Sprintf("L%d", l.Index+1)
+		}
+		shape := ""
+		switch l.Kind {
+		case Conv:
+			shape = fmt.Sprintf("%dx%d %d→%d @%dx%d", l.K, l.K, l.InC, l.OutC, l.InH, l.InW)
+			if l.GroupCount() > 1 {
+				shape += fmt.Sprintf(" g%d", l.Groups)
+			}
+		case FC:
+			shape = fmt.Sprintf("%d→%d", l.InC, l.OutC)
+		case Pool:
+			shape = fmt.Sprintf("%dx%d/%d @%dx%d", l.K, l.K, l.Stride, l.InH, l.InW)
+		}
+		line := fmt.Sprintf("%-4s %-16s %-6s %-22s %-12d %-12d\n",
+			idx, l.Name, l.Kind, shape, l.Weights(), l.MACs())
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+		totalW += int64(l.Weights())
+		totalMACs += l.MACs()
+	}
+	_, err := fmt.Fprintf(w, "total: %d weights, %d MACs/inference\n", totalW, totalMACs)
+	return err
+}

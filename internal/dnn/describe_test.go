@@ -1,0 +1,28 @@
+package dnn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := VGG16().Describe(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"VGG16", "conv1_1", "POOL", "fc16", "total:", "MACs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("describe missing %q:\n%s", want, out)
+		}
+	}
+	// Grouped layers show their group count.
+	buf.Reset()
+	if err := DepthwiseNet().Describe(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "g32") {
+		t.Fatalf("grouped shape missing:\n%s", buf.String())
+	}
+}

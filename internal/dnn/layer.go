@@ -1,0 +1,155 @@
+// Package dnn describes DNN inference workloads the way the AutoHet paper
+// consumes them: as sequences of convolutional and fully-connected layers
+// whose *shapes* (kernel size, channels, strides, feature-map sizes) drive
+// crossbar mapping, utilization, and energy. It ships the paper's model zoo
+// (Table 2: AlexNet, VGG16, ResNet152), the three dataset descriptors
+// (§4.1), weight-matrix unfolding (Fig. 7), and deterministic synthetic
+// weights that stand in for trained parameters (see DESIGN.md —
+// substitutions).
+package dnn
+
+import "fmt"
+
+// Kind distinguishes the layer types the accelerator maps. Pool layers are
+// tracked for shape propagation and the tile pooling-module energy but hold
+// no weights and occupy no crossbars.
+type Kind int
+
+// Layer kinds.
+const (
+	Conv Kind = iota
+	FC
+	Pool
+)
+
+// String returns the kind's short name.
+func (k Kind) String() string {
+	switch k {
+	case Conv:
+		return "CONV"
+	case FC:
+		return "FC"
+	case Pool:
+		return "POOL"
+	default:
+		return "?"
+	}
+}
+
+// Layer is one DNN layer. For FC layers, K and Stride are 1 and InC/OutC are
+// the input/output neuron counts, matching the paper's convention (§3.2:
+// "we consider the FC layer as a special kind of CONV layer"). For Pool
+// layers only K and Stride matter (window K×K, stride Stride).
+type Layer struct {
+	Name   string
+	Kind   Kind
+	K      int // kernel side length (k in the paper; kernel has k² elements)
+	InC    int // input channels (or input neurons for FC)
+	OutC   int // output channels (or output neurons for FC)
+	Stride int
+	Pad    int
+	// Groups splits a CONV into independent channel groups (0 or 1 means a
+	// dense convolution; Groups == InC == OutC is a depthwise convolution).
+	// Grouped kernels unfold into a block-diagonal weight matrix, which is
+	// exactly the hard case for crossbar utilization — an extension beyond
+	// the paper's dense-CONV workloads.
+	Groups int
+
+	// Propagated by Model.Propagate:
+	InH, InW   int // input feature-map spatial size
+	OutH, OutW int // output feature-map spatial size
+	Index      int // position among *mappable* (Conv/FC) layers, -1 for Pool
+}
+
+// Mappable reports whether the layer holds weights that map onto crossbars.
+func (l *Layer) Mappable() bool { return l.Kind == Conv || l.Kind == FC }
+
+// GroupCount returns the effective group count (≥ 1).
+func (l *Layer) GroupCount() int {
+	if l.Kind == Conv && l.Groups > 1 {
+		return l.Groups
+	}
+	return 1
+}
+
+// Weights returns the number of weight scalars in the layer (w in the
+// paper's state vector): InC·k²·OutC/Groups for CONV, InC·OutC for FC,
+// 0 for Pool.
+func (l *Layer) Weights() int {
+	if !l.Mappable() {
+		return 0
+	}
+	return l.InC * l.K * l.K * l.OutC / l.GroupCount()
+}
+
+// KernelElems returns k², the number of elements of one 2-D kernel slice
+// (ks in the paper's state vector). FC layers report 1.
+func (l *Layer) KernelElems() int {
+	if l.Kind == FC {
+		return 1
+	}
+	return l.K * l.K
+}
+
+// UnfoldedRows returns the height of the unfolded weight matrix, C_in·k²
+// (Fig. 7). This is the number of crossbar rows the layer's kernels need.
+func (l *Layer) UnfoldedRows() int { return l.InC * l.KernelElems() }
+
+// UnfoldedCols returns the width of the unfolded weight matrix, C_out.
+func (l *Layer) UnfoldedCols() int { return l.OutC }
+
+// InputSize returns the input feature-map spatial size InH·InW (ins in the
+// paper's state vector).
+func (l *Layer) InputSize() int { return l.InH * l.InW }
+
+// OutputPositions returns the number of sliding-window positions per
+// inference, OutH·OutW. Each position triggers one MVM over the layer's
+// crossbar array; FC layers have exactly one.
+func (l *Layer) OutputPositions() int { return l.OutH * l.OutW }
+
+// MACs returns the multiply-accumulate count per inference:
+// weights × output positions.
+func (l *Layer) MACs() int64 {
+	return int64(l.Weights()) * int64(l.OutputPositions())
+}
+
+// String renders the layer compactly, e.g. "CONV k3 64→128 @28x28".
+func (l *Layer) String() string {
+	switch l.Kind {
+	case Pool:
+		return fmt.Sprintf("POOL %dx%d/%d @%dx%d", l.K, l.K, l.Stride, l.InH, l.InW)
+	case FC:
+		return fmt.Sprintf("FC %d→%d", l.InC, l.OutC)
+	default:
+		return fmt.Sprintf("CONV k%d %d→%d @%dx%d", l.K, l.InC, l.OutC, l.InH, l.InW)
+	}
+}
+
+// Validate reports a descriptive error for inconsistent layer parameters.
+func (l *Layer) Validate() error {
+	switch l.Kind {
+	case Conv:
+		if l.K <= 0 || l.InC <= 0 || l.OutC <= 0 || l.Stride <= 0 || l.Pad < 0 {
+			return fmt.Errorf("dnn: invalid CONV layer %q: k=%d inC=%d outC=%d stride=%d pad=%d",
+				l.Name, l.K, l.InC, l.OutC, l.Stride, l.Pad)
+		}
+		if l.Groups < 0 || (l.Groups > 1 && (l.InC%l.Groups != 0 || l.OutC%l.Groups != 0)) {
+			return fmt.Errorf("dnn: CONV layer %q: groups %d must divide inC %d and outC %d",
+				l.Name, l.Groups, l.InC, l.OutC)
+		}
+	case FC:
+		if l.InC <= 0 || l.OutC <= 0 {
+			return fmt.Errorf("dnn: invalid FC layer %q: in=%d out=%d", l.Name, l.InC, l.OutC)
+		}
+		if l.K != 1 || l.Stride != 1 {
+			return fmt.Errorf("dnn: FC layer %q must have K=1 Stride=1 (paper §3.2)", l.Name)
+		}
+	case Pool:
+		if l.K <= 0 || l.Stride <= 0 {
+			return fmt.Errorf("dnn: invalid POOL layer %q: k=%d stride=%d", l.Name, l.K, l.Stride)
+		}
+	default:
+		return fmt.Errorf("dnn: unknown layer kind %d in %q", l.Kind, l.Name)
+	}
+	return nil
+}

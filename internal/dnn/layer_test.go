@@ -1,0 +1,107 @@
+package dnn
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	if Conv.String() != "CONV" || FC.String() != "FC" || Pool.String() != "POOL" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(9).String() != "?" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestLayerWeights(t *testing.T) {
+	c := conv("c", 3, 12, 128, 1, 1)
+	if got := c.Weights(); got != 12*9*128 {
+		t.Fatalf("conv weights = %d, want %d", got, 12*9*128)
+	}
+	f := fc("f", 512, 1000)
+	if got := f.Weights(); got != 512000 {
+		t.Fatalf("fc weights = %d", got)
+	}
+	p := pool("p", 2, 2)
+	if p.Weights() != 0 {
+		t.Fatal("pool has weights")
+	}
+}
+
+func TestKernelElems(t *testing.T) {
+	if conv("c", 3, 1, 1, 1, 0).KernelElems() != 9 {
+		t.Fatal("conv k² wrong")
+	}
+	if fc("f", 4, 4).KernelElems() != 1 {
+		t.Fatal("fc ks must be 1 (paper §3.2)")
+	}
+}
+
+func TestUnfoldedShape(t *testing.T) {
+	// Paper Fig. 5: 128 kernels of 3×3×12 → 108×128 weight matrix.
+	l := conv("c", 3, 12, 128, 1, 1)
+	if l.UnfoldedRows() != 108 || l.UnfoldedCols() != 128 {
+		t.Fatalf("unfold = %dx%d, want 108x128", l.UnfoldedRows(), l.UnfoldedCols())
+	}
+}
+
+func TestMappable(t *testing.T) {
+	if !conv("c", 1, 1, 1, 1, 0).Mappable() || !fc("f", 1, 1).Mappable() {
+		t.Fatal("conv/fc must be mappable")
+	}
+	if pool("p", 2, 2).Mappable() {
+		t.Fatal("pool must not be mappable")
+	}
+}
+
+func TestLayerValidate(t *testing.T) {
+	bad := []*Layer{
+		{Name: "k0", Kind: Conv, K: 0, InC: 1, OutC: 1, Stride: 1},
+		{Name: "negC", Kind: Conv, K: 3, InC: -1, OutC: 1, Stride: 1},
+		{Name: "s0", Kind: Conv, K: 3, InC: 1, OutC: 1, Stride: 0},
+		{Name: "negPad", Kind: Conv, K: 3, InC: 1, OutC: 1, Stride: 1, Pad: -1},
+		{Name: "fcK2", Kind: FC, K: 2, InC: 4, OutC: 4, Stride: 1},
+		{Name: "fcIn0", Kind: FC, K: 1, InC: 0, OutC: 4, Stride: 1},
+		{Name: "poolS0", Kind: Pool, K: 2, Stride: 0},
+		{Name: "badKind", Kind: Kind(7), K: 1, InC: 1, OutC: 1, Stride: 1},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("layer %q validated but should not", l.Name)
+		}
+	}
+	good := []*Layer{
+		conv("ok", 3, 1, 64, 1, 1),
+		fc("ok", 10, 10),
+		pool("ok", 2, 2),
+	}
+	for _, l := range good {
+		if err := l.Validate(); err != nil {
+			t.Errorf("layer %q failed validation: %v", l.Name, err)
+		}
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	l := conv("c", 3, 64, 128, 1, 1)
+	l.InH, l.InW = 28, 28
+	if got := l.String(); got != "CONV k3 64→128 @28x28" {
+		t.Fatalf("conv String = %q", got)
+	}
+	f := fc("f", 512, 10)
+	if got := f.String(); got != "FC 512→10" {
+		t.Fatalf("fc String = %q", got)
+	}
+	p := pool("p", 2, 2)
+	p.InH, p.InW = 8, 8
+	if got := p.String(); got != "POOL 2x2/2 @8x8" {
+		t.Fatalf("pool String = %q", got)
+	}
+}
+
+func TestMACs(t *testing.T) {
+	l := conv("c", 3, 2, 4, 1, 1)
+	l.OutH, l.OutW = 5, 5
+	want := int64(2*9*4) * 25
+	if l.MACs() != want {
+		t.Fatalf("MACs = %d, want %d", l.MACs(), want)
+	}
+}

@@ -1,0 +1,144 @@
+package dnn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewModelPropagatesShapes(t *testing.T) {
+	m, err := NewModel("toy", 8, 8, 3, []*Layer{
+		conv("c1", 3, 3, 16, 1, 1),
+		pool("p1", 2, 2),
+		conv("c2", 3, 16, 32, 1, 1),
+		fc("f1", 32*4*4, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := m.Layers[0]
+	if c1.InH != 8 || c1.OutH != 8 {
+		t.Fatalf("c1 shapes in=%d out=%d", c1.InH, c1.OutH)
+	}
+	p1 := m.Layers[1]
+	if p1.OutH != 4 {
+		t.Fatalf("pool out = %d, want 4", p1.OutH)
+	}
+	f1 := m.Layers[3]
+	if f1.OutH != 1 || f1.OutW != 1 {
+		t.Fatal("fc output must be 1x1")
+	}
+	if m.NumMappable() != 3 {
+		t.Fatalf("mappable = %d, want 3", m.NumMappable())
+	}
+	if m.Mappable()[2].Index != 2 {
+		t.Fatal("mappable indices wrong")
+	}
+	if m.Layers[1].Index != -1 {
+		t.Fatal("pool must have index -1")
+	}
+}
+
+func TestNewModelRejectsChannelMismatch(t *testing.T) {
+	_, err := NewModel("bad", 8, 8, 3, []*Layer{
+		conv("c1", 3, 3, 16, 1, 1),
+		conv("c2", 3, 8, 32, 1, 1), // 8 != 16
+	})
+	if err == nil || !strings.Contains(err.Error(), "channels") {
+		t.Fatalf("expected channel mismatch error, got %v", err)
+	}
+}
+
+func TestNewModelRejectsBadFlatten(t *testing.T) {
+	_, err := NewModel("bad", 8, 8, 1, []*Layer{
+		conv("c1", 3, 1, 4, 1, 1),
+		fc("f1", 99, 10), // flatten is 4*8*8=256
+	})
+	if err == nil || !strings.Contains(err.Error(), "flatten") {
+		t.Fatalf("expected flatten error, got %v", err)
+	}
+}
+
+func TestNewModelRejectsConvAfterFC(t *testing.T) {
+	_, err := NewModel("bad", 4, 4, 1, []*Layer{
+		fc("f1", 16, 8),
+		conv("c1", 3, 8, 8, 1, 1),
+	})
+	if err == nil {
+		t.Fatal("expected CONV-after-FC error")
+	}
+}
+
+func TestNewModelRejectsEmptyAndBadInput(t *testing.T) {
+	if _, err := NewModel("bad", 0, 4, 1, []*Layer{fc("f", 4, 2)}); err == nil {
+		t.Fatal("expected input-shape error")
+	}
+	if _, err := NewModel("bad", 4, 4, 1, []*Layer{pool("p", 2, 2)}); err == nil {
+		t.Fatal("expected no-mappable-layers error")
+	}
+}
+
+func TestFCChain(t *testing.T) {
+	m, err := NewModel("mlp", 1, 1, 16, []*Layer{
+		fc("f1", 16, 8),
+		fc("f2", 8, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalWeights() != 16*8+8*4 {
+		t.Fatalf("TotalWeights = %d", m.TotalWeights())
+	}
+	// FC-after-FC mismatch.
+	if _, err := NewModel("bad", 1, 1, 16, []*Layer{fc("f1", 16, 8), fc("f2", 9, 4)}); err == nil {
+		t.Fatal("expected FC chain mismatch error")
+	}
+}
+
+func TestNewFlatModel(t *testing.T) {
+	c := conv("c", 1, 64, 256, 1, 0)
+	c.InH, c.InW = 56, 56
+	d := conv("d", 3, 64, 64, 2, 1)
+	d.InH, d.InW = 56, 56
+	m, err := NewFlatModel("flat", 224, 224, 3, []*Layer{c, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OutH != 56 {
+		t.Fatalf("1x1 stride1 out = %d, want 56", c.OutH)
+	}
+	if d.OutH != 28 {
+		t.Fatalf("3x3 stride2 pad1 out = %d, want 28", d.OutH)
+	}
+	if m.NumMappable() != 2 {
+		t.Fatal("flat mappable count wrong")
+	}
+}
+
+func TestNewFlatModelRejectsMissingShape(t *testing.T) {
+	c := conv("c", 1, 64, 256, 1, 0) // InH unset
+	if _, err := NewFlatModel("flat", 8, 8, 3, []*Layer{c}); err == nil {
+		t.Fatal("expected preassigned-shape error")
+	}
+	if _, err := NewFlatModel("flat", 8, 8, 3, nil); err == nil {
+		t.Fatal("expected empty-model error")
+	}
+}
+
+func TestConvOutFloor(t *testing.T) {
+	// (7-2)/2+1 = 3 (paper AlexNet pool5 7→3).
+	if convOut(7, 2, 2, 0) != 3 {
+		t.Fatalf("convOut(7,2,2,0) = %d", convOut(7, 2, 2, 0))
+	}
+	// Never below 1.
+	if convOut(1, 3, 1, 0) != 1 {
+		t.Fatal("convOut floor failed")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := AlexNet()
+	s := m.String()
+	if !strings.Contains(s, "AlexNet") || !strings.Contains(s, "mappable") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,107 @@
+package dnn
+
+import "fmt"
+
+// Transformer workloads. The paper's §4.5 argues the heterogeneous-crossbar
+// idea carries to other AI domains "such as large language models"; this
+// builder makes that concrete. Only the weight-stationary projections map
+// onto ReRAM — per block the Q/K/V/output projections (d×d) and the two
+// feed-forward matrices (d×d_ff, d_ff×d). The dynamic attention product
+// QKᵀ·V has no fixed weights and is assumed to run on the digital side, as
+// in ReRAM transformer accelerators generally.
+//
+// Each projection applies once per token, so it is modeled as a 1×1
+// convolution over a seqLen×1 feature map: OutputPositions = seqLen MVMs
+// per inference, which is exactly the hardware's workload.
+
+// TransformerEncoder builds an encoder stack: blocks × {W_Q, W_K, W_V, W_O,
+// FFN_up, FFN_down} plus a final classifier head (d_model → classes) when
+// classes > 0.
+func TransformerEncoder(name string, blocks, dModel, dFF, seqLen, classes int) (*Model, error) {
+	if blocks <= 0 || dModel <= 0 || dFF <= 0 || seqLen <= 0 || classes < 0 {
+		return nil, fmt.Errorf("dnn: invalid transformer %q: blocks=%d d=%d dff=%d seq=%d classes=%d",
+			name, blocks, dModel, dFF, seqLen, classes)
+	}
+	proj := func(lname string, in, out int) *Layer {
+		return &Layer{
+			Name: lname, Kind: Conv, K: 1, InC: in, OutC: out, Stride: 1,
+			InH: seqLen, InW: 1,
+		}
+	}
+	var layers []*Layer
+	for b := 0; b < blocks; b++ {
+		p := fmt.Sprintf("blk%d_", b+1)
+		layers = append(layers,
+			proj(p+"wq", dModel, dModel),
+			proj(p+"wk", dModel, dModel),
+			proj(p+"wv", dModel, dModel),
+			proj(p+"wo", dModel, dModel),
+			proj(p+"ffn_up", dModel, dFF),
+			proj(p+"ffn_down", dFF, dModel),
+		)
+	}
+	if classes > 0 {
+		head := &Layer{Name: "classifier", Kind: FC, K: 1, InC: dModel, OutC: classes, Stride: 1, InH: 1, InW: 1}
+		layers = append(layers, head)
+	}
+	return NewFlatModel(name, seqLen, 1, dModel, layers)
+}
+
+// BERTBase returns a BERT-Base-shaped encoder (12 blocks, d=768, d_ff=3072)
+// at sequence length 128 with a 2-way classification head — ≈85M mapped
+// weights, the §4.5 LLM-domain workload.
+func BERTBase() *Model {
+	m, err := TransformerEncoder("BERT-Base", 12, 768, 3072, 128, 2)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TinyTransformer returns a 2-block, d=64 encoder used by tests and the
+// examples where search speed matters more than scale.
+func TinyTransformer() *Model {
+	m, err := TransformerEncoder("TinyFormer", 2, 64, 256, 16, 4)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Concat fuses several models into one flat workload so they can be mapped
+// onto a single bank with cross-model tile sharing — the paper's §3.4 notes
+// freed tiles "become available for other layers in the DNN model or other
+// models". Layers are deep-copied; the inputs keep their own shapes, and
+// the fused model's nominal input is the first model's.
+func Concat(name string, models ...*Model) (*Model, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("dnn: Concat needs at least one model")
+	}
+	var layers []*Layer
+	for _, m := range models {
+		for _, l := range m.Layers {
+			c := *l
+			layers = append(layers, &c)
+		}
+	}
+	first := models[0]
+	return NewFlatModel(name, first.InH, first.InW, first.InC, layers)
+}
+
+// ConcatStrategies appends per-model strategies in Concat's layer order.
+// The caller must pass one strategy per model, each covering that model's
+// mappable layers.
+func ConcatStrategies(models []*Model, strategies [][]int) ([]int, error) {
+	if len(models) != len(strategies) {
+		return nil, fmt.Errorf("dnn: %d models but %d strategies", len(models), len(strategies))
+	}
+	var out []int
+	for i, m := range models {
+		if len(strategies[i]) != m.NumMappable() {
+			return nil, fmt.Errorf("dnn: strategy %d covers %d layers, model %q has %d",
+				i, len(strategies[i]), m.Name, m.NumMappable())
+		}
+		out = append(out, strategies[i]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package dnn
+
+import "testing"
+
+func TestTransformerEncoderStructure(t *testing.T) {
+	m, err := TransformerEncoder("t", 3, 64, 256, 32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 blocks × 6 projections + classifier.
+	if m.NumMappable() != 19 {
+		t.Fatalf("mappable = %d, want 19", m.NumMappable())
+	}
+	// Projections apply once per token: OutputPositions = seqLen.
+	wq := m.Mappable()[0]
+	if wq.OutputPositions() != 32 {
+		t.Fatalf("wq positions = %d, want 32", wq.OutputPositions())
+	}
+	if wq.InC != 64 || wq.OutC != 64 || wq.K != 1 {
+		t.Fatalf("wq = %v", wq)
+	}
+	up := m.Mappable()[4]
+	if up.OutC != 256 {
+		t.Fatalf("ffn_up outC = %d", up.OutC)
+	}
+	down := m.Mappable()[5]
+	if down.InC != 256 || down.OutC != 64 {
+		t.Fatalf("ffn_down = %v", down)
+	}
+	head := m.Mappable()[18]
+	if head.Kind != FC || head.OutC != 10 || head.OutputPositions() != 1 {
+		t.Fatalf("classifier = %v", head)
+	}
+}
+
+func TestTransformerEncoderValidation(t *testing.T) {
+	bad := [][5]int{
+		{0, 64, 256, 16, 2},
+		{2, 0, 256, 16, 2},
+		{2, 64, 0, 16, 2},
+		{2, 64, 256, 0, 2},
+		{2, 64, 256, 16, -1},
+	}
+	for _, c := range bad {
+		if _, err := TransformerEncoder("bad", c[0], c[1], c[2], c[3], c[4]); err == nil {
+			t.Errorf("TransformerEncoder(%v) should error", c)
+		}
+	}
+	// No head when classes == 0.
+	m, err := TransformerEncoder("nohead", 2, 32, 64, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumMappable() != 12 {
+		t.Fatalf("headless mappable = %d, want 12", m.NumMappable())
+	}
+}
+
+func TestBERTBaseWeightCount(t *testing.T) {
+	m := BERTBase()
+	// Per block: 4·768² + 2·768·3072 = 7077888; ×12 ≈ 84.93M, + head 1536.
+	want := int64(12*(4*768*768+2*768*3072) + 768*2)
+	if m.TotalWeights() != want {
+		t.Fatalf("BERT-Base weights = %d, want %d", m.TotalWeights(), want)
+	}
+	if m.NumMappable() != 73 {
+		t.Fatalf("BERT-Base mappable = %d, want 73", m.NumMappable())
+	}
+}
+
+func TestTinyTransformer(t *testing.T) {
+	m := TinyTransformer()
+	if m.NumMappable() != 13 {
+		t.Fatalf("TinyFormer mappable = %d", m.NumMappable())
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := AlexNet()
+	v := VGG16()
+	fused, err := Concat("fused", a, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.NumMappable() != a.NumMappable()+v.NumMappable() {
+		t.Fatalf("fused mappable = %d", fused.NumMappable())
+	}
+	if fused.TotalWeights() != a.TotalWeights()+v.TotalWeights() {
+		t.Fatal("fused weights wrong")
+	}
+	// Deep copy: mutating the fused model must not touch the originals.
+	fused.Mappable()[0].OutC = 9999
+	if a.Mappable()[0].OutC == 9999 {
+		t.Fatal("Concat must deep-copy layers")
+	}
+	// Indices are re-assigned contiguously.
+	for i, l := range fused.Mappable() {
+		if l.Index != i {
+			t.Fatalf("fused layer %d has index %d", i, l.Index)
+		}
+	}
+	if _, err := Concat("empty"); err == nil {
+		t.Fatal("empty Concat must error")
+	}
+}
+
+func TestConcatStrategies(t *testing.T) {
+	a := AlexNet()
+	v := VGG16()
+	sa := make([]int, a.NumMappable())
+	sv := make([]int, v.NumMappable())
+	for i := range sv {
+		sv[i] = 1
+	}
+	combined, err := ConcatStrategies([]*Model{a, v}, [][]int{sa, sv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combined) != 24 {
+		t.Fatalf("combined len = %d", len(combined))
+	}
+	if combined[7] != 0 || combined[8] != 1 {
+		t.Fatal("ordering wrong")
+	}
+	if _, err := ConcatStrategies([]*Model{a}, [][]int{sa, sv}); err == nil {
+		t.Fatal("count mismatch must error")
+	}
+	if _, err := ConcatStrategies([]*Model{a}, [][]int{{0}}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}

@@ -1,0 +1,51 @@
+package dnn
+
+import (
+	"math/rand"
+
+	"autohet/internal/mat"
+)
+
+// Weight-matrix unfolding (paper Fig. 7): a CONV layer's kernels become a
+// (C_in·k²) × C_out matrix where column j is kernel j expanded into a column
+// vector. FC layers are already matrices. The repo has no trained weights
+// (see DESIGN.md substitutions), so SyntheticWeights generates deterministic
+// pseudo-weights; metrics depend only on shapes, and functional simulation
+// only needs *some* reproducible values.
+
+// UnfoldShape returns the unfolded weight-matrix shape (rows, cols) for a
+// mappable layer: rows = C_in·k², cols = C_out.
+func UnfoldShape(l *Layer) (rows, cols int) {
+	return l.UnfoldedRows(), l.UnfoldedCols()
+}
+
+// SyntheticWeights returns a deterministic unfolded weight matrix for layer
+// l. The same (seed, layer index, shape) always yields the same matrix.
+// Values are uniform in [-1, 1).
+func SyntheticWeights(l *Layer, seed int64) *mat.Matrix {
+	if !l.Mappable() {
+		panic("dnn: SyntheticWeights on non-mappable layer " + l.Name)
+	}
+	rows, cols := UnfoldShape(l)
+	rng := rand.New(rand.NewSource(seed ^ int64(l.Index)*0x9e3779b97f4a7c ^ int64(rows*31+cols)))
+	w := mat.New(rows, cols)
+	w.Randomize(rng, 1)
+	return w
+}
+
+// SyntheticInput returns a deterministic input feature map for layer l as a
+// flat vector of length C_in·k² — one unfolded sliding-window patch, the
+// vector a crossbar array multiplies per output position. Values are uniform
+// in [0, 1) (post-ReLU activations are non-negative).
+func SyntheticInput(l *Layer, seed int64) []float64 {
+	if !l.Mappable() {
+		panic("dnn: SyntheticInput on non-mappable layer " + l.Name)
+	}
+	n := l.UnfoldedRows()
+	rng := rand.New(rand.NewSource(seed ^ 0x5bf03635 ^ int64(l.Index+1)*0x100000001b3))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}

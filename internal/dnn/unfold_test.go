@@ -1,0 +1,102 @@
+package dnn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnfoldShape(t *testing.T) {
+	l := conv("c", 3, 12, 128, 1, 1)
+	r, c := UnfoldShape(l)
+	if r != 108 || c != 128 {
+		t.Fatalf("UnfoldShape = %dx%d, want 108x128", r, c)
+	}
+	f := fc("f", 512, 1000)
+	r, c = UnfoldShape(f)
+	if r != 512 || c != 1000 {
+		t.Fatalf("FC UnfoldShape = %dx%d", r, c)
+	}
+}
+
+func TestSyntheticWeightsDeterministic(t *testing.T) {
+	m := VGG16()
+	l := m.Mappable()[3]
+	a := SyntheticWeights(l, 42)
+	b := SyntheticWeights(l, 42)
+	if !a.Equal(b, 0) {
+		t.Fatal("SyntheticWeights not deterministic")
+	}
+	c := SyntheticWeights(l, 43)
+	if a.Equal(c, 0) {
+		t.Fatal("different seeds produced identical weights")
+	}
+	other := m.Mappable()[4]
+	d := SyntheticWeights(other, 42)
+	if a.Rows == d.Rows && a.Cols == d.Cols && a.Equal(d, 0) {
+		t.Fatal("different layers produced identical weights")
+	}
+}
+
+func TestSyntheticWeightsShapeAndRange(t *testing.T) {
+	l := conv("c", 3, 4, 8, 1, 1)
+	l.Index = 2
+	w := SyntheticWeights(l, 1)
+	if w.Rows != 36 || w.Cols != 8 {
+		t.Fatalf("shape %dx%d, want 36x8", w.Rows, w.Cols)
+	}
+	if w.MaxAbs() > 1 {
+		t.Fatalf("weights exceed [-1,1): max %v", w.MaxAbs())
+	}
+}
+
+func TestSyntheticInputProperties(t *testing.T) {
+	l := conv("c", 3, 4, 8, 1, 1)
+	l.Index = 5
+	x := SyntheticInput(l, 7)
+	if len(x) != 36 {
+		t.Fatalf("input length %d, want 36", len(x))
+	}
+	for _, v := range x {
+		if v < 0 || v >= 1 {
+			t.Fatalf("input value %v outside [0,1)", v)
+		}
+	}
+	y := SyntheticInput(l, 7)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("SyntheticInput not deterministic")
+		}
+	}
+}
+
+func TestSyntheticPanicsOnPool(t *testing.T) {
+	p := pool("p", 2, 2)
+	for _, fn := range []func(){
+		func() { SyntheticWeights(p, 1) },
+		func() { SyntheticInput(p, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on pool layer")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: unfolded shape row count equals Weights()/OutC for any valid conv.
+func TestUnfoldConsistencyProperty(t *testing.T) {
+	f := func(kRaw, inCRaw, outCRaw uint8) bool {
+		k := 1 + int(kRaw)%7
+		inC := 1 + int(inCRaw)%64
+		outC := 1 + int(outCRaw)%64
+		l := conv("c", k, inC, outC, 1, 0)
+		r, c := UnfoldShape(l)
+		return r*c == l.Weights() && c == outC
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package dnn
+
+import "fmt"
+
+// Model zoo matching the paper's Table 2 and §4.1 model/dataset pairings:
+// AlexNet on MNIST, VGG16 on CIFAR-10, ResNet152 on ImageNet.
+
+func conv(name string, k, inC, outC, stride, pad int) *Layer {
+	return &Layer{Name: name, Kind: Conv, K: k, InC: inC, OutC: outC, Stride: stride, Pad: pad}
+}
+
+func fc(name string, in, out int) *Layer {
+	return &Layer{Name: name, Kind: FC, K: 1, InC: in, OutC: out, Stride: 1}
+}
+
+func pool(name string, k, stride int) *Layer {
+	return &Layer{Name: name, Kind: Pool, K: k, Stride: stride}
+}
+
+// AlexNet returns the Table-2 AlexNet (C3-64, C3-192, C3-384, 2×C3-256,
+// F4096, F4096, F10) sized for MNIST 28×28×1 input.
+func AlexNet() *Model {
+	return MustModel("AlexNet", 28, 28, 1, []*Layer{
+		conv("conv1", 3, 1, 64, 1, 1),
+		pool("pool1", 2, 2),
+		conv("conv2", 3, 64, 192, 1, 1),
+		pool("pool2", 2, 2),
+		conv("conv3", 3, 192, 384, 1, 1),
+		conv("conv4", 3, 384, 256, 1, 1),
+		conv("conv5", 3, 256, 256, 1, 1),
+		pool("pool5", 2, 2),
+		fc("fc6", 256*3*3, 4096),
+		fc("fc7", 4096, 4096),
+		fc("fc8", 4096, 10),
+	})
+}
+
+// VGG16 returns the Table-2 VGG16 (2C3-64, 2C3-128, 3C3-256, 6C3-512, F4096,
+// F1000, F10 — 13 CONV + 3 FC layers) sized for CIFAR-10 32×32×3 input.
+func VGG16() *Model {
+	var layers []*Layer
+	blocks := []struct {
+		convs, outC int
+	}{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	inC := 3
+	for bi, b := range blocks {
+		for ci := 0; ci < b.convs; ci++ {
+			layers = append(layers, conv(fmt.Sprintf("conv%d_%d", bi+1, ci+1), 3, inC, b.outC, 1, 1))
+			inC = b.outC
+		}
+		layers = append(layers, pool(fmt.Sprintf("pool%d", bi+1), 2, 2))
+	}
+	layers = append(layers,
+		fc("fc14", 512, 4096),
+		fc("fc15", 4096, 1000),
+		fc("fc16", 1000, 10),
+	)
+	return MustModel("VGG16", 32, 32, 3, layers)
+}
+
+// ResNet152 returns the Table-2 ResNet152 (156 mappable layers: the 7×7 stem,
+// the bottleneck-block 1×1/3×3 convolutions, the four stage-entry downsample
+// 1×1 convolutions, and F1000) sized for ImageNet 224×224×3 input. Grouping
+// its layers by kernel size and output channels reproduces the paper's
+// Table-2 row exactly (verified in zoo_test.go). Skip connections make the
+// topology a DAG, so the builder assigns feature-map sizes per layer and
+// uses NewFlatModel.
+func ResNet152() *Model {
+	var layers []*Layer
+	add := func(l *Layer, inHW int) {
+		l.InH, l.InW = inHW, inHW
+		layers = append(layers, l)
+	}
+
+	// Stem: 7×7/2 conv then 3×3/2 max pool.
+	add(conv("conv1", 7, 3, 64, 2, 3), 224)
+	add(pool("pool1", 3, 2), 112) // pool layers carry shape only
+
+	// Bottleneck stages: {blocks, mid channels, out channels, spatial size}.
+	stages := []struct {
+		blocks, mid, out, hw int
+	}{
+		{3, 64, 256, 56},
+		{8, 128, 512, 28},
+		{36, 256, 1024, 14},
+		{3, 512, 2048, 7},
+	}
+	inC := 64
+	inHW := 56
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			prefix := fmt.Sprintf("res%d_%d", si+2, b+1)
+			stride := 1
+			blockIn := inHW
+			if b == 0 && si > 0 {
+				// Stage entry halves the spatial size (stride on the 3×3).
+				stride = 2
+			}
+			add(conv(prefix+"_1x1a", 1, inC, st.mid, 1, 0), blockIn)
+			add(conv(prefix+"_3x3", 3, st.mid, st.mid, stride, 1), blockIn)
+			if b == 0 {
+				// Downsample branch projects the block input to out channels.
+				add(conv(prefix+"_down", 1, inC, st.out, stride, 0), blockIn)
+				inHW = st.hw
+			}
+			add(conv(prefix+"_1x1b", 1, st.mid, st.out, 1, 0), inHW)
+			inC = st.out
+		}
+	}
+	add(pool("avgpool", 7, 7), 7)
+	f := fc("fc", 2048, 1000)
+	f.InH, f.InW = 1, 1
+	layers = append(layers, f)
+	return MustFlatModel("ResNet152", 224, 224, 3, layers)
+}
+
+// LeNet5 returns the classic LeNet-5 sized for MNIST — the smallest
+// workload, handy for exhaustive-search validation (C⁵ strategies are
+// enumerable).
+func LeNet5() *Model {
+	return MustModel("LeNet-5", 28, 28, 1, []*Layer{
+		conv("conv1", 5, 1, 6, 1, 2),
+		pool("pool1", 2, 2),
+		conv("conv2", 5, 6, 16, 1, 0),
+		pool("pool2", 2, 2),
+		fc("fc3", 16*5*5, 120),
+		fc("fc4", 120, 84),
+		fc("fc5", 84, 10),
+	})
+}
+
+// VGG11 returns the VGG-11 variant (configuration A) for CIFAR-10: 8 CONV
+// + 3 FC layers.
+func VGG11() *Model {
+	var layers []*Layer
+	blocks := []struct{ convs, outC int }{{1, 64}, {1, 128}, {2, 256}, {2, 512}, {2, 512}}
+	inC := 3
+	for bi, b := range blocks {
+		for ci := 0; ci < b.convs; ci++ {
+			layers = append(layers, conv(fmt.Sprintf("conv%d_%d", bi+1, ci+1), 3, inC, b.outC, 1, 1))
+			inC = b.outC
+		}
+		layers = append(layers, pool(fmt.Sprintf("pool%d", bi+1), 2, 2))
+	}
+	layers = append(layers,
+		fc("fc9", 512, 4096),
+		fc("fc10", 4096, 1000),
+		fc("fc11", 1000, 10),
+	)
+	return MustModel("VGG11", 32, 32, 3, layers)
+}
+
+// ResNet18 returns a ResNet-18 for ImageNet built the same way as
+// ResNet152: basic blocks (two 3×3 convs) with stage-entry downsample
+// projections, flattened per layer shape.
+func ResNet18() *Model {
+	var layers []*Layer
+	add := func(l *Layer, inHW int) {
+		l.InH, l.InW = inHW, inHW
+		layers = append(layers, l)
+	}
+	add(conv("conv1", 7, 3, 64, 2, 3), 224)
+	add(pool("pool1", 3, 2), 112)
+	stages := []struct{ blocks, ch, hw int }{
+		{2, 64, 56}, {2, 128, 28}, {2, 256, 14}, {2, 512, 7},
+	}
+	inC := 64
+	inHW := 56
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			prefix := fmt.Sprintf("res%d_%d", si+2, b+1)
+			stride := 1
+			blockIn := inHW
+			if b == 0 && si > 0 {
+				stride = 2
+			}
+			add(conv(prefix+"_3x3a", 3, inC, st.ch, stride, 1), blockIn)
+			if b == 0 && si > 0 {
+				add(conv(prefix+"_down", 1, inC, st.ch, stride, 0), blockIn)
+				inHW = st.hw
+			}
+			add(conv(prefix+"_3x3b", 3, st.ch, st.ch, 1, 1), inHW)
+			inC = st.ch
+		}
+	}
+	add(pool("avgpool", 7, 7), 7)
+	f := fc("fc", 512, 1000)
+	f.InH, f.InW = 1, 1
+	layers = append(layers, f)
+	return MustFlatModel("ResNet18", 224, 224, 3, layers)
+}
+
+// DepthwiseNet returns a MobileNet-style depthwise-separable CNN for
+// CIFAR-10: a dense stem followed by [3×3 depthwise, 1×1 pointwise] blocks.
+// Depthwise kernels unfold block-diagonally and waste most of any dense
+// crossbar, making this the stress workload for the heterogeneous mapping
+// extension (not part of the paper's evaluation).
+func DepthwiseNet() *Model {
+	dw := func(name string, c, stride int) *Layer {
+		return &Layer{Name: name, Kind: Conv, K: 3, InC: c, OutC: c, Stride: stride, Pad: 1, Groups: c}
+	}
+	pw := func(name string, in, out int) *Layer {
+		return &Layer{Name: name, Kind: Conv, K: 1, InC: in, OutC: out, Stride: 1}
+	}
+	return MustModel("DepthwiseNet", 32, 32, 3, []*Layer{
+		conv("stem", 3, 3, 32, 1, 1),
+		dw("dw1", 32, 1), pw("pw1", 32, 64),
+		pool("pool1", 2, 2),
+		dw("dw2", 64, 1), pw("pw2", 64, 128),
+		pool("pool2", 2, 2),
+		dw("dw3", 128, 1), pw("pw3", 128, 256),
+		pool("pool3", 2, 2),
+		dw("dw4", 256, 1), pw("pw4", 256, 256),
+		pool("pool4", 4, 4),
+		fc("fc", 256, 10),
+	})
+}
+
+// Zoo returns the three paper workloads in evaluation order.
+func Zoo() []*Model {
+	return []*Model{AlexNet(), VGG16(), ResNet152()}
+}
+
+// ByName returns the zoo model with the given (case-sensitive) name.
+func ByName(name string) (*Model, error) {
+	switch name {
+	case "AlexNet", "alexnet":
+		return AlexNet(), nil
+	case "VGG16", "vgg16":
+		return VGG16(), nil
+	case "ResNet152", "resnet152":
+		return ResNet152(), nil
+	case "LeNet5", "lenet5":
+		return LeNet5(), nil
+	case "VGG11", "vgg11":
+		return VGG11(), nil
+	case "ResNet18", "resnet18":
+		return ResNet18(), nil
+	case "DepthwiseNet", "depthwisenet":
+		return DepthwiseNet(), nil
+	case "BERT-Base", "bertbase", "bert":
+		return BERTBase(), nil
+	default:
+		return nil, fmt.Errorf("dnn: unknown model %q (have AlexNet, VGG16, ResNet152, LeNet5, VGG11, ResNet18, DepthwiseNet, BERT-Base)", name)
+	}
+}

@@ -1,0 +1,72 @@
+package dnn
+
+import "testing"
+
+func TestLeNet5Structure(t *testing.T) {
+	m := LeNet5()
+	if m.NumMappable() != 5 {
+		t.Fatalf("mappable = %d, want 5", m.NumMappable())
+	}
+	// conv2 output 16 channels at 10×10, pooled to 5×5 → fc3 in 400.
+	fc3 := m.Mappable()[2]
+	if fc3.InC != 400 {
+		t.Fatalf("fc3 in = %d, want 400", fc3.InC)
+	}
+	if !MNIST.Matches(m) {
+		t.Fatal("LeNet-5 input must match MNIST")
+	}
+}
+
+func TestVGG11Structure(t *testing.T) {
+	m := VGG11()
+	if m.NumMappable() != 11 {
+		t.Fatalf("mappable = %d, want 11", m.NumMappable())
+	}
+	convs := 0
+	for _, l := range m.Mappable() {
+		if l.Kind == Conv {
+			convs++
+		}
+	}
+	if convs != 8 {
+		t.Fatalf("convs = %d, want 8", convs)
+	}
+	if !CIFAR10.Matches(m) {
+		t.Fatal("VGG11 input must match CIFAR-10")
+	}
+}
+
+func TestResNet18Structure(t *testing.T) {
+	m := ResNet18()
+	// 1 stem + 2 blocks/stage × 4 stages × 2 convs + 3 downsamples + 1 FC
+	// = 1 + 16 + 3 + 1 = 21.
+	if m.NumMappable() != 21 {
+		t.Fatalf("mappable = %d, want 21", m.NumMappable())
+	}
+	// Final conv at 7×7, FC 512→1000.
+	last := m.Mappable()[m.NumMappable()-1]
+	if last.Kind != FC || last.InC != 512 || last.OutC != 1000 {
+		t.Fatalf("fc = %v", last)
+	}
+	if !ImageNet.Matches(m) {
+		t.Fatal("ResNet18 input must match ImageNet")
+	}
+}
+
+func TestByNameExtendedZoo(t *testing.T) {
+	for _, name := range []string{"LeNet5", "VGG11", "ResNet18", "DepthwiseNet", "BERT-Base"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		ds, err := DatasetFor(m.Name)
+		if err != nil {
+			t.Errorf("DatasetFor(%q): %v", m.Name, err)
+			continue
+		}
+		if !ds.Matches(m) {
+			t.Errorf("%s input %dx%dx%d does not match %s", m.Name, m.InH, m.InW, m.InC, ds.Name)
+		}
+	}
+}

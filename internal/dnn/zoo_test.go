@@ -1,0 +1,174 @@
+package dnn
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAlexNetMatchesTable2(t *testing.T) {
+	m := AlexNet()
+	// Table 2: C3-64, C3-192, C3-384, 2C3-256, F4096, F4096, F10.
+	want := []struct {
+		kind Kind
+		k    int
+		outC int
+	}{
+		{Conv, 3, 64}, {Conv, 3, 192}, {Conv, 3, 384}, {Conv, 3, 256}, {Conv, 3, 256},
+		{FC, 1, 4096}, {FC, 1, 4096}, {FC, 1, 10},
+	}
+	got := m.Mappable()
+	if len(got) != len(want) {
+		t.Fatalf("AlexNet mappable layers = %d, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		l := got[i]
+		if l.Kind != w.kind || l.K != w.k || l.OutC != w.outC {
+			t.Errorf("layer %d = %v, want %v k%d out%d", i, l, w.kind, w.k, w.outC)
+		}
+	}
+	if !MNIST.Matches(m) {
+		t.Fatal("AlexNet input must match MNIST")
+	}
+}
+
+func TestVGG16MatchesTable2(t *testing.T) {
+	m := VGG16()
+	got := m.Mappable()
+	if len(got) != 16 {
+		t.Fatalf("VGG16 mappable = %d, want 16", len(got))
+	}
+	// Count CONV layers by output channels: 2×64, 2×128, 3×256, 6×512.
+	convCounts := map[int]int{}
+	for _, l := range got {
+		if l.Kind == Conv {
+			if l.K != 3 {
+				t.Errorf("VGG16 conv kernel %d, want 3", l.K)
+			}
+			convCounts[l.OutC]++
+		}
+	}
+	wantCounts := map[int]int{64: 2, 128: 2, 256: 3, 512: 6}
+	for outC, n := range wantCounts {
+		if convCounts[outC] != n {
+			t.Errorf("VGG16 C3-%d count = %d, want %d", outC, convCounts[outC], n)
+		}
+	}
+	// FC tail: 4096, 1000, 10.
+	fcs := got[13:]
+	for i, want := range []int{4096, 1000, 10} {
+		if fcs[i].Kind != FC || fcs[i].OutC != want {
+			t.Errorf("VGG16 FC %d = %v, want F%d", i, fcs[i], want)
+		}
+	}
+	// Paper §3.3: the fourth layer is k=3, Cin=128, Cout=128.
+	l4 := got[3]
+	if l4.K != 3 || l4.InC != 128 || l4.OutC != 128 {
+		t.Errorf("VGG16 L4 = %v, want k3 128→128", l4)
+	}
+	if !CIFAR10.Matches(m) {
+		t.Fatal("VGG16 input must match CIFAR-10")
+	}
+}
+
+func TestResNet152MatchesTable2(t *testing.T) {
+	m := ResNet152()
+	got := m.Mappable()
+	if len(got) != 156 {
+		t.Fatalf("ResNet152 mappable = %d, want 156", len(got))
+	}
+	// Table 2: C7-64, 3C1-64, 8C1-128, 40C1-256, 12C1-512, 37C1-1024,
+	// 4C1-2048, 3C3-64, 8C3-128, 36C3-256, 3C3-512, F1000.
+	counts := map[string]int{}
+	for _, l := range got {
+		switch l.Kind {
+		case Conv:
+			counts[fmt.Sprintf("C%d-%d", l.K, l.OutC)]++
+		case FC:
+			counts[fmt.Sprintf("F%d", l.OutC)]++
+		}
+	}
+	want := map[string]int{
+		"C7-64": 1,
+		"C1-64": 3, "C1-128": 8, "C1-256": 40, "C1-512": 12, "C1-1024": 37, "C1-2048": 4,
+		"C3-64": 3, "C3-128": 8, "C3-256": 36, "C3-512": 3,
+		"F1000": 1,
+	}
+	for key, n := range want {
+		if counts[key] != n {
+			t.Errorf("ResNet152 %s count = %d, want %d", key, counts[key], n)
+		}
+	}
+	for key := range counts {
+		if _, ok := want[key]; !ok {
+			t.Errorf("ResNet152 has unexpected layer group %s ×%d", key, counts[key])
+		}
+	}
+	if !ImageNet.Matches(m) {
+		t.Fatal("ResNet152 input must match ImageNet")
+	}
+}
+
+func TestResNet152SpatialSizes(t *testing.T) {
+	m := ResNet152()
+	// The stem conv halves 224→112; stage spatial sizes are 56/28/14/7.
+	stem := m.Mappable()[0]
+	if stem.OutH != 112 {
+		t.Fatalf("stem out = %d, want 112", stem.OutH)
+	}
+	var last *Layer
+	for _, l := range m.Mappable() {
+		if l.Kind == Conv {
+			last = l
+		}
+	}
+	if last.OutH != 7 {
+		t.Fatalf("final conv out = %d, want 7", last.OutH)
+	}
+}
+
+func TestZooAndByName(t *testing.T) {
+	zoo := Zoo()
+	if len(zoo) != 3 {
+		t.Fatalf("Zoo size = %d", len(zoo))
+	}
+	for _, name := range []string{"AlexNet", "vgg16", "ResNet152"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("LeNet"); err == nil {
+		t.Error("ByName unknown model must fail")
+	}
+}
+
+func TestDatasetFor(t *testing.T) {
+	pairs := map[string]string{"AlexNet": "MNIST", "VGG16": "CIFAR-10", "ResNet152": "ImageNet"}
+	for model, ds := range pairs {
+		d, err := DatasetFor(model)
+		if err != nil {
+			t.Fatalf("DatasetFor(%q): %v", model, err)
+		}
+		if d.Name != ds {
+			t.Errorf("DatasetFor(%q) = %q, want %q", model, d.Name, ds)
+		}
+	}
+	if _, err := DatasetFor("LeNet"); err == nil {
+		t.Error("DatasetFor unknown model must fail")
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	s := MNIST.String()
+	if s != "MNIST (28x28x1, 70000 images, 10 classes)" {
+		t.Fatalf("MNIST.String = %q", s)
+	}
+}
+
+func TestZooModelsAreIndependent(t *testing.T) {
+	a := VGG16()
+	b := VGG16()
+	a.Mappable()[0].OutC = 9999
+	if b.Mappable()[0].OutC == 9999 {
+		t.Fatal("zoo builders must return fresh layer structs")
+	}
+}

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"autohet/internal/report"
+	"autohet/internal/xbar"
+)
+
+// quickSuite keeps RL budgets small: experiment *shapes* must already hold
+// at low round counts.
+func quickSuite() *Suite { return NewSuite(40, 7) }
+
+func renderOK(t *testing.T, tables []*report.Table) {
+	t.Helper()
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("table %q has no rows", tab.Title)
+		}
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), tab.Title) {
+			t.Fatalf("render missing title %q", tab.Title)
+		}
+	}
+}
+
+// cellFloat parses table cells like "83.7%", "1.23E+05", "27".
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimSuffix(strings.TrimSuffix(cell, "x"), "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cannot parse cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig3ManualHeteroWinsRUE(t *testing.T) {
+	s := quickSuite()
+	tab, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	manual := tab.Rows[5]
+	if manual[0] != "Manual-Hetero" {
+		t.Fatalf("last row %q", manual[0])
+	}
+	best := cellFloat(t, manual[3])
+	for _, row := range tab.Rows[:5] {
+		if cellFloat(t, row[3]) > best {
+			t.Fatalf("homogeneous %s RUE beats manual-hetero", row[0])
+		}
+	}
+	// 32x32 has the highest utilization; 512x512 the lowest energy.
+	if cellFloat(t, tab.Rows[0][1]) < cellFloat(t, tab.Rows[4][1]) {
+		t.Fatal("32x32 should out-utilize 512x512")
+	}
+	if cellFloat(t, tab.Rows[0][2]) < cellFloat(t, tab.Rows[4][2]) {
+		t.Fatal("32x32 should out-consume 512x512")
+	}
+}
+
+func TestFig4MatchesPaperAverages(t *testing.T) {
+	s := quickSuite()
+	tab, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	avg := tab.Rows[len(tab.Rows)-1]
+	if avg[0] != "Average" {
+		t.Fatalf("last row %q", avg[0])
+	}
+	// Paper: ≈24% at 4 XBs/tile, ≈60% at 32.
+	if v := cellFloat(t, avg[1]); v < 20 || v > 28 {
+		t.Fatalf("avg empty @4 = %v, paper ≈24", v)
+	}
+	if v := cellFloat(t, avg[4]); v < 55 || v > 66 {
+		t.Fatalf("avg empty @32 = %v, paper ≈60", v)
+	}
+}
+
+func TestFig5MatchesPaperFractions(t *testing.T) {
+	s := quickSuite()
+	tab, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	if !strings.Contains(tab.Rows[0][1], "(27/32)") {
+		t.Fatalf("XB64 utilization cell %q, want 27/32", tab.Rows[0][1])
+	}
+	if !strings.Contains(tab.Rows[1][1], "(27/128)") {
+		t.Fatalf("XB128 utilization cell %q, want 27/128", tab.Rows[1][1])
+	}
+	if tab.Rows[0][2] != "256" || tab.Rows[1][2] != "128" {
+		t.Fatalf("ADC cells %q/%q, want 256/128", tab.Rows[0][2], tab.Rows[1][2])
+	}
+}
+
+func TestFig9AutoHetWinsEveryModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL searches in -short mode")
+	}
+	s := quickSuite()
+	tables, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tables)
+	rue := tables[0]
+	if len(rue.Rows) != 6 {
+		t.Fatalf("RUE rows = %d", len(rue.Rows))
+	}
+	autoRow := rue.Rows[5]
+	if autoRow[0] != "AutoHet" {
+		t.Fatalf("last row %q", autoRow[0])
+	}
+	for col := 1; col <= 3; col++ {
+		auto := cellFloat(t, autoRow[col])
+		for _, row := range rue.Rows[:5] {
+			if cellFloat(t, row[col]) > auto {
+				t.Errorf("model col %d: homogeneous %s RUE %v beats AutoHet %v",
+					col, row[0], cellFloat(t, row[col]), auto)
+			}
+		}
+	}
+	// Energy table: normalized minimum homogeneous = 1.0; AutoHet ≤ ~1.
+	energy := tables[2]
+	for col := 1; col <= 3; col++ {
+		minHomo := 1e18
+		for _, row := range energy.Rows[:5] {
+			if v := cellFloat(t, row[col]); v < minHomo {
+				minHomo = v
+			}
+		}
+		if minHomo != 1 {
+			t.Errorf("col %d: normalized min homogeneous %v != 1", col, minHomo)
+		}
+		// Paper: AutoHet at or below 1.0; the quick suite's short searches
+		// can land slightly above on ResNet152, so allow headroom.
+		if auto := cellFloat(t, energy.Rows[5][col]); auto > 1.4 {
+			t.Errorf("col %d: AutoHet normalized energy %v > 1.4", col, auto)
+		}
+	}
+}
+
+func TestFig10AblationMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL searches in -short mode")
+	}
+	s := quickSuite()
+	tables, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tables)
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) != 4 {
+			t.Fatalf("%s rows = %d", tab.Title, len(tab.Rows))
+		}
+		// RUE must not regress across Base → +He → +Hy → All (allowing
+		// tiny numeric slack from the stochastic search).
+		prev := 0.0
+		for _, row := range tab.Rows {
+			rue := cellFloat(t, row[1])
+			if rue < prev*0.98 {
+				t.Errorf("%s: %s RUE %v regressed from %v", tab.Title, row[0], rue, prev)
+			}
+			if rue > prev {
+				prev = rue
+			}
+		}
+	}
+}
+
+func TestTable3PerLayerShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL searches in -short mode")
+	}
+	s := quickSuite()
+	tab, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	if len(tab.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(tab.Rows))
+	}
+	// Base column is one uniform SXB.
+	base := tab.Rows[0][1]
+	for _, row := range tab.Rows {
+		if row[1] != base {
+			t.Fatalf("Base not homogeneous: %q vs %q", row[1], base)
+		}
+	}
+	// +He column only contains square candidates.
+	for _, row := range tab.Rows {
+		sh, err := xbar.ParseShape(row[2])
+		if err != nil || !sh.IsSquare() {
+			t.Fatalf("+He assigned non-square %q", row[2])
+		}
+	}
+}
+
+func TestTable4SharingReducesTiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL searches in -short mode")
+	}
+	s := quickSuite()
+	tab, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		hy := cellFloat(t, row[1])
+		all := cellFloat(t, row[2])
+		if all > hy {
+			t.Errorf("%s: sharing increased tiles %v → %v", row[0], hy, all)
+		}
+	}
+}
+
+func TestTable5AreaShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL searches in -short mode")
+	}
+	s := quickSuite()
+	tab, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Area decreases monotonically across SXB sizes; AutoHet is smallest.
+	prev := 1e30
+	for _, row := range tab.Rows[:5] {
+		a := cellFloat(t, row[1])
+		if a >= prev {
+			t.Errorf("area not decreasing at %s: %v >= %v", row[0], a, prev)
+		}
+		prev = a
+	}
+	autoArea := cellFloat(t, tab.Rows[5][1])
+	if autoArea >= prev {
+		t.Errorf("AutoHet area %v not the smallest (%v)", autoArea, prev)
+	}
+	// Latency stays within a modest band.
+	minLat, maxLat := 1e30, 0.0
+	for _, row := range tab.Rows {
+		l := cellFloat(t, row[2])
+		if l < minLat {
+			minLat = l
+		}
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	if maxLat/minLat > 2.2 {
+		t.Errorf("latency band %vx too wide (paper ≈1.3x)", maxLat/minLat)
+	}
+}
+
+func TestFig11SensitivityGains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL searches in -short mode")
+	}
+	s := quickSuite()
+	for _, name := range []string{"fig11a", "fig11b", "fig11c"} {
+		tables, err := s.Run(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		renderOK(t, tables)
+		for _, row := range tables[0].Rows {
+			if gain := cellFloat(t, row[3]); gain < 1.0 {
+				t.Errorf("%s %s: AutoHet gain %vx < 1", name, row[0], gain)
+			}
+		}
+	}
+}
+
+func TestSearchTimeReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL search in -short mode")
+	}
+	s := quickSuite()
+	tab, err := s.SearchTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	share := cellFloat(t, tab.Rows[0][3])
+	if share <= 0 || share > 100 {
+		t.Fatalf("simulator share %v%%", share)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := quickSuite().Run("fig99"); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestNamesCoverAllRunners(t *testing.T) {
+	if len(Names) != 12 {
+		t.Fatalf("Names = %d entries", len(Names))
+	}
+}
+
+func TestSpread(t *testing.T) {
+	sq := xbar.SquareCandidates()
+	got := spread(sq, 3)
+	want := []xbar.Shape{xbar.Square(32), xbar.Square(128), xbar.Square(512)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("spread(SXB,3) = %v", got)
+		}
+	}
+	if one := spread(sq, 1); one[0] != xbar.Square(512) {
+		t.Fatalf("spread(SXB,1) = %v", one)
+	}
+	if n := len(spread(sizeOrderedPool(), 8)); n != 8 {
+		t.Fatalf("spread pool 8 = %d", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("spread over-length did not panic")
+		}
+	}()
+	spread(sq, 6)
+}
+
+func TestSizeOrderedPool(t *testing.T) {
+	pool := sizeOrderedPool()
+	if len(pool) != 10 {
+		t.Fatalf("pool = %d", len(pool))
+	}
+	for i := 1; i < len(pool); i++ {
+		if pool[i].Cells() < pool[i-1].Cells() {
+			t.Fatalf("pool not size-ordered at %d: %v < %v", i, pool[i], pool[i-1])
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"testing"
+
+	"autohet/internal/report"
+)
+
+func TestBreakdownSharesSumTo100(t *testing.T) {
+	s := quickSuite()
+	tab, err := s.Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	for _, row := range tab.Rows {
+		var sum float64
+		for _, cell := range row[1:8] {
+			sum += cellFloat(t, cell)
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("%s: component shares sum to %v%%", row[0], sum)
+		}
+		// ADC dominance (the literature's observation).
+		if adc := cellFloat(t, row[1]); adc < 50 {
+			t.Errorf("%s: ADC share %v%% below 50%%", row[0], adc)
+		}
+	}
+}
+
+func TestFaultSensitivityMonotone(t *testing.T) {
+	s := quickSuite()
+	tab, err := s.FaultSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	prev := -1.0
+	for _, row := range tab.Rows {
+		quiet := cellFloat(t, row[1])
+		noisy := cellFloat(t, row[2])
+		if quiet < prev {
+			t.Errorf("stuck-at error not monotone: %v after %v", quiet, prev)
+		}
+		prev = quiet
+		if noisy < quiet {
+			t.Errorf("read noise reduced error: %v vs %v", noisy, quiet)
+		}
+	}
+}
+
+func TestPipelineExtension(t *testing.T) {
+	s := quickSuite()
+	tab, err := s.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if sp := cellFloat(t, row[4]); sp <= 1 {
+			t.Errorf("%s: pipelining speedup %v not > 1", row[0], sp)
+		}
+	}
+}
+
+func TestLLMExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL search in -short mode")
+	}
+	s := quickSuite()
+	tab, err := s.LLM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	auto := cellFloat(t, tab.Rows[len(tab.Rows)-1][3])
+	for _, row := range tab.Rows[:len(tab.Rows)-1] {
+		if cellFloat(t, row[3]) > auto {
+			t.Errorf("homogeneous %s RUE beats AutoHet on BERT-Base", row[0])
+		}
+	}
+}
+
+func TestRunExtensionDispatch(t *testing.T) {
+	s := quickSuite()
+	if _, err := s.RunExtension("nope"); err == nil {
+		t.Fatal("unknown extension must error")
+	}
+	tables, err := s.RunExtension("faults")
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("RunExtension(faults) = %v, %v", tables, err)
+	}
+	if len(Extensions) != 10 {
+		t.Fatalf("Extensions = %v", Extensions)
+	}
+}
+
+func TestPrecisionSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("annealing search in -short mode")
+	}
+	s := quickSuite()
+	tab, err := s.PrecisionSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Uniform rows: energy and probe error fall/rise monotonically with bits.
+	prevEnergy, prevErr := -1.0, -1.0
+	for _, row := range tab.Rows[:3] {
+		e := cellFloat(t, row[2])
+		pe := cellFloat(t, row[4])
+		if prevEnergy > 0 && e >= prevEnergy {
+			t.Errorf("energy not decreasing with fewer bits: %v after %v", e, prevEnergy)
+		}
+		if pe < prevErr {
+			t.Errorf("probe error not increasing with fewer bits: %v after %v", pe, prevErr)
+		}
+		prevEnergy, prevErr = e, pe
+	}
+	// Mixed search: mean bits within [6, 8] and RUE ≥ uniform 8-bit.
+	mixed := tab.Rows[3]
+	mean := cellFloat(t, mixed[1])
+	if mean < 6 || mean > 8 {
+		t.Fatalf("mixed mean bits %v outside [6,8]", mean)
+	}
+	if cellFloat(t, mixed[3]) < cellFloat(t, tab.Rows[0][3]) {
+		t.Fatal("mixed RUE below uniform 8-bit")
+	}
+}
+
+func TestADCSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL searches in -short mode")
+	}
+	s := quickSuite()
+	tab, err := s.ADCSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	// RUE falls as ADC bits rise (energy scales 2^bits); gains stay >= 1.
+	prevHomo := 1e18
+	for _, row := range tab.Rows {
+		homo := cellFloat(t, row[1])
+		if homo >= prevHomo {
+			t.Errorf("Best-Homo RUE not decreasing with ADC bits: %v after %v", homo, prevHomo)
+		}
+		prevHomo = homo
+		if gain := cellFloat(t, row[3]); gain < 1 {
+			t.Errorf("AutoHet gain %v < 1 at %s bits", gain, row[0])
+		}
+	}
+}
+
+func TestNoCExperiment(t *testing.T) {
+	s := quickSuite()
+	tab, err := s.NoC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, []*report.Table{tab})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The mesh/flat ratio falls as crossbars grow (layers spread over
+	// fewer tiles).
+	prev := 1e18
+	for _, row := range tab.Rows {
+		ratio := cellFloat(t, row[4])
+		if ratio >= prev {
+			t.Errorf("mesh/flat ratio not decreasing: %v after %v", ratio, prev)
+		}
+		prev = ratio
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/report"
+	"autohet/internal/xbar"
+)
+
+// Fig9 reproduces the overall comparison (paper Fig. 9a–c): RUE, crossbar
+// utilization, and normalized energy of the five homogeneous accelerators
+// and AutoHet across AlexNet/MNIST, VGG16/CIFAR-10, and ResNet152/ImageNet.
+// Energy is normalized to the lowest homogeneous energy per model, as in
+// the paper.
+func (s *Suite) Fig9() ([]*report.Table, error) {
+	rue := &report.Table{
+		Title: "Fig. 9(a) — RUE",
+		Note: "Paper shape: AutoHet highest on every model (avg 5.1x over homogeneous; " +
+			"1.3x/2.2x/1.4x over the best homogeneous for AlexNet/VGG16/ResNet152).",
+		Header: []string{"Accelerator", "AlexNet", "VGG16", "ResNet152"},
+	}
+	util := &report.Table{
+		Title:  "Fig. 9(b) — crossbar utilization",
+		Note:   "Paper shape: small SXBs lead; AutoHet may trail slightly (−14% vs 64x64 on VGG16) but wins RUE.",
+		Header: []string{"Accelerator", "AlexNet", "VGG16", "ResNet152"},
+	}
+	energy := &report.Table{
+		Title:  "Fig. 9(c) — energy normalized to the lowest homogeneous",
+		Note:   "Paper shape: 32x32 worst (≈12x on VGG16); AutoHet at or below 1.0 (−8.4x vs 64x64 on VGG16).",
+		Header: []string{"Accelerator", "AlexNet", "VGG16", "ResNet152"},
+	}
+
+	models := dnn.Zoo()
+	type cell struct{ rue, util, energy float64 }
+	grid := map[string][]cell{}
+	rows := []string{}
+	addCell := func(name string, c cell) {
+		if _, ok := grid[name]; !ok {
+			rows = append(rows, name)
+			grid[name] = make([]cell, 0, len(models))
+		}
+		grid[name] = append(grid[name], c)
+	}
+
+	minHomoEnergy := make([]float64, len(models))
+	for mi, m := range models {
+		for _, shape := range xbar.SquareCandidates() {
+			r, err := s.evaluate(m, accel.Homogeneous(m.NumMappable(), shape), false)
+			if err != nil {
+				return nil, err
+			}
+			if minHomoEnergy[mi] == 0 || r.EnergyNJ < minHomoEnergy[mi] {
+				minHomoEnergy[mi] = r.EnergyNJ
+			}
+			addCell(shape.String(), cell{r.RUE(), r.Utilization, r.EnergyNJ})
+		}
+		_, autoRes, err := s.variantResult(m, All)
+		if err != nil {
+			return nil, err
+		}
+		addCell("AutoHet", cell{autoRes.RUE(), autoRes.Utilization, autoRes.EnergyNJ})
+	}
+
+	for _, name := range rows {
+		rueRow := []string{name}
+		utilRow := []string{name}
+		energyRow := []string{name}
+		for mi, c := range grid[name] {
+			rueRow = append(rueRow, report.E(c.rue))
+			utilRow = append(utilRow, report.Pct(c.util))
+			energyRow = append(energyRow, report.F(c.energy/minHomoEnergy[mi]))
+		}
+		rue.AddRow(rueRow...)
+		util.AddRow(utilRow...)
+		energy.AddRow(energyRow...)
+	}
+	return []*report.Table{rue, util, energy}, nil
+}
+
+// Fig10 reproduces the ablation (paper Fig. 10): RUE, utilization, and
+// energy as each AutoHet technique is enabled — Base (best homogeneous
+// SXB), +He (heterogeneous SXBs via RL), +Hy (square + rectangular
+// candidates), All (+ tile-shared allocation) — for all three models.
+func (s *Suite) Fig10() ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, m := range dnn.Zoo() {
+		t := &report.Table{
+			Title: "Fig. 10 — ablation on " + m.Name,
+			Note: "Paper shape: each stage improves or maintains RUE " +
+				"(+Hy cuts energy via RXBs; All lifts utilization via tile sharing).",
+			Header: []string{"Variant", "RUE", "Utilization", "Energy (nJ)", "Tiles"},
+		}
+		for _, v := range []Variant{Base, He, Hy, All} {
+			_, r, err := s.variantResult(m, v)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(v), report.E(r.RUE()), report.Pct(r.Utilization),
+				report.E(r.EnergyNJ), report.I(r.OccupiedTiles))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

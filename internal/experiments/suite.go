@@ -1,0 +1,225 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each generator returns a report.Table whose note states
+// the paper's reported shape so measured rows can be compared directly;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/report"
+	"autohet/internal/rl"
+	"autohet/internal/search"
+	"autohet/internal/sim"
+	"autohet/internal/xbar"
+)
+
+// Variant names an ablation stage (paper §4.3).
+type Variant string
+
+// Ablation stages: Base is the RUE-best homogeneous SXB accelerator; +He
+// adds RL-chosen heterogeneous SXBs; +Hy adds rectangular candidates; All
+// adds the tile-shared allocation scheme.
+const (
+	Base Variant = "Base"
+	He   Variant = "+He"
+	Hy   Variant = "+Hy"
+	All  Variant = "All"
+)
+
+// Suite runs the experiments with shared, cached search results so related
+// figures reuse the same RL runs.
+type Suite struct {
+	Cfg    hw.Config
+	Rounds int   // RL episodes per search (paper: 300)
+	Seed   int64 // base RNG seed
+
+	searchCache map[string]*search.Result
+	evalCache   map[string]*sim.Result
+}
+
+// NewSuite returns a suite with the paper's §4.1 configuration.
+func NewSuite(rounds int, seed int64) *Suite {
+	return &Suite{
+		Cfg:         hw.DefaultConfig(),
+		Rounds:      rounds,
+		Seed:        seed,
+		searchCache: map[string]*search.Result{},
+		evalCache:   map[string]*sim.Result{},
+	}
+}
+
+// env builds a search environment, failing fast on config errors.
+func (s *Suite) env(m *dnn.Model, cands []xbar.Shape, shared bool) (*search.Env, error) {
+	return search.NewEnv(s.Cfg, m, cands, shared)
+}
+
+// evalKey builds a cache key for a concrete strategy evaluation.
+func evalKey(m *dnn.Model, st accel.Strategy, shared bool) string {
+	return fmt.Sprintf("%s|%v|%t", m.Name, st.String(), shared)
+}
+
+// evaluate simulates a strategy with caching.
+func (s *Suite) evaluate(m *dnn.Model, st accel.Strategy, shared bool) (*sim.Result, error) {
+	key := evalKey(m, st, shared)
+	if r, ok := s.evalCache[key]; ok {
+		return r, nil
+	}
+	p, err := accel.BuildPlan(s.Cfg, m, st, shared)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.Simulate(p)
+	if err != nil {
+		return nil, err
+	}
+	s.evalCache[key] = r
+	return r, nil
+}
+
+// runSearch runs (or fetches) one RL search.
+func (s *Suite) runSearch(m *dnn.Model, cands []xbar.Shape, shared bool, tag string) (*search.Result, error) {
+	key := fmt.Sprintf("%s|%s|%v|%t|%d", m.Name, tag, xbar.ShapeNames(cands), shared, s.Rounds)
+	if r, ok := s.searchCache[key]; ok {
+		return r, nil
+	}
+	env, err := s.env(m, cands, shared)
+	if err != nil {
+		return nil, err
+	}
+	opts := search.DefaultOptions()
+	opts.Rounds = s.Rounds
+	opts.Agent = rl.DefaultAgentConfig(search.StateDim)
+	opts.Agent.Seed = s.Seed
+	// Bound per-round learning cost on deep models (ResNet152: 156 layers).
+	opts.UpdateStride = m.NumMappable()/16 + 1
+	res, err := search.AutoHet(env, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.searchCache[key] = res
+	return res, nil
+}
+
+// bestHomogeneous returns the RUE-best homogeneous SXB build for m.
+func (s *Suite) bestHomogeneous(m *dnn.Model) (xbar.Shape, *sim.Result, error) {
+	bestShape := xbar.Shape{}
+	var best *sim.Result
+	for _, shape := range xbar.SquareCandidates() {
+		r, err := s.evaluate(m, accel.Homogeneous(m.NumMappable(), shape), false)
+		if err != nil {
+			return xbar.Shape{}, nil, err
+		}
+		if best == nil || r.RUE() > best.RUE() {
+			best, bestShape = r, shape
+		}
+	}
+	return bestShape, best, nil
+}
+
+// variantResult produces the strategy and result of one ablation stage.
+func (s *Suite) variantResult(m *dnn.Model, v Variant) (accel.Strategy, *sim.Result, error) {
+	switch v {
+	case Base:
+		shape, r, err := s.bestHomogeneous(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		return accel.Homogeneous(m.NumMappable(), shape), r, nil
+	case He:
+		res, err := s.runSearch(m, xbar.SquareCandidates(), false, "he")
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Best, res.BestResult, nil
+	case Hy:
+		res, err := s.runSearch(m, xbar.DefaultCandidates(), false, "hy")
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Best, res.BestResult, nil
+	case All:
+		res, err := s.runSearch(m, xbar.DefaultCandidates(), true, "all")
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Best, res.BestResult, nil
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown variant %q", v)
+	}
+}
+
+// Experiment names, in paper order.
+var Names = []string{
+	"fig3", "fig4", "fig5", "fig9", "fig10",
+	"table3", "table4", "fig11a", "fig11b", "fig11c",
+	"table5", "searchtime",
+}
+
+// Run generates the named experiment's tables.
+func (s *Suite) Run(name string) ([]*report.Table, error) {
+	switch name {
+	case "fig3":
+		t, err := s.Fig3()
+		return wrap(t, err)
+	case "fig4":
+		t, err := s.Fig4()
+		return wrap(t, err)
+	case "fig5":
+		t, err := s.Fig5()
+		return wrap(t, err)
+	case "fig9":
+		return s.Fig9()
+	case "fig10":
+		return s.Fig10()
+	case "table3":
+		t, err := s.Table3()
+		return wrap(t, err)
+	case "table4":
+		t, err := s.Table4()
+		return wrap(t, err)
+	case "fig11a":
+		t, err := s.Fig11a()
+		return wrap(t, err)
+	case "fig11b":
+		t, err := s.Fig11b()
+		return wrap(t, err)
+	case "fig11c":
+		t, err := s.Fig11c()
+		return wrap(t, err)
+	case "table5":
+		t, err := s.Table5()
+		return wrap(t, err)
+	case "searchtime":
+		t, err := s.SearchTime()
+		return wrap(t, err)
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
+	}
+}
+
+func wrap(t *report.Table, err error) ([]*report.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+// sortedShapes returns map keys in deterministic size order.
+func sortedShapes(m map[xbar.Shape]int) []xbar.Shape {
+	out := make([]xbar.Shape, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].R != out[j].R {
+			return out[i].R < out[j].R
+		}
+		return out[i].C < out[j].C
+	})
+	return out
+}

@@ -1,0 +1,97 @@
+// Package fault models ReRAM device non-idealities: stuck-at cell faults
+// (a memristor pinned at low or high conductance regardless of the
+// programmed bit) and analog read noise on bitline current sums. The paper
+// assumes ideal devices; real arrays do not (its reference [24], AVAC,
+// exists precisely because of RRAM variability), so this extension lets the
+// functional simulator quantify how mapping choices tolerate defects.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autohet/internal/quant"
+)
+
+// Model describes the injected non-idealities. The zero value injects
+// nothing.
+type Model struct {
+	// StuckAtZero and StuckAtOne are per-cell probabilities that a
+	// memristor reads as 0 / 1 regardless of its programmed bit.
+	StuckAtZero float64
+	StuckAtOne  float64
+	// ReadNoiseSigma is the standard deviation of zero-mean Gaussian noise
+	// added to every digitized bitline sum, in integer sum units (one unit
+	// = one cell conducting at full input). It models ADC quantization
+	// slack plus analog summation noise.
+	ReadNoiseSigma float64
+	// Seed makes the fault map and noise reproducible.
+	Seed int64
+}
+
+// Validate reports an error for probabilities outside [0,1] or combined
+// above 1.
+func (m *Model) Validate() error {
+	if m == nil {
+		return nil
+	}
+	if m.StuckAtZero < 0 || m.StuckAtOne < 0 || m.StuckAtZero+m.StuckAtOne > 1 {
+		return fmt.Errorf("fault: stuck-at rates (%v, %v) invalid", m.StuckAtZero, m.StuckAtOne)
+	}
+	if m.ReadNoiseSigma < 0 {
+		return fmt.Errorf("fault: negative read-noise sigma %v", m.ReadNoiseSigma)
+	}
+	return nil
+}
+
+// Zero reports whether the model injects nothing.
+func (m *Model) Zero() bool {
+	return m == nil || (m.StuckAtZero == 0 && m.StuckAtOne == 0 && m.ReadNoiseSigma == 0)
+}
+
+// ApplyStuckAt returns a copy of planes with stuck-at faults injected. The
+// fault map is deterministic in (Seed, layerKey): the same physical cells
+// fail on every inference, as real defects do. The input planes are not
+// modified.
+func (m *Model) ApplyStuckAt(planes []*quant.BitPlane, layerKey int64) []*quant.BitPlane {
+	if m == nil || (m.StuckAtZero == 0 && m.StuckAtOne == 0) {
+		return planes
+	}
+	rng := rand.New(rand.NewSource(m.Seed ^ layerKey*0x9e3779b9 ^ 0x5ca1ab1e))
+	out := make([]*quant.BitPlane, len(planes))
+	for pi, p := range planes {
+		c := &quant.BitPlane{Rows: p.Rows, Cols: p.Cols, Bit: p.Bit, Bits: make([]uint8, len(p.Bits))}
+		copy(c.Bits, p.Bits)
+		for i := range c.Bits {
+			r := rng.Float64()
+			switch {
+			case r < m.StuckAtZero:
+				c.Bits[i] = 0
+			case r < m.StuckAtZero+m.StuckAtOne:
+				c.Bits[i] = 1
+			}
+		}
+		out[pi] = c
+	}
+	return out
+}
+
+// Noise returns a reproducible per-conversion noise source. Each call to
+// the returned function yields one Gaussian sample scaled by
+// ReadNoiseSigma (always 0 when the sigma is 0).
+func (m *Model) Noise(layerKey int64) func() float64 {
+	if m == nil || m.ReadNoiseSigma == 0 {
+		return func() float64 { return 0 }
+	}
+	rng := rand.New(rand.NewSource(m.Seed ^ layerKey*0x85ebca6b ^ 0x0ddba11))
+	sigma := m.ReadNoiseSigma
+	return func() float64 { return sigma * rng.NormFloat64() }
+}
+
+// CellFaultRate returns the total per-cell stuck-at probability.
+func (m *Model) CellFaultRate() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.StuckAtZero + m.StuckAtOne
+}

@@ -1,0 +1,198 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"autohet/internal/mat"
+	"autohet/internal/quant"
+)
+
+func planes(seed int64) []*quant.BitPlane {
+	rng := rand.New(rand.NewSource(seed))
+	w := mat.New(16, 16)
+	w.Randomize(rng, 1)
+	return quant.QuantizeWeights(w).Slices()
+}
+
+func TestValidate(t *testing.T) {
+	good := []*Model{
+		nil,
+		{},
+		{StuckAtZero: 0.1, StuckAtOne: 0.2, ReadNoiseSigma: 0.5},
+		{StuckAtZero: 0.5, StuckAtOne: 0.5},
+	}
+	for _, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%+v failed validation: %v", m, err)
+		}
+	}
+	bad := []*Model{
+		{StuckAtZero: -0.1},
+		{StuckAtOne: -0.1},
+		{StuckAtZero: 0.6, StuckAtOne: 0.6},
+		{ReadNoiseSigma: -1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v validated but should not", m)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	var nilModel *Model
+	if !nilModel.Zero() || !(&Model{}).Zero() {
+		t.Fatal("nil/empty model must be Zero")
+	}
+	if (&Model{StuckAtZero: 0.1}).Zero() || (&Model{ReadNoiseSigma: 1}).Zero() {
+		t.Fatal("non-empty model must not be Zero")
+	}
+}
+
+func TestApplyStuckAtNoopWhenZero(t *testing.T) {
+	p := planes(1)
+	var m *Model
+	if got := m.ApplyStuckAt(p, 1); &got[0].Bits[0] != &p[0].Bits[0] {
+		t.Fatal("nil model must return planes unchanged (no copy)")
+	}
+	noisy := &Model{ReadNoiseSigma: 1}
+	if got := noisy.ApplyStuckAt(p, 1); &got[0].Bits[0] != &p[0].Bits[0] {
+		t.Fatal("noise-only model must not copy planes")
+	}
+}
+
+func TestApplyStuckAtDoesNotMutateInput(t *testing.T) {
+	p := planes(2)
+	orig := append([]uint8(nil), p[0].Bits...)
+	m := &Model{StuckAtZero: 0.5, Seed: 3}
+	m.ApplyStuckAt(p, 1)
+	for i := range orig {
+		if p[0].Bits[i] != orig[i] {
+			t.Fatal("ApplyStuckAt mutated its input")
+		}
+	}
+}
+
+func TestApplyStuckAtDeterministic(t *testing.T) {
+	p := planes(3)
+	m := &Model{StuckAtZero: 0.1, StuckAtOne: 0.1, Seed: 4}
+	a := m.ApplyStuckAt(p, 7)
+	b := m.ApplyStuckAt(p, 7)
+	for pi := range a {
+		for i := range a[pi].Bits {
+			if a[pi].Bits[i] != b[pi].Bits[i] {
+				t.Fatal("fault map not deterministic")
+			}
+		}
+	}
+	c := m.ApplyStuckAt(p, 8)
+	same := true
+	for pi := range a {
+		for i := range a[pi].Bits {
+			if a[pi].Bits[i] != c[pi].Bits[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different layer keys gave identical fault maps")
+	}
+}
+
+func TestStuckAtOneForcesOnes(t *testing.T) {
+	p := planes(5)
+	m := &Model{StuckAtOne: 1, Seed: 1}
+	out := m.ApplyStuckAt(p, 1)
+	for _, plane := range out {
+		for _, b := range plane.Bits {
+			if b != 1 {
+				t.Fatal("StuckAtOne=1 must pin every cell to 1")
+			}
+		}
+	}
+	mz := &Model{StuckAtZero: 1, Seed: 1}
+	out = mz.ApplyStuckAt(p, 1)
+	for _, plane := range out {
+		for _, b := range plane.Bits {
+			if b != 0 {
+				t.Fatal("StuckAtZero=1 must pin every cell to 0")
+			}
+		}
+	}
+}
+
+// Property: the observed flip rate tracks the configured rate.
+func TestStuckAtRateProperty(t *testing.T) {
+	f := func(rateRaw uint8) bool {
+		rate := float64(rateRaw%50) / 100 // 0–0.49
+		m := &Model{StuckAtZero: rate / 2, StuckAtOne: rate / 2, Seed: int64(rateRaw)}
+		p := planes(int64(rateRaw) + 100)
+		out := m.ApplyStuckAt(p, 1)
+		total, pinned := 0, 0
+		for pi := range p {
+			for i := range p[pi].Bits {
+				total++
+				if out[pi].Bits[i] != p[pi].Bits[i] {
+					pinned++
+				}
+			}
+		}
+		if rate == 0 {
+			return pinned == 0
+		}
+		// A pinned cell only shows as changed ~half the time (the stuck
+		// value may match the programmed bit), so expect ≈ rate/2 flips
+		// with generous slack.
+		observed := float64(pinned) / float64(total)
+		return observed < rate
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoise(t *testing.T) {
+	var nilModel *Model
+	n := nilModel.Noise(1)
+	if n() != 0 {
+		t.Fatal("nil model noise must be 0")
+	}
+	m := &Model{ReadNoiseSigma: 2, Seed: 6}
+	src := m.Noise(1)
+	var sum, sumSq float64
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		v := src()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / samples
+	std := math.Sqrt(sumSq/samples - mean*mean)
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("noise mean %v", mean)
+	}
+	if math.Abs(std-2) > 0.1 {
+		t.Fatalf("noise std %v, want 2", std)
+	}
+	// Reproducible.
+	a, b := m.Noise(3), m.Noise(3)
+	for i := 0; i < 10; i++ {
+		if a() != b() {
+			t.Fatal("noise not reproducible")
+		}
+	}
+}
+
+func TestCellFaultRate(t *testing.T) {
+	var nilModel *Model
+	if nilModel.CellFaultRate() != 0 {
+		t.Fatal("nil rate != 0")
+	}
+	m := &Model{StuckAtZero: 0.01, StuckAtOne: 0.02}
+	if math.Abs(m.CellFaultRate()-0.03) > 1e-12 {
+		t.Fatalf("rate = %v", m.CellFaultRate())
+	}
+}

@@ -1,0 +1,156 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"autohet/internal/xbar"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper §4.1: 10-bit ADC, 1-bit DAC, 8 XBs per PE, 4 PEs per tile,
+	// 256×256 tiles per bank, 8-bit weights.
+	if c.ADCBits != 10 || c.DACBits != 1 || c.XBPerPE != 8 || c.PEsPerTile != 4 ||
+		c.TilesPerBank != 65536 || c.WeightBits != 8 || c.InputBits != 8 {
+		t.Fatalf("DefaultConfig = %+v", c)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.ADCBits = 0 },
+		func(c *Config) { c.ADCBits = 17 },
+		func(c *Config) { c.DACBits = 2 },
+		func(c *Config) { c.ColsPerADC = 0 },
+		func(c *Config) { c.XBPerPE = 4 }, // must equal WeightBits
+		func(c *Config) { c.PEsPerTile = 0 },
+		func(c *Config) { c.TilesPerBank = 0 },
+		func(c *Config) { c.WeightBits = 0; c.XBPerPE = 0 },
+	}
+	for i, mutate := range mutations {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d validated but should not", i)
+		}
+	}
+}
+
+func TestADCEnergyScalesWithBits(t *testing.T) {
+	c := DefaultConfig()
+	if math.Abs(c.ADCEnergy()-0.002*1024) > 1e-12 {
+		t.Fatalf("10-bit ADC energy = %v, want %v", c.ADCEnergy(), 0.002*1024)
+	}
+	c8 := c
+	c8.ADCBits = 8
+	if c.ADCEnergy() != 4*c8.ADCEnergy() {
+		t.Fatal("ADC energy must scale 2^bits")
+	}
+	if c.ADCArea() != 4*c8.ADCArea() {
+		t.Fatal("ADC area must scale 2^bits")
+	}
+}
+
+func TestADCsPerXB(t *testing.T) {
+	c := DefaultConfig() // 8 cols per ADC
+	cases := []struct {
+		shape xbar.Shape
+		want  int
+	}{
+		{xbar.Square(32), 4},
+		{xbar.Square(64), 8},
+		{xbar.Rect(36, 32), 4},
+		{xbar.Rect(576, 512), 64},
+		{xbar.Rect(1, 9), 2}, // rounds up
+	}
+	for _, cs := range cases {
+		if got := c.ADCsPerXB(cs.shape); got != cs.want {
+			t.Errorf("ADCsPerXB(%v) = %d, want %d", cs.shape, got, cs.want)
+		}
+	}
+}
+
+func TestXBAreaComposition(t *testing.T) {
+	c := DefaultConfig()
+	s := xbar.Square(64)
+	want := 64*64*CellArea + 64*DACArea + 8*c.ADCArea() + 8*ShiftAddArea
+	if math.Abs(c.XBArea(s)-want) > 1e-9 {
+		t.Fatalf("XBArea = %v, want %v", c.XBArea(s), want)
+	}
+}
+
+func TestTileAreaComposition(t *testing.T) {
+	c := DefaultConfig()
+	s := xbar.Square(32)
+	want := 4*8*c.XBArea(s) + BufferAreaPerTile + PoolAreaPerTile
+	if math.Abs(c.TileArea(s)-want) > 1e-9 {
+		t.Fatalf("TileArea = %v, want %v", c.TileArea(s), want)
+	}
+}
+
+// The per-cell area cost must shrink as crossbars grow (periphery amortized)
+// — this is the driver of the paper's Table 5 area trend.
+func TestAreaPerCellDecreasesWithSize(t *testing.T) {
+	c := DefaultConfig()
+	prev := math.Inf(1)
+	for _, s := range xbar.SquareCandidates() {
+		perCell := c.XBArea(s) / float64(s.Cells())
+		if perCell >= prev {
+			t.Fatalf("area per cell did not decrease at %v: %v >= %v", s, perCell, prev)
+		}
+		prev = perCell
+	}
+}
+
+func TestXBReadLatencyGrowsWithRows(t *testing.T) {
+	c := DefaultConfig()
+	l32 := c.XBReadLatency(xbar.Square(32))
+	l512 := c.XBReadLatency(xbar.Square(512))
+	if l512 <= l32 {
+		t.Fatalf("read latency must grow with rows: %v vs %v", l32, l512)
+	}
+	// But sublinearly overall: the fixed+mux part dominates for small XBs.
+	if l512 > 4*l32 {
+		t.Fatalf("latency spread too large: %v vs %v", l32, l512)
+	}
+}
+
+func TestMergeLatency(t *testing.T) {
+	c := DefaultConfig()
+	if c.MergeLatency(1, 1) != 0 {
+		t.Fatal("single band, single tile must cost nothing")
+	}
+	if got := c.MergeLatency(8, 1); math.Abs(got-3*ShiftAddDelay) > 1e-12 {
+		t.Fatalf("MergeLatency(8,1) = %v, want %v", got, 3*ShiftAddDelay)
+	}
+	if got := c.MergeLatency(1, 4); math.Abs(got-2*TileMergeDelay) > 1e-12 {
+		t.Fatalf("MergeLatency(1,4) = %v", got)
+	}
+	// Non-power-of-two rounds up.
+	if got := c.MergeLatency(5, 1); math.Abs(got-3*ShiftAddDelay) > 1e-12 {
+		t.Fatalf("MergeLatency(5,1) = %v", got)
+	}
+}
+
+// Property: area and latency are positive and monotone in each dimension.
+func TestAreaLatencyMonotoneProperty(t *testing.T) {
+	c := DefaultConfig()
+	f := func(rRaw, cRaw uint16) bool {
+		r := 1 + int(rRaw)%1024
+		cc := 1 + int(cRaw)%1024
+		s := xbar.Rect(r, cc)
+		bigger := xbar.Rect(r+9, cc+8)
+		if c.XBArea(s) <= 0 || c.XBReadLatency(s) <= 0 {
+			return false
+		}
+		return c.XBArea(bigger) > c.XBArea(s) && c.XBReadLatency(bigger) >= c.XBReadLatency(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JSON configuration support so the command-line tools can target
+// non-default hardware (Fig. 11c-style variants) without recompiling.
+// Fields absent from the JSON keep their DefaultConfig values.
+
+// configJSON mirrors Config with pointer fields so "absent" is
+// distinguishable from zero.
+type configJSON struct {
+	ADCBits      *int `json:"adc_bits"`
+	DACBits      *int `json:"dac_bits"`
+	ColsPerADC   *int `json:"cols_per_adc"`
+	XBPerPE      *int `json:"xb_per_pe"`
+	PEsPerTile   *int `json:"pes_per_tile"`
+	TilesPerBank *int `json:"tiles_per_bank"`
+	WeightBits   *int `json:"weight_bits"`
+	InputBits    *int `json:"input_bits"`
+}
+
+// ReadConfig parses a JSON config from r, starting from DefaultConfig and
+// overriding only the present fields, then validates.
+func ReadConfig(r io.Reader) (Config, error) {
+	cfg := DefaultConfig()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var j configJSON
+	if err := dec.Decode(&j); err != nil {
+		return Config{}, fmt.Errorf("hw: parsing config: %w", err)
+	}
+	set := func(dst *int, src *int) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	set(&cfg.ADCBits, j.ADCBits)
+	set(&cfg.DACBits, j.DACBits)
+	set(&cfg.ColsPerADC, j.ColsPerADC)
+	set(&cfg.XBPerPE, j.XBPerPE)
+	set(&cfg.PEsPerTile, j.PEsPerTile)
+	set(&cfg.TilesPerBank, j.TilesPerBank)
+	set(&cfg.WeightBits, j.WeightBits)
+	set(&cfg.InputBits, j.InputBits)
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// LoadConfig reads a JSON config file; an empty path returns DefaultConfig.
+func LoadConfig(path string) (Config, error) {
+	if path == "" {
+		return DefaultConfig(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	return ReadConfig(f)
+}
+
+// WriteJSON serializes the full config (all fields explicit).
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(configJSON{
+		ADCBits:      &c.ADCBits,
+		DACBits:      &c.DACBits,
+		ColsPerADC:   &c.ColsPerADC,
+		XBPerPE:      &c.XBPerPE,
+		PEsPerTile:   &c.PEsPerTile,
+		TilesPerBank: &c.TilesPerBank,
+		WeightBits:   &c.WeightBits,
+		InputBits:    &c.InputBits,
+	})
+}

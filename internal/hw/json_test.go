@@ -1,0 +1,75 @@
+package hw
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadConfigPartialOverride(t *testing.T) {
+	cfg, err := ReadConfig(strings.NewReader(`{"pes_per_tile": 16, "adc_bits": 8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PEsPerTile != 16 || cfg.ADCBits != 8 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	// Unset fields keep defaults.
+	def := DefaultConfig()
+	if cfg.XBPerPE != def.XBPerPE || cfg.TilesPerBank != def.TilesPerBank {
+		t.Fatalf("defaults lost: %+v", cfg)
+	}
+}
+
+func TestReadConfigRejections(t *testing.T) {
+	cases := []string{
+		`{`,                    // malformed
+		`{"pes_per_tile": 0}`,  // fails validation
+		`{"dac_bits": 2}`,      // unsupported
+		`{"unknown_field": 1}`, // unknown key
+		`{"xb_per_pe": 4}`,     // breaks XBPerPE == WeightBits
+	}
+	for _, text := range cases {
+		if _, err := ReadConfig(strings.NewReader(text)); err == nil {
+			t.Errorf("ReadConfig(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PEsPerTile = 32
+	cfg.ADCBits = 9
+	var buf bytes.Buffer
+	if err := cfg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Fatalf("round trip %+v != %+v", back, cfg)
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	cfg, err := LoadConfig("")
+	if err != nil || cfg != DefaultConfig() {
+		t.Fatalf("empty path must give defaults: %+v, %v", cfg, err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hw.json")
+	if err := os.WriteFile(path, []byte(`{"pes_per_tile": 8}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = LoadConfig(path)
+	if err != nil || cfg.PEsPerTile != 8 {
+		t.Fatalf("LoadConfig = %+v, %v", cfg, err)
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

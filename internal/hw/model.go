@@ -1,0 +1,61 @@
+package hw
+
+import "autohet/internal/xbar"
+
+// Per-structure area and latency helpers. Energy is accounted per activated
+// component by package sim; area and read latency are geometric properties
+// of the provisioned structures, computed here.
+
+// ADCsPerXB returns the number of ADCs a crossbar of shape s carries: one
+// per ColsPerADC bitlines, rounded up.
+func (c Config) ADCsPerXB(s xbar.Shape) int {
+	return (s.C + c.ColsPerADC - 1) / c.ColsPerADC
+}
+
+// XBArea returns the area of one crossbar of shape s including its private
+// periphery: the cell array, one 1-bit DAC per wordline, the column ADCs,
+// and one shift-and-add unit per ADC.
+func (c Config) XBArea(s xbar.Shape) float64 {
+	cells := float64(s.Cells()) * CellArea
+	dacs := float64(s.R) * DACArea
+	adcs := float64(c.ADCsPerXB(s)) * c.ADCArea()
+	sa := float64(c.ADCsPerXB(s)) * ShiftAddArea
+	return cells + dacs + adcs + sa
+}
+
+// PEArea returns the area of one PE: XBPerPE crossbars of shape s.
+func (c Config) PEArea(s xbar.Shape) float64 {
+	return float64(c.XBPerPE) * c.XBArea(s)
+}
+
+// TileArea returns the area of one tile built from crossbars of shape s:
+// PEsPerTile PEs plus the tile's buffers and pooling module.
+func (c Config) TileArea(s xbar.Shape) float64 {
+	return float64(c.PEsPerTile)*c.PEArea(s) + BufferAreaPerTile + PoolAreaPerTile
+}
+
+// XBReadLatency returns the latency of one crossbar MVM cycle in ns: the
+// fixed sense time, the wordline settling proportional to the row count,
+// and the ADC multiplexing over ColsPerADC bitlines per ADC.
+func (c Config) XBReadLatency(s xbar.Shape) float64 {
+	return XBFixedReadTime + WordlineDelay*float64(s.R) + float64(c.ColsPerADC)*ADCConvTime
+}
+
+// MergeLatency returns the latency of accumulating partial sums from
+// gridRows vertically stacked crossbar bands through the tile adder tree
+// (depth ⌈log₂⌉) plus merging across nTiles tiles over the bus.
+func (c Config) MergeLatency(gridRows, nTiles int) float64 {
+	depth := 0
+	for n := 1; n < gridRows; n <<= 1 {
+		depth++
+	}
+	lat := float64(depth) * ShiftAddDelay
+	if nTiles > 1 {
+		hops := 0
+		for n := 1; n < nTiles; n <<= 1 {
+			hops++
+		}
+		lat += float64(hops) * TileMergeDelay
+	}
+	return lat
+}

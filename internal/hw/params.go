@@ -1,0 +1,149 @@
+// Package hw models the energy, area, and latency of the ReRAM accelerator's
+// circuit components. It stands in for the MNSIM 2.0 behavior-level
+// simulator the paper runs on (see DESIGN.md — substitutions): like MNSIM it
+// prices each activated component (crossbar cells, DACs, ADCs, shift-adders,
+// buffers, pooling) per operation and sums. Constants are drawn from the
+// ISAAC/MNSIM literature and are deliberately parameterized — the paper's
+// conclusions rest on the *relative* cost structure (ADC-dominated energy,
+// periphery-dominated area), which these defaults preserve.
+//
+// Units: energy pJ, area µm², time ns. Package sim aggregates per-inference
+// energies and reports nJ.
+package hw
+
+import "fmt"
+
+// Default circuit constants. Sources: ISAAC (Shafiee et al., ISCA'16)
+// peripheral budgets and the Walden ADC figure-of-merit survey; MNSIM 2.0's
+// default 1-bit-cell RRAM arrays.
+const (
+	// ADCFoMEnergy is the Walden figure of merit: pJ per conversion step.
+	// E_adc(bits) = ADCFoMEnergy · 2^bits. 2 fJ/step gives 2.05 pJ for the
+	// 10-bit ADC the paper configures (§4.1).
+	ADCFoMEnergy = 0.002
+	// ADCUnitArea scales ADC area with resolution: µm² per conversion
+	// step. 3 µm²·2^10 ≈ 3072 µm² per 10-bit ADC (ISAAC's 8-bit ADC is
+	// ~1200 µm²).
+	ADCUnitArea = 3.0
+	// ADCConvTime is one ADC conversion, ns (1.28 GS/s SAR ADC).
+	ADCConvTime = 0.78
+
+	// DACEnergy is one 1-bit DAC conversion, pJ.
+	DACEnergy = 0.005
+	// DACArea is one 1-bit DAC, µm².
+	DACArea = 0.5
+
+	// CellReadEnergy is one memristor cell read, pJ (≈2 fJ).
+	CellReadEnergy = 0.002
+	// CellArea is one 1T1R ReRAM cell, µm² (≈4F² at F = 40 nm plus access
+	// transistor overhead).
+	CellArea = 0.01
+	// WordlineDelay is the per-row contribution to a crossbar read, ns.
+	// Calibrated so the SXB32→SXB512 read-latency spread stays within the
+	// ~1.2× band the paper's Table 5 reports.
+	WordlineDelay = 0.005
+	// XBFixedReadTime is the fixed part of a crossbar read, ns.
+	XBFixedReadTime = 5.0
+
+	// ShiftAddEnergy is one shift-and-add on a partial sum, pJ.
+	ShiftAddEnergy = 0.01
+	// ShiftAddArea is one shift-and-add unit, µm².
+	ShiftAddArea = 140.0
+	// ShiftAddDelay is one accumulate stage, ns.
+	ShiftAddDelay = 0.1
+
+	// BufferEnergyPerByte is one input/output buffer byte access, pJ.
+	BufferEnergyPerByte = 0.05
+	// BufferAreaPerTile is the fixed tile input+output buffer area, µm².
+	BufferAreaPerTile = 2000.0
+
+	// PoolEnergyPerOp is one pooling comparison/accumulate, pJ.
+	PoolEnergyPerOp = 0.4
+	// PoolAreaPerTile is the tile pooling module, µm².
+	PoolAreaPerTile = 240.0
+
+	// TileBusEnergyPerByte prices moving one byte over the intra-bank bus, pJ.
+	TileBusEnergyPerByte = 0.08
+	// TileMergeDelay is the per-hop latency of merging partial results
+	// across tiles, ns.
+	TileMergeDelay = 2.0
+
+	// GlobalCtrlArea is the bank global controller, µm².
+	GlobalCtrlArea = 30000.0
+
+	// Weight programming (one-time, before inference). ReRAM SET/RESET
+	// pulses are far costlier than reads: ~100 µA at ~2 V for ~10 ns per
+	// pulse (≈2 pJ), with program-and-verify retries.
+	CellWriteEnergy = 2.0 // pJ per programming pulse
+	// CellWriteTime is one program-and-verify pulse, ns.
+	CellWriteTime = 50.0
+	// WriteVerifyRetries is the average program-and-verify iterations per
+	// cell.
+	WriteVerifyRetries = 2.0
+	// WriteParallelism is how many cells a tile programs concurrently
+	// (one row at a time per crossbar, bounded by write drivers).
+	WriteParallelism = 32
+)
+
+// Config fixes the accelerator-wide hardware parameters (paper §4.1). The
+// zero value is not usable; start from DefaultConfig.
+type Config struct {
+	ADCBits int // ADC resolution; 10 covers the tallest 576-row crossbars
+	DACBits int // DAC precision; the paper fixes 1 (bit-serial inputs)
+	// ColsPerADC is the bitline-to-ADC multiplexing ratio: one ADC serves
+	// this many columns, sampling them in sequence within a cycle.
+	ColsPerADC int
+	// XBPerPE is the number of crossbars grouped per PE. With 1-bit cells
+	// and 8-bit weights, 8 crossbars jointly store one weight (§4.1).
+	XBPerPE int
+	// PEsPerTile is the number of PEs in a tile (default 4; Fig. 11c
+	// sweeps 8/16/32).
+	PEsPerTile int
+	// TilesPerBank bounds the bank (256×256 tiles by default).
+	TilesPerBank int
+	// WeightBits / InputBits are the quantization widths.
+	WeightBits int
+	InputBits  int
+}
+
+// DefaultConfig returns the paper's §4.1 configuration.
+func DefaultConfig() Config {
+	return Config{
+		ADCBits:      10,
+		DACBits:      1,
+		ColsPerADC:   8,
+		XBPerPE:      8,
+		PEsPerTile:   4,
+		TilesPerBank: 256 * 256,
+		WeightBits:   8,
+		InputBits:    8,
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.ADCBits < 1 || c.ADCBits > 16:
+		return fmt.Errorf("hw: ADCBits %d out of range [1,16]", c.ADCBits)
+	case c.DACBits != 1:
+		return fmt.Errorf("hw: DACBits %d unsupported (paper uses 1-bit bit-serial DACs)", c.DACBits)
+	case c.ColsPerADC < 1:
+		return fmt.Errorf("hw: ColsPerADC %d must be >= 1", c.ColsPerADC)
+	case c.XBPerPE != c.WeightBits:
+		return fmt.Errorf("hw: XBPerPE %d must equal WeightBits %d (one crossbar per weight bit)", c.XBPerPE, c.WeightBits)
+	case c.PEsPerTile < 1:
+		return fmt.Errorf("hw: PEsPerTile %d must be >= 1", c.PEsPerTile)
+	case c.TilesPerBank < 1:
+		return fmt.Errorf("hw: TilesPerBank %d must be >= 1", c.TilesPerBank)
+	case c.WeightBits < 1 || c.InputBits < 1:
+		return fmt.Errorf("hw: WeightBits/InputBits must be >= 1")
+	}
+	return nil
+}
+
+// ADCEnergy returns one conversion's energy in pJ at the configured
+// resolution.
+func (c Config) ADCEnergy() float64 { return ADCFoMEnergy * float64(int(1)<<c.ADCBits) }
+
+// ADCArea returns one ADC's area in µm² at the configured resolution.
+func (c Config) ADCArea() float64 { return ADCUnitArea * float64(int(1)<<c.ADCBits) }

@@ -1,0 +1,55 @@
+package isa
+
+import (
+	"fmt"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+)
+
+// Compile lowers an allocation plan to a Global Controller program:
+//
+//  1. a weight-programming prologue — one LDW per (layer, tile) placement;
+//  2. per model layer, in execution order: SETIN, one FIRE per tile holding
+//     the layer, MERGE, ACT (except after the final mappable layer), STORE;
+//     POOL for pooling layers.
+func Compile(p *accel.Plan) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	emit := func(op Opcode, a, b, c int32) {
+		prog.Instrs = append(prog.Instrs, Instr{Op: op, A: a, B: b, C: c})
+	}
+
+	// Weight-programming prologue.
+	for _, la := range p.Layers {
+		for _, pl := range la.Placements {
+			emit(OpLDW, int32(la.Layer.Index), int32(pl.TileID), int32(pl.Slots))
+		}
+	}
+
+	// Inference body.
+	last := p.Model.Mappable()[p.Model.NumMappable()-1]
+	for mi, l := range p.Model.Layers {
+		switch {
+		case l.Kind == dnn.Pool:
+			emit(OpPOOL, int32(mi), 0, 0)
+		case l.Mappable():
+			la := p.Layers[l.Index]
+			emit(OpSETIN, int32(l.Index), 0, 0)
+			for _, pl := range la.Placements {
+				emit(OpFIRE, int32(l.Index), int32(pl.TileID), 0)
+			}
+			emit(OpMERGE, int32(l.Index), 0, 0)
+			if l != last {
+				emit(OpACT, int32(l.Index), 0, 0)
+			}
+			emit(OpSTORE, int32(l.Index), 0, 0)
+		default:
+			return nil, fmt.Errorf("isa: cannot compile layer kind %v", l.Kind)
+		}
+	}
+	emit(OpHALT, 0, 0, 0)
+	return prog, nil
+}

@@ -1,0 +1,249 @@
+package isa
+
+import (
+	"fmt"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/quant"
+	"autohet/internal/sim"
+)
+
+// Controller is the Global Controller: it decodes a program and drives the
+// accelerator's buffers and tiles, enforcing the hardware protocol —
+// weights programmed before firing, inputs latched before MVMs, all of a
+// layer's tiles fired before merging, layers executed in model order.
+type Controller struct {
+	plan *accel.Plan
+	seed int64
+}
+
+// NewController binds a controller to an allocation plan. seed selects the
+// synthetic weights (as in sim.RunInference).
+func NewController(plan *accel.Plan, seed int64) *Controller {
+	return &Controller{plan: plan, seed: seed}
+}
+
+// layerState tracks one mappable layer's execution protocol.
+type layerState struct {
+	loadedSlots map[int]int // tile → slots programmed
+	inputSet    bool
+	fired       map[int]bool
+	merged      bool
+	stored      bool
+	input       []float64 // latched flat input (FC) — conv latches the tensor
+	inputTensor *dnn.Tensor
+	output      []float64
+	outTensor   *dnn.Tensor
+}
+
+// Run executes the program on the given input and returns the final output
+// vector. Any protocol violation aborts with a descriptive error.
+func (c *Controller) Run(prog *Program, input *dnn.Tensor) ([]float64, error) {
+	m := c.plan.Model
+	if input.C != m.InC || input.H != m.InH || input.W != m.InW {
+		return nil, fmt.Errorf("isa: input %dx%dx%d, model %q wants %dx%dx%d",
+			input.C, input.H, input.W, m.Name, m.InC, m.InH, m.InW)
+	}
+	states := make([]*layerState, m.NumMappable())
+	for i := range states {
+		states[i] = &layerState{loadedSlots: map[int]int{}, fired: map[int]bool{}}
+	}
+	qw := make([]*quant.Matrix, m.NumMappable())
+	weights := func(l *dnn.Layer) *quant.Matrix {
+		if qw[l.Index] == nil {
+			qw[l.Index] = quant.QuantizeWeights(dnn.SyntheticWeights(l, c.seed))
+		}
+		return qw[l.Index]
+	}
+
+	cur := input // current feature map flowing through the model
+	var flat []float64
+	nextModelLayer := 0 // cursor into m.Layers for execution ordering
+	halted := false
+
+	advance := func(mi int) error {
+		if nextModelLayer != mi {
+			return fmt.Errorf("layer %d executed out of order (expected %d)", mi, nextModelLayer)
+		}
+		return nil
+	}
+
+	for pc, in := range prog.Instrs {
+		if halted {
+			return nil, fmt.Errorf("isa: pc %d: instruction after HALT", pc)
+		}
+		switch in.Op {
+		case OpLDW:
+			st, la, err := c.layer(states, in.A)
+			if err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", pc, err)
+			}
+			want := 0
+			for _, pl := range la.Placements {
+				if pl.TileID == int(in.B) {
+					want = pl.Slots
+				}
+			}
+			if want == 0 {
+				return nil, fmt.Errorf("isa: pc %d: LDW L%d into tile %d which holds none of its slots", pc, in.A+1, in.B)
+			}
+			if int(in.C) != want {
+				return nil, fmt.Errorf("isa: pc %d: LDW L%d tile %d slots %d, plan says %d", pc, in.A+1, in.B, in.C, want)
+			}
+			st.loadedSlots[int(in.B)] = int(in.C)
+
+		case OpSETIN:
+			st, la, err := c.layer(states, in.A)
+			if err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", pc, err)
+			}
+			mi := c.modelIndex(la.Layer)
+			if err := advance(mi); err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", pc, err)
+			}
+			if la.Layer.Kind == dnn.FC {
+				if flat == nil {
+					flat = cur.Flatten()
+				}
+				st.input = flat
+			} else {
+				st.inputTensor = cur
+			}
+			st.inputSet = true
+
+		case OpFIRE:
+			st, la, err := c.layer(states, in.A)
+			if err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", pc, err)
+			}
+			if !st.inputSet {
+				return nil, fmt.Errorf("isa: pc %d: FIRE L%d before SETIN", pc, in.A+1)
+			}
+			if st.loadedSlots[int(in.B)] == 0 {
+				return nil, fmt.Errorf("isa: pc %d: FIRE L%d on unprogrammed tile %d", pc, in.A+1, in.B)
+			}
+			_ = la
+			st.fired[int(in.B)] = true
+
+		case OpMERGE:
+			st, la, err := c.layer(states, in.A)
+			if err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", pc, err)
+			}
+			for _, pl := range la.Placements {
+				if !st.fired[pl.TileID] {
+					return nil, fmt.Errorf("isa: pc %d: MERGE L%d before tile %d fired", pc, in.A+1, pl.TileID)
+				}
+			}
+			if err := c.executeLayer(st, la, weights(la.Layer)); err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", pc, err)
+			}
+			st.merged = true
+
+		case OpACT:
+			st, _, err := c.layer(states, in.A)
+			if err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", pc, err)
+			}
+			if !st.merged {
+				return nil, fmt.Errorf("isa: pc %d: ACT L%d before MERGE", pc, in.A+1)
+			}
+			if st.outTensor != nil {
+				dnn.ReLU(st.outTensor.Data)
+			} else {
+				dnn.ReLU(st.output)
+			}
+
+		case OpSTORE:
+			st, la, err := c.layer(states, in.A)
+			if err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", pc, err)
+			}
+			if !st.merged {
+				return nil, fmt.Errorf("isa: pc %d: STORE L%d before MERGE", pc, in.A+1)
+			}
+			if la.Layer.Kind == dnn.FC {
+				flat = st.output
+			} else {
+				cur = st.outTensor
+			}
+			st.stored = true
+			nextModelLayer = c.modelIndex(la.Layer) + 1
+
+		case OpPOOL:
+			mi := int(in.A)
+			if mi < 0 || mi >= len(m.Layers) || m.Layers[mi].Kind != dnn.Pool {
+				return nil, fmt.Errorf("isa: pc %d: POOL on non-pool layer %d", pc, mi)
+			}
+			if err := advance(mi); err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", pc, err)
+			}
+			cur = dnn.PoolMaxRef(m.Layers[mi], cur)
+			nextModelLayer = mi + 1
+
+		case OpHALT:
+			halted = true
+
+		default:
+			return nil, fmt.Errorf("isa: pc %d: unknown opcode %d", pc, in.Op)
+		}
+	}
+	if !halted {
+		return nil, fmt.Errorf("isa: program did not HALT")
+	}
+	lastState := states[len(states)-1]
+	if !lastState.stored {
+		return nil, fmt.Errorf("isa: final layer never stored")
+	}
+	if flat == nil {
+		flat = cur.Flatten()
+	}
+	return flat, nil
+}
+
+// layer resolves an instruction's layer operand.
+func (c *Controller) layer(states []*layerState, a int32) (*layerState, *accel.LayerAlloc, error) {
+	if a < 0 || int(a) >= len(states) {
+		return nil, nil, fmt.Errorf("layer operand %d out of range [0,%d)", a, len(states))
+	}
+	return states[int(a)], c.plan.Layers[int(a)], nil
+}
+
+// modelIndex finds the layer's position in Model.Layers (execution order).
+func (c *Controller) modelIndex(l *dnn.Layer) int {
+	for i, ml := range c.plan.Model.Layers {
+		if ml == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// executeLayer computes the layer's outputs from its latched input via the
+// functional crossbar pipeline.
+func (c *Controller) executeLayer(st *layerState, la *accel.LayerAlloc, w *quant.Matrix) error {
+	l := la.Layer
+	if l.Kind == dnn.FC {
+		out, err := sim.LayerMVM(c.plan, la, w, st.input)
+		if err != nil {
+			return err
+		}
+		st.output = out
+		return nil
+	}
+	out := dnn.NewTensor(l.OutC, l.OutH, l.OutW)
+	for oy := 0; oy < l.OutH; oy++ {
+		for ox := 0; ox < l.OutW; ox++ {
+			y, err := sim.LayerMVM(c.plan, la, w, st.inputTensor.Patch(l, oy, ox))
+			if err != nil {
+				return err
+			}
+			for ch, v := range y {
+				out.Set(ch, oy, ox, v)
+			}
+		}
+	}
+	st.outTensor = out
+	return nil
+}

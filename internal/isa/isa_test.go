@@ -1,0 +1,263 @@
+package isa
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/sim"
+	"autohet/internal/xbar"
+)
+
+func tinyPlan(t *testing.T) *accel.Plan {
+	t.Helper()
+	m, err := dnn.NewModel("tinycnn", 6, 6, 1, []*dnn.Layer{
+		{Name: "c1", Kind: dnn.Conv, K: 3, InC: 1, OutC: 4, Stride: 1, Pad: 1},
+		{Name: "p1", Kind: dnn.Pool, K: 2, Stride: 2},
+		{Name: "c2", Kind: dnn.Conv, K: 3, InC: 4, OutC: 8, Stride: 1, Pad: 1},
+		{Name: "p2", Kind: dnn.Pool, K: 3, Stride: 3},
+		{Name: "f1", Kind: dnn.FC, K: 1, InC: 8, OutC: 5, Stride: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := accel.BuildPlan(hw.DefaultConfig(), m, accel.Homogeneous(3, xbar.Square(32)), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	ops := map[Opcode]string{
+		OpLDW: "LDW", OpSETIN: "SETIN", OpFIRE: "FIRE", OpMERGE: "MERGE",
+		OpACT: "ACT", OpPOOL: "POOL", OpSTORE: "STORE", OpHALT: "HALT",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if !strings.Contains(Opcode(99).String(), "99") {
+		t.Error("unknown opcode string wrong")
+	}
+}
+
+func TestCompileStructure(t *testing.T) {
+	p := tinyPlan(t)
+	prog, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Instrs[len(prog.Instrs)-1].Op != OpHALT {
+		t.Fatal("program must end with HALT")
+	}
+	// One LDW per placement.
+	var ldw, fire, merge, store, pool, act int
+	for _, in := range prog.Instrs {
+		switch in.Op {
+		case OpLDW:
+			ldw++
+		case OpFIRE:
+			fire++
+		case OpMERGE:
+			merge++
+		case OpSTORE:
+			store++
+		case OpPOOL:
+			pool++
+		case OpACT:
+			act++
+		}
+	}
+	placements := 0
+	for _, la := range p.Layers {
+		placements += len(la.Placements)
+	}
+	if ldw != placements || fire != placements {
+		t.Fatalf("LDW=%d FIRE=%d, placements=%d", ldw, fire, placements)
+	}
+	if merge != 3 || store != 3 || pool != 2 {
+		t.Fatalf("MERGE=%d STORE=%d POOL=%d", merge, store, pool)
+	}
+	if act != 2 { // all mappable layers but the last
+		t.Fatalf("ACT=%d, want 2", act)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := tinyPlan(t)
+	prog, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := prog.Bytes()
+	back, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Instrs) != len(prog.Instrs) {
+		t.Fatalf("round trip %d instrs, want %d", len(back.Instrs), len(prog.Instrs))
+	}
+	for i := range prog.Instrs {
+		if back.Instrs[i] != prog.Instrs[i] {
+			t.Fatalf("instr %d: %v vs %v", i, back.Instrs[i], prog.Instrs[i])
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("AHGC"),                           // truncated after magic
+		append([]byte("AHGC"), 9, 0, 1, 0, 0, 0), // bad version
+		append([]byte("AHGC"), 1, 0, 255, 255, 255, 255), // absurd count
+	}
+	for i, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d decoded but should not", i)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := tinyPlan(t)
+	prog, _ := Compile(p)
+	var buf bytes.Buffer
+	if err := prog.Disassemble(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"LDW", "SETIN", "FIRE", "MERGE", "ACT", "POOL", "STORE", "HALT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disassembly missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// The controller executing a compiled program must produce exactly what the
+// direct functional pipeline produces.
+func TestControllerMatchesRunInference(t *testing.T) {
+	p := tinyPlan(t)
+	prog, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := dnn.SyntheticTensor(1, 6, 6, 17)
+	ctl := NewController(p, 17)
+	got, err := ctl.Run(prog, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := sim.RunInference(p, input, sim.InferenceOptions{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("output len %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("output %d: controller %v, pipeline %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestControllerProtocolViolations(t *testing.T) {
+	p := tinyPlan(t)
+	good, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := dnn.SyntheticTensor(1, 6, 6, 1)
+
+	mutate := func(f func([]Instr) []Instr) *Program {
+		cp := append([]Instr(nil), good.Instrs...)
+		return &Program{Instrs: f(cp)}
+	}
+	find := func(op Opcode) int {
+		for i, in := range good.Instrs {
+			if in.Op == op {
+				return i
+			}
+		}
+		t.Fatalf("no %v in program", op)
+		return -1
+	}
+
+	cases := map[string]*Program{
+		"missing HALT": mutate(func(is []Instr) []Instr { return is[:len(is)-1] }),
+		"fire before load": mutate(func(is []Instr) []Instr {
+			// Drop every LDW.
+			out := is[:0]
+			for _, in := range is {
+				if in.Op != OpLDW {
+					out = append(out, in)
+				}
+			}
+			return out
+		}),
+		"fire before setin": mutate(func(is []Instr) []Instr {
+			i := find(OpSETIN)
+			is[i], is[i+1] = is[i+1], is[i]
+			return is
+		}),
+		"merge before fire": mutate(func(is []Instr) []Instr {
+			i := find(OpFIRE)
+			is[i] = Instr{Op: OpMERGE, A: is[i].A}
+			return is
+		}),
+		"instruction after halt": mutate(func(is []Instr) []Instr {
+			return append(is, Instr{Op: OpSETIN})
+		}),
+		"bad layer operand": mutate(func(is []Instr) []Instr {
+			is[0].A = 99
+			return is
+		}),
+		"unknown opcode": mutate(func(is []Instr) []Instr {
+			is[0].Op = Opcode(77)
+			return is
+		}),
+	}
+	ctl := NewController(p, 1)
+	for name, prog := range cases {
+		if _, err := ctl.Run(prog, input); err == nil {
+			t.Errorf("%s: expected protocol error", name)
+		}
+	}
+	// Wrong input shape.
+	if _, err := ctl.Run(good, dnn.NewTensor(1, 5, 5)); err == nil {
+		t.Error("wrong input shape must error")
+	}
+}
+
+func TestCompileRejectsInvalidPlan(t *testing.T) {
+	p := tinyPlan(t)
+	p.Layers[0].Placements = nil
+	if _, err := Compile(p); err == nil {
+		t.Fatal("invalid plan must not compile")
+	}
+}
+
+func TestLDWValidatesAgainstPlan(t *testing.T) {
+	p := tinyPlan(t)
+	good, _ := Compile(p)
+	input := dnn.SyntheticTensor(1, 6, 6, 1)
+	// Corrupt the first LDW's slot count.
+	bad := &Program{Instrs: append([]Instr(nil), good.Instrs...)}
+	bad.Instrs[0].C++
+	if _, err := NewController(p, 1).Run(bad, input); err == nil {
+		t.Fatal("LDW slot mismatch must error")
+	}
+	// Point the LDW at a foreign tile.
+	bad2 := &Program{Instrs: append([]Instr(nil), good.Instrs...)}
+	bad2.Instrs[0].B = 9999
+	if _, err := NewController(p, 1).Run(bad2, input); err == nil {
+		t.Fatal("LDW to foreign tile must error")
+	}
+}

@@ -1,0 +1,156 @@
+package isa
+
+import (
+	"fmt"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+)
+
+// Instruction-level timing: price a Global Controller program without
+// executing it functionally. LDW costs follow the programming model
+// (write pulses, per-tile parallel); FIRE covers a layer's bit-serial
+// crossbar sweeps on one tile (tiles of one layer overlap, so a layer's
+// fire phase is bounded by its slowest tile); MERGE adds the adder-tree and
+// inter-tile gather time; POOL/ACT/STORE are buffer-rate bound. The
+// estimate decomposes the plan-level latency (sim.Simulate) by instruction,
+// which is what a GC trace viewer needs.
+
+// InstrCost is one instruction's priced latency contribution in ns.
+type InstrCost struct {
+	PC      int
+	Instr   Instr
+	Latency float64
+	// Overlapped marks instructions that run concurrently with a sibling
+	// (FIREs of the same layer) and so do not add to the critical path.
+	Overlapped bool
+}
+
+// TimedProgram is a priced program.
+type TimedProgram struct {
+	Costs []InstrCost
+	// ProgramNS is the weight-loading prologue (one-time).
+	ProgramNS float64
+	// InferenceNS is the critical-path latency of the inference body.
+	InferenceNS float64
+}
+
+// Time prices prog against plan. The program must be structurally valid
+// (Compile output or equivalent); protocol errors surface as pricing
+// errors.
+func Time(prog *Program, plan *accel.Plan) (*TimedProgram, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := plan.Cfg
+	tp := &TimedProgram{}
+	firesSeen := map[int]bool{}
+
+	for i, in := range prog.Instrs {
+		cost := InstrCost{PC: i, Instr: in}
+		switch in.Op {
+		case OpLDW:
+			// Tiles program in parallel: apportion the parallel write time
+			// by this placement's slot share, marking all but the longest
+			// as overlapped. Simplification: every LDW shows its own
+			// tile-local time; the prologue total is the max (parallel).
+			la, err := layerOf(plan, in.A)
+			if err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", i, err)
+			}
+			bits := la.WeightBits
+			if bits < 1 {
+				bits = cfg.WeightBits
+			}
+			cells := la.Mapping.UsedCells * int64(bits) * int64(la.Copies) *
+				int64(in.C) / int64(la.SlotsNeeded())
+			cost.Latency = float64(cells) * hw.WriteVerifyRetries * hw.CellWriteTime / hw.WriteParallelism
+			cost.Overlapped = true // prologue is max-parallel
+			if cost.Latency > tp.ProgramNS {
+				tp.ProgramNS = cost.Latency
+			}
+		case OpSETIN:
+			la, err := layerOf(plan, in.A)
+			if err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", i, err)
+			}
+			// Stream the input feature map into the buffer, one byte/ns.
+			cost.Latency = float64(la.Layer.InputSize()*la.Layer.InC) * 0.001
+			tp.InferenceNS += cost.Latency
+		case OpFIRE:
+			la, err := layerOf(plan, in.A)
+			if err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", i, err)
+			}
+			copies := la.Copies
+			if copies < 1 {
+				copies = 1
+			}
+			mvms := float64(la.Layer.OutputPositions())
+			cost.Latency = mvms * float64(cfg.InputBits) * cfg.XBReadLatency(la.Shape) / float64(copies)
+			// All FIREs of one layer overlap; only the first adds to the
+			// critical path.
+			if firesSeen[int(in.A)] {
+				cost.Overlapped = true
+			} else {
+				firesSeen[int(in.A)] = true
+				tp.InferenceNS += cost.Latency
+			}
+		case OpMERGE:
+			la, err := layerOf(plan, in.A)
+			if err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", i, err)
+			}
+			tiles := plan.LayerTiles(la.Layer.Index)
+			mvms := float64(la.Layer.OutputPositions())
+			copies := la.Copies
+			if copies < 1 {
+				copies = 1
+			}
+			cost.Latency = mvms * cfg.MergeLatency(la.Mapping.GridRows, tiles) / float64(copies)
+			tp.InferenceNS += cost.Latency
+		case OpACT, OpSTORE:
+			la, err := layerOf(plan, in.A)
+			if err != nil {
+				return nil, fmt.Errorf("isa: pc %d: %w", i, err)
+			}
+			cost.Latency = float64(la.Layer.OutC*la.Layer.OutputPositions()) * 0.0005
+			tp.InferenceNS += cost.Latency
+		case OpPOOL:
+			mi := int(in.A)
+			if mi < 0 || mi >= len(plan.Model.Layers) || plan.Model.Layers[mi].Kind != dnn.Pool {
+				return nil, fmt.Errorf("isa: pc %d: POOL on non-pool layer %d", i, mi)
+			}
+			l := plan.Model.Layers[mi]
+			cost.Latency = float64(l.OutputPositions()*l.K*l.K*l.InC) * 0.0002
+			tp.InferenceNS += cost.Latency
+		case OpHALT:
+			// free
+		default:
+			return nil, fmt.Errorf("isa: pc %d: cannot price opcode %d", i, in.Op)
+		}
+		tp.Costs = append(tp.Costs, cost)
+	}
+	return tp, nil
+}
+
+// layerOf resolves a layer operand against the plan.
+func layerOf(plan *accel.Plan, a int32) (*accel.LayerAlloc, error) {
+	if a < 0 || int(a) >= len(plan.Layers) {
+		return nil, fmt.Errorf("layer operand %d out of range [0,%d)", a, len(plan.Layers))
+	}
+	return plan.Layers[int(a)], nil
+}
+
+// CriticalPath returns the costs on the inference critical path (not
+// overlapped), in program order.
+func (tp *TimedProgram) CriticalPath() []InstrCost {
+	var out []InstrCost
+	for _, c := range tp.Costs {
+		if !c.Overlapped && c.Latency > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector helpers. The rl and sim packages pass activations around as plain
+// []float64; these free functions keep that code terse and allocation-aware.
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AxpyTo computes dst = a·x + y element-wise. dst may alias x or y.
+func AxpyTo(dst []float64, a float64, x, y []float64) {
+	if len(dst) != len(x) || len(x) != len(y) {
+		panic("mat: AxpyTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a*x[i] + y[i]
+	}
+}
+
+// AddTo computes dst = x + y element-wise. dst may alias x or y.
+func AddTo(dst, x, y []float64) {
+	AxpyTo(dst, 1, x, y)
+}
+
+// ScaleTo computes dst = a·x element-wise. dst may alias x.
+func ScaleTo(dst []float64, a float64, x []float64) {
+	if len(dst) != len(x) {
+		panic("mat: ScaleTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a * x[i]
+	}
+}
+
+// HadamardTo computes dst = x ⊙ y element-wise. dst may alias x or y.
+func HadamardTo(dst, x, y []float64) {
+	if len(dst) != len(x) || len(x) != len(y) {
+		panic("mat: HadamardTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] * y[i]
+	}
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Clamp returns v limited to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ArgMax returns the index of the largest element of x (first on ties), or
+// -1 for an empty slice.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}

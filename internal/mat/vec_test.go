@@ -1,0 +1,129 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAxpyTo(t *testing.T) {
+	dst := make([]float64, 3)
+	AxpyTo(dst, 2, []float64{1, 2, 3}, []float64{10, 10, 10})
+	want := []float64{12, 14, 16}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("AxpyTo = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestAxpyToAliasing(t *testing.T) {
+	x := []float64{1, 2}
+	AxpyTo(x, 3, x, x) // dst aliases both inputs
+	if x[0] != 4 || x[1] != 8 {
+		t.Fatalf("aliased AxpyTo = %v", x)
+	}
+}
+
+func TestAddToScaleToHadamard(t *testing.T) {
+	dst := make([]float64, 2)
+	AddTo(dst, []float64{1, 2}, []float64{3, 4})
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("AddTo = %v", dst)
+	}
+	ScaleTo(dst, 0.5, dst)
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("ScaleTo = %v", dst)
+	}
+	HadamardTo(dst, dst, []float64{2, 2})
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("HadamardTo = %v", dst)
+	}
+}
+
+func TestSumMeanNorm(t *testing.T) {
+	x := []float64{3, 4}
+	if Sum(x) != 7 {
+		t.Fatalf("Sum = %v", Sum(x))
+	}
+	if Mean(x) != 3.5 {
+		t.Fatalf("Mean = %v", Mean(x))
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Norm2(x) != 5 {
+		t.Fatalf("Norm2 = %v", Norm2(x))
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{-1, 0, 1, 0},
+		{0.5, 0, 1, 0.5},
+		{2, 0, 1, 1},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax(nil) != -1 {
+		t.Fatal("ArgMax(nil) != -1")
+	}
+	if ArgMax([]float64{1, 3, 3, 2}) != 1 {
+		t.Fatal("ArgMax ties must pick first")
+	}
+	if ArgMax([]float64{-5, -1, -9}) != 1 {
+		t.Fatal("ArgMax negative values wrong")
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+// Property: Clamp output is always within bounds and idempotent.
+func TestClampProperties(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c := Clamp(v, lo, hi)
+		return c >= lo && c <= hi && Clamp(c, lo, hi) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Norm2(x)² ≈ Dot(x, x).
+func TestNormDotProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(32)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		n2 := Norm2(x)
+		return math.Abs(n2*n2-Dot(x, x)) < 1e-9*(1+Dot(x, x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchNet(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return NewNetwork(rng, 11,
+		LayerSpec{Out: 64, Act: ReLU},
+		LayerSpec{Out: 64, Act: ReLU},
+		LayerSpec{Out: 1, Act: Linear},
+	)
+}
+
+func BenchmarkForward(b *testing.B) {
+	n := benchNet(1)
+	x := make([]float64, 11)
+	for i := range x {
+		x[i] = 0.1 * float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Forward(x)
+	}
+}
+
+func BenchmarkForwardBackward(b *testing.B) {
+	n := benchNet(2)
+	x := make([]float64, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := n.Forward(x)
+		n.Backward([]float64{out[0]})
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	n := benchNet(3)
+	opt := NewAdam(n, 1e-3)
+	x := make([]float64, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := n.Forward(x)
+		n.Backward([]float64{out[0]})
+		opt.Step(n, 1)
+	}
+}

@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autohet/internal/mat"
+)
+
+// Dense is one fully-connected layer: out = act(W·in + b).
+type Dense struct {
+	W   *mat.Matrix // out × in
+	B   []float64   // out
+	Act Activation
+
+	// Gradient accumulators, filled by Network.Backward and consumed by the
+	// optimizer. Same shapes as W and B.
+	GW *mat.Matrix
+	GB []float64
+}
+
+// newDense allocates a layer with Xavier-initialized weights.
+func newDense(rng *rand.Rand, in, out int, act Activation) *Dense {
+	w := mat.New(out, in)
+	w.XavierInit(rng, in, out)
+	return &Dense{
+		W:   w,
+		B:   make([]float64, out),
+		Act: act,
+		GW:  mat.New(out, in),
+		GB:  make([]float64, out),
+	}
+}
+
+// Network is a feed-forward stack of dense layers. It caches per-layer
+// activations so a Backward call can follow a Forward call; a Network is
+// therefore not safe for concurrent use (clone one per goroutine instead).
+type Network struct {
+	Layers []*Dense
+
+	// acts[0] is the input; acts[i+1] is the output of layer i.
+	acts [][]float64
+	// scratch buffers for backprop deltas, one per layer boundary.
+	deltas [][]float64
+}
+
+// LayerSpec describes one layer of an MLP for NewNetwork.
+type LayerSpec struct {
+	Out int
+	Act Activation
+}
+
+// NewNetwork builds an MLP with the given input width and layer specs.
+// Weights are Xavier-initialized from rng.
+func NewNetwork(rng *rand.Rand, inputs int, specs ...LayerSpec) *Network {
+	if inputs <= 0 {
+		panic("nn: network needs a positive input width")
+	}
+	if len(specs) == 0 {
+		panic("nn: network needs at least one layer")
+	}
+	n := &Network{}
+	in := inputs
+	for _, s := range specs {
+		if s.Out <= 0 {
+			panic(fmt.Sprintf("nn: layer width %d invalid", s.Out))
+		}
+		n.Layers = append(n.Layers, newDense(rng, in, s.Out, s.Act))
+		in = s.Out
+	}
+	n.allocScratch(inputs)
+	return n
+}
+
+func (n *Network) allocScratch(inputs int) {
+	n.acts = make([][]float64, len(n.Layers)+1)
+	n.deltas = make([][]float64, len(n.Layers)+1)
+	n.acts[0] = make([]float64, inputs)
+	n.deltas[0] = make([]float64, inputs)
+	for i, l := range n.Layers {
+		n.acts[i+1] = make([]float64, len(l.B))
+		n.deltas[i+1] = make([]float64, len(l.B))
+	}
+}
+
+// InputSize returns the expected input width.
+func (n *Network) InputSize() int { return n.Layers[0].W.Cols }
+
+// OutputSize returns the output width.
+func (n *Network) OutputSize() int { return len(n.Layers[len(n.Layers)-1].B) }
+
+// Forward runs x through the network and returns the output activation. The
+// returned slice is owned by the network and overwritten by the next call.
+func (n *Network) Forward(x []float64) []float64 {
+	if len(x) != n.InputSize() {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), n.InputSize()))
+	}
+	copy(n.acts[0], x)
+	for i, l := range n.Layers {
+		out := n.acts[i+1]
+		l.W.MulVec(out, n.acts[i])
+		for j := range out {
+			out[j] = l.Act.Apply(out[j] + l.B[j])
+		}
+	}
+	return n.acts[len(n.Layers)]
+}
+
+// Backward accumulates parameter gradients for the most recent Forward call,
+// given dLoss/dOutput, and returns dLoss/dInput (owned by the network).
+// Gradients add into GW/GB so minibatch updates can accumulate across
+// samples; call ZeroGrad before a new batch.
+func (n *Network) Backward(dOut []float64) []float64 {
+	last := len(n.Layers)
+	if len(dOut) != len(n.acts[last]) {
+		panic(fmt.Sprintf("nn: dOut size %d, want %d", len(dOut), len(n.acts[last])))
+	}
+	copy(n.deltas[last], dOut)
+	for i := last - 1; i >= 0; i-- {
+		l := n.Layers[i]
+		delta := n.deltas[i+1]
+		out := n.acts[i+1]
+		// Fold the activation derivative into the delta.
+		for j := range delta {
+			delta[j] *= l.Act.Derivative(out[j])
+		}
+		l.GW.AddOuterScaled(delta, n.acts[i], 1)
+		for j := range delta {
+			l.GB[j] += delta[j]
+		}
+		l.W.MulVecT(n.deltas[i], delta)
+	}
+	return n.deltas[0]
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, l := range n.Layers {
+		l.GW.Zero()
+		for i := range l.GB {
+			l.GB[i] = 0
+		}
+	}
+}
+
+// Clone returns a deep copy of the network (weights, not gradients).
+func (n *Network) Clone() *Network {
+	out := &Network{}
+	for _, l := range n.Layers {
+		c := &Dense{
+			W:   l.W.Clone(),
+			B:   append([]float64(nil), l.B...),
+			Act: l.Act,
+			GW:  mat.New(l.W.Rows, l.W.Cols),
+			GB:  make([]float64, len(l.B)),
+		}
+		out.Layers = append(out.Layers, c)
+	}
+	out.allocScratch(n.InputSize())
+	return out
+}
+
+// SoftUpdate moves this network's parameters toward src:
+// θ ← (1−tau)·θ + tau·θ_src. It implements DDPG target-network tracking.
+func (n *Network) SoftUpdate(src *Network, tau float64) {
+	if len(n.Layers) != len(src.Layers) {
+		panic("nn: SoftUpdate layer count mismatch")
+	}
+	for i, l := range n.Layers {
+		s := src.Layers[i]
+		l.W.Lerp(s.W, tau)
+		for j := range l.B {
+			l.B[j] = (1-tau)*l.B[j] + tau*s.B[j]
+		}
+	}
+}
+
+// CopyFrom hard-copies parameters from src (tau = 1 soft update).
+func (n *Network) CopyFrom(src *Network) { n.SoftUpdate(src, 1) }
+
+// NumParams returns the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.W.Rows*l.W.Cols + len(l.B)
+	}
+	return total
+}
+
+// GradMaxAbs returns the largest absolute accumulated gradient, useful for
+// diagnosing divergence in tests.
+func (n *Network) GradMaxAbs() float64 {
+	var max float64
+	for _, l := range n.Layers {
+		if g := l.GW.MaxAbs(); g > max {
+			max = g
+		}
+		for _, g := range l.GB {
+			if g < 0 {
+				g = -g
+			}
+			if g > max {
+				max = g
+			}
+		}
+	}
+	return max
+}

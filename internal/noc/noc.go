@@ -1,0 +1,101 @@
+// Package noc models the bank's on-chip interconnect as a 2-D mesh of
+// tiles with dimension-ordered (XY) routing. The base simulator prices
+// inter-tile traffic with a flat per-byte bus constant (the paper's GC
+// "signals tiles through the bus", §3.1); the mesh model makes that cost
+// placement-dependent: a layer whose crossbars are scattered across the
+// bank pays more hops than one packed into adjacent tiles, which is an
+// additional (and measurable) benefit of the tile-shared scheme.
+package noc
+
+import "fmt"
+
+// Mesh is a W×W grid of tile routers. Tile IDs map row-major onto
+// coordinates: tile t sits at (t mod W, t div W).
+type Mesh struct {
+	Width int
+	// HopLatencyNS is one router+link traversal.
+	HopLatencyNS float64
+	// HopEnergyPJPerByte prices one byte over one hop.
+	HopEnergyPJPerByte float64
+}
+
+// Default mesh constants: a 256-wide mesh matches the paper's 256×256-tile
+// bank; hop costs follow on-chip-network literature (~1 ns, ~0.05 pJ/byte
+// per hop at edge scales).
+const (
+	DefaultHopLatencyNS = 1.0
+	DefaultHopEnergy    = 0.05
+)
+
+// NewMesh returns a W×W mesh with default hop costs.
+func NewMesh(width int) (*Mesh, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("noc: mesh width %d", width)
+	}
+	return &Mesh{Width: width, HopLatencyNS: DefaultHopLatencyNS, HopEnergyPJPerByte: DefaultHopEnergy}, nil
+}
+
+// Coord returns tile t's mesh coordinates.
+func (m *Mesh) Coord(t int) (x, y int, err error) {
+	if t < 0 || t >= m.Width*m.Width {
+		return 0, 0, fmt.Errorf("noc: tile %d outside %dx%d mesh", t, m.Width, m.Width)
+	}
+	return t % m.Width, t / m.Width, nil
+}
+
+// Hops returns the XY-routed hop count between tiles a and b.
+func (m *Mesh) Hops(a, b int) (int, error) {
+	ax, ay, err := m.Coord(a)
+	if err != nil {
+		return 0, err
+	}
+	bx, by, err := m.Coord(b)
+	if err != nil {
+		return 0, err
+	}
+	return abs(ax-bx) + abs(ay-by), nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// GatherCost prices collecting bytesPerTile from every tile in tileIDs to
+// the gather root (the lowest tile ID): total transfer energy in pJ and the
+// critical-path latency in ns (tiles transmit concurrently; the farthest
+// tile bounds latency). A single tile costs nothing.
+func (m *Mesh) GatherCost(tileIDs []int, bytesPerTile float64) (energyPJ, latencyNS float64, err error) {
+	if len(tileIDs) <= 1 {
+		return 0, 0, nil
+	}
+	root := tileIDs[0]
+	for _, t := range tileIDs[1:] {
+		if t < root {
+			root = t
+		}
+	}
+	maxHops := 0
+	for _, t := range tileIDs {
+		if t == root {
+			continue
+		}
+		h, err := m.Hops(t, root)
+		if err != nil {
+			return 0, 0, err
+		}
+		energyPJ += float64(h) * bytesPerTile * m.HopEnergyPJPerByte
+		if h > maxHops {
+			maxHops = h
+		}
+	}
+	return energyPJ, float64(maxHops) * m.HopLatencyNS, nil
+}
+
+// ScatterCost prices broadcasting bytes from the root to every tile — the
+// input-distribution phase. By symmetry it equals GatherCost.
+func (m *Mesh) ScatterCost(tileIDs []int, bytesPerTile float64) (energyPJ, latencyNS float64, err error) {
+	return m.GatherCost(tileIDs, bytesPerTile)
+}

@@ -1,0 +1,125 @@
+package noc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mesh(t *testing.T, w int) *Mesh {
+	t.Helper()
+	m, err := NewMesh(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMeshValidation(t *testing.T) {
+	if _, err := NewMesh(0); err == nil {
+		t.Fatal("zero width must error")
+	}
+	if _, err := NewMesh(-3); err == nil {
+		t.Fatal("negative width must error")
+	}
+}
+
+func TestCoordRowMajor(t *testing.T) {
+	m := mesh(t, 4)
+	cases := []struct{ t, x, y int }{
+		{0, 0, 0}, {3, 3, 0}, {4, 0, 1}, {15, 3, 3},
+	}
+	for _, c := range cases {
+		x, y, err := m.Coord(c.t)
+		if err != nil || x != c.x || y != c.y {
+			t.Errorf("Coord(%d) = (%d,%d,%v), want (%d,%d)", c.t, x, y, err, c.x, c.y)
+		}
+	}
+	if _, _, err := m.Coord(16); err == nil {
+		t.Fatal("out-of-mesh tile must error")
+	}
+	if _, _, err := m.Coord(-1); err == nil {
+		t.Fatal("negative tile must error")
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	m := mesh(t, 4)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 3, 3},
+		{0, 15, 6},
+		{5, 10, 2},
+	}
+	for _, c := range cases {
+		h, err := m.Hops(c.a, c.b)
+		if err != nil || h != c.want {
+			t.Errorf("Hops(%d,%d) = %d,%v, want %d", c.a, c.b, h, err, c.want)
+		}
+	}
+}
+
+// Property: hops are symmetric, non-negative, and satisfy the triangle
+// inequality.
+func TestHopsMetricProperties(t *testing.T) {
+	m := mesh(t, 8)
+	f := func(aRaw, bRaw, cRaw uint8) bool {
+		a, b, c := int(aRaw)%64, int(bRaw)%64, int(cRaw)%64
+		ab, _ := m.Hops(a, b)
+		ba, _ := m.Hops(b, a)
+		ac, _ := m.Hops(a, c)
+		cb, _ := m.Hops(c, b)
+		return ab == ba && ab >= 0 && ab <= ac+cb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherCost(t *testing.T) {
+	m := mesh(t, 4)
+	// Single tile: free.
+	e, l, err := m.GatherCost([]int{5}, 100)
+	if err != nil || e != 0 || l != 0 {
+		t.Fatalf("single-tile gather = %v,%v,%v", e, l, err)
+	}
+	// Tiles 0,1,2 gather at 0: hops 1+2 = 3 → energy 3·100·0.05 = 15 pJ,
+	// latency = 2 hops · 1 ns.
+	e, l, err = m.GatherCost([]int{0, 1, 2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-15) > 1e-12 {
+		t.Fatalf("gather energy = %v, want 15", e)
+	}
+	if l != 2 {
+		t.Fatalf("gather latency = %v, want 2", l)
+	}
+	// Root is always the lowest ID regardless of order.
+	e2, _, _ := m.GatherCost([]int{2, 0, 1}, 100)
+	if e2 != e {
+		t.Fatal("gather must be order-independent")
+	}
+	// Scatter is symmetric.
+	es, ls, _ := m.ScatterCost([]int{0, 1, 2}, 100)
+	if es != e || ls != l {
+		t.Fatal("scatter must equal gather")
+	}
+}
+
+func TestGatherSpreadCostsMore(t *testing.T) {
+	m := mesh(t, 16)
+	// Adjacent tiles vs the same count scattered across the mesh.
+	near, _, _ := m.GatherCost([]int{0, 1, 2, 3}, 10)
+	far, _, _ := m.GatherCost([]int{0, 15, 240, 255}, 10)
+	if far <= near {
+		t.Fatalf("scattered placement must cost more: %v vs %v", far, near)
+	}
+}
+
+func TestGatherCostBadTile(t *testing.T) {
+	m := mesh(t, 2)
+	if _, _, err := m.GatherCost([]int{0, 9}, 1); err == nil {
+		t.Fatal("out-of-mesh tile must error")
+	}
+}

@@ -1,0 +1,266 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"autohet/internal/mat"
+)
+
+func TestQuantizeWeightsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := mat.New(16, 16)
+	w.Randomize(rng, 2.5)
+	q := QuantizeWeights(w)
+	d := q.Dequantize()
+	maxErr := q.Scale / 2 // half an LSB
+	for i := range w.Data {
+		if math.Abs(w.Data[i]-d.Data[i]) > maxErr+1e-12 {
+			t.Fatalf("element %d: %v vs %v (scale %v)", i, w.Data[i], d.Data[i], q.Scale)
+		}
+	}
+}
+
+func TestQuantizeZeroMatrix(t *testing.T) {
+	w := mat.New(4, 4)
+	q := QuantizeWeights(w)
+	if q.Scale != 1 {
+		t.Fatalf("zero matrix scale = %v, want 1", q.Scale)
+	}
+	for _, v := range q.Q {
+		if v != 0 {
+			t.Fatal("zero matrix quantized nonzero")
+		}
+	}
+}
+
+func TestQuantizeExtremes(t *testing.T) {
+	w := mat.FromSlice(1, 2, []float64{1, -1})
+	q := QuantizeWeights(w)
+	if q.At(0, 0) != 127 {
+		t.Fatalf("max quantized to %d, want 127", q.At(0, 0))
+	}
+	if q.At(0, 1) != -127 {
+		t.Fatalf("min quantized to %d, want -127", q.At(0, 1))
+	}
+}
+
+func TestAtPanics(t *testing.T) {
+	q := QuantizeWeights(mat.New(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	q.At(2, 0)
+}
+
+func TestSlicesReassemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := mat.New(8, 8)
+	w.Randomize(rng, 1)
+	q := QuantizeWeights(w)
+	planes := q.Slices()
+	if len(planes) != WeightBits {
+		t.Fatalf("planes = %d, want %d", len(planes), WeightBits)
+	}
+	for i := range q.Q {
+		var u int
+		for b, p := range planes {
+			if p.Bit != b {
+				t.Fatalf("plane %d has Bit %d", b, p.Bit)
+			}
+			u += int(p.Bits[i]) << b
+		}
+		if u != int(q.Q[i])+128 {
+			t.Fatalf("element %d: planes give %d, want %d", i, u, int(q.Q[i])+128)
+		}
+	}
+}
+
+func TestBitPlaneMulVec(t *testing.T) {
+	// Plane [[1,0],[1,1]] times x = [2,3] → [5, 3].
+	p := &BitPlane{Rows: 2, Cols: 2, Bits: []uint8{1, 0, 1, 1}}
+	dst := make([]float64, 2)
+	p.MulVec(dst, []float64{2, 3})
+	if dst[0] != 5 || dst[1] != 3 {
+		t.Fatalf("MulVec = %v, want [5 3]", dst)
+	}
+}
+
+func TestBitPlaneMulVecPanics(t *testing.T) {
+	p := &BitPlane{Rows: 2, Cols: 2, Bits: make([]uint8, 4)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	p.MulVec(make([]float64, 3), make([]float64, 2))
+}
+
+func TestQuantizeInputRoundTrip(t *testing.T) {
+	x := []float64{0, 0.5, 1.0, 0.25, 0.999}
+	in := QuantizeInput(x)
+	d := in.Dequantize()
+	for i := range x {
+		if math.Abs(x[i]-d[i]) > in.Scale/2+1e-12 {
+			t.Fatalf("input %d: %v vs %v", i, x[i], d[i])
+		}
+	}
+}
+
+func TestQuantizeInputClampsNegatives(t *testing.T) {
+	in := QuantizeInput([]float64{-1, 1})
+	if in.U[0] != 0 {
+		t.Fatalf("negative input quantized to %d, want 0", in.U[0])
+	}
+}
+
+func TestQuantizeInputZeros(t *testing.T) {
+	in := QuantizeInput(make([]float64, 4))
+	if in.Scale != 1 {
+		t.Fatalf("zero input scale = %v", in.Scale)
+	}
+}
+
+func TestInputDigitsReassemble(t *testing.T) {
+	x := []float64{0.1, 0.7, 0.3}
+	in := QuantizeInput(x)
+	if len(in.Digits) != InputBits {
+		t.Fatalf("digits = %d", len(in.Digits))
+	}
+	for i := range x {
+		var u int
+		for b := 0; b < InputBits; b++ {
+			u += int(in.Digits[b][i]) << b
+		}
+		if u != int(in.U[i]) {
+			t.Fatalf("input %d digits give %d, want %d", i, u, in.U[i])
+		}
+	}
+}
+
+// Property: full bit-sliced, bit-serial, offset-corrected MVM equals the
+// integer MVM qᵀ·u exactly. This is the end-to-end invariant the in-situ
+// computing pipeline rests on.
+func TestBitSlicedMVMExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(12)
+		w := mat.New(rows, cols)
+		w.Randomize(rng, 3)
+		q := QuantizeWeights(w)
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		in := QuantizeInput(x)
+		planes := q.Slices()
+
+		// Accumulate: Σ_ib 2^ib Σ_wb 2^wb (digit_ib · plane_wb), then
+		// subtract the offset correction 128·Σu per... the correction is
+		// per full input value, so apply it once using integer inputs.
+		acc := make([]float64, cols)
+		tmp := make([]float64, cols)
+		xf := make([]float64, rows)
+		for ib := 0; ib < InputBits; ib++ {
+			for i := range xf {
+				xf[i] = float64(in.Digits[ib][i])
+			}
+			for _, p := range planes {
+				p.MulVec(tmp, xf)
+				scale := math.Pow(2, float64(ib+p.Bit))
+				for j := range acc {
+					acc[j] += scale * tmp[j]
+				}
+			}
+		}
+		corr := OffsetCorrection(in)
+		for j := range acc {
+			acc[j] -= corr
+		}
+
+		// Reference integer MVM.
+		for j := 0; j < cols; j++ {
+			var want float64
+			for i := 0; i < rows; i++ {
+				want += float64(q.At(i, j)) * float64(in.U[i])
+			}
+			if math.Abs(acc[j]-want) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization error is bounded by half a scale step everywhere.
+func TestQuantizationErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := mat.New(4, 4)
+		w.Randomize(rng, 10)
+		q := QuantizeWeights(w)
+		d := q.Dequantize()
+		for i := range w.Data {
+			if math.Abs(w.Data[i]-d.Data[i]) > q.Scale/2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerColumnQuantizationTighter(t *testing.T) {
+	// Columns with very different magnitudes: per-tensor scale wastes range
+	// on the small column; per-column does not.
+	w := mat.New(8, 2)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 8; i++ {
+		w.Set(i, 0, rng.NormFloat64()*10) // large kernel
+		w.Set(i, 1, rng.NormFloat64()*0.01)
+	}
+	perTensor := QuantizeWeightsN(w, 8).Dequantize()
+	perCol := QuantizeWeightsPerColumn(w, 8).Dequantize()
+	colErr := func(d *mat.Matrix, j int) float64 {
+		var e float64
+		for i := 0; i < 8; i++ {
+			diff := d.At(i, j) - w.At(i, j)
+			e += diff * diff
+		}
+		return e
+	}
+	if colErr(perCol, 1) >= colErr(perTensor, 1) {
+		t.Fatalf("per-column error %v not tighter than per-tensor %v on the small column",
+			colErr(perCol, 1), colErr(perTensor, 1))
+	}
+}
+
+func TestScaleForFallsBackToTensorScale(t *testing.T) {
+	m := QuantizeWeights(mat.FromSlice(1, 2, []float64{1, -1}))
+	if m.ScaleFor(0) != m.Scale || m.ScaleFor(1) != m.Scale {
+		t.Fatal("ScaleFor must fall back to the tensor scale")
+	}
+	pc := QuantizeWeightsPerColumn(mat.FromSlice(1, 2, []float64{2, 0.5}), 8)
+	if pc.ScaleFor(0) == pc.ScaleFor(1) {
+		t.Fatal("per-column scales must differ for different columns")
+	}
+}
+
+func TestPerColumnQuantizePanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bits 0 did not panic")
+		}
+	}()
+	QuantizeWeightsPerColumn(mat.New(2, 2), 0)
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "Sample",
+		Note:   "a note",
+		Header: []string{"Name", "Value"},
+	}
+	t.AddRow("alpha", "1")
+	t.AddRow("longer-name", "22")
+	return t
+}
+
+func TestRenderAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== Sample ==", "a note", "Name", "alpha", "longer-name"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Header and rows align: every data line starts its second column at
+	// the same offset.
+	lines := strings.Split(out, "\n")
+	var dataLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Name") || strings.HasPrefix(l, "alpha") || strings.HasPrefix(l, "longer-name") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	col := -1
+	for _, l := range dataLines {
+		// Second column starts after the first gap's padding.
+		gap := strings.Index(l, "  ")
+		idx := gap
+		for idx < len(l) && l[idx] == ' ' {
+			idx++
+		}
+		if col == -1 {
+			col = idx
+		} else if idx != col {
+			t.Fatalf("misaligned columns:\n%s", out)
+		}
+	}
+}
+
+func TestRenderWithoutNote(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"A"}}
+	tab.AddRow("x")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\n\n== ") {
+		t.Fatal("unexpected blank note line")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "Name,Value\nalpha,1\nlonger-name,22\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1234.5678) != "1235" {
+		t.Fatalf("F = %q", F(1234.5678))
+	}
+	if Pct(83.72) != "83.7%" {
+		t.Fatalf("Pct = %q", Pct(83.72))
+	}
+	if I(42) != "42" {
+		t.Fatalf("I = %q", I(42))
+	}
+	if E(123456.0) != "1.23E+05" {
+		t.Fatalf("E = %q", E(123456.0))
+	}
+}

@@ -1,0 +1,227 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autohet/internal/mat"
+	"autohet/internal/nn"
+)
+
+// AgentConfig collects the DDPG hyperparameters.
+type AgentConfig struct {
+	StateDim int
+	Hidden   int     // width of the two hidden layers in actor and critic
+	ActorLR  float64 // Adam step size for the actor
+	CriticLR float64 // Adam step size for the critic
+	Gamma    float64 // discount
+	Tau      float64 // soft target-update rate
+	Sigma    float64 // initial OU exploration sigma
+	Capacity int     // experience-pool capacity
+	Batch    int     // minibatch size per update
+	Seed     int64
+
+	// TD3 extensions (Fujimoto et al., 2018), opt-in. TwinCritics enables
+	// clipped double-Q targets: two critics trained on the same batches,
+	// targets take min(Q1', Q2'); the actor updates only every PolicyDelay
+	// steps against Critic 1; target actions get clipped Gaussian noise of
+	// scale TargetNoise (smoothing). All zero values keep plain DDPG.
+	TwinCritics bool
+	PolicyDelay int
+	TargetNoise float64
+}
+
+// DefaultAgentConfig returns hyperparameters that converge on all the paper
+// workloads within a few hundred episodes.
+func DefaultAgentConfig(stateDim int) AgentConfig {
+	return AgentConfig{
+		StateDim: stateDim,
+		Hidden:   64,
+		ActorLR:  1e-3,
+		CriticLR: 1e-2,
+		Gamma:    0.6,
+		Tau:      0.01,
+		Sigma:    0.4,
+		Capacity: 8192,
+		Batch:    64,
+		Seed:     1,
+	}
+}
+
+// Agent is the DDPG actor-critic pair with target networks (paper §3.2).
+// The actor maps a state to one deterministic action in (0,1); the critic
+// estimates Q(s, a). Not safe for concurrent use.
+type Agent struct {
+	cfg AgentConfig
+	rng *rand.Rand
+
+	Actor        *nn.Network
+	ActorTarget  *nn.Network
+	Critic       *nn.Network
+	CriticTarget *nn.Network
+	// Critic2/Critic2Target exist only with cfg.TwinCritics.
+	Critic2       *nn.Network
+	Critic2Target *nn.Network
+
+	actorOpt   *nn.Adam
+	criticOpt  *nn.Adam
+	critic2Opt *nn.Adam
+	Noise      *OUNoise
+	Pool       *Replay
+
+	criticIn []float64 // scratch: state ++ action
+	updates  int
+}
+
+// NewAgent builds a DDPG agent. Targets start as copies of the online
+// networks.
+func NewAgent(cfg AgentConfig) *Agent {
+	if cfg.StateDim <= 0 {
+		panic(fmt.Sprintf("rl: state dim %d", cfg.StateDim))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	actor := nn.NewNetwork(rng, cfg.StateDim,
+		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ReLU},
+		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ReLU},
+		nn.LayerSpec{Out: 1, Act: nn.Sigmoid},
+	)
+	critic := nn.NewNetwork(rng, cfg.StateDim+1,
+		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ReLU},
+		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ReLU},
+		nn.LayerSpec{Out: 1, Act: nn.Linear},
+	)
+	a := &Agent{
+		cfg:          cfg,
+		rng:          rng,
+		Actor:        actor,
+		ActorTarget:  actor.Clone(),
+		Critic:       critic,
+		CriticTarget: critic.Clone(),
+		actorOpt:     nn.NewAdam(actor, cfg.ActorLR),
+		criticOpt:    nn.NewAdam(critic, cfg.CriticLR),
+		Noise:        NewOUNoise(rng, cfg.Sigma),
+		Pool:         NewReplay(cfg.Capacity),
+		criticIn:     make([]float64, cfg.StateDim+1),
+	}
+	if cfg.TwinCritics {
+		critic2 := nn.NewNetwork(rng, cfg.StateDim+1,
+			nn.LayerSpec{Out: cfg.Hidden, Act: nn.ReLU},
+			nn.LayerSpec{Out: cfg.Hidden, Act: nn.ReLU},
+			nn.LayerSpec{Out: 1, Act: nn.Linear},
+		)
+		a.Critic2 = critic2
+		a.Critic2Target = critic2.Clone()
+		a.critic2Opt = nn.NewAdam(critic2, cfg.CriticLR)
+		if a.cfg.PolicyDelay < 1 {
+			a.cfg.PolicyDelay = 2
+		}
+	}
+	return a
+}
+
+// Act returns the deterministic policy action for state, in (0,1).
+func (a *Agent) Act(state []float64) float64 {
+	return a.Actor.Forward(state)[0]
+}
+
+// ActNoisy returns the policy action perturbed by OU exploration noise,
+// clamped to [0,1].
+func (a *Agent) ActNoisy(state []float64) float64 {
+	return mat.Clamp(a.Act(state)+a.Noise.Sample(), 0, 1)
+}
+
+// Remember stores a transition in the experience pool.
+func (a *Agent) Remember(t Transition) { a.Pool.Add(t) }
+
+// qTarget computes r + γ(1−done)·Q'(s', μ'(s')). With twin critics the
+// target is the clipped-double-Q minimum over both target critics, and the
+// target action carries clipped smoothing noise.
+func (a *Agent) qTarget(t Transition) float64 {
+	if t.Done {
+		return t.Reward
+	}
+	na := a.ActorTarget.Forward(t.NextState)[0]
+	if a.cfg.TwinCritics && a.cfg.TargetNoise > 0 {
+		noise := mat.Clamp(a.rng.NormFloat64()*a.cfg.TargetNoise, -2*a.cfg.TargetNoise, 2*a.cfg.TargetNoise)
+		na = mat.Clamp(na+noise, 0, 1)
+	}
+	copy(a.criticIn, t.NextState)
+	a.criticIn[a.cfg.StateDim] = na
+	q := a.CriticTarget.Forward(a.criticIn)[0]
+	if a.cfg.TwinCritics {
+		if q2 := a.Critic2Target.Forward(a.criticIn)[0]; q2 < q {
+			q = q2
+		}
+	}
+	return t.Reward + a.cfg.Gamma*q
+}
+
+// Update samples one minibatch from the pool and performs one critic step,
+// one actor step, and a soft target update. It returns the critic's mean
+// squared TD error over the batch. It is a no-op returning 0 until the pool
+// holds at least one batch of experience.
+func (a *Agent) Update() float64 {
+	if a.Pool.Len() < a.cfg.Batch {
+		return 0
+	}
+	batch := a.Pool.Sample(a.rng, a.cfg.Batch)
+
+	// Critics: minimize (Q(s,a) − y)² (both critics see the same targets).
+	a.Critic.ZeroGrad()
+	if a.Critic2 != nil {
+		a.Critic2.ZeroGrad()
+	}
+	var tdSum float64
+	for _, t := range batch {
+		y := a.qTarget(t)
+		copy(a.criticIn, t.State)
+		a.criticIn[a.cfg.StateDim] = t.Action
+		q := a.Critic.Forward(a.criticIn)[0]
+		td := q - y
+		tdSum += td * td
+		a.Critic.Backward([]float64{td})
+		if a.Critic2 != nil {
+			q2 := a.Critic2.Forward(a.criticIn)[0]
+			a.Critic2.Backward([]float64{q2 - y})
+		}
+	}
+	a.criticOpt.Step(a.Critic, a.cfg.Batch)
+	if a.Critic2 != nil {
+		a.critic2Opt.Step(a.Critic2, a.cfg.Batch)
+	}
+	a.updates++
+
+	// Actor (delayed with twin critics): ascend ∇_a Q1(s, μ(s))·∇_θ μ(s).
+	if a.Critic2 == nil || a.updates%a.cfg.PolicyDelay == 0 {
+		a.Actor.ZeroGrad()
+		for _, t := range batch {
+			act := a.Actor.Forward(t.State)[0]
+			copy(a.criticIn, t.State)
+			a.criticIn[a.cfg.StateDim] = act
+			a.Critic.ZeroGrad() // gradients here are only probes for dQ/da
+			a.Critic.Forward(a.criticIn)
+			dIn := a.Critic.Backward([]float64{1})
+			dQda := dIn[a.cfg.StateDim]
+			a.Actor.Backward([]float64{-dQda}) // minimize −Q
+		}
+		a.Critic.ZeroGrad()
+		a.actorOpt.Step(a.Actor, a.cfg.Batch)
+
+		// Soft target tracking, on the actor's cadence.
+		a.ActorTarget.SoftUpdate(a.Actor, a.cfg.Tau)
+		a.CriticTarget.SoftUpdate(a.Critic, a.cfg.Tau)
+		if a.Critic2 != nil {
+			a.Critic2Target.SoftUpdate(a.Critic2, a.cfg.Tau)
+		}
+	}
+	return tdSum / float64(a.cfg.Batch)
+}
+
+// Updates reports how many minibatch updates have run.
+func (a *Agent) Updates() int { return a.updates }
+
+// EndEpisode resets the exploration noise and decays its magnitude.
+func (a *Agent) EndEpisode() {
+	a.Noise.Decay(0.99, 0.02)
+	a.Noise.Reset()
+}

@@ -1,0 +1,40 @@
+package rl
+
+import "math/rand"
+
+// OUNoise is an Ornstein–Uhlenbeck process, DDPG's conventional temporally
+// correlated exploration noise (Lillicrap et al.). Sigma can be decayed
+// between episodes so exploration anneals as the search converges.
+type OUNoise struct {
+	Mu    float64 // long-run mean
+	Theta float64 // mean-reversion rate
+	Sigma float64 // diffusion scale
+
+	state float64
+	rng   *rand.Rand
+}
+
+// NewOUNoise returns a process with the usual DDPG defaults
+// (mu 0, theta 0.15, sigma as given) seeded from rng.
+func NewOUNoise(rng *rand.Rand, sigma float64) *OUNoise {
+	n := &OUNoise{Mu: 0, Theta: 0.15, Sigma: sigma, rng: rng}
+	n.Reset()
+	return n
+}
+
+// Reset returns the process to its mean; call between episodes.
+func (n *OUNoise) Reset() { n.state = n.Mu }
+
+// Sample advances the process one step and returns the new value.
+func (n *OUNoise) Sample() float64 {
+	n.state += n.Theta*(n.Mu-n.state) + n.Sigma*n.rng.NormFloat64()
+	return n.state
+}
+
+// Decay multiplies sigma by factor, flooring at minSigma.
+func (n *OUNoise) Decay(factor, minSigma float64) {
+	n.Sigma *= factor
+	if n.Sigma < minSigma {
+		n.Sigma = minSigma
+	}
+}

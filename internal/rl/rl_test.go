@@ -1,0 +1,210 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReplayRing(t *testing.T) {
+	r := NewReplay(3)
+	if r.Cap() != 3 || r.Len() != 0 {
+		t.Fatalf("cap %d len %d", r.Cap(), r.Len())
+	}
+	for i := 0; i < 5; i++ {
+		r.Add(Transition{Reward: float64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	// Oldest (0, 1) evicted: rewards present must be {2,3,4}.
+	seen := map[float64]bool{}
+	for _, tr := range r.buf {
+		seen[tr.Reward] = true
+	}
+	for _, want := range []float64{2, 3, 4} {
+		if !seen[want] {
+			t.Fatalf("reward %v missing after eviction: %v", want, seen)
+		}
+	}
+}
+
+func TestReplaySample(t *testing.T) {
+	r := NewReplay(4)
+	r.Add(Transition{Reward: 7})
+	rng := rand.New(rand.NewSource(1))
+	s := r.Sample(rng, 10)
+	if len(s) != 10 {
+		t.Fatalf("sample len %d", len(s))
+	}
+	for _, tr := range s {
+		if tr.Reward != 7 {
+			t.Fatal("sample returned foreign transition")
+		}
+	}
+}
+
+func TestReplayPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero capacity did not panic")
+			}
+		}()
+		NewReplay(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty sample did not panic")
+			}
+		}()
+		NewReplay(1).Sample(rand.New(rand.NewSource(1)), 1)
+	}()
+}
+
+func TestOUNoiseMeanReversion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := NewOUNoise(rng, 0.3)
+	var sum float64
+	const steps = 20000
+	for i := 0; i < steps; i++ {
+		sum += n.Sample()
+	}
+	mean := sum / steps
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("OU mean %v too far from 0", mean)
+	}
+}
+
+func TestOUNoiseResetAndDecay(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := NewOUNoise(rng, 0.4)
+	n.Sample()
+	n.Reset()
+	if n.state != 0 {
+		t.Fatal("Reset did not return to mu")
+	}
+	n.Decay(0.5, 0.1)
+	if n.Sigma != 0.2 {
+		t.Fatalf("Sigma = %v, want 0.2", n.Sigma)
+	}
+	n.Decay(0.1, 0.1)
+	if n.Sigma != 0.1 {
+		t.Fatalf("Sigma floor = %v, want 0.1", n.Sigma)
+	}
+}
+
+func TestAgentActRange(t *testing.T) {
+	cfg := DefaultAgentConfig(4)
+	a := NewAgent(cfg)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		s := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		act := a.Act(s)
+		if act <= 0 || act >= 1 {
+			t.Fatalf("Act = %v outside (0,1)", act)
+		}
+		noisy := a.ActNoisy(s)
+		if noisy < 0 || noisy > 1 {
+			t.Fatalf("ActNoisy = %v outside [0,1]", noisy)
+		}
+	}
+}
+
+func TestAgentDeterministicGivenSeed(t *testing.T) {
+	s := []float64{0.1, 0.2, 0.3, 0.4}
+	a1 := NewAgent(DefaultAgentConfig(4))
+	a2 := NewAgent(DefaultAgentConfig(4))
+	if a1.Act(s) != a2.Act(s) {
+		t.Fatal("same seed must give same policy")
+	}
+}
+
+func TestUpdateNoopUntilBatchFull(t *testing.T) {
+	cfg := DefaultAgentConfig(2)
+	cfg.Batch = 8
+	a := NewAgent(cfg)
+	a.Remember(Transition{State: []float64{0, 0}, NextState: []float64{0, 0}})
+	if td := a.Update(); td != 0 || a.Updates() != 0 {
+		t.Fatalf("premature update: td %v updates %d", td, a.Updates())
+	}
+}
+
+// Bandit sanity check: state s ∈ {0.25, 0.75}; reward 1 when the action
+// lands on the same side as the state, else 0. DDPG must learn the state-
+// conditional policy.
+func TestAgentLearnsStateConditionalBandit(t *testing.T) {
+	cfg := DefaultAgentConfig(1)
+	cfg.Batch = 32
+	cfg.Seed = 5
+	a := NewAgent(cfg)
+	rng := rand.New(rand.NewSource(6))
+	for ep := 0; ep < 600; ep++ {
+		s := 0.25
+		if rng.Intn(2) == 1 {
+			s = 0.75
+		}
+		act := a.ActNoisy([]float64{s})
+		reward := 0.0
+		if (s < 0.5) == (act < 0.5) {
+			reward = 1
+		}
+		a.Remember(Transition{State: []float64{s}, Action: act, Reward: reward, NextState: []float64{s}, Done: true})
+		a.Update()
+		a.EndEpisode()
+	}
+	low := a.Act([]float64{0.25})
+	high := a.Act([]float64{0.75})
+	if low >= 0.5 {
+		t.Fatalf("policy(0.25) = %v, want < 0.5", low)
+	}
+	if high <= 0.5 {
+		t.Fatalf("policy(0.75) = %v, want > 0.5", high)
+	}
+}
+
+// The critic must regress toward the bandit's value function: TD error
+// shrinks over training.
+func TestCriticTDErrorDecreases(t *testing.T) {
+	cfg := DefaultAgentConfig(1)
+	cfg.Batch = 16
+	cfg.Seed = 7
+	a := NewAgent(cfg)
+	rng := rand.New(rand.NewSource(8))
+	var early, late float64
+	const rounds = 400
+	for ep := 0; ep < rounds; ep++ {
+		s := rng.Float64()
+		act := a.ActNoisy([]float64{s})
+		a.Remember(Transition{State: []float64{s}, Action: act, Reward: act * s, NextState: []float64{s}, Done: true})
+		td := a.Update()
+		if ep >= 50 && ep < 100 {
+			early += td
+		}
+		if ep >= rounds-50 {
+			late += td
+		}
+	}
+	if late >= early {
+		t.Fatalf("TD error did not decrease: early %v late %v", early, late)
+	}
+}
+
+func TestEndEpisodeDecaysNoise(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(2))
+	before := a.Noise.Sigma
+	a.EndEpisode()
+	if a.Noise.Sigma >= before {
+		t.Fatal("EndEpisode must decay sigma")
+	}
+}
+
+func TestNewAgentPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StateDim 0 did not panic")
+		}
+	}()
+	NewAgent(AgentConfig{StateDim: 0})
+}

@@ -1,0 +1,76 @@
+package rl
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"autohet/internal/nn"
+)
+
+// Agent persistence: the paper's workflow trains the RL agent once offline
+// and reuses the resulting strategy many times (§4.5); saving the agent
+// additionally allows warm-starting searches for related models.
+
+type agentHeader struct {
+	Cfg   AgentConfig
+	Sigma float64
+	Steps int
+}
+
+// Save writes the agent's configuration, exploration state, and all four
+// networks (actor, critic, and their targets) to w. The experience pool is
+// not persisted.
+func (a *Agent) Save(w io.Writer) error {
+	hdr := agentHeader{Cfg: a.cfg, Sigma: a.Noise.Sigma, Steps: a.updates}
+	if err := gob.NewEncoder(w).Encode(hdr); err != nil {
+		return fmt.Errorf("rl: encoding agent header: %w", err)
+	}
+	nets := []*nn.Network{a.Actor, a.Critic, a.ActorTarget, a.CriticTarget}
+	if a.cfg.TwinCritics {
+		nets = append(nets, a.Critic2, a.Critic2Target)
+	}
+	for _, net := range nets {
+		if err := net.Save(w); err != nil {
+			return fmt.Errorf("rl: encoding network: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadAgent reads an agent saved by Save. Its optimizers restart fresh
+// (Adam moments are not persisted), which matters only if training resumes.
+func LoadAgent(r io.Reader) (*Agent, error) {
+	var hdr agentHeader
+	if err := gob.NewDecoder(r).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("rl: decoding agent header: %w", err)
+	}
+	if hdr.Cfg.StateDim <= 0 {
+		return nil, fmt.Errorf("rl: corrupt agent header: %+v", hdr)
+	}
+	a := NewAgent(hdr.Cfg)
+	nets := []**nn.Network{&a.Actor, &a.Critic, &a.ActorTarget, &a.CriticTarget}
+	if hdr.Cfg.TwinCritics {
+		nets = append(nets, &a.Critic2, &a.Critic2Target)
+	}
+	for i, slot := range nets {
+		net, err := nn.LoadNetwork(r)
+		if err != nil {
+			return nil, fmt.Errorf("rl: decoding network %d: %w", i, err)
+		}
+		if net.InputSize() != (*slot).InputSize() || net.OutputSize() != (*slot).OutputSize() {
+			return nil, fmt.Errorf("rl: network %d shape %d→%d does not match config %d→%d",
+				i, net.InputSize(), net.OutputSize(), (*slot).InputSize(), (*slot).OutputSize())
+		}
+		*slot = net
+	}
+	// Rebind the optimizers to the loaded networks.
+	a.actorOpt = nn.NewAdam(a.Actor, hdr.Cfg.ActorLR)
+	a.criticOpt = nn.NewAdam(a.Critic, hdr.Cfg.CriticLR)
+	if hdr.Cfg.TwinCritics {
+		a.critic2Opt = nn.NewAdam(a.Critic2, hdr.Cfg.CriticLR)
+	}
+	a.Noise.Sigma = hdr.Sigma
+	a.updates = hdr.Steps
+	return a, nil
+}

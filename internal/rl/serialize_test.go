@@ -1,0 +1,64 @@
+package rl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAgentSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultAgentConfig(4)
+	cfg.Seed = 41
+	a := NewAgent(cfg)
+	// Perturb the agent so it differs from a fresh one.
+	for i := 0; i < 80; i++ {
+		s := []float64{0.1, 0.2, 0.3, 0.4}
+		act := a.ActNoisy(s)
+		a.Remember(Transition{State: s, Action: act, Reward: act, NextState: s, Done: true})
+		a.Update()
+	}
+	a.EndEpisode()
+
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAgent(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []float64{0.5, 0.5, 0.5, 0.5}
+	if a.Act(s) != back.Act(s) {
+		t.Fatalf("policy diverged after round trip: %v vs %v", a.Act(s), back.Act(s))
+	}
+	if back.Noise.Sigma != a.Noise.Sigma {
+		t.Fatalf("noise sigma %v vs %v", back.Noise.Sigma, a.Noise.Sigma)
+	}
+	if back.Updates() != a.Updates() {
+		t.Fatalf("update count %d vs %d", back.Updates(), a.Updates())
+	}
+	// Loaded agent can keep training.
+	back.Remember(Transition{State: s, Action: 0.5, Reward: 1, NextState: s, Done: true})
+	for i := 0; i < back.cfg.Batch; i++ {
+		back.Remember(Transition{State: s, Action: 0.5, Reward: 1, NextState: s, Done: true})
+	}
+	if back.Update() < 0 {
+		t.Fatal("loaded agent failed to update")
+	}
+}
+
+func TestLoadAgentRejectsGarbage(t *testing.T) {
+	if _, err := LoadAgent(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+	// A valid header followed by nothing must also fail.
+	a := NewAgent(DefaultAgentConfig(3))
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/4]
+	if _, err := LoadAgent(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("truncated agent must not decode")
+	}
+}

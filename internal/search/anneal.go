@@ -1,0 +1,93 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autohet/internal/accel"
+)
+
+// SAOptions configures SimulatedAnnealing.
+type SAOptions struct {
+	Rounds int     // evaluation budget
+	Seed   int64   // RNG seed
+	T0     float64 // initial temperature on the normalized-RUE scale
+	Alpha  float64 // geometric cooling factor per round
+}
+
+// DefaultSAOptions matches the RL search's 300-evaluation budget.
+func DefaultSAOptions() SAOptions {
+	return SAOptions{Rounds: 300, Seed: 1, T0: 0.3, Alpha: 0.99}
+}
+
+// SimulatedAnnealing is a classical design-space-exploration baseline: it
+// starts from the best homogeneous strategy, mutates one layer's crossbar
+// type per round, and accepts worse strategies with Metropolis probability
+// under a geometrically cooled temperature. Like the RL search, its
+// acceptance scale is normalized by the best homogeneous RUE.
+func SimulatedAnnealing(env *Env, opts SAOptions) (Evaluation, error) {
+	if opts.Rounds <= 0 {
+		return Evaluation{}, fmt.Errorf("search: SA rounds %d", opts.Rounds)
+	}
+	if opts.T0 <= 0 || opts.Alpha <= 0 || opts.Alpha > 1 {
+		return Evaluation{}, fmt.Errorf("search: SA schedule T0=%v alpha=%v", opts.T0, opts.Alpha)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := env.NumLayers()
+	c := len(env.Candidates)
+
+	// Seed from the best homogeneous strategy.
+	cur := make([]int, n)
+	var curRes, bestRes *Evaluation
+	refRUE := 0.0
+	for i := 0; i < c; i++ {
+		indices := make([]int, n)
+		for j := range indices {
+			indices[j] = i
+		}
+		r, err := env.EvalIndices(indices)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		if r.RUE() > refRUE {
+			refRUE = r.RUE()
+			copy(cur, indices)
+			st, _ := accel.FromIndices(env.Candidates, indices)
+			ev := Evaluation{Strategy: st, Result: r}
+			curRes, bestRes = &ev, &ev
+		}
+	}
+	if refRUE == 0 {
+		return Evaluation{}, fmt.Errorf("search: SA reference RUE is zero")
+	}
+	if c == 1 {
+		// Nothing to mutate: the single homogeneous strategy is the space.
+		return *bestRes, nil
+	}
+
+	temp := opts.T0
+	cand := make([]int, n)
+	for round := 0; round < opts.Rounds; round++ {
+		copy(cand, cur)
+		k := rng.Intn(n)
+		// Mutate to a different candidate.
+		cand[k] = (cand[k] + 1 + rng.Intn(c-1)) % c
+		r, err := env.EvalIndices(cand)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		delta := (r.RUE() - curRes.Result.RUE()) / refRUE
+		if delta >= 0 || rng.Float64() < math.Exp(delta/temp) {
+			copy(cur, cand)
+			st, _ := accel.FromIndices(env.Candidates, cand)
+			ev := Evaluation{Strategy: st, Result: r}
+			curRes = &ev
+			if r.RUE() > bestRes.Result.RUE() {
+				bestRes = &ev
+			}
+		}
+		temp *= opts.Alpha
+	}
+	return *bestRes, nil
+}

@@ -1,0 +1,220 @@
+package search
+
+import (
+	"fmt"
+	"time"
+
+	"autohet/internal/accel"
+	"autohet/internal/rl"
+	"autohet/internal/sim"
+)
+
+// Options configures the AutoHet RL search.
+type Options struct {
+	Rounds int // search episodes (the paper runs 300)
+	Agent  rl.AgentConfig
+	// UpdateStride runs one minibatch update every UpdateStride layer
+	// decisions (1 = every decision). Deep models (ResNet152's 156 layers)
+	// use a larger stride to bound per-round cost.
+	UpdateStride int
+	// Progress, when non-nil, receives each round's stats as it finishes.
+	Progress func(RoundStats)
+	// Objective scores a simulated accelerator; the search maximizes it.
+	// Nil means the paper's Eq. 2, R = u/e (RUE). Alternatives let the
+	// reward-shaping ablation (DESIGN.md §5) and custom deployments (e.g.
+	// latency- or area-aware objectives) reuse the same search.
+	Objective func(*sim.Result) float64
+	// WarmStart, when non-nil, continues from a previously trained agent
+	// (e.g. loaded with rl.LoadAgent) instead of a fresh one — useful for
+	// transferring a policy to a related model or resuming a search. The
+	// Agent config field is ignored in that case.
+	WarmStart *rl.Agent
+}
+
+// DefaultOptions returns the paper's search configuration (300 rounds) with
+// agent defaults.
+func DefaultOptions() Options {
+	return Options{
+		Rounds:       300,
+		Agent:        rl.DefaultAgentConfig(StateDim),
+		UpdateStride: 1,
+	}
+}
+
+// RoundStats records one search episode.
+type RoundStats struct {
+	Round    int
+	RUE      float64
+	Reward   float64 // normalized reward fed to the agent
+	Strategy accel.Strategy
+	Best     bool // whether this round improved on all previous
+}
+
+// Result is the outcome of an AutoHet search.
+type Result struct {
+	Best       accel.Strategy
+	BestResult *sim.Result
+	History    []RoundStats
+	// RefRUE is the best homogeneous-candidate RUE used to normalize
+	// rewards (reward = RUE/RefRUE, keeping the learning signal O(1)
+	// while Eq. 2's R = u/e stays the reported metric).
+	RefRUE float64
+	// TotalTime is the wall-clock search time; SimTime is the portion
+	// spent waiting for accelerator feedback (the paper reports 97% of
+	// its 49.2-minute search inside the simulator, §4.5).
+	TotalTime time.Duration
+	SimTime   time.Duration
+	// Agent is the trained DDPG agent, exposed so callers can persist it
+	// (rl.Agent.Save) or warm-start related searches.
+	Agent *rl.Agent
+}
+
+// AutoHet runs the paper's RL search (§3.2): each round the agent assigns a
+// crossbar type to every layer in order, the accelerator is simulated, and
+// the resulting R = u/e becomes the shared reward of every transition in
+// the episode (Eq. 3). Rounds alternate decision and learning stages; the
+// best strategy ever simulated is returned.
+func AutoHet(env *Env, opts Options) (*Result, error) {
+	if opts.Rounds <= 0 {
+		return nil, fmt.Errorf("search: rounds %d", opts.Rounds)
+	}
+	if opts.UpdateStride <= 0 {
+		opts.UpdateStride = 1
+	}
+	score := opts.Objective
+	if score == nil {
+		score = func(r *sim.Result) float64 { return r.RUE() }
+	}
+	var agent *rl.Agent
+	if opts.WarmStart != nil {
+		if got := opts.WarmStart.Actor.InputSize(); got != StateDim {
+			return nil, fmt.Errorf("search: warm-start agent state dim %d, want %d", got, StateDim)
+		}
+		agent = opts.WarmStart
+	} else {
+		if opts.Agent.StateDim != StateDim {
+			return nil, fmt.Errorf("search: agent state dim %d, want %d", opts.Agent.StateDim, StateDim)
+		}
+		agent = rl.NewAgent(opts.Agent)
+	}
+	n := env.NumLayers()
+	start := time.Now()
+	var simTime time.Duration
+
+	// Reward normalization reference: the best homogeneous build over the
+	// env's own candidates. Homogeneous strategies are points of the C^N
+	// search space, so the best of them also seeds the best-so-far — the
+	// search can then only improve on it.
+	res := &Result{}
+	states := make([][]float64, n+1)
+	actions := make([]float64, n)
+	indices := make([]int, n)
+
+	type homoEval struct {
+		result *sim.Result
+		action float64
+	}
+	refRUE := 0.0
+	homos := make([]homoEval, 0, len(env.Candidates))
+	for i := range env.Candidates {
+		for j := range indices {
+			indices[j] = i
+		}
+		evalStart := time.Now()
+		r, err := env.EvalIndices(indices)
+		simTime += time.Since(evalStart)
+		if err != nil {
+			return nil, fmt.Errorf("search: homogeneous reference %v: %w", env.Candidates[i], err)
+		}
+		homos = append(homos, homoEval{result: r, action: (float64(i) + 0.5) / float64(len(env.Candidates))})
+		if score(r) > refRUE {
+			refRUE = score(r)
+			res.Best = accel.Homogeneous(n, env.Candidates[i])
+			res.BestResult = r
+		}
+	}
+	if refRUE == 0 {
+		return nil, fmt.Errorf("search: reference RUE is zero")
+	}
+	res.RefRUE = refRUE
+
+	// Warm-start the experience pool with the homogeneous episodes so the
+	// critic sees the reward landscape's anchors before exploration
+	// begins. (Homogeneous strategies are points of the C^N space, so the
+	// best of them also seeded the best-so-far above.)
+	for i, h := range homos {
+		prevA, prevU := 0.0, 0.0
+		for k := 0; k < n; k++ {
+			states[k] = env.State(k, prevA, prevU)
+			prevA = h.action
+			prevU = env.LayerUtilization(k, i)
+		}
+		states[n] = states[n-1]
+		for k := 0; k < n; k++ {
+			agent.Remember(rl.Transition{
+				State:     states[k],
+				Action:    h.action,
+				Reward:    score(h.result) / refRUE,
+				NextState: states[k+1],
+				Done:      k == n-1,
+			})
+		}
+	}
+
+	for round := 0; round < opts.Rounds; round++ {
+		// Decision stage: walk the layers.
+		prevA, prevU := 0.0, 0.0
+		for k := 0; k < n; k++ {
+			states[k] = env.State(k, prevA, prevU)
+			a := agent.ActNoisy(states[k])
+			actions[k] = a
+			indices[k] = env.DecodeAction(a)
+			prevA = a
+			prevU = env.LayerUtilization(k, indices[k])
+		}
+		// Terminal next-state: reuse the last state (done masks it out).
+		states[n] = states[n-1]
+
+		// Hardware feedback.
+		evalStart := time.Now()
+		evalRes, err := env.EvalIndices(indices)
+		simTime += time.Since(evalStart)
+		if err != nil {
+			return nil, err
+		}
+		rue := score(evalRes)
+		reward := rue / refRUE
+
+		// Learning stage: pool the episode, then minibatch updates.
+		for k := 0; k < n; k++ {
+			agent.Remember(rl.Transition{
+				State:     states[k],
+				Action:    actions[k],
+				Reward:    reward,
+				NextState: states[k+1],
+				Done:      k == n-1,
+			})
+			if k%opts.UpdateStride == 0 {
+				agent.Update()
+			}
+		}
+		agent.EndEpisode()
+
+		stats := RoundStats{Round: round, RUE: rue, Reward: reward}
+		if res.BestResult == nil || rue > score(res.BestResult) {
+			st, _ := accel.FromIndices(env.Candidates, indices)
+			res.Best = st
+			res.BestResult = evalRes
+			stats.Best = true
+			stats.Strategy = st
+		}
+		res.History = append(res.History, stats)
+		if opts.Progress != nil {
+			opts.Progress(stats)
+		}
+	}
+	res.TotalTime = time.Since(start)
+	res.SimTime = simTime
+	res.Agent = agent
+	return res, nil
+}

@@ -1,0 +1,182 @@
+package search
+
+import (
+	"testing"
+
+	"autohet/internal/dnn"
+	"autohet/internal/xbar"
+)
+
+func bestHomoRUE(t *testing.T, env *Env) float64 {
+	t.Helper()
+	evals, best, err := BestHomogeneous(env, env.Candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evals[best].Result.RUE()
+}
+
+func TestSimulatedAnnealingNeverBelowHomogeneous(t *testing.T) {
+	env := testEnv(t, tinyModel(t), xbar.DefaultCandidates()[:3], true)
+	ref := bestHomoRUE(t, env)
+	opts := DefaultSAOptions()
+	opts.Rounds = 80
+	ev, err := SimulatedAnnealing(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Result.RUE() < ref {
+		t.Fatalf("SA %v below best homogeneous %v", ev.Result.RUE(), ref)
+	}
+	if err := ev.Strategy.Validate(env.Model); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatedAnnealingDeterministicAndValidated(t *testing.T) {
+	env := testEnv(t, tinyModel(t), xbar.DefaultCandidates()[:3], false)
+	opts := DefaultSAOptions()
+	opts.Rounds = 40
+	a, err := SimulatedAnnealing(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulatedAnnealing(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.RUE() != b.Result.RUE() {
+		t.Fatal("SA not deterministic per seed")
+	}
+	// Option validation.
+	bad := []SAOptions{
+		{Rounds: 0, T0: 1, Alpha: 0.9},
+		{Rounds: 10, T0: 0, Alpha: 0.9},
+		{Rounds: 10, T0: 1, Alpha: 0},
+		{Rounds: 10, T0: 1, Alpha: 1.5},
+	}
+	for _, o := range bad {
+		if _, err := SimulatedAnnealing(env, o); err == nil {
+			t.Errorf("SA options %+v must error", o)
+		}
+	}
+}
+
+func TestSimulatedAnnealingSingleCandidate(t *testing.T) {
+	env := testEnv(t, tinyModel(t), xbar.DefaultCandidates()[:1], false)
+	ev, err := SimulatedAnnealing(env, DefaultSAOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Strategy[0] != env.Candidates[0] {
+		t.Fatal("single-candidate SA must return the homogeneous strategy")
+	}
+}
+
+func TestSimulatedAnnealingApproachesOptimum(t *testing.T) {
+	env := testEnv(t, tinyModel(t), xbar.DefaultCandidates()[:3], true)
+	optimal, err := Exhaustive(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultSAOptions()
+	opts.Rounds = 200
+	ev, err := SimulatedAnnealing(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := ev.Result.RUE() / optimal.Result.RUE(); ratio < 0.9 {
+		t.Fatalf("SA reached only %.1f%% of optimum", 100*ratio)
+	}
+}
+
+func TestGeneticNeverBelowHomogeneous(t *testing.T) {
+	env := testEnv(t, tinyModel(t), xbar.DefaultCandidates()[:3], true)
+	ref := bestHomoRUE(t, env)
+	opts := DefaultGAOptions()
+	opts.Generations = 6
+	opts.Population = 10
+	ev, err := Genetic(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Result.RUE() < ref {
+		t.Fatalf("GA %v below best homogeneous %v", ev.Result.RUE(), ref)
+	}
+	if err := ev.Strategy.Validate(env.Model); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneticOptionsValidation(t *testing.T) {
+	env := testEnv(t, tinyModel(t), xbar.DefaultCandidates()[:2], false)
+	bad := []GAOptions{
+		{Generations: 0, Population: 10, MutationRate: 0.1},
+		{Generations: 5, Population: 1, MutationRate: 0.1},
+		{Generations: 5, Population: 10, Elite: 10, MutationRate: 0.1},
+		{Generations: 5, Population: 10, Elite: -1, MutationRate: 0.1},
+		{Generations: 5, Population: 10, MutationRate: -0.1},
+		{Generations: 5, Population: 10, MutationRate: 1.1},
+	}
+	for _, o := range bad {
+		if _, err := Genetic(env, o); err == nil {
+			t.Errorf("GA options %+v must error", o)
+		}
+	}
+}
+
+func TestGeneticDeterministicPerSeed(t *testing.T) {
+	env := testEnv(t, tinyModel(t), xbar.DefaultCandidates()[:3], false)
+	opts := DefaultGAOptions()
+	opts.Generations = 4
+	opts.Population = 8
+	a, err := Genetic(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Genetic(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.RUE() != b.Result.RUE() {
+		t.Fatal("GA not deterministic per seed")
+	}
+}
+
+func TestGeneticApproachesOptimum(t *testing.T) {
+	env := testEnv(t, tinyModel(t), xbar.DefaultCandidates()[:3], true)
+	optimal, err := Exhaustive(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Genetic(env, DefaultGAOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := ev.Result.RUE() / optimal.Result.RUE(); ratio < 0.9 {
+		t.Fatalf("GA reached only %.1f%% of optimum", 100*ratio)
+	}
+}
+
+// All searchers on VGG16 with the default candidates must land in the same
+// neighborhood (the space has a strong optimum basin).
+func TestSearcherConsensusOnVGG16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-searcher comparison in -short mode")
+	}
+	env := testEnv(t, dnn.VGG16(), xbar.DefaultCandidates(), true)
+	sa, err := SimulatedAnnealing(env, SAOptions{Rounds: 150, Seed: 2, T0: 0.3, Alpha: 0.98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := Genetic(env, GAOptions{Generations: 10, Population: 16, Elite: 2, MutationRate: 0.08, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := bestHomoRUE(t, env)
+	for name, rue := range map[string]float64{"SA": sa.Result.RUE(), "GA": ga.Result.RUE()} {
+		if rue < ref {
+			t.Errorf("%s RUE %v below best homogeneous %v", name, rue, ref)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"autohet/internal/accel"
+)
+
+// GAOptions configures Genetic.
+type GAOptions struct {
+	Generations  int
+	Population   int
+	Elite        int     // individuals copied unchanged each generation
+	MutationRate float64 // per-gene mutation probability
+	Seed         int64
+}
+
+// DefaultGAOptions gives a budget comparable to 300 RL rounds
+// (15 generations × 20 individuals).
+func DefaultGAOptions() GAOptions {
+	return GAOptions{Generations: 15, Population: 20, Elite: 2, MutationRate: 0.1, Seed: 1}
+}
+
+// Genetic is an evolutionary baseline over the C^N strategy space:
+// tournament selection, uniform crossover, per-gene mutation, elitism. The
+// initial population mixes the homogeneous strategies with random ones, so
+// like the other searchers it can only improve on the best homogeneous
+// accelerator.
+func Genetic(env *Env, opts GAOptions) (Evaluation, error) {
+	switch {
+	case opts.Generations <= 0 || opts.Population <= 1:
+		return Evaluation{}, fmt.Errorf("search: GA generations=%d population=%d", opts.Generations, opts.Population)
+	case opts.Elite < 0 || opts.Elite >= opts.Population:
+		return Evaluation{}, fmt.Errorf("search: GA elite %d of %d", opts.Elite, opts.Population)
+	case opts.MutationRate < 0 || opts.MutationRate > 1:
+		return Evaluation{}, fmt.Errorf("search: GA mutation rate %v", opts.MutationRate)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := env.NumLayers()
+	c := len(env.Candidates)
+
+	type individual struct {
+		genes   []int
+		fitness float64
+		result  *Evaluation
+	}
+	score := func(genes []int) (individual, error) {
+		r, err := env.EvalIndices(genes)
+		if err != nil {
+			return individual{}, err
+		}
+		st, _ := accel.FromIndices(env.Candidates, genes)
+		ev := Evaluation{Strategy: st, Result: r}
+		return individual{genes: append([]int(nil), genes...), fitness: r.RUE(), result: &ev}, nil
+	}
+
+	pop := make([]individual, 0, opts.Population)
+	// Homogeneous seeds first, random fill after.
+	for i := 0; i < c && len(pop) < opts.Population; i++ {
+		genes := make([]int, n)
+		for j := range genes {
+			genes[j] = i
+		}
+		ind, err := score(genes)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		pop = append(pop, ind)
+	}
+	for len(pop) < opts.Population {
+		genes := make([]int, n)
+		for j := range genes {
+			genes[j] = rng.Intn(c)
+		}
+		ind, err := score(genes)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		pop = append(pop, ind)
+	}
+
+	byFitness := func() {
+		sort.SliceStable(pop, func(i, j int) bool { return pop[i].fitness > pop[j].fitness })
+	}
+	tournament := func() individual {
+		a, b := pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))]
+		if a.fitness >= b.fitness {
+			return a
+		}
+		return b
+	}
+
+	byFitness()
+	best := pop[0]
+	genes := make([]int, n)
+	for g := 0; g < opts.Generations; g++ {
+		next := make([]individual, 0, opts.Population)
+		next = append(next, pop[:opts.Elite]...)
+		for len(next) < opts.Population {
+			p1, p2 := tournament(), tournament()
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					genes[j] = p1.genes[j]
+				} else {
+					genes[j] = p2.genes[j]
+				}
+				if rng.Float64() < opts.MutationRate {
+					genes[j] = rng.Intn(c)
+				}
+			}
+			ind, err := score(genes)
+			if err != nil {
+				return Evaluation{}, err
+			}
+			next = append(next, ind)
+		}
+		pop = next
+		byFitness()
+		if pop[0].fitness > best.fitness {
+			best = pop[0]
+		}
+	}
+	return *best.result, nil
+}

@@ -1,0 +1,170 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autohet/internal/accel"
+	"autohet/internal/sim"
+)
+
+// Mixed-precision co-search: jointly choose each layer's crossbar shape AND
+// weight bit-width. Fewer bit-planes cut conversions (energy) roughly
+// linearly, so the RUE objective rewards narrow weights; the weighted-mean
+// bit floor stands in for an accuracy constraint (this repo has no trained
+// models to re-validate — see DESIGN.md substitutions — so the constraint
+// plays the role HAQ's accuracy evaluator plays). Simulated annealing
+// handles the composite discrete space directly.
+
+// MPOptions configures MixedPrecision.
+type MPOptions struct {
+	Rounds int
+	Seed   int64
+	T0     float64 // initial temperature on the normalized-RUE scale
+	Alpha  float64 // geometric cooling factor
+	// BitChoices are the allowed per-layer widths, e.g. {4, 6, 8}.
+	BitChoices []int
+	// MinMeanBits is the feasibility floor on the weight-count-weighted
+	// mean bit-width (the quantization "budget").
+	MinMeanBits float64
+}
+
+// DefaultMPOptions allows 4/6/8-bit layers with a mean of at least 6 bits.
+func DefaultMPOptions() MPOptions {
+	return MPOptions{Rounds: 300, Seed: 1, T0: 0.3, Alpha: 0.99,
+		BitChoices: []int{4, 6, 8}, MinMeanBits: 6}
+}
+
+// MPResult is the outcome of a mixed-precision search.
+type MPResult struct {
+	Strategy  accel.Strategy
+	Precision accel.Precision
+	Result    *sim.Result
+	// MeanBits is the weight-count-weighted mean bit-width.
+	MeanBits float64
+}
+
+// MixedPrecision runs the joint shape × bit-width annealing search.
+func MixedPrecision(env *Env, opts MPOptions) (*MPResult, error) {
+	switch {
+	case opts.Rounds <= 0:
+		return nil, fmt.Errorf("search: MP rounds %d", opts.Rounds)
+	case opts.T0 <= 0 || opts.Alpha <= 0 || opts.Alpha > 1:
+		return nil, fmt.Errorf("search: MP schedule T0=%v alpha=%v", opts.T0, opts.Alpha)
+	case len(opts.BitChoices) == 0:
+		return nil, fmt.Errorf("search: MP needs bit choices")
+	}
+	maxBits := 0
+	for _, b := range opts.BitChoices {
+		if b < 1 || b > env.Cfg.WeightBits {
+			return nil, fmt.Errorf("search: MP bit choice %d outside [1,%d]", b, env.Cfg.WeightBits)
+		}
+		if b > maxBits {
+			maxBits = b
+		}
+	}
+	if float64(maxBits) < opts.MinMeanBits {
+		return nil, fmt.Errorf("search: MinMeanBits %v unreachable with choices %v", opts.MinMeanBits, opts.BitChoices)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := env.NumLayers()
+	c := len(env.Candidates)
+	weights := make([]float64, n)
+	var totalW float64
+	for i, l := range env.Model.Mappable() {
+		weights[i] = float64(l.Weights())
+		totalW += weights[i]
+	}
+	meanBits := func(bits accel.Precision) float64 {
+		var sum float64
+		for i, b := range bits {
+			sum += weights[i] * float64(b)
+		}
+		return sum / totalW
+	}
+
+	// Start: best homogeneous shape at full available precision.
+	indices := make([]int, n)
+	bits := make(accel.Precision, n)
+	for i := range bits {
+		bits[i] = maxBits
+	}
+	refRUE := 0.0
+	bestIdx := 0
+	var cur *sim.Result
+	for i := 0; i < c; i++ {
+		for j := range indices {
+			indices[j] = i
+		}
+		r, err := env.EvalSpec(indices, bits)
+		if err != nil {
+			return nil, err
+		}
+		if r.RUE() > refRUE {
+			refRUE = r.RUE()
+			cur = r
+			bestIdx = i
+		}
+	}
+	if cur == nil || refRUE == 0 {
+		return nil, fmt.Errorf("search: MP reference RUE is zero")
+	}
+	for j := range indices {
+		indices[j] = bestIdx
+	}
+
+	best := &MPResult{
+		Strategy:  mustStrategy(env, indices),
+		Precision: append(accel.Precision(nil), bits...),
+		Result:    cur,
+		MeanBits:  meanBits(bits),
+	}
+
+	temp := opts.T0
+	candIdx := make([]int, n)
+	candBits := make(accel.Precision, n)
+	for round := 0; round < opts.Rounds; round++ {
+		copy(candIdx, indices)
+		copy(candBits, bits)
+		k := rng.Intn(n)
+		if c > 1 && rng.Intn(2) == 0 {
+			candIdx[k] = (candIdx[k] + 1 + rng.Intn(c-1)) % c
+		} else {
+			candBits[k] = opts.BitChoices[rng.Intn(len(opts.BitChoices))]
+		}
+		if meanBits(candBits) < opts.MinMeanBits {
+			temp *= opts.Alpha
+			continue // infeasible: rejected without evaluation
+		}
+		r, err := env.EvalSpec(candIdx, candBits)
+		if err != nil {
+			return nil, err
+		}
+		delta := (r.RUE() - cur.RUE()) / refRUE
+		if delta >= 0 || rng.Float64() < math.Exp(delta/temp) {
+			copy(indices, candIdx)
+			copy(bits, candBits)
+			cur = r
+			if r.RUE() > best.Result.RUE() {
+				best = &MPResult{
+					Strategy:  mustStrategy(env, indices),
+					Precision: append(accel.Precision(nil), bits...),
+					Result:    r,
+					MeanBits:  meanBits(bits),
+				}
+			}
+		}
+		temp *= opts.Alpha
+	}
+	return best, nil
+}
+
+func mustStrategy(env *Env, indices []int) accel.Strategy {
+	st, err := accel.FromIndices(env.Candidates, indices)
+	if err != nil {
+		panic(err) // indices are always produced in range
+	}
+	return st
+}

@@ -1,0 +1,85 @@
+package search
+
+import (
+	"sort"
+
+	"autohet/internal/sim"
+)
+
+// Pareto-front extraction over candidate accelerator designs. RUE collapses
+// utilization and energy into one scalar; deployments that also care about
+// latency or area want the non-dominated set instead. A design dominates
+// another when it is no worse on every objective and strictly better on at
+// least one (all objectives minimized after transformation).
+
+// ParetoObjective extracts one minimized objective value from a result.
+type ParetoObjective func(*sim.Result) float64
+
+// Standard objectives (all minimized).
+var (
+	ObjEnergy  ParetoObjective = func(r *sim.Result) float64 { return r.EnergyNJ }
+	ObjLatency ParetoObjective = func(r *sim.Result) float64 { return r.LatencyNS }
+	ObjArea    ParetoObjective = func(r *sim.Result) float64 { return r.AreaUM2 }
+	ObjNegUtil ParetoObjective = func(r *sim.Result) float64 { return -r.Utilization }
+	ObjNegRUE  ParetoObjective = func(r *sim.Result) float64 { return -r.RUE() }
+	ObjTiles   ParetoObjective = func(r *sim.Result) float64 { return float64(r.OccupiedTiles) }
+)
+
+// ParetoFront returns the indices of the non-dominated evaluations under
+// the given objectives, sorted by the first objective ascending. Duplicate
+// points (equal on all objectives) keep only the first occurrence.
+func ParetoFront(evals []Evaluation, objectives ...ParetoObjective) []int {
+	if len(objectives) == 0 || len(evals) == 0 {
+		return nil
+	}
+	vals := make([][]float64, len(evals))
+	for i, e := range evals {
+		v := make([]float64, len(objectives))
+		for j, obj := range objectives {
+			v[j] = obj(e.Result)
+		}
+		vals[i] = v
+	}
+	dominates := func(a, b []float64) bool {
+		better := false
+		for j := range a {
+			if a[j] > b[j] {
+				return false
+			}
+			if a[j] < b[j] {
+				better = true
+			}
+		}
+		return better
+	}
+	equal := func(a, b []float64) bool {
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+		return true
+	}
+	var front []int
+	for i := range evals {
+		dominated := false
+		for j := range evals {
+			if i == j {
+				continue
+			}
+			if dominates(vals[j], vals[i]) {
+				dominated = true
+				break
+			}
+			if j < i && equal(vals[j], vals[i]) {
+				dominated = true // deduplicate, keep first
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	sort.Slice(front, func(a, b int) bool { return vals[front[a]][0] < vals[front[b]][0] })
+	return front
+}

@@ -1,0 +1,101 @@
+package search
+
+import (
+	"testing"
+
+	"autohet/internal/dnn"
+	"autohet/internal/xbar"
+)
+
+func TestParetoFrontOnHomogeneousSet(t *testing.T) {
+	// Over the five SXB builds of VGG16, utilization and energy trade off
+	// monotonically at the extremes: 32x32 (best util) and 512x512 (best
+	// energy) must both be on the util/energy front.
+	env := testEnv(t, dnn.VGG16(), xbar.SquareCandidates(), false)
+	evals, _, err := BestHomogeneous(env, xbar.SquareCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(evals, ObjEnergy, ObjNegUtil)
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	has := func(idx int) bool {
+		for _, i := range front {
+			if i == idx {
+				return true
+			}
+		}
+		return false
+	}
+	// 512x512 has the lowest energy of all → always non-dominated.
+	if !has(4) {
+		t.Fatalf("512x512 missing from front %v", front)
+	}
+	// 64x64 has the highest utilization (beats 32x32 here) → non-dominated.
+	bestUtil := 0
+	for i, e := range evals {
+		if e.Result.Utilization > evals[bestUtil].Result.Utilization {
+			bestUtil = i
+		}
+	}
+	if !has(bestUtil) {
+		t.Fatalf("utilization leader %d missing from front %v", bestUtil, front)
+	}
+	// Front sorted by energy ascending.
+	for i := 1; i < len(front); i++ {
+		if evals[front[i]].Result.EnergyNJ < evals[front[i-1]].Result.EnergyNJ {
+			t.Fatal("front not sorted by first objective")
+		}
+	}
+	// Every off-front design is dominated by some front member.
+	for i, e := range evals {
+		if has(i) {
+			continue
+		}
+		dominated := false
+		for _, fi := range front {
+			f := evals[fi].Result
+			if f.EnergyNJ <= e.Result.EnergyNJ && f.Utilization >= e.Result.Utilization &&
+				(f.EnergyNJ < e.Result.EnergyNJ || f.Utilization > e.Result.Utilization) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("design %d off the front but not dominated", i)
+		}
+	}
+}
+
+func TestParetoFrontSingleObjective(t *testing.T) {
+	env := testEnv(t, dnn.VGG16(), xbar.SquareCandidates(), false)
+	evals, best, err := BestHomogeneous(env, xbar.SquareCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(evals, ObjNegRUE)
+	if len(front) != 1 || front[0] != best {
+		t.Fatalf("single-objective front %v, want [%d]", front, best)
+	}
+}
+
+func TestParetoFrontEdgeCases(t *testing.T) {
+	if ParetoFront(nil, ObjEnergy) != nil {
+		t.Fatal("empty evals must give nil")
+	}
+	env := testEnv(t, tinyModel(t), xbar.DefaultCandidates()[:2], false)
+	evals, _, err := BestHomogeneous(env, env.Candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ParetoFront(evals) != nil {
+		t.Fatal("no objectives must give nil")
+	}
+	// Duplicates collapse to the first occurrence.
+	dup := append(evals[:1], evals[0])
+	front := ParetoFront(dup, ObjEnergy, ObjLatency)
+	if len(front) != 1 || front[0] != 0 {
+		t.Fatalf("duplicate front = %v", front)
+	}
+}

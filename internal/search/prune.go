@@ -1,0 +1,178 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/sim"
+	"autohet/internal/xbar"
+)
+
+// Structured-pruning co-search (AUTO-PRUNE-style, the paper's reference
+// [27], by the same research group): jointly choose each layer's crossbar
+// shape and output-channel keep ratio. Pruning shrinks crossbar grids — and
+// thus energy and tiles — so RUE rewards it; a retained-weight floor stands
+// in for the accuracy constraint a trained model would provide (DESIGN.md
+// substitutions).
+
+// PruneOptions configures PruneSearch.
+type PruneOptions struct {
+	Rounds int
+	Seed   int64
+	T0     float64
+	Alpha  float64
+	// KeepChoices are the allowed per-layer keep ratios (each in (0,1]).
+	KeepChoices []float64
+	// MinKeptWeights is the feasibility floor on the fraction of original
+	// weights retained.
+	MinKeptWeights float64
+}
+
+// DefaultPruneOptions allows 50/75/100% channel retention with at least
+// 70% of the original weights kept overall.
+func DefaultPruneOptions() PruneOptions {
+	return PruneOptions{Rounds: 300, Seed: 1, T0: 0.3, Alpha: 0.99,
+		KeepChoices: []float64{0.5, 0.75, 1.0}, MinKeptWeights: 0.7}
+}
+
+// PruneResult is the outcome of a pruning co-search.
+type PruneResult struct {
+	Keep     []float64
+	Strategy accel.Strategy
+	Result   *sim.Result
+	// KeptWeights is the fraction of original weights retained.
+	KeptWeights float64
+}
+
+// PruneSearch anneals over the joint shape × keep-ratio space for a
+// chain-structured model. Each evaluation derives the pruned architecture
+// (dnn.PruneChannels), maps it under the candidate strategy, and simulates.
+func PruneSearch(cfg hw.Config, m *dnn.Model, candidates []xbar.Shape, shared bool, opts PruneOptions) (*PruneResult, error) {
+	switch {
+	case opts.Rounds <= 0:
+		return nil, fmt.Errorf("search: prune rounds %d", opts.Rounds)
+	case opts.T0 <= 0 || opts.Alpha <= 0 || opts.Alpha > 1:
+		return nil, fmt.Errorf("search: prune schedule T0=%v alpha=%v", opts.T0, opts.Alpha)
+	case len(opts.KeepChoices) == 0:
+		return nil, fmt.Errorf("search: prune needs keep choices")
+	case len(candidates) == 0:
+		return nil, fmt.Errorf("search: prune needs candidates")
+	case opts.MinKeptWeights < 0 || opts.MinKeptWeights > 1:
+		return nil, fmt.Errorf("search: MinKeptWeights %v outside [0,1]", opts.MinKeptWeights)
+	}
+	hasFull := false
+	for _, k := range opts.KeepChoices {
+		if k <= 0 || k > 1 {
+			return nil, fmt.Errorf("search: keep choice %v outside (0,1]", k)
+		}
+		if k == 1 {
+			hasFull = true
+		}
+	}
+	if !hasFull {
+		// The final layer must stay unpruned, so 1.0 must be available.
+		return nil, fmt.Errorf("search: keep choices must include 1.0")
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := m.NumMappable()
+	c := len(candidates)
+
+	evaluate := func(indices []int, keep []float64) (*sim.Result, float64, error) {
+		pruned, err := dnn.PruneChannels(m, keep)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err := accel.FromIndices(candidates, indices)
+		if err != nil {
+			return nil, 0, err
+		}
+		p, err := accel.BuildPlan(cfg, pruned, st, shared)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := sim.Simulate(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		kept := float64(pruned.TotalWeights()) / float64(m.TotalWeights())
+		return r, kept, nil
+	}
+
+	// Start: best homogeneous shape, fully dense.
+	indices := make([]int, n)
+	keep := make([]float64, n)
+	for i := range keep {
+		keep[i] = 1
+	}
+	refRUE := 0.0
+	bestIdx := 0
+	var cur *sim.Result
+	for i := 0; i < c; i++ {
+		for j := range indices {
+			indices[j] = i
+		}
+		r, _, err := evaluate(indices, keep)
+		if err != nil {
+			return nil, err
+		}
+		if r.RUE() > refRUE {
+			refRUE, cur, bestIdx = r.RUE(), r, i
+		}
+	}
+	if cur == nil || refRUE == 0 {
+		return nil, fmt.Errorf("search: prune reference RUE is zero")
+	}
+	for j := range indices {
+		indices[j] = bestIdx
+	}
+
+	best := &PruneResult{
+		Keep:        append([]float64(nil), keep...),
+		Strategy:    mustStrategy(&Env{Candidates: candidates}, indices),
+		Result:      cur,
+		KeptWeights: 1,
+	}
+
+	temp := opts.T0
+	candIdx := make([]int, n)
+	candKeep := make([]float64, n)
+	for round := 0; round < opts.Rounds; round++ {
+		copy(candIdx, indices)
+		copy(candKeep, keep)
+		k := rng.Intn(n)
+		if c > 1 && rng.Intn(2) == 0 {
+			candIdx[k] = (candIdx[k] + 1 + rng.Intn(c-1)) % c
+		} else if k < n-1 { // the final layer's logits stay dense
+			candKeep[k] = opts.KeepChoices[rng.Intn(len(opts.KeepChoices))]
+		}
+		r, kept, err := evaluate(candIdx, candKeep)
+		if err != nil {
+			return nil, err
+		}
+		if kept < opts.MinKeptWeights {
+			temp *= opts.Alpha
+			continue // infeasible
+		}
+		delta := (r.RUE() - cur.RUE()) / refRUE
+		if delta >= 0 || rng.Float64() < math.Exp(delta/temp) {
+			copy(indices, candIdx)
+			copy(keep, candKeep)
+			cur = r
+			if r.RUE() > best.Result.RUE() {
+				best = &PruneResult{
+					Keep:        append([]float64(nil), keep...),
+					Strategy:    mustStrategy(&Env{Candidates: candidates}, indices),
+					Result:      r,
+					KeptWeights: kept,
+				}
+			}
+		}
+		temp *= opts.Alpha
+	}
+	return best, nil
+}

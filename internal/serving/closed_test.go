@@ -1,0 +1,107 @@
+package serving
+
+import (
+	"math"
+	"testing"
+
+	"autohet/internal/sim"
+)
+
+func fixedPipeline() *sim.PipelineResult {
+	return &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}
+}
+
+func TestServeClosedSingleClientNoThink(t *testing.T) {
+	st, err := ServeClosed(fixedPipeline(), ClosedLoop{Clients: 1, Requests: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One client back-to-back: every request enters immediately after the
+	// previous completes, so latency is exactly the fill time.
+	if math.Abs(st.MeanNS-1000) > 1e-9 || math.Abs(st.P99NS-1000) > 1e-9 {
+		t.Fatalf("single-client latency mean %v p99 %v, want 1000", st.MeanNS, st.P99NS)
+	}
+	// Throughput = 1 / fill.
+	want := 1e9 / 1000.0
+	if math.Abs(st.ThroughputRPS-want) > 0.05*want {
+		t.Fatalf("throughput %v, want ≈%v", st.ThroughputRPS, want)
+	}
+}
+
+func TestServeClosedSaturation(t *testing.T) {
+	pr := fixedPipeline()
+	// With far more clients than pipeline depth (fill/interval = 10), the
+	// pipeline saturates: throughput → 1/interval, utilization → 1.
+	st, err := ServeClosed(pr, ClosedLoop{Clients: 100, Requests: 5000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := 1e9 / pr.IntervalNS
+	if st.ThroughputRPS < 0.95*capacity {
+		t.Fatalf("saturated throughput %v below capacity %v", st.ThroughputRPS, capacity)
+	}
+	if st.Utilization < 0.95 {
+		t.Fatalf("saturated utilization %v", st.Utilization)
+	}
+	// Latency stretches: ~clients × interval queueing.
+	if st.MeanNS < 5*pr.FillNS {
+		t.Fatalf("saturated latency %v suspiciously low", st.MeanNS)
+	}
+}
+
+func TestServeClosedThroughputGrowsWithClientsThenSaturates(t *testing.T) {
+	pr := fixedPipeline()
+	var prev float64
+	for _, clients := range []int{1, 2, 5, 10, 50} {
+		st, err := ServeClosed(pr, ClosedLoop{Clients: clients, Requests: 3000, ThinkTimeNS: 500, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ThroughputRPS+1 < prev {
+			t.Fatalf("throughput regressed at %d clients: %v after %v", clients, st.ThroughputRPS, prev)
+		}
+		prev = st.ThroughputRPS
+	}
+	if capacity := 1e9 / pr.IntervalNS; prev > capacity*1.01 {
+		t.Fatalf("throughput %v exceeds capacity %v", prev, capacity)
+	}
+}
+
+func TestServeClosedDeterministicAndOrdered(t *testing.T) {
+	pr := fixedPipeline()
+	w := ClosedLoop{Clients: 8, Requests: 1000, ThinkTimeNS: 200, Seed: 4}
+	a, err := ServeClosed(pr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServeClosed(pr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanNS != b.MeanNS || a.P99NS != b.P99NS {
+		t.Fatal("closed-loop serving not deterministic")
+	}
+	if !(a.P50NS <= a.P95NS && a.P95NS <= a.P99NS) {
+		t.Fatal("percentiles out of order")
+	}
+	if a.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestServeClosedValidation(t *testing.T) {
+	pr := fixedPipeline()
+	bad := []ClosedLoop{
+		{Clients: 0, Requests: 10},
+		{Clients: 1, Requests: 0},
+		{Clients: 1, Requests: 10, ThinkTimeNS: -1},
+	}
+	for _, w := range bad {
+		if _, err := ServeClosed(pr, w); err == nil {
+			t.Errorf("workload %+v must error", w)
+		}
+	}
+	if _, err := ServeClosed(&sim.PipelineResult{}, ClosedLoop{Clients: 1, Requests: 1}); err == nil {
+		t.Error("degenerate pipeline must error")
+	}
+}

@@ -1,0 +1,143 @@
+// Package serving runs a request-level discrete-event simulation of DNN
+// inference serving on the pipelined accelerator: Poisson arrivals enter
+// the layer pipeline at its initiation interval, and the simulation reports
+// the latency distribution, queueing, and stability — the metrics an edge
+// deployment (the paper's motivating setting, §2.2) actually provisions
+// against.
+package serving
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"autohet/internal/sim"
+)
+
+// Workload describes an open-loop request stream.
+type Workload struct {
+	ArrivalRate float64 // mean requests per second (Poisson process)
+	Requests    int     // number of requests to simulate
+	Seed        int64
+}
+
+// Stats summarizes a serving run. Latencies are end-to-end (arrival →
+// completion) in nanoseconds.
+type Stats struct {
+	Completed           int
+	MeanNS              float64
+	P50NS, P95NS, P99NS float64
+	MaxNS               float64
+	MakespanNS          float64
+	// Utilization is the fraction of the makespan during which the
+	// pipeline was accepting work at its full initiation rate.
+	Utilization float64
+	// MaxQueue is the deepest backlog of arrived-but-not-started requests.
+	MaxQueue int
+	// Stable reports whether the arrival rate is below the pipeline's
+	// service capacity; an unstable system's queue grows without bound.
+	Stable bool
+	// CapacityRPS is the pipeline's maximum service rate.
+	CapacityRPS float64
+}
+
+// Serve simulates the workload against a pipelined accelerator.
+func Serve(pr *sim.PipelineResult, w Workload) (*Stats, error) {
+	if w.ArrivalRate <= 0 {
+		return nil, fmt.Errorf("serving: arrival rate %v", w.ArrivalRate)
+	}
+	if w.Requests <= 0 {
+		return nil, fmt.Errorf("serving: request count %d", w.Requests)
+	}
+	if pr.IntervalNS <= 0 || pr.FillNS <= 0 {
+		return nil, fmt.Errorf("serving: degenerate pipeline (interval %v, fill %v)", pr.IntervalNS, pr.FillNS)
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	meanGapNS := 1e9 / w.ArrivalRate
+
+	latencies := make([]float64, 0, w.Requests)
+	arrival := 0.0
+	prevEntry := math.Inf(-1)
+	var makespan float64
+	maxQueue := 0
+
+	// Entry times form a renewal process: a request enters the pipeline at
+	// max(its arrival, previous entry + initiation interval) and completes
+	// one pipeline-fill later.
+	pending := make([]float64, 0, 64) // entry times not yet started at the latest arrival
+	for i := 0; i < w.Requests; i++ {
+		arrival += rng.ExpFloat64() * meanGapNS
+		entry := arrival
+		if e := prevEntry + pr.IntervalNS; e > entry {
+			entry = e
+		}
+		prevEntry = entry
+		completion := entry + pr.FillNS
+		latencies = append(latencies, completion-arrival)
+		if completion > makespan {
+			makespan = completion
+		}
+		// Backlog at this arrival instant: earlier requests whose entry is
+		// still in the future, plus this one if it must wait.
+		pending = append(pending, entry)
+		keep := pending[:0]
+		for _, e := range pending {
+			if e > arrival {
+				keep = append(keep, e)
+			}
+		}
+		pending = keep
+		if len(pending) > maxQueue {
+			maxQueue = len(pending)
+		}
+	}
+
+	sort.Float64s(latencies)
+	st := &Stats{
+		Completed:   len(latencies),
+		MakespanNS:  makespan,
+		MaxQueue:    maxQueue,
+		CapacityRPS: 1e9 / pr.IntervalNS,
+	}
+	st.Stable = w.ArrivalRate < st.CapacityRPS
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	st.MeanNS = sum / float64(len(latencies))
+	st.P50NS = percentile(latencies, 0.50)
+	st.P95NS = percentile(latencies, 0.95)
+	st.P99NS = percentile(latencies, 0.99)
+	st.MaxNS = latencies[len(latencies)-1]
+	if makespan > 0 {
+		busy := float64(w.Requests) * pr.IntervalNS
+		st.Utilization = math.Min(1, busy/makespan)
+	}
+	return st, nil
+}
+
+// percentile returns the p-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String summarizes the run.
+func (s *Stats) String() string {
+	state := "stable"
+	if !s.Stable {
+		state = "OVERLOADED"
+	}
+	return fmt.Sprintf("%d requests (%s): mean %.4g ns, p50 %.4g, p99 %.4g, max queue %d, util %.0f%%",
+		s.Completed, state, s.MeanNS, s.P50NS, s.P99NS, s.MaxQueue, 100*s.Utilization)
+}

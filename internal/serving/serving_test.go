@@ -1,0 +1,142 @@
+package serving
+
+import (
+	"strings"
+	"testing"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/sim"
+	"autohet/internal/xbar"
+)
+
+func pipeline(t *testing.T) *sim.PipelineResult {
+	t.Helper()
+	p, err := accel.BuildPlan(hw.DefaultConfig(), dnn.AlexNet(),
+		accel.Homogeneous(8, xbar.Square(128)), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := sim.SimulateBatch(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestServeLightLoad(t *testing.T) {
+	pr := pipeline(t)
+	// 10% of capacity: requests almost never queue.
+	w := Workload{ArrivalRate: 0.1 * 1e9 / pr.IntervalNS, Requests: 500, Seed: 1}
+	st, err := Serve(pr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Stable {
+		t.Fatal("light load flagged unstable")
+	}
+	if st.Completed != 500 {
+		t.Fatalf("completed %d", st.Completed)
+	}
+	// Most requests see close to the bare pipeline fill latency.
+	if st.P50NS > pr.FillNS*1.5 {
+		t.Fatalf("p50 %v far above fill %v under light load", st.P50NS, pr.FillNS)
+	}
+	if st.Utilization > 0.3 {
+		t.Fatalf("light-load utilization %v too high", st.Utilization)
+	}
+}
+
+func TestServeOverload(t *testing.T) {
+	pr := pipeline(t)
+	// 3× capacity: unstable, queue grows, tail latencies blow up.
+	w := Workload{ArrivalRate: 3 * 1e9 / pr.IntervalNS, Requests: 800, Seed: 2}
+	st, err := Serve(pr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stable {
+		t.Fatal("overload flagged stable")
+	}
+	if st.MaxQueue < 10 {
+		t.Fatalf("overload max queue %d suspiciously small", st.MaxQueue)
+	}
+	if st.P99NS < 10*pr.FillNS {
+		t.Fatalf("overload p99 %v did not blow up (fill %v)", st.P99NS, pr.FillNS)
+	}
+	if st.Utilization < 0.9 {
+		t.Fatalf("overload utilization %v below 90%%", st.Utilization)
+	}
+	if !strings.Contains(st.String(), "OVERLOADED") {
+		t.Fatal("summary must flag overload")
+	}
+}
+
+func TestServePercentileOrdering(t *testing.T) {
+	pr := pipeline(t)
+	w := Workload{ArrivalRate: 0.8 * 1e9 / pr.IntervalNS, Requests: 2000, Seed: 3}
+	st, err := Serve(pr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(st.P50NS <= st.P95NS && st.P95NS <= st.P99NS && st.P99NS <= st.MaxNS) {
+		t.Fatalf("percentiles out of order: %v %v %v %v", st.P50NS, st.P95NS, st.P99NS, st.MaxNS)
+	}
+	if st.MeanNS < pr.FillNS {
+		t.Fatalf("mean %v below minimum possible %v", st.MeanNS, pr.FillNS)
+	}
+	if st.Utilization < 0 || st.Utilization > 1 {
+		t.Fatalf("utilization %v out of range", st.Utilization)
+	}
+}
+
+func TestServeDeterministicPerSeed(t *testing.T) {
+	pr := pipeline(t)
+	w := Workload{ArrivalRate: 1e9 / pr.IntervalNS, Requests: 300, Seed: 4}
+	a, err := Serve(pr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Serve(pr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanNS != b.MeanNS || a.P99NS != b.P99NS || a.MaxQueue != b.MaxQueue {
+		t.Fatal("serving not deterministic per seed")
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	pr := pipeline(t)
+	cases := []Workload{
+		{ArrivalRate: 0, Requests: 10},
+		{ArrivalRate: -1, Requests: 10},
+		{ArrivalRate: 100, Requests: 0},
+	}
+	for _, w := range cases {
+		if _, err := Serve(pr, w); err == nil {
+			t.Errorf("workload %+v must error", w)
+		}
+	}
+	bad := &sim.PipelineResult{}
+	if _, err := Serve(bad, Workload{ArrivalRate: 1, Requests: 1}); err == nil {
+		t.Error("degenerate pipeline must error")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if percentile(vals, 0.5) != 5 {
+		t.Fatalf("p50 = %v", percentile(vals, 0.5))
+	}
+	if percentile(vals, 0.99) != 10 {
+		t.Fatalf("p99 = %v", percentile(vals, 0.99))
+	}
+	if percentile(vals, 0.01) != 1 {
+		t.Fatalf("p1 = %v", percentile(vals, 0.01))
+	}
+	if percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+)
+
+// Pipeline balancing by weight replication (PipeLayer, the paper's
+// reference [21]): early convolutional layers execute orders of magnitude
+// more sliding-window MVMs than deep ones, so they bottleneck the
+// inter-layer pipeline. Duplicating a bottleneck layer's crossbar grid lets
+// it process several output positions in parallel, trading crossbars (and
+// tiles) for initiation interval.
+
+// BalanceResult reports a balancing run.
+type BalanceResult struct {
+	Plan        *accel.Plan
+	Replication accel.Replication
+	Pipeline    *PipelineResult
+	// BaselineIntervalNS is the unreplicated initiation interval.
+	BaselineIntervalNS float64
+	// ExtraTiles is the tile cost of the replication.
+	ExtraTiles int
+}
+
+// BalancePipeline greedily replicates the current bottleneck layer until
+// the extra-tile budget is exhausted or replication stops helping. The
+// returned plan uses the discovered replication vector.
+func BalancePipeline(cfg hw.Config, m *dnn.Model, st accel.Strategy, shared bool, extraTileBudget int) (*BalanceResult, error) {
+	if extraTileBudget < 0 {
+		return nil, fmt.Errorf("sim: negative tile budget %d", extraTileBudget)
+	}
+	repl := make(accel.Replication, m.NumMappable())
+	for i := range repl {
+		repl[i] = 1
+	}
+	build := func() (*accel.Plan, *Result, error) {
+		p, err := accel.BuildPlanReplicated(cfg, m, st, repl, shared)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := Simulate(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, r, nil
+	}
+
+	plan, res, err := build()
+	if err != nil {
+		return nil, err
+	}
+	baseTiles := plan.OccupiedTiles()
+	basePipe := PipelineFromResult(res, 1)
+	bestPlan, bestRes := plan, res
+	bestInterval := basePipe.IntervalNS
+
+	for {
+		pipe := PipelineFromResult(bestRes, 1)
+		bottleneck := pipe.Bottleneck
+		if bottleneck == nil {
+			break
+		}
+		idx := bottleneck.Layer.Index
+		repl[idx]++
+		candPlan, candRes, err := build()
+		if err != nil {
+			// Bank exhausted (or another hard limit): revert and stop.
+			repl[idx]--
+			break
+		}
+		candPipe := PipelineFromResult(candRes, 1)
+		overBudget := candPlan.OccupiedTiles()-baseTiles > extraTileBudget
+		noGain := candPipe.IntervalNS >= bestInterval-1e-9
+		if overBudget || noGain {
+			repl[idx]--
+			break
+		}
+		bestPlan, bestRes = candPlan, candRes
+		bestInterval = candPipe.IntervalNS
+	}
+
+	return &BalanceResult{
+		Plan:               bestPlan,
+		Replication:        repl,
+		Pipeline:           PipelineFromResult(bestRes, 1),
+		BaselineIntervalNS: basePipe.IntervalNS,
+		ExtraTiles:         bestPlan.OccupiedTiles() - baseTiles,
+	}, nil
+}
+
+// Speedup returns the initiation-interval improvement over the
+// unreplicated pipeline.
+func (b *BalanceResult) Speedup() float64 {
+	if b.Pipeline.IntervalNS == 0 {
+		return 1
+	}
+	return b.BaselineIntervalNS / b.Pipeline.IntervalNS
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/quant"
+	"autohet/internal/xbar"
+)
+
+func BenchmarkSimulateVGG16(b *testing.B) {
+	p, err := accel.BuildPlan(hw.DefaultConfig(), dnn.VGG16(),
+		accel.Homogeneous(16, xbar.Square(128)), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateResNet152(b *testing.B) {
+	m := dnn.ResNet152()
+	p, err := accel.BuildPlan(hw.DefaultConfig(), m,
+		accel.Homogeneous(m.NumMappable(), xbar.Rect(288, 256)), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteMVM(b *testing.B) {
+	cfg := hw.DefaultConfig()
+	l := &dnn.Layer{Name: "c", Kind: dnn.Conv, K: 3, InC: 12, OutC: 128, Stride: 1, Pad: 0, InH: 8, InW: 8}
+	m, err := dnn.NewFlatModel("bench", 8, 8, 12, []*dnn.Layer{l})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := accel.BuildPlan(cfg, m, accel.Homogeneous(1, xbar.Square(64)), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := quant.QuantizeWeights(dnn.SyntheticWeights(m.Mappable()[0], 1))
+	in := quant.QuantizeInput(dnn.SyntheticInput(m.Mappable()[0], 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ExecuteMVM(cfg, p.Layers[0], w, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

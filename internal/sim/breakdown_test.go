@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/xbar"
+)
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	m := dnn.VGG16()
+	p, err := accel.BuildPlan(cfg(), m, accel.Homogeneous(16, xbar.Square(128)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Energy.Total()/1000-r.EnergyNJ) > 1e-9*r.EnergyNJ {
+		t.Fatalf("breakdown total %v nJ != EnergyNJ %v", r.Energy.Total()/1000, r.EnergyNJ)
+	}
+	var layers Breakdown
+	for _, lr := range r.Layers {
+		layers.Add(lr.Energy)
+		if math.Abs(lr.Energy.Total()-lr.EnergyPJ) > 1e-6 {
+			t.Fatalf("layer %s breakdown total %v != EnergyPJ %v", lr.Layer.Name, lr.Energy.Total(), lr.EnergyPJ)
+		}
+		if lr.Energy.Pool != 0 {
+			t.Fatal("mappable layers carry no pooling energy")
+		}
+	}
+	// Whole-model breakdown = layer breakdowns + pooling.
+	layers.Pool = r.Energy.Pool
+	if math.Abs(layers.Total()-r.Energy.Total()) > 1e-6 {
+		t.Fatalf("layer sum %v != model total %v", layers.Total(), r.Energy.Total())
+	}
+}
+
+// The literature's central observation (and the driver of every energy
+// trend in the paper): ADCs dominate crossbar inference energy.
+func TestADCDominatesEnergy(t *testing.T) {
+	for _, m := range []*dnn.Model{dnn.AlexNet(), dnn.VGG16()} {
+		for _, s := range []xbar.Shape{xbar.Square(32), xbar.Square(512), xbar.Rect(576, 512)} {
+			p, err := accel.BuildPlan(cfg(), m, accel.Homogeneous(m.NumMappable(), s), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Simulate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			share := r.Energy.ADC / r.Energy.Total()
+			if share < 0.5 {
+				t.Errorf("%s/%v: ADC share %.1f%% below 50%%", m.Name, s, 100*share)
+			}
+		}
+	}
+}
+
+func TestPoolEnergyOnlyForPoolingModels(t *testing.T) {
+	// The paper's AlexNet has pools; a pool-free FC model must have zero.
+	m, err := dnn.NewModel("mlp", 1, 1, 64, []*dnn.Layer{
+		{Name: "f1", Kind: dnn.FC, K: 1, InC: 64, OutC: 32, Stride: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := accel.BuildPlan(cfg(), m, accel.Homogeneous(1, xbar.Square(64)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Energy.Pool != 0 {
+		t.Fatalf("pool energy %v on pool-free model", r.Energy.Pool)
+	}
+	alex, _ := accel.BuildPlan(cfg(), dnn.AlexNet(), accel.Homogeneous(8, xbar.Square(64)), false)
+	ra, err := Simulate(alex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Energy.Pool <= 0 {
+		t.Fatal("AlexNet must record pooling energy")
+	}
+}
+
+func TestBusEnergyOnlyWhenLayerSpansTiles(t *testing.T) {
+	// One slot → one tile → no bus traffic.
+	p1 := singleLayerPlan(t, 3, 3, 16, xbar.Square(64))
+	r1, err := Simulate(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Layers[0].Energy.Bus != 0 {
+		t.Fatalf("single-tile layer has bus energy %v", r1.Layers[0].Energy.Bus)
+	}
+	// A big layer spans tiles → bus traffic appears.
+	p2 := singleLayerPlan(t, 3, 128, 512, xbar.Square(64))
+	r2, err := Simulate(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Layers[0].Tiles <= 1 {
+		t.Fatal("test layer should span multiple tiles")
+	}
+	if r2.Layers[0].Energy.Bus <= 0 {
+		t.Fatal("multi-tile layer must record bus energy")
+	}
+}
+
+func TestPowerW(t *testing.T) {
+	m := dnn.VGG16()
+	p, err := accel.BuildPlan(cfg(), m, accel.Homogeneous(16, xbar.Square(128)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.EnergyNJ / r.LatencyNS
+	if math.Abs(r.PowerW()-want) > 1e-12 {
+		t.Fatalf("PowerW = %v, want %v", r.PowerW(), want)
+	}
+	if r.PowerW() <= 0 || r.PowerW() > 100 {
+		t.Fatalf("implausible power %v W", r.PowerW())
+	}
+	if (&Result{}).PowerW() != 0 {
+		t.Fatal("zero-latency power must be 0")
+	}
+}

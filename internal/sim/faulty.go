@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"autohet/internal/accel"
+	"autohet/internal/fault"
+	"autohet/internal/hw"
+	"autohet/internal/quant"
+)
+
+// Fault-aware execution: the same bit-sliced crossbar pipeline as
+// ExecuteMVM, but with stuck-at cells injected into the stored bit planes
+// and Gaussian read noise added to every digitized bitline sum.
+
+// ExecuteMVMFaulty runs one MVM on the mapped grid under a fault model.
+// A nil or zero model reproduces ExecuteMVM exactly.
+func ExecuteMVMFaulty(cfg hw.Config, la *accel.LayerAlloc, w *quant.Matrix, in *quant.Input, fm *fault.Model) ([]float64, ExecStats, error) {
+	if err := fm.Validate(); err != nil {
+		return nil, ExecStats{}, err
+	}
+	l := la.Layer
+	m := la.Mapping
+	if l.GroupCount() > 1 {
+		return nil, ExecStats{}, fmt.Errorf("sim: functional execution of grouped convolutions is not supported (layer %s)", l.Name)
+	}
+	rows, cols := l.UnfoldedRows(), l.UnfoldedCols()
+	if w.Rows != rows || w.Cols != cols {
+		return nil, ExecStats{}, shapeErr(w.Rows, w.Cols, rows, cols)
+	}
+	if in.N != rows {
+		return nil, ExecStats{}, lengthErr(in.N, rows)
+	}
+
+	key := int64(l.Index + 1)
+	planes := fm.ApplyStuckAt(w.Slices(), key)
+	noise := fm.Noise(key)
+
+	out := make([]float64, cols)
+	var stats ExecStats
+	for band := 0; band < m.GridRows; band++ {
+		r0, r1 := bandRows(m, band)
+		if r0 >= r1 {
+			continue
+		}
+		for cg := 0; cg < m.GridCols; cg++ {
+			c0 := cg * la.Shape.C
+			c1 := min(c0+la.Shape.C, cols)
+			stats.Crossbars++
+			execCrossbarNoisy(cfg, planes, in, r0, r1, c0, c1, out, noise, &stats)
+		}
+	}
+	corr := w.Correction(in)
+	for j := range out {
+		out[j] -= corr
+	}
+	return out, stats, nil
+}
+
+// execCrossbarNoisy mirrors execCrossbar with a noise sample added to each
+// bitline sum before digitization.
+func execCrossbarNoisy(cfg hw.Config, planes []*quant.BitPlane, in *quant.Input, r0, r1, c0, c1 int, out []float64, noise func() float64, stats *ExecStats) {
+	nCols := c1 - c0
+	for ib := 0; ib < cfg.InputBits; ib++ {
+		digit := in.Digits[ib]
+		stats.DACConversions += int64(r1-r0) * int64(len(planes))
+		for _, p := range planes {
+			shift := float64(int64(1) << uint(ib+p.Bit))
+			for j := c0; j < c1; j++ {
+				var sum float64
+				for i := r0; i < r1; i++ {
+					if p.Bits[i*p.Cols+j] != 0 && digit[i] != 0 {
+						sum++
+					}
+				}
+				out[j] += shift * (sum + noise())
+			}
+			stats.ADCConversions += int64(nCols)
+		}
+	}
+}
+
+// faultyIntegerMVM is the fast fault path: stuck-at faults applied exactly
+// via the faulted planes, read noise folded in as one distribution-
+// equivalent aggregate sample per (plane, column) — bit-identical to
+// ExecuteMVMFaulty when ReadNoiseSigma is 0.
+func faultyIntegerMVM(cfg hw.Config, layerKey int64, w *quant.Matrix, in *quant.Input, fm *fault.Model) []float64 {
+	planes := fm.ApplyStuckAt(w.Slices(), layerKey)
+	noise := fm.Noise(layerKey)
+	// Aggregate noise scale per plane: Σ_ib 4^(ib+b) has standard
+	// deviation factor sqrt of that sum.
+	var inputBitsVar float64
+	for ib := 0; ib < cfg.InputBits; ib++ {
+		inputBitsVar += math.Pow(4, float64(ib))
+	}
+
+	out := make([]float64, w.Cols)
+	tmp := make([]float64, w.Cols)
+	xf := make([]float64, w.Rows)
+	for i, u := range in.U {
+		xf[i] = float64(u)
+	}
+	for _, p := range planes {
+		p.MulVec(tmp, xf)
+		shift := float64(int64(1) << uint(p.Bit))
+		noiseScale := shift * math.Sqrt(inputBitsVar)
+		for j := range out {
+			out[j] += shift * tmp[j]
+			if fm != nil && fm.ReadNoiseSigma > 0 {
+				out[j] += noiseScale * noise()
+			}
+		}
+	}
+	corr := w.Correction(in)
+	for j := range out {
+		out[j] -= corr
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/fault"
+	"autohet/internal/quant"
+	"autohet/internal/xbar"
+)
+
+func TestExecuteMVMFaultyZeroModelMatchesIdeal(t *testing.T) {
+	p := singleLayerPlan(t, 3, 7, 40, xbar.Rect(36, 32))
+	la := p.Layers[0]
+	w := quant.QuantizeWeights(dnn.SyntheticWeights(la.Layer, 1))
+	in := quant.QuantizeInput(dnn.SyntheticInput(la.Layer, 2))
+	ideal, _, err := ExecuteMVM(cfg(), la, w, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fm := range []*fault.Model{nil, {}} {
+		got, _, err := ExecuteMVMFaulty(cfg(), la, w, in, fm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ideal {
+			if math.Abs(got[j]-ideal[j]) > 1e-9 {
+				t.Fatalf("zero fault model diverged at %d: %v vs %v", j, got[j], ideal[j])
+			}
+		}
+	}
+}
+
+func TestExecuteMVMFaultyRejectsBadModel(t *testing.T) {
+	p := singleLayerPlan(t, 3, 4, 8, xbar.Square(32))
+	la := p.Layers[0]
+	w := quant.QuantizeWeights(dnn.SyntheticWeights(la.Layer, 1))
+	in := quant.QuantizeInput(dnn.SyntheticInput(la.Layer, 1))
+	if _, _, err := ExecuteMVMFaulty(cfg(), la, w, in, &fault.Model{StuckAtZero: -1}); err == nil {
+		t.Fatal("invalid fault model must error")
+	}
+}
+
+func TestStuckAtFaultsPerturbOutputs(t *testing.T) {
+	p := singleLayerPlan(t, 3, 12, 64, xbar.Square(64))
+	la := p.Layers[0]
+	w := quant.QuantizeWeights(dnn.SyntheticWeights(la.Layer, 3))
+	in := quant.QuantizeInput(dnn.SyntheticInput(la.Layer, 4))
+	ideal, _, err := ExecuteMVM(cfg(), la, w, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevErr := 0.0
+	for _, rate := range []float64{0.001, 0.01, 0.1} {
+		fm := &fault.Model{StuckAtZero: rate / 2, StuckAtOne: rate / 2, Seed: 9}
+		got, _, err := ExecuteMVMFaulty(cfg(), la, w, in, fm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var errNorm, refNorm float64
+		for j := range ideal {
+			d := got[j] - ideal[j]
+			errNorm += d * d
+			refNorm += ideal[j] * ideal[j]
+		}
+		rel := math.Sqrt(errNorm / refNorm)
+		if rel == 0 {
+			t.Fatalf("rate %v produced no perturbation", rate)
+		}
+		if rel < prevErr {
+			t.Fatalf("error did not grow with fault rate: %v after %v", rel, prevErr)
+		}
+		prevErr = rel
+	}
+}
+
+// The fast path's stuck-at handling is bit-identical to the bit-serial
+// engine when read noise is off.
+func TestFaultyFastPathMatchesBitExact(t *testing.T) {
+	p := singleLayerPlan(t, 3, 7, 24, xbar.Square(32))
+	la := p.Layers[0]
+	w := quant.QuantizeWeights(dnn.SyntheticWeights(la.Layer, 5))
+	in := quant.QuantizeInput(dnn.SyntheticInput(la.Layer, 6))
+	fm := &fault.Model{StuckAtZero: 0.05, StuckAtOne: 0.02, Seed: 11}
+	exact, _, err := ExecuteMVMFaulty(cfg(), la, w, in, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := faultyIntegerMVM(cfg(), int64(la.Layer.Index+1), w, in, fm)
+	for j := range exact {
+		if math.Abs(exact[j]-fast[j]) > 1e-9 {
+			t.Fatalf("col %d: exact %v fast %v", j, exact[j], fast[j])
+		}
+	}
+}
+
+func TestReadNoisePerturbsButCentersOnIdeal(t *testing.T) {
+	p := singleLayerPlan(t, 1, 32, 16, xbar.Square(32))
+	la := p.Layers[0]
+	w := quant.QuantizeWeights(dnn.SyntheticWeights(la.Layer, 7))
+	in := quant.QuantizeInput(dnn.SyntheticInput(la.Layer, 8))
+	ideal, _, err := ExecuteMVM(cfg(), la, w, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average many noisy runs: the mean must approach the ideal output.
+	sum := make([]float64, len(ideal))
+	const runs = 200
+	for r := 0; r < runs; r++ {
+		fm := &fault.Model{ReadNoiseSigma: 0.5, Seed: int64(r)}
+		got, _, err := ExecuteMVMFaulty(cfg(), la, w, in, fm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := false
+		for j := range got {
+			sum[j] += got[j]
+			if got[j] != ideal[j] {
+				diff = true
+			}
+		}
+		if !diff {
+			t.Fatal("noise produced identical output")
+		}
+	}
+	for j := range sum {
+		mean := sum[j] / runs
+		// Noise per conversion is ±0.5 over 64 conversions with shifts up
+		// to 2^14; allow a generous absolute band relative to magnitude.
+		if math.Abs(mean-ideal[j]) > 0.02*math.Abs(ideal[j])+2000 {
+			t.Fatalf("col %d: noisy mean %v far from ideal %v", j, mean, ideal[j])
+		}
+	}
+}
+
+// Whole-network fault injection: accuracy degrades gracefully with rate.
+func TestRunInferenceWithFaults(t *testing.T) {
+	m := tinyCNN(t)
+	p, err := accel.BuildPlan(cfg(), m, accel.Homogeneous(m.NumMappable(), xbar.Square(32)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := dnn.SyntheticTensor(1, 6, 6, 13)
+	clean, _, err := RunInference(p, input, InferenceOptions{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := func(rate float64) float64 {
+		fm := &fault.Model{StuckAtZero: rate / 2, StuckAtOne: rate / 2, Seed: 21}
+		got, _, err := RunInference(p, input, InferenceOptions{Seed: 13, Faults: fm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e, n float64
+		for i := range clean {
+			d := got[i] - clean[i]
+			e += d * d
+			n += clean[i] * clean[i]
+		}
+		return math.Sqrt(e / n)
+	}
+	small := relErr(0.001)
+	large := relErr(0.2)
+	if small <= 0 {
+		t.Fatal("small fault rate produced no error")
+	}
+	if large <= small {
+		t.Fatalf("error did not grow: %v at 0.1%% vs %v at 20%%", small, large)
+	}
+	// Invalid model is rejected on the fast path too.
+	if _, _, err := RunInference(p, input, InferenceOptions{Seed: 13, Faults: &fault.Model{StuckAtOne: 2}}); err == nil {
+		t.Fatal("invalid fault model must error")
+	}
+}

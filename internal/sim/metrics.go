@@ -1,0 +1,195 @@
+// Package sim is the behavior-level inference simulator: given an
+// allocation plan from package accel, it prices one full DNN inference by
+// counting every activated component (cell reads, DAC/ADC conversions,
+// shift-adds, buffer and bus traffic, pooling ops) against the hw cost
+// model — the same accounting granularity as the MNSIM 2.0 simulator the
+// paper instruments (§4.1). It also executes the mapped MVMs functionally
+// (bit-sliced, bit-serial) to verify the mapping computes correct products.
+package sim
+
+import (
+	"fmt"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/xbar"
+)
+
+// Breakdown splits energy (pJ) by circuit component, ISAAC-style.
+type Breakdown struct {
+	ADC, DAC, Cell, ShiftAdd, Buffer, Bus, Pool float64
+}
+
+// Total returns the summed energy in pJ.
+func (b Breakdown) Total() float64 {
+	return b.ADC + b.DAC + b.Cell + b.ShiftAdd + b.Buffer + b.Bus + b.Pool
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.ADC += o.ADC
+	b.DAC += o.DAC
+	b.Cell += o.Cell
+	b.ShiftAdd += o.ShiftAdd
+	b.Buffer += o.Buffer
+	b.Bus += o.Bus
+	b.Pool += o.Pool
+}
+
+// LayerResult holds one layer's per-inference accounting.
+type LayerResult struct {
+	Layer *dnn.Layer
+	Shape xbar.Shape
+
+	MVMs           int64 // sliding-window positions
+	ADCConversions int64
+	DACConversions int64
+	CellReads      int64
+
+	EnergyPJ  float64
+	Energy    Breakdown
+	LatencyNS float64
+	Tiles     int
+}
+
+// Result aggregates a whole-model inference on a given plan.
+type Result struct {
+	Plan   *accel.Plan
+	Layers []LayerResult
+
+	// Utilization is the tile-level crossbar utilization in percent.
+	Utilization float64
+	// EnergyNJ is the per-inference energy in nanojoules.
+	EnergyNJ float64
+	// LatencyNS is the per-inference latency in nanoseconds (layers run
+	// sequentially; output positions stream through each layer's array).
+	LatencyNS float64
+	// AreaUM2 is the provisioned silicon area in µm².
+	AreaUM2 float64
+	// OccupiedTiles is the number of tiles holding weights.
+	OccupiedTiles int
+
+	ADCConversions int64
+	// Energy is the per-component breakdown (pJ); its Total equals
+	// EnergyNJ·1000.
+	Energy Breakdown
+}
+
+// RUE returns the paper's joint metric (§2.2): utilization over energy.
+func (r *Result) RUE() float64 {
+	if r.EnergyNJ == 0 {
+		return 0
+	}
+	return r.Utilization / r.EnergyNJ
+}
+
+// PowerW returns the average power draw during one inference in watts
+// (energy over latency; 1 nJ/ns = 1 W) — the number an edge battery budget
+// is written against.
+func (r *Result) PowerW() float64 {
+	if r.LatencyNS == 0 {
+		return 0
+	}
+	return r.EnergyNJ / r.LatencyNS
+}
+
+// Reward returns the RL reward (Eq. 2): R = u/e with u the utilization and
+// e the energy. With utilization in percent and energy in nJ the magnitudes
+// keep R within [0, 1] for all paper workloads, which the paper notes is
+// conducive to DDPG convergence.
+func (r *Result) Reward() float64 { return r.RUE() }
+
+// Simulate prices one inference of the plan's model on its accelerator.
+func Simulate(p *accel.Plan) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := p.Cfg
+	res := &Result{
+		Plan:          p,
+		Utilization:   p.Utilization(),
+		AreaUM2:       p.Area(),
+		OccupiedTiles: p.OccupiedTiles(),
+	}
+	var totalNS float64
+	for _, la := range p.Layers {
+		lr := simulateLayer(cfg, p, la)
+		res.Layers = append(res.Layers, lr)
+		res.Energy.Add(lr.Energy)
+		totalNS += lr.LatencyNS
+		res.ADCConversions += lr.ADCConversions
+	}
+	// Pooling layers: priced per pooled output element over its window.
+	for _, l := range p.Model.Layers {
+		if l.Kind != dnn.Pool {
+			continue
+		}
+		ops := int64(l.OutputPositions()) * int64(l.K*l.K) * int64(l.InC)
+		res.Energy.Pool += float64(ops) * hw.PoolEnergyPerOp
+	}
+	res.EnergyNJ = res.Energy.Total() / 1000
+	res.LatencyNS = totalNS
+	return res, nil
+}
+
+// simulateLayer prices one layer's inference work.
+//
+// Per output position (MVM), the input vector is streamed bit-serially over
+// InputBits cycles. In each cycle every one of the XBPerPE weight bit-plane
+// crossbars performs an analog read: all active wordlines are driven by
+// DACs, all active bitlines integrate currents, and each active bitline is
+// digitized once by its (multiplexed) ADC. Partial sums from the GridRows
+// vertically stacked bands are then shifted and added.
+func simulateLayer(cfg hw.Config, p *accel.Plan, la *accel.LayerAlloc) LayerResult {
+	l := la.Layer
+	m := la.Mapping
+	planes := int64(la.WeightBits)
+	if planes < 1 {
+		planes = int64(cfg.XBPerPE)
+	}
+	bits := int64(cfg.InputBits)
+	mvms := int64(l.OutputPositions())
+	tiles := p.LayerTiles(l.Index)
+
+	lr := LayerResult{Layer: l, Shape: la.Shape, MVMs: mvms, Tiles: tiles}
+	cyc := mvms * bits // analog read cycles per plane-crossbar set
+
+	lr.ADCConversions = cyc * planes * int64(m.ActiveCols)
+	lr.DACConversions = cyc * planes * int64(m.ActiveRows)
+	lr.CellReads = cyc * planes * m.UsedCells
+
+	lr.Energy.ADC = float64(lr.ADCConversions) * cfg.ADCEnergy()
+	lr.Energy.DAC = float64(lr.DACConversions) * hw.DACEnergy
+	lr.Energy.Cell = float64(lr.CellReads) * hw.CellReadEnergy
+	// Shift-and-add: every digitized bitline value feeds one accumulate.
+	lr.Energy.ShiftAdd = float64(lr.ADCConversions) * hw.ShiftAddEnergy
+	// Buffers: the input patch is read once and the outputs written once
+	// per MVM (2 bytes per partial output).
+	bufBytes := float64(mvms) * (float64(l.UnfoldedRows()) + 2*float64(l.OutC))
+	lr.Energy.Buffer = bufBytes * hw.BufferEnergyPerByte
+	// Bus: partial sums hop between tiles when a layer spans several.
+	if tiles > 1 {
+		lr.Energy.Bus = float64(mvms) * 2 * float64(l.OutC) * float64(tiles-1) * hw.TileBusEnergyPerByte
+	}
+	lr.EnergyPJ = lr.Energy.Total()
+
+	// Latency: bit-serial cycles through the crossbar (all grid crossbars
+	// operate in parallel) plus the per-MVM partial-sum merge. Weight
+	// replication (la.Copies > 1) processes that many output positions in
+	// parallel, dividing the layer's serial latency.
+	cycle := cfg.XBReadLatency(la.Shape)
+	merge := cfg.MergeLatency(m.GridRows, tiles)
+	copies := la.Copies
+	if copies < 1 {
+		copies = 1
+	}
+	lr.LatencyNS = float64(mvms) * (float64(bits)*cycle + merge) / float64(copies)
+	return lr
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: util %.1f%%, energy %.3g nJ, RUE %.3g, latency %.3g ns, area %.3g µm², %d tiles",
+		r.Plan.Model.Name, r.Utilization, r.EnergyNJ, r.RUE(), r.LatencyNS, r.AreaUM2, r.OccupiedTiles)
+}

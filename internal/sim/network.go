@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"fmt"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/fault"
+	"autohet/internal/quant"
+)
+
+// Whole-network functional inference: stream a feature map through the
+// mapped accelerator layer by layer, quantizing activations, performing
+// each sliding-window MVM on the layer's crossbar grid, and applying ReLU
+// and pooling between layers. This is the end-to-end check that the
+// heterogeneous mapping computes the same network the float reference
+// (dnn.RunReference) defines, up to 8-bit quantization error.
+
+// InferenceOptions configures RunInference.
+type InferenceOptions struct {
+	// Seed selects the synthetic weights; it must match the seed used for
+	// the reference run being compared against.
+	Seed int64
+	// BitExact switches the per-MVM engine from the fast integer path to
+	// the full bit-sliced, bit-serial crossbar execution (ExecuteMVM).
+	// Both produce identical integers (asserted in tests); BitExact
+	// additionally exercises the plane/cycle structure and costs ~64× the
+	// arithmetic.
+	BitExact bool
+	// Faults, when non-nil, injects ReRAM device non-idealities (stuck-at
+	// cells, read noise) into every MVM. Stuck-at faults are exact on both
+	// engines; read noise is per-conversion under BitExact and folded into
+	// a distribution-equivalent aggregate on the fast path.
+	Faults *fault.Model
+	// PerColumnScales quantizes each layer's weights with one scale per
+	// output column (per-kernel), tightening quantization error at no
+	// hardware cost (the scale folds into the column's shift-and-add).
+	PerColumnScales bool
+}
+
+// InferenceStats aggregates the work one inference performed.
+type InferenceStats struct {
+	MVMs           int64
+	ADCConversions int64
+}
+
+// RunInference executes one input through the plan's model on the mapped
+// crossbars and returns the output vector (logits for the zoo models).
+func RunInference(p *accel.Plan, input *dnn.Tensor, opts InferenceOptions) ([]float64, InferenceStats, error) {
+	m := p.Model
+	if input.C != m.InC || input.H != m.InH || input.W != m.InW {
+		return nil, InferenceStats{}, fmt.Errorf("sim: input %dx%dx%d, model %q wants %dx%dx%d",
+			input.C, input.H, input.W, m.Name, m.InC, m.InH, m.InW)
+	}
+	var stats InferenceStats
+	cur := input
+	var flat []float64
+	mappables := m.Mappable()
+	for _, l := range mappables {
+		if l.GroupCount() > 1 {
+			return nil, stats, fmt.Errorf("sim: functional inference does not support grouped convolutions (layer %s); metrics via Simulate do", l.Name)
+		}
+	}
+	last := mappables[len(mappables)-1]
+	// Quantized weights per mappable layer, built on demand.
+	qw := make([]*quant.Matrix, len(mappables))
+	weightsFor := func(l *dnn.Layer) *quant.Matrix {
+		if qw[l.Index] == nil {
+			bits := p.Layers[l.Index].WeightBits
+			if bits < 1 {
+				bits = p.Cfg.WeightBits
+			}
+			raw := dnn.SyntheticWeights(l, opts.Seed)
+			if opts.PerColumnScales {
+				qw[l.Index] = quant.QuantizeWeightsPerColumn(raw, bits)
+			} else {
+				qw[l.Index] = quant.QuantizeWeightsN(raw, bits)
+			}
+		}
+		return qw[l.Index]
+	}
+
+	for _, l := range m.Layers {
+		switch l.Kind {
+		case dnn.Conv:
+			la := p.Layers[l.Index]
+			w := weightsFor(l)
+			out := dnn.NewTensor(l.OutC, l.OutH, l.OutW)
+			for oy := 0; oy < l.OutH; oy++ {
+				for ox := 0; ox < l.OutW; ox++ {
+					y, err := mvm(p, la, w, cur.Patch(l, oy, ox), opts, &stats)
+					if err != nil {
+						return nil, stats, err
+					}
+					for c, v := range y {
+						out.Set(c, oy, ox, v)
+					}
+				}
+			}
+			cur = out
+			if l != last {
+				dnn.ReLU(cur.Data)
+			}
+		case dnn.Pool:
+			cur = dnn.PoolMaxRef(l, cur)
+		case dnn.FC:
+			if flat == nil {
+				flat = cur.Flatten()
+			}
+			la := p.Layers[l.Index]
+			w := weightsFor(l)
+			y, err := mvm(p, la, w, flat, opts, &stats)
+			if err != nil {
+				return nil, stats, err
+			}
+			flat = y
+			if l != last {
+				dnn.ReLU(flat)
+			}
+		}
+	}
+	if flat == nil {
+		flat = cur.Flatten()
+	}
+	return flat, stats, nil
+}
+
+// LayerMVM executes one quantized MVM for layer la on one input patch using
+// the fast integer path and returns the dequantized outputs. It is the
+// building block the Global Controller interpreter (package isa) drives.
+func LayerMVM(p *accel.Plan, la *accel.LayerAlloc, w *quant.Matrix, patch []float64) ([]float64, error) {
+	var stats InferenceStats
+	return mvm(p, la, w, patch, InferenceOptions{}, &stats)
+}
+
+// mvm quantizes one input patch, runs it through the layer's crossbar grid,
+// and dequantizes the outputs back to float.
+func mvm(p *accel.Plan, la *accel.LayerAlloc, w *quant.Matrix, patch []float64, opts InferenceOptions, stats *InferenceStats) ([]float64, error) {
+	in := quant.QuantizeInput(patch)
+	var ints []float64
+	switch {
+	case opts.BitExact && !opts.Faults.Zero():
+		out, execStats, err := ExecuteMVMFaulty(p.Cfg, la, w, in, opts.Faults)
+		if err != nil {
+			return nil, err
+		}
+		ints = out
+		stats.ADCConversions += execStats.ADCConversions
+	case opts.BitExact:
+		out, execStats, err := ExecuteMVM(p.Cfg, la, w, in)
+		if err != nil {
+			return nil, err
+		}
+		ints = out
+		stats.ADCConversions += execStats.ADCConversions
+	case !opts.Faults.Zero():
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		ints = faultyIntegerMVM(p.Cfg, int64(la.Layer.Index+1), w, in, opts.Faults)
+		stats.ADCConversions += int64(la.Mapping.ActiveCols) *
+			int64(w.PlaneCount()) * int64(p.Cfg.InputBits)
+	default:
+		ints = integerMVM(w, in)
+		stats.ADCConversions += int64(la.Mapping.ActiveCols) *
+			int64(w.PlaneCount()) * int64(p.Cfg.InputBits)
+	}
+	stats.MVMs++
+	out := make([]float64, len(ints))
+	for j, v := range ints {
+		out[j] = w.ScaleFor(j) * in.Scale * v
+	}
+	return out, nil
+}
+
+// integerMVM is the fast path: the exact integer product qᵀ·u the analog
+// pipeline reconstructs (proved equal to ExecuteMVM in tests).
+func integerMVM(w *quant.Matrix, in *quant.Input) []float64 {
+	out := make([]float64, w.Cols)
+	for i := 0; i < w.Rows; i++ {
+		u := float64(in.U[i])
+		if u == 0 {
+			continue
+		}
+		row := w.Q[i*w.Cols : (i+1)*w.Cols]
+		for j, q := range row {
+			out[j] += u * float64(q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"autohet/internal/accel"
+	"autohet/internal/noc"
+)
+
+// NoC-aware accounting: SimulateNoC re-prices each layer's inter-tile
+// traffic on a 2-D mesh instead of the flat bus constant, making the cost
+// placement-dependent. Everything else (ADC/DAC/cell/…) is unchanged.
+
+// SimulateNoC simulates the plan with mesh-based interconnect pricing. The
+// mesh must be at least as wide as the plan's tile count requires.
+func SimulateNoC(p *accel.Plan, mesh *noc.Mesh) (*Result, error) {
+	res, err := Simulate(p)
+	if err != nil {
+		return nil, err
+	}
+	maxID := 0
+	for _, t := range p.Tiles {
+		if t.ID > maxID {
+			maxID = t.ID
+		}
+	}
+	if maxID >= mesh.Width*mesh.Width {
+		return nil, fmt.Errorf("sim: plan uses tile id %d, mesh holds %d tiles", maxID, mesh.Width*mesh.Width)
+	}
+
+	var totalPJDelta, totalNSDelta float64
+	for i := range res.Layers {
+		lr := &res.Layers[i]
+		la := p.Layers[lr.Layer.Index]
+		tiles := make([]int, 0, len(la.Placements))
+		for _, pl := range la.Placements {
+			tiles = append(tiles, pl.TileID)
+		}
+		// Per MVM, each tile contributes partial outputs (2 bytes per
+		// output channel) gathered at the layer's root tile.
+		bytesPerTile := 2 * float64(lr.Layer.OutC)
+		gatherPJ, gatherNS, err := mesh.GatherCost(tiles, bytesPerTile)
+		if err != nil {
+			return nil, err
+		}
+		mvms := float64(lr.MVMs)
+		newBus := mvms * gatherPJ
+		copies := la.Copies
+		if copies < 1 {
+			copies = 1
+		}
+		newLatency := lr.LatencyNS + mvms*gatherNS/float64(copies)
+
+		totalPJDelta += newBus - lr.Energy.Bus
+		totalNSDelta += newLatency - lr.LatencyNS
+		lr.Energy.Bus = newBus
+		lr.EnergyPJ = lr.Energy.Total()
+		lr.LatencyNS = newLatency
+	}
+	res.Energy.Bus = math.Max(0, res.Energy.Bus+totalPJDelta)
+	res.EnergyNJ = res.Energy.Total() / 1000
+	res.LatencyNS += totalNSDelta
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/noc"
+	"autohet/internal/xbar"
+)
+
+func TestSimulateNoCAdjustsOnlyBus(t *testing.T) {
+	m := dnn.VGG16()
+	p, err := accel.BuildPlan(cfg(), m, accel.Homogeneous(16, xbar.Square(64)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := noc.NewMesh(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshed, err := SimulateNoC(p, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-interconnect components are untouched.
+	if meshed.Energy.ADC != flat.Energy.ADC || meshed.Energy.DAC != flat.Energy.DAC ||
+		meshed.Energy.Cell != flat.Energy.Cell {
+		t.Fatal("NoC accounting changed non-bus components")
+	}
+	if meshed.ADCConversions != flat.ADCConversions {
+		t.Fatal("NoC accounting changed work counts")
+	}
+	// Multi-tile layers exist here, so bus energy and latency both move.
+	if meshed.Energy.Bus == flat.Energy.Bus {
+		t.Fatal("mesh pricing identical to flat bus — suspicious")
+	}
+	if meshed.LatencyNS <= flat.LatencyNS {
+		t.Fatal("mesh gather must add latency for multi-tile layers")
+	}
+	// The total is consistent with the breakdown.
+	if got := meshed.Energy.Total() / 1000; got != meshed.EnergyNJ {
+		t.Fatalf("EnergyNJ %v != breakdown %v", meshed.EnergyNJ, got)
+	}
+}
+
+// Tile sharing packs layers into fewer, adjacent tiles, which must not
+// increase the NoC traffic cost.
+func TestNoCRewardsTileSharing(t *testing.T) {
+	m := dnn.VGG16()
+	mesh, _ := noc.NewMesh(256)
+	st := accel.Homogeneous(16, xbar.Square(64))
+	plain, _ := accel.BuildPlan(cfg(), m, st, false)
+	shared, _ := accel.BuildPlan(cfg(), m, st, true)
+	rp, err := SimulateNoC(plain, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := SimulateNoC(shared, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Energy.Bus > rp.Energy.Bus*1.001 {
+		t.Fatalf("sharing increased NoC traffic: %v vs %v", rs.Energy.Bus, rp.Energy.Bus)
+	}
+}
+
+func TestSimulateNoCMeshTooSmall(t *testing.T) {
+	m := dnn.VGG16()
+	p, _ := accel.BuildPlan(cfg(), m, accel.Homogeneous(16, xbar.Square(32)), false)
+	mesh, _ := noc.NewMesh(4) // 16 tiles, plan needs thousands
+	if _, err := SimulateNoC(p, mesh); err == nil {
+		t.Fatal("undersized mesh must error")
+	}
+}
+
+func TestSimulateNoCSingleTileLayersFree(t *testing.T) {
+	// A model whose every layer fits one tile pays no NoC cost at all.
+	p := singleLayerPlan(t, 3, 3, 16, xbar.Square(64))
+	mesh, _ := noc.NewMesh(16)
+	r, err := SimulateNoC(p, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Energy.Bus != 0 {
+		t.Fatalf("single-tile plan has NoC energy %v", r.Energy.Bus)
+	}
+}

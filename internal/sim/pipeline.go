@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"fmt"
+
+	"autohet/internal/accel"
+)
+
+// Inter-layer pipelining (PipeLayer, HPCA'17 — the paper's reference [21]):
+// because every layer holds its weights in its own crossbars, consecutive
+// inputs can flow through the accelerator with all layers busy at once.
+// Steady-state throughput is then set by the slowest layer (the pipeline
+// bottleneck), and a batch's latency is one pipeline fill plus one
+// bottleneck interval per additional input.
+
+// PipelineResult describes batched, pipelined execution of a plan.
+type PipelineResult struct {
+	Batch int
+	// FillNS is the time for the first input to traverse all layers (the
+	// sequential single-inference latency).
+	FillNS float64
+	// IntervalNS is the steady-state initiation interval — the bottleneck
+	// layer's latency.
+	IntervalNS float64
+	// BatchLatencyNS is the time to complete the whole batch:
+	// Fill + (Batch−1)·Interval.
+	BatchLatencyNS float64
+	// Throughput is the steady-state rate in inferences per second.
+	Throughput float64
+	// Bottleneck is the slowest layer.
+	Bottleneck *LayerResult
+	// Speedup is sequential batch time over pipelined batch time.
+	Speedup float64
+}
+
+// SimulateBatch prices a pipelined batch of the given size on the plan.
+func SimulateBatch(p *accel.Plan, batch int) (*PipelineResult, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("sim: batch %d", batch)
+	}
+	r, err := Simulate(p)
+	if err != nil {
+		return nil, err
+	}
+	return PipelineFromResult(r, batch), nil
+}
+
+// PipelineFromResult derives pipelined timing from an existing per-layer
+// simulation (avoids re-simulating when the caller already has a Result).
+func PipelineFromResult(r *Result, batch int) *PipelineResult {
+	pr := &PipelineResult{Batch: batch, FillNS: r.LatencyNS}
+	for i := range r.Layers {
+		lr := &r.Layers[i]
+		if pr.Bottleneck == nil || lr.LatencyNS > pr.Bottleneck.LatencyNS {
+			pr.Bottleneck = lr
+		}
+	}
+	if pr.Bottleneck != nil {
+		pr.IntervalNS = pr.Bottleneck.LatencyNS
+	}
+	pr.BatchLatencyNS = pr.FillNS + float64(batch-1)*pr.IntervalNS
+	if pr.IntervalNS > 0 {
+		pr.Throughput = 1e9 / pr.IntervalNS
+	}
+	sequential := float64(batch) * r.LatencyNS
+	if pr.BatchLatencyNS > 0 {
+		pr.Speedup = sequential / pr.BatchLatencyNS
+	}
+	return pr
+}
+
+// String summarizes the pipelined run.
+func (pr *PipelineResult) String() string {
+	name := "?"
+	if pr.Bottleneck != nil {
+		name = pr.Bottleneck.Layer.Name
+	}
+	return fmt.Sprintf("batch %d: %.4g ns total (fill %.4g, interval %.4g via %s), %.4g inf/s, %.2fx over sequential",
+		pr.Batch, pr.BatchLatencyNS, pr.FillNS, pr.IntervalNS, name, pr.Throughput, pr.Speedup)
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/xbar"
+)
+
+func vggPlan(t *testing.T) *accel.Plan {
+	t.Helper()
+	p, err := accel.BuildPlan(cfg(), dnn.VGG16(), accel.Homogeneous(16, xbar.Square(128)), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSimulateBatchSingleEqualsSequential(t *testing.T) {
+	p := vggPlan(t)
+	r, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := SimulateBatch(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pr.BatchLatencyNS-r.LatencyNS) > 1e-6 {
+		t.Fatalf("batch=1 latency %v != sequential %v", pr.BatchLatencyNS, r.LatencyNS)
+	}
+	if pr.Speedup != 1 {
+		t.Fatalf("batch=1 speedup %v", pr.Speedup)
+	}
+}
+
+func TestSimulateBatchAsymptotics(t *testing.T) {
+	p := vggPlan(t)
+	pr, err := SimulateBatch(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large batches approach the bottleneck-bound: fill + (n−1)·interval.
+	want := pr.FillNS + 999*pr.IntervalNS
+	if math.Abs(pr.BatchLatencyNS-want) > 1e-6 {
+		t.Fatalf("batch latency %v != %v", pr.BatchLatencyNS, want)
+	}
+	// Pipelining must beat sequential execution on a multi-layer model.
+	if pr.Speedup <= 1 {
+		t.Fatalf("speedup %v not > 1", pr.Speedup)
+	}
+	// Speedup is bounded by fill/interval (the layer count effect).
+	if pr.Speedup > pr.FillNS/pr.IntervalNS+1 {
+		t.Fatalf("speedup %v exceeds bound", pr.Speedup)
+	}
+	// Throughput consistency: 1e9/interval.
+	if math.Abs(pr.Throughput-1e9/pr.IntervalNS) > 1e-6 {
+		t.Fatalf("throughput %v", pr.Throughput)
+	}
+}
+
+func TestBottleneckIsSlowestLayer(t *testing.T) {
+	p := vggPlan(t)
+	pr, err := SimulateBatch(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := Simulate(p)
+	for _, lr := range r.Layers {
+		if lr.LatencyNS > pr.IntervalNS {
+			t.Fatalf("layer %s latency %v exceeds bottleneck %v", lr.Layer.Name, lr.LatencyNS, pr.IntervalNS)
+		}
+	}
+	if pr.Bottleneck == nil {
+		t.Fatal("no bottleneck identified")
+	}
+	if pr.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestSimulateBatchErrors(t *testing.T) {
+	p := vggPlan(t)
+	if _, err := SimulateBatch(p, 0); err == nil {
+		t.Fatal("batch 0 must error")
+	}
+	p.Layers[0].Placements = nil
+	if _, err := SimulateBatch(p, 2); err == nil {
+		t.Fatal("broken plan must error")
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+
+	"autohet/internal/accel"
+	"autohet/internal/hw"
+)
+
+// Weight-programming cost: the one-time energy and latency of writing a
+// model's weights into the ReRAM cells before any inference runs (the LDW
+// phase of a Global Controller program). ReRAM writes cost ~1000× a read,
+// so deployments amortize this over many inferences — ProgramCost makes
+// that break-even point computable.
+
+// ProgramCost describes programming a plan's weights.
+type ProgramCost struct {
+	// Cells is the number of physical 1-bit cells programmed: logical
+	// weight cells × weight bit-planes × replication.
+	Cells int64
+	// EnergyNJ is the total programming energy.
+	EnergyNJ float64
+	// LatencyNS is the programming time with tiles operating in parallel
+	// and WriteParallelism cells written concurrently per tile.
+	LatencyNS float64
+}
+
+// SimulateProgramming prices writing every weight of the plan.
+func SimulateProgramming(p *accel.Plan) (*ProgramCost, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := p.Cfg
+	pc := &ProgramCost{}
+	var maxTileNS float64
+	// Per-tile cell counts determine the parallel programming time.
+	perTile := map[int]int64{}
+	for _, la := range p.Layers {
+		copies := la.Copies
+		if copies < 1 {
+			copies = 1
+		}
+		bits := la.WeightBits
+		if bits < 1 {
+			bits = cfg.XBPerPE
+		}
+		physCells := la.Mapping.UsedCells * int64(bits) * int64(copies)
+		pc.Cells += physCells
+		// Spread the layer's cells over its placements proportionally to
+		// slot counts.
+		totalSlots := la.SlotsNeeded()
+		for _, pl := range la.Placements {
+			share := physCells * int64(pl.Slots) / int64(totalSlots)
+			perTile[pl.TileID] += share
+		}
+	}
+	pulses := float64(pc.Cells) * hw.WriteVerifyRetries
+	pc.EnergyNJ = pulses * hw.CellWriteEnergy / 1000
+	for _, cells := range perTile {
+		tileNS := float64(cells) * hw.WriteVerifyRetries * hw.CellWriteTime / hw.WriteParallelism
+		if tileNS > maxTileNS {
+			maxTileNS = tileNS
+		}
+	}
+	pc.LatencyNS = maxTileNS
+	return pc, nil
+}
+
+// BreakEvenInferences returns how many inferences amortize the programming
+// energy below the given fraction of total energy (e.g. 0.01 → programming
+// is under 1% of lifetime energy). Returns 0 if perInferenceNJ is not
+// positive.
+func (pc *ProgramCost) BreakEvenInferences(perInferenceNJ, fraction float64) int64 {
+	if perInferenceNJ <= 0 || fraction <= 0 {
+		return 0
+	}
+	return int64(pc.EnergyNJ / (perInferenceNJ * fraction))
+}
+
+// String summarizes the programming cost.
+func (pc *ProgramCost) String() string {
+	return fmt.Sprintf("program %d cells: %.4g nJ, %.4g ns", pc.Cells, pc.EnergyNJ, pc.LatencyNS)
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/xbar"
+)
+
+func TestProgramCostCells(t *testing.T) {
+	// One layer, known weights: 12·9·128 = 13824 logical cells × 8 planes.
+	p := singleLayerPlan(t, 3, 12, 128, xbar.Square(64))
+	pc, err := SimulateProgramming(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Cells != 13824*8 {
+		t.Fatalf("cells = %d, want %d", pc.Cells, 13824*8)
+	}
+	if pc.EnergyNJ <= 0 || pc.LatencyNS <= 0 {
+		t.Fatalf("degenerate cost %+v", pc)
+	}
+	if pc.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestProgramCostScalesWithReplication(t *testing.T) {
+	m := dnn.VGG16()
+	st := accel.Homogeneous(16, xbar.Square(128))
+	repl := make(accel.Replication, 16)
+	for i := range repl {
+		repl[i] = 1
+	}
+	plain, _ := accel.BuildPlan(cfg(), m, st, false)
+	base, err := SimulateProgramming(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl[0] = 3
+	replicated, err := accel.BuildPlanReplicated(cfg(), m, st, repl, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := SimulateProgramming(replicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more.Cells <= base.Cells {
+		t.Fatal("replication must add programmed cells")
+	}
+	extra := more.Cells - base.Cells
+	want := 2 * plain.Layers[0].Mapping.UsedCells * 8
+	if extra != want {
+		t.Fatalf("extra cells = %d, want %d", extra, want)
+	}
+}
+
+func TestProgramCostParallelAcrossTiles(t *testing.T) {
+	// Programming time is the max over tiles, not the sum: a model spread
+	// over many tiles programs faster than its total cell count suggests.
+	m := dnn.VGG16()
+	p, _ := accel.BuildPlan(cfg(), m, accel.Homogeneous(16, xbar.Square(64)), false)
+	pc, err := SimulateProgramming(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialNS := float64(pc.Cells) * 2 * 50 / 32
+	if pc.LatencyNS >= serialNS {
+		t.Fatalf("latency %v not parallel (serial bound %v)", pc.LatencyNS, serialNS)
+	}
+}
+
+func TestBreakEvenInferences(t *testing.T) {
+	pc := &ProgramCost{EnergyNJ: 1000}
+	if got := pc.BreakEvenInferences(10, 0.01); got != 10000 {
+		t.Fatalf("break-even = %d, want 10000", got)
+	}
+	if pc.BreakEvenInferences(0, 0.01) != 0 || pc.BreakEvenInferences(10, 0) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+}
+
+func TestProgramCostRejectsBrokenPlan(t *testing.T) {
+	p := singleLayerPlan(t, 3, 4, 8, xbar.Square(32))
+	p.Layers[0].Placements = nil
+	if _, err := SimulateProgramming(p); err == nil {
+		t.Fatal("broken plan must error")
+	}
+}

@@ -1,0 +1,29 @@
+package xbar
+
+import (
+	"testing"
+
+	"autohet/internal/dnn"
+)
+
+func BenchmarkMapLayer(b *testing.B) {
+	l := &dnn.Layer{Name: "c", Kind: dnn.Conv, K: 3, InC: 512, OutC: 512, Stride: 1, Pad: 1}
+	shapes := MixedPool()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MapLayer(l, shapes[i%len(shapes)])
+	}
+}
+
+func BenchmarkUtilizationSweep(b *testing.B) {
+	m := dnn.VGG16()
+	shapes := DefaultCandidates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range m.Mappable() {
+			for _, s := range shapes {
+				Utilization(l, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package xbar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"autohet/internal/dnn"
+)
+
+func groupedLayer(k, inC, outC, groups int) *dnn.Layer {
+	return &dnn.Layer{Name: "g", Kind: dnn.Conv, K: k, InC: inC, OutC: outC,
+		Stride: 1, Pad: 1, Groups: groups}
+}
+
+// Depthwise 3×3 over 32 channels: each group is a 9×1 block. A 36×32
+// crossbar packs min(⌊36/9⌋, 32) = 4 groups diagonally → 8 crossbars.
+func TestMapGroupedDepthwisePacking(t *testing.T) {
+	l := groupedLayer(3, 32, 32, 32)
+	m := MapLayer(l, Rect(36, 32))
+	if m.GroupPack != 4 {
+		t.Fatalf("GroupPack = %d, want 4", m.GroupPack)
+	}
+	if m.Crossbars() != 8 {
+		t.Fatalf("crossbars = %d, want 8", m.Crossbars())
+	}
+	if m.UsedCells != 32*9 {
+		t.Fatalf("used cells = %d, want 288", m.UsedCells)
+	}
+	// Block-diagonal utilization: 288 / (8·36·32) ≈ 3.1% — the known
+	// depthwise-on-crossbar pathology.
+	want := 288.0 / (8 * 36 * 32)
+	if math.Abs(m.Utilization()-want) > 1e-12 {
+		t.Fatalf("utilization = %v, want %v", m.Utilization(), want)
+	}
+	if m.ActiveRows != 288 || m.ActiveCols != 32 {
+		t.Fatalf("active rows/cols = %d/%d, want 288/32", m.ActiveRows, m.ActiveCols)
+	}
+}
+
+// Small crossbars waste far less on depthwise layers — exactly the
+// heterogeneity argument.
+func TestDepthwisePrefersSmallCrossbars(t *testing.T) {
+	l := groupedLayer(3, 64, 64, 64)
+	uSmall := Utilization(l, Square(32))
+	uLarge := Utilization(l, Square(512))
+	if uSmall <= uLarge {
+		t.Fatalf("depthwise util small %v must exceed large %v", uSmall, uLarge)
+	}
+	if uSmall < 10*uLarge {
+		t.Fatalf("expected ≥10x utilization gap, got %v vs %v", uSmall, uLarge)
+	}
+}
+
+// Grouped (non-depthwise) convolution: 4 groups of 16→16 with k=3 are
+// 144×16 blocks; they overflow a 64×64 crossbar's rows → per-group grids.
+func TestMapGroupedFallbackPerGroup(t *testing.T) {
+	l := groupedLayer(3, 64, 64, 4)
+	m := MapLayer(l, Square(64))
+	if m.GroupPack != 0 {
+		t.Fatalf("GroupPack = %d, want 0 (fallback)", m.GroupPack)
+	}
+	if m.GroupCopies != 4 {
+		t.Fatalf("GroupCopies = %d, want 4", m.GroupCopies)
+	}
+	// Per group: rows ⌈16/⌊64/9⌋⌉ = ⌈16/7⌉ = 3 bands, cols ⌈16/64⌉ = 1.
+	if m.GridRows != 3 || m.GridCols != 1 {
+		t.Fatalf("per-group grid %dx%d, want 3x1", m.GridRows, m.GridCols)
+	}
+	if m.Crossbars() != 12 {
+		t.Fatalf("crossbars = %d, want 12", m.Crossbars())
+	}
+}
+
+func TestGroupedWeightsAndValidation(t *testing.T) {
+	l := groupedLayer(3, 32, 64, 4)
+	if l.Weights() != 32*9*64/4 {
+		t.Fatalf("grouped weights = %d", l.Weights())
+	}
+	if l.GroupCount() != 4 {
+		t.Fatalf("GroupCount = %d", l.GroupCount())
+	}
+	bad := groupedLayer(3, 30, 64, 4) // 30 % 4 != 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid group split must fail validation")
+	}
+	neg := groupedLayer(3, 32, 64, -1)
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative groups must fail validation")
+	}
+	dense := groupedLayer(3, 32, 64, 1)
+	if dense.GroupCount() != 1 || dense.Weights() != 32*9*64 {
+		t.Fatal("groups=1 must behave densely")
+	}
+}
+
+// Property: grouped-mapping invariants — utilization ∈ (0,1], used ≤ total,
+// enough crossbar capacity for every block.
+func TestGroupedMappingInvariants(t *testing.T) {
+	shapes := MixedPool()
+	f := func(kRaw, chRaw, gRaw, shapeRaw uint16) bool {
+		k := 1 + int(kRaw)%5
+		groups := 1 << (int(gRaw) % 5) // 1..16
+		ch := groups * (1 + int(chRaw)%16)
+		l := groupedLayer(k, ch, ch, groups)
+		s := shapes[int(shapeRaw)%len(shapes)]
+		m := MapLayer(l, s)
+		u := m.Utilization()
+		if u <= 0 || u > 1 {
+			return false
+		}
+		if m.UsedCells > m.TotalCells {
+			return false
+		}
+		if m.Crossbars() <= 0 {
+			return false
+		}
+		// Capacity check: total cells must cover the weights.
+		return m.TotalCells >= m.UsedCells
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package xbar
+
+import (
+	"fmt"
+
+	"autohet/internal/dnn"
+)
+
+// Mapping describes how one DNN layer's unfolded weight matrix packs onto a
+// grid of identical crossbars, following the paper's scheme (Fig. 7): each
+// kernel occupies one column; a crossbar column band holds ⌊r/k²⌋ kernels
+// stacked vertically; the grid needs ⌈C_in/⌊r/k²⌋⌉ crossbar rows and
+// ⌈C_out/c⌉ crossbar columns.
+type Mapping struct {
+	Layer *dnn.Layer
+	Shape Shape
+
+	GridRows int // crossbar rows in the array
+	GridCols int // crossbar columns in the array
+	// KernelsPerBand is ⌊r/k²⌋: kernels stacked per crossbar column. Zero
+	// means one kernel does not fit a single crossbar column and is split
+	// across GridRows crossbars (SplitKernel true); Eq. 4 does not cover
+	// this case, so utilization falls back to weights / allocated cells.
+	KernelsPerBand int
+	SplitKernel    bool
+
+	UsedCells  int64 // cells holding weights = layer.Weights()
+	TotalCells int64 // cells in all crossbars of the grid
+
+	// ActiveRows/ActiveCols count, across the whole grid, wordlines that
+	// carry input voltages and bitlines that produce currents during one
+	// MVM. They drive DAC and ADC activation accounting (Fig. 5 counts
+	// ADCs as active bitlines: 128 3×3×12 kernels on 64×64 → 256 ADCs).
+	ActiveRows int
+	ActiveCols int
+
+	// Grouped-convolution extension (dnn.Layer.Groups > 1): GroupPack is
+	// the number of groups packed block-diagonally into one crossbar
+	// (0 for dense layers); GroupCopies is the number of independent
+	// per-group grids when a single group overflows a crossbar (1
+	// otherwise).
+	GroupPack   int
+	GroupCopies int
+}
+
+// MapLayer computes the crossbar-grid mapping of a mappable layer onto
+// crossbars of the given shape.
+func MapLayer(l *dnn.Layer, s Shape) Mapping {
+	if !l.Mappable() {
+		panic("xbar: MapLayer on non-mappable layer " + l.Name)
+	}
+	if !s.Valid() {
+		panic(fmt.Sprintf("xbar: invalid shape %v", s))
+	}
+	if l.GroupCount() > 1 {
+		return mapGrouped(l, s)
+	}
+	k2 := l.KernelElems()
+	cin, cout := l.InC, l.OutC
+	m := Mapping{Layer: l, Shape: s, UsedCells: int64(l.Weights()), GroupCopies: 1}
+	m.KernelsPerBand = s.R / k2
+	if m.KernelsPerBand == 0 {
+		// A single kernel column (k² cells tall) exceeds the crossbar
+		// height: split each kernel across ⌈C_in·k²/r⌉ vertically adjacent
+		// crossbars. Each of the C_in channel slices still lands in the
+		// same bitline position. Eq. 4 does not cover this case.
+		m.SplitKernel = true
+		m.GridRows = ceilDiv(cin*k2, s.R)
+	} else {
+		m.GridRows = ceilDiv(cin, m.KernelsPerBand)
+	}
+	m.GridCols = ceilDiv(cout, s.C)
+	// Wordlines carrying weights: every weight row of the unfolded matrix
+	// (C_in·k² in total down one stack of bands) is driven in each of the
+	// GridCols horizontal replicas.
+	m.ActiveRows = cin * k2 * m.GridCols
+	m.TotalCells = int64(m.GridRows) * int64(m.GridCols) * int64(s.Cells())
+	// Every kernel column is replicated once per crossbar row band.
+	m.ActiveCols = cout * m.GridRows
+	return m
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// mapGrouped maps a grouped convolution. Each group's kernels form an
+// independent (C_in/G·k²) × (C_out/G) block; blocks share neither rows nor
+// columns with each other (their inputs differ and bitline currents may not
+// mix), so the unfolded matrix is block diagonal. When a block fits inside
+// one crossbar, GroupPack = min(⌊r/rows_g⌋, ⌊c/cols_g⌋) blocks pack
+// diagonally per crossbar; otherwise each group maps as its own dense
+// sub-grid (GroupCopies = G).
+func mapGrouped(l *dnn.Layer, s Shape) Mapping {
+	g := l.GroupCount()
+	k2 := l.KernelElems()
+	cinG, coutG := l.InC/g, l.OutC/g
+	rowsG := cinG * k2
+	colsG := coutG
+
+	m := Mapping{Layer: l, Shape: s, UsedCells: int64(l.Weights()), GroupCopies: 1}
+	pack := min(s.R/rowsG, s.C/colsG)
+	if pack >= 1 {
+		m.GroupPack = pack
+		m.GridRows = ceilDiv(g, pack)
+		m.GridCols = 1
+		m.KernelsPerBand = s.R / k2
+		m.ActiveRows = g * rowsG
+		m.ActiveCols = g * colsG
+		m.TotalCells = int64(m.GridRows) * int64(s.Cells())
+		return m
+	}
+	// A single group overflows one crossbar: map it densely and replicate
+	// the grid once per group.
+	sub := dnn.Layer{
+		Name: l.Name, Kind: l.Kind, K: l.K, InC: cinG, OutC: coutG,
+		Stride: l.Stride, Pad: l.Pad, Index: l.Index,
+	}
+	sm := MapLayer(&sub, s)
+	m.GridRows = sm.GridRows
+	m.GridCols = sm.GridCols
+	m.KernelsPerBand = sm.KernelsPerBand
+	m.SplitKernel = sm.SplitKernel
+	m.GroupCopies = g
+	m.ActiveRows = sm.ActiveRows * g
+	m.ActiveCols = sm.ActiveCols * g
+	m.TotalCells = sm.TotalCells * int64(g)
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Crossbars returns the number of crossbars in the grid (including
+// per-group copies for grouped convolutions).
+func (m Mapping) Crossbars() int {
+	n := m.GridRows * m.GridCols
+	if m.GroupCopies > 1 {
+		n *= m.GroupCopies
+	}
+	return n
+}
+
+// Utilization returns the crossbar-array utilization of the mapping —
+// the paper's Equation 4 for the non-split case:
+//
+//	u = (C_in·k²·C_out) / (r·⌈C_in/⌊r/k²⌋⌉ · c·⌈C_out/c⌉)
+//
+// which equals used cells over total cells of the allocated crossbar grid.
+func (m Mapping) Utilization() float64 {
+	if m.TotalCells == 0 {
+		return 0
+	}
+	return float64(m.UsedCells) / float64(m.TotalCells)
+}
+
+// Utilization is the paper's Equation 4 as a free function: the crossbar-
+// array utilization of mapping layer l onto crossbars of shape s.
+func Utilization(l *dnn.Layer, s Shape) float64 {
+	return MapLayer(l, s).Utilization()
+}
+
+// String summarizes the mapping.
+func (m Mapping) String() string {
+	return fmt.Sprintf("%s on %v: %dx%d grid (%d XBs), util %.1f%%",
+		m.Layer.Name, m.Shape, m.GridRows, m.GridCols, m.Crossbars(), 100*m.Utilization())
+}

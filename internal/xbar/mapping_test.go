@@ -1,0 +1,206 @@
+package xbar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"autohet/internal/dnn"
+)
+
+func convLayer(k, inC, outC int) *dnn.Layer {
+	return &dnn.Layer{Name: "t", Kind: dnn.Conv, K: k, InC: inC, OutC: outC, Stride: 1, Pad: 1}
+}
+
+func fcLayer(in, out int) *dnn.Layer {
+	return &dnn.Layer{Name: "t", Kind: dnn.FC, K: 1, InC: in, OutC: out, Stride: 1}
+}
+
+// Paper Fig. 2(a): four 3×3×3 kernels on a 32×32 crossbar → 10.5% utilization.
+func TestUtilizationFig2a(t *testing.T) {
+	u := Utilization(convLayer(3, 3, 4), Square(32))
+	if math.Abs(u-108.0/1024.0) > 1e-12 {
+		t.Fatalf("u = %v, want %v (10.5%%)", u, 108.0/1024.0)
+	}
+}
+
+// Paper Fig. 2(b): twenty 1×1×32 kernels on a 32×32 crossbar → 62.5%.
+func TestUtilizationFig2b(t *testing.T) {
+	u := Utilization(convLayer(1, 32, 20), Square(32))
+	if math.Abs(u-0.625) > 1e-12 {
+		t.Fatalf("u = %v, want 0.625", u)
+	}
+}
+
+// Paper §3.3: VGG16 L4 (k=3, Cin=128, Cout=128) → 83.7% on 32×32, 100% on 36×32.
+func TestUtilizationVGG16L4(t *testing.T) {
+	l := convLayer(3, 128, 128)
+	u32 := Utilization(l, Square(32))
+	if math.Abs(u32-0.8372) > 1e-3 {
+		t.Fatalf("32x32 u = %v, want ≈0.837", u32)
+	}
+	u36 := Utilization(l, Rect(36, 32))
+	if u36 != 1.0 {
+		t.Fatalf("36x32 u = %v, want 1.0", u36)
+	}
+}
+
+// Paper Fig. 5: 128 3×3×12 kernels. On 64×64: 2×2 grid, 256 active bitlines.
+// On 128×128: 1×1 grid, 128 active bitlines. Crossbar-array utilization is
+// 27/32 in both cases (the 27/128 figure in the paper adds tile wastage,
+// which package accel accounts for).
+func TestMappingFig5(t *testing.T) {
+	l := convLayer(3, 12, 128)
+
+	m64 := MapLayer(l, Square(64))
+	if m64.GridRows != 2 || m64.GridCols != 2 || m64.Crossbars() != 4 {
+		t.Fatalf("64x64 grid = %dx%d", m64.GridRows, m64.GridCols)
+	}
+	if m64.ActiveCols != 256 {
+		t.Fatalf("64x64 active bitlines = %d, want 256", m64.ActiveCols)
+	}
+	if math.Abs(m64.Utilization()-27.0/32.0) > 1e-12 {
+		t.Fatalf("64x64 u = %v, want 27/32", m64.Utilization())
+	}
+
+	m128 := MapLayer(l, Square(128))
+	if m128.Crossbars() != 1 {
+		t.Fatalf("128x128 crossbars = %d, want 1", m128.Crossbars())
+	}
+	if m128.ActiveCols != 128 {
+		t.Fatalf("128x128 active bitlines = %d, want 128", m128.ActiveCols)
+	}
+	if math.Abs(m128.Utilization()-27.0/32.0) > 1e-12 {
+		t.Fatalf("128x128 u = %v, want 27/32", m128.Utilization())
+	}
+}
+
+func TestMappingFCLayer(t *testing.T) {
+	// FC 4096→4096 on 512×512: grid 8×8, fully dense.
+	m := MapLayer(fcLayer(4096, 4096), Square(512))
+	if m.GridRows != 8 || m.GridCols != 8 {
+		t.Fatalf("grid = %dx%d, want 8x8", m.GridRows, m.GridCols)
+	}
+	if m.Utilization() != 1.0 {
+		t.Fatalf("u = %v, want 1.0", m.Utilization())
+	}
+	if m.SplitKernel {
+		t.Fatal("FC layer must never split kernels")
+	}
+}
+
+func TestMappingSplitKernel(t *testing.T) {
+	// k=7, Cin=3: kernel column is 49 cells tall, exceeding a 32-row
+	// crossbar → split across ⌈147/32⌉ = 5 crossbar rows.
+	l := convLayer(7, 3, 64)
+	m := MapLayer(l, Square(32))
+	if !m.SplitKernel {
+		t.Fatal("expected split-kernel mapping")
+	}
+	if m.KernelsPerBand != 0 {
+		t.Fatalf("KernelsPerBand = %d, want 0", m.KernelsPerBand)
+	}
+	if m.GridRows != 5 || m.GridCols != 2 {
+		t.Fatalf("grid = %dx%d, want 5x2", m.GridRows, m.GridCols)
+	}
+	wantU := float64(3*49*64) / float64(5*2*32*32)
+	if math.Abs(m.Utilization()-wantU) > 1e-12 {
+		t.Fatalf("split u = %v, want %v", m.Utilization(), wantU)
+	}
+}
+
+func TestMappingActiveRows(t *testing.T) {
+	// Fig. 5 64×64: active rows = Cin·k² per stack × GridCols = 108·2 = 216.
+	m := MapLayer(convLayer(3, 12, 128), Square(64))
+	if m.ActiveRows != 216 {
+		t.Fatalf("ActiveRows = %d, want 216", m.ActiveRows)
+	}
+}
+
+func TestMapLayerPanics(t *testing.T) {
+	p := &dnn.Layer{Name: "p", Kind: dnn.Pool, K: 2, Stride: 2}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MapLayer on pool did not panic")
+			}
+		}()
+		MapLayer(p, Square(32))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MapLayer with invalid shape did not panic")
+			}
+		}()
+		MapLayer(convLayer(3, 1, 1), Shape{})
+	}()
+}
+
+func TestMappingString(t *testing.T) {
+	s := MapLayer(convLayer(3, 12, 128), Square(64)).String()
+	if s == "" {
+		t.Fatal("empty mapping string")
+	}
+}
+
+// Property: utilization is always in (0, 1], used cells never exceed total,
+// and the grid always fits the unfolded matrix.
+func TestMappingInvariants(t *testing.T) {
+	shapes := MixedPool()
+	f := func(kRaw, inCRaw, outCRaw, shapeRaw uint16) bool {
+		k := 1 + int(kRaw)%7
+		inC := 1 + int(inCRaw)%512
+		outC := 1 + int(outCRaw)%512
+		s := shapes[int(shapeRaw)%len(shapes)]
+		l := convLayer(k, inC, outC)
+		m := MapLayer(l, s)
+		u := m.Utilization()
+		if u <= 0 || u > 1 {
+			return false
+		}
+		if m.UsedCells > m.TotalCells {
+			return false
+		}
+		// Grid capacity must cover the unfolded matrix.
+		if m.GridCols*s.C < outC {
+			return false
+		}
+		if !m.SplitKernel {
+			if m.GridRows*m.KernelsPerBand < inC {
+				return false
+			}
+		} else if m.GridRows*s.R < inC*k*k {
+			return false
+		}
+		// Active bitlines: one per kernel column per band.
+		return m.ActiveCols == outC*m.GridRows
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eq. 4 (closed form) matches the constructive mapping for
+// non-split cases.
+func TestEquation4MatchesConstruction(t *testing.T) {
+	f := func(kRaw, inCRaw, outCRaw uint16) bool {
+		k := 1 + int(kRaw)%5 // k ≤ 5 so k² ≤ 25 < 32: never splits
+		inC := 1 + int(inCRaw)%300
+		outC := 1 + int(outCRaw)%300
+		l := convLayer(k, inC, outC)
+		for _, s := range SquareCandidates() {
+			m := MapLayer(l, s)
+			kpb := s.R / (k * k)
+			denom := float64(s.R) * float64(ceilDiv(inC, kpb)) * float64(s.C) * float64(ceilDiv(outC, s.C))
+			want := float64(inC*k*k*outC) / denom
+			if math.Abs(m.Utilization()-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package xbar
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderMapping draws the cell occupancy of one crossbar of a layer's grid
+// as ASCII art, downscaled to at most maxDim characters per side. Each
+// character covers a block of cells: '#' = all cells hold weights, '+' =
+// partially filled, '.' = empty. The view makes the paper's Fig. 2/Fig. 7
+// internal-wastage argument visible for any (layer, shape) pair.
+func (m Mapping) RenderMapping(w io.Writer, maxDim int) error {
+	if maxDim < 1 {
+		return fmt.Errorf("xbar: maxDim %d", maxDim)
+	}
+	rows, cols := m.Shape.R, m.Shape.C
+	used := m.usedMask()
+	scaleR := (rows + maxDim - 1) / maxDim
+	scaleC := (cols + maxDim - 1) / maxDim
+	if scaleR < 1 {
+		scaleR = 1
+	}
+	if scaleC < 1 {
+		scaleC = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s on %v (first crossbar, %dx%d cells per char):\n",
+		m.Layer.Name, m.Shape, scaleR, scaleC); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for r0 := 0; r0 < rows; r0 += scaleR {
+		b.Reset()
+		b.WriteString("  ")
+		for c0 := 0; c0 < cols; c0 += scaleC {
+			total, filled := 0, 0
+			for r := r0; r < r0+scaleR && r < rows; r++ {
+				for c := c0; c < c0+scaleC && c < cols; c++ {
+					total++
+					if used[r*cols+c] {
+						filled++
+					}
+				}
+			}
+			switch {
+			case filled == 0:
+				b.WriteByte('.')
+			case filled == total:
+				b.WriteByte('#')
+			default:
+				b.WriteByte('+')
+			}
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// usedMask marks which cells of the grid's first crossbar hold weights,
+// following the packing scheme: kernels stacked KernelsPerBand-deep down
+// the rows, one kernel per column (grouped layers use block-diagonal
+// placement).
+func (m Mapping) usedMask() []bool {
+	rows, cols := m.Shape.R, m.Shape.C
+	used := make([]bool, rows*cols)
+	l := m.Layer
+	k2 := l.KernelElems()
+	switch {
+	case m.GroupPack > 0:
+		// Block-diagonal: GroupPack groups, each rowsG×colsG.
+		g := l.GroupCount()
+		rowsG := (l.InC / g) * k2
+		colsG := l.OutC / g
+		for gi := 0; gi < m.GroupPack && gi < g; gi++ {
+			for r := gi * rowsG; r < (gi+1)*rowsG && r < rows; r++ {
+				for c := gi * colsG; c < (gi+1)*colsG && c < cols; c++ {
+					used[r*cols+c] = true
+				}
+			}
+		}
+	case m.SplitKernel:
+		// The first crossbar is fully covered by the split column stack.
+		activeCols := l.OutC
+		if activeCols > cols {
+			activeCols = cols
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < activeCols; c++ {
+				used[r*cols+c] = true
+			}
+		}
+	default:
+		// First band: min(KernelsPerBand, InC) kernels of k² rows; the
+		// first GridCols·cols columns hold min(cols, OutC) kernels each.
+		kernels := m.KernelsPerBand
+		if kernels > l.InC {
+			kernels = l.InC
+		}
+		activeRows := kernels * k2
+		activeCols := l.OutC
+		if activeCols > cols {
+			activeCols = cols
+		}
+		for r := 0; r < activeRows && r < rows; r++ {
+			for c := 0; c < activeCols; c++ {
+				used[r*cols+c] = true
+			}
+		}
+	}
+	return used
+}

@@ -1,0 +1,88 @@
+package xbar
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"autohet/internal/dnn"
+)
+
+func renderOf(t *testing.T, m Mapping, dim int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.RenderMapping(&buf, dim); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// Fig. 2(a): four 3×3×3 kernels on 32×32 — 27 active rows × 4 columns, the
+// rest empty.
+func TestRenderMappingFig2a(t *testing.T) {
+	m := MapLayer(convLayer(3, 3, 4), Square(32))
+	out := renderOf(t, m, 32) // 1 char per cell
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")[1:]
+	if len(lines) != 32 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Rows 0–26 start with four '#', rows 27–31 are all '.'.
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "####.") {
+		t.Fatalf("row 0 = %q", lines[0])
+	}
+	if strings.ContainsAny(lines[30], "#+") {
+		t.Fatalf("row 30 should be empty: %q", lines[30])
+	}
+	// Count filled cells: 27 rows × 4 cols.
+	filled := strings.Count(out, "#")
+	if filled != 27*4 {
+		t.Fatalf("filled cells = %d, want 108", filled)
+	}
+}
+
+func TestRenderMappingDownscale(t *testing.T) {
+	m := MapLayer(convLayer(3, 128, 128), Rect(576, 512))
+	out := renderOf(t, m, 16)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")[1:]
+	if len(lines) > 16 {
+		t.Fatalf("downscale failed: %d lines", len(lines))
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no filled blocks rendered")
+	}
+}
+
+func TestRenderMappingDepthwiseDiagonal(t *testing.T) {
+	l := &dnn.Layer{Name: "dw", Kind: dnn.Conv, K: 3, InC: 8, OutC: 8, Stride: 1, Pad: 1, Groups: 8}
+	m := MapLayer(l, Rect(36, 32))
+	out := renderOf(t, m, 36)
+	// Block-diagonal: row 0 has a '#' in column 0 region but not at the
+	// right edge; row 10 (second block) fills a shifted column.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")[1:]
+	if lines[0][2] != '#' {
+		t.Fatalf("row 0 = %q", lines[0])
+	}
+	if lines[9][2] == '#' { // second group's rows use column 1, not 0
+		t.Fatalf("row 9 = %q (diagonal structure missing)", lines[9])
+	}
+}
+
+func TestRenderMappingSplitKernel(t *testing.T) {
+	m := MapLayer(convLayer(7, 3, 20), Square(32))
+	if !m.SplitKernel {
+		t.Fatal("expected split mapping")
+	}
+	out := renderOf(t, m, 32)
+	// All 32 rows active across 20 columns on the first crossbar.
+	if strings.Count(out, "#") != 32*20 {
+		t.Fatalf("split render filled %d, want 640", strings.Count(out, "#"))
+	}
+}
+
+func TestRenderMappingBadDim(t *testing.T) {
+	m := MapLayer(convLayer(3, 3, 4), Square(32))
+	var buf bytes.Buffer
+	if err := m.RenderMapping(&buf, 0); err == nil {
+		t.Fatal("maxDim 0 must error")
+	}
+}

@@ -1,0 +1,121 @@
+// Package xbar models ReRAM crossbars the way the AutoHet paper reasons
+// about them: a crossbar is an r×c array of 1-bit memristor cells; a DNN
+// layer's unfolded weight matrix is packed one-kernel-per-column onto a grid
+// of identical crossbars (Fig. 7); and the crossbar-array utilization of
+// that packing follows the paper's Equation 4. The package also defines the
+// square (SXB) and rectangular (RXB) candidate sets from §3.3/§4.1.
+package xbar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shape is a crossbar geometry: R wordlines (rows) × C bitlines (columns).
+type Shape struct {
+	R, C int
+}
+
+// Cells returns the number of memristor cells, R·C.
+func (s Shape) Cells() int { return s.R * s.C }
+
+// IsSquare reports whether the crossbar is square (an SXB in the paper's
+// terminology; otherwise it is a rectangular RXB).
+func (s Shape) IsSquare() bool { return s.R == s.C }
+
+// Valid reports whether both dimensions are positive.
+func (s Shape) Valid() bool { return s.R > 0 && s.C > 0 }
+
+// String renders the shape as "RxC", e.g. "64x64" or "36x32".
+func (s Shape) String() string { return fmt.Sprintf("%dx%d", s.R, s.C) }
+
+// ParseShape parses "RxC" (e.g. "72x64") or a single integer "64" meaning a
+// square crossbar.
+func ParseShape(text string) (Shape, error) {
+	text = strings.TrimSpace(text)
+	if r, err := strconv.Atoi(text); err == nil {
+		if r <= 0 {
+			return Shape{}, fmt.Errorf("xbar: non-positive shape %q", text)
+		}
+		return Shape{R: r, C: r}, nil
+	}
+	parts := strings.SplitN(strings.ToLower(text), "x", 2)
+	if len(parts) != 2 {
+		return Shape{}, fmt.Errorf("xbar: cannot parse shape %q (want RxC)", text)
+	}
+	r, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	c, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil || r <= 0 || c <= 0 {
+		return Shape{}, fmt.Errorf("xbar: cannot parse shape %q (want RxC)", text)
+	}
+	return Shape{R: r, C: c}, nil
+}
+
+// Square returns an n×n shape.
+func Square(n int) Shape { return Shape{R: n, C: n} }
+
+// Rect returns an r×c shape.
+func Rect(r, c int) Shape { return Shape{R: r, C: c} }
+
+// SquareCandidates returns the five homogeneous-baseline SXB sizes used
+// throughout the paper (§2.2, §4.1): 32², 64², 128², 256², 512².
+func SquareCandidates() []Shape {
+	return []Shape{Square(32), Square(64), Square(128), Square(256), Square(512)}
+}
+
+// RectCandidates returns the five RXB sizes from §4.3: heights are multiples
+// of 9 to fit 3×3 kernels without wasted rows, widths stay powers of two.
+func RectCandidates() []Shape {
+	return []Shape{Rect(36, 32), Rect(72, 64), Rect(144, 128), Rect(288, 256), Rect(576, 512)}
+}
+
+// DefaultCandidates returns the paper's default AutoHet candidate set
+// (§3.3/§4.1): 32×32, 36×32, 72×64, 288×256, 576×512.
+func DefaultCandidates() []Shape {
+	return []Shape{Square(32), Rect(36, 32), Rect(72, 64), Rect(288, 256), Rect(576, 512)}
+}
+
+// MixedPool returns the ten-shape pool (5 SXBs + 5 RXBs) the sensitivity
+// study (§4.4, Fig. 11a/b) draws candidate subsets from.
+func MixedPool() []Shape {
+	return append(SquareCandidates(), RectCandidates()...)
+}
+
+// FindShape returns the index of s in candidates, or -1.
+func FindShape(candidates []Shape, s Shape) int {
+	for i, c := range candidates {
+		if c == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// ShapeNames renders a candidate list as comma-separated names.
+func ShapeNames(candidates []Shape) string {
+	parts := make([]string, len(candidates))
+	for i, s := range candidates {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseShapeList parses a comma-separated list of shapes.
+func ParseShapeList(text string) ([]Shape, error) {
+	var out []Shape
+	for _, part := range strings.Split(text, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		s, err := ParseShape(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("xbar: empty shape list %q", text)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package xbar
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeBasics(t *testing.T) {
+	s := Rect(36, 32)
+	if s.Cells() != 1152 {
+		t.Fatalf("Cells = %d", s.Cells())
+	}
+	if s.IsSquare() {
+		t.Fatal("36x32 reported square")
+	}
+	if !Square(64).IsSquare() {
+		t.Fatal("64x64 reported rectangular")
+	}
+	if s.String() != "36x32" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if !s.Valid() || (Shape{}).Valid() || (Shape{R: -1, C: 2}).Valid() {
+		t.Fatal("Valid wrong")
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Shape
+		ok   bool
+	}{
+		{"64x64", Square(64), true},
+		{"36x32", Rect(36, 32), true},
+		{" 72 x 64 ", Rect(72, 64), true},
+		{"128", Square(128), true},
+		{"576X512", Rect(576, 512), true},
+		{"0x32", Shape{}, false},
+		{"-4", Shape{}, false},
+		{"axb", Shape{}, false},
+		{"", Shape{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseShape(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseShape(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseShape(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestParseShapeRoundTrip(t *testing.T) {
+	f := func(rRaw, cRaw uint16) bool {
+		s := Shape{R: 1 + int(rRaw)%1024, C: 1 + int(cRaw)%1024}
+		got, err := ParseShape(s.String())
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCandidateSets(t *testing.T) {
+	sq := SquareCandidates()
+	if len(sq) != 5 {
+		t.Fatalf("SquareCandidates len = %d", len(sq))
+	}
+	for i, want := range []int{32, 64, 128, 256, 512} {
+		if sq[i] != Square(want) {
+			t.Errorf("SXB %d = %v, want %dx%d", i, sq[i], want, want)
+		}
+		if !sq[i].IsSquare() {
+			t.Errorf("SXB %v not square", sq[i])
+		}
+	}
+	// §4.3: RXB heights are multiples of 9, widths powers of two.
+	for _, r := range RectCandidates() {
+		if r.R%9 != 0 {
+			t.Errorf("RXB %v height not a multiple of 9", r)
+		}
+		if r.C&(r.C-1) != 0 {
+			t.Errorf("RXB %v width not a power of two", r)
+		}
+		if r.IsSquare() {
+			t.Errorf("RXB %v is square", r)
+		}
+	}
+	// §3.3 default: 32x32, 36x32, 72x64, 288x256, 576x512.
+	def := DefaultCandidates()
+	want := []Shape{Square(32), Rect(36, 32), Rect(72, 64), Rect(288, 256), Rect(576, 512)}
+	if len(def) != len(want) {
+		t.Fatalf("DefaultCandidates len = %d", len(def))
+	}
+	for i := range want {
+		if def[i] != want[i] {
+			t.Errorf("default %d = %v, want %v", i, def[i], want[i])
+		}
+	}
+	if len(MixedPool()) != 10 {
+		t.Fatalf("MixedPool len = %d", len(MixedPool()))
+	}
+}
+
+func TestFindShape(t *testing.T) {
+	cands := DefaultCandidates()
+	if FindShape(cands, Rect(72, 64)) != 2 {
+		t.Fatal("FindShape existing wrong")
+	}
+	if FindShape(cands, Square(999)) != -1 {
+		t.Fatal("FindShape missing wrong")
+	}
+}
+
+func TestShapeNamesAndParseList(t *testing.T) {
+	names := ShapeNames([]Shape{Square(32), Rect(36, 32)})
+	if names != "32x32,36x32" {
+		t.Fatalf("ShapeNames = %q", names)
+	}
+	list, err := ParseShapeList("32x32, 36x32 ,72x64")
+	if err != nil || len(list) != 3 || list[2] != Rect(72, 64) {
+		t.Fatalf("ParseShapeList = %v, %v", list, err)
+	}
+	if _, err := ParseShapeList(""); err == nil {
+		t.Fatal("empty list must error")
+	}
+	if _, err := ParseShapeList("32x32,bogus"); err == nil {
+		t.Fatal("bad element must error")
+	}
+}

@@ -8,11 +8,14 @@ package autohet
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
+	"time"
 
 	"autohet/internal/accel"
 	"autohet/internal/dnn"
 	"autohet/internal/experiments"
+	"autohet/internal/fleet"
 	"autohet/internal/hw"
 	"autohet/internal/isa"
 	"autohet/internal/quant"
@@ -379,6 +382,54 @@ func BenchmarkServing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := serving.Serve(pr, w); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetThroughput measures the concurrent serving runtime's request
+// throughput (goroutine dispatch + batching + accounting, not accelerator
+// time) across replica counts and dispatch policies. Fleets run free-running
+// (no wall-clock pacing) so the number reported is the runtime's own
+// overhead ceiling in requests/second.
+func BenchmarkFleetThroughput(b *testing.B) {
+	pr := &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}
+	for _, replicas := range []int{1, 4, 16} {
+		for _, policy := range []fleet.Policy{fleet.RoundRobin, fleet.JoinShortestQueue, fleet.PowerOfTwo} {
+			b.Run(fmt.Sprintf("replicas_%d/%s", replicas, policy), func(b *testing.B) {
+				cfg := fleet.DefaultConfig()
+				cfg.Policy = policy
+				cfg.TimeScale = 1e-9 // free-running
+				cfg.QueueDepth = 4096
+				specs := make([]fleet.ReplicaSpec, replicas)
+				for i := range specs {
+					specs[i] = fleet.ReplicaSpec{Pipeline: pr}
+				}
+				f, err := fleet.New(cfg, specs...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan fleet.Outcome, b.N)
+				b.ResetTimer()
+				start := time.Now()
+				accepted := 0
+				for i := 0; i < b.N; i++ {
+					if err := f.Submit(fleet.NewRequest(float64(i)*100, 0, done)); err == nil {
+						accepted++
+					}
+				}
+				for i := 0; i < accepted; i++ {
+					<-done
+				}
+				elapsed := time.Since(start).Seconds()
+				b.StopTimer()
+				f.Close()
+				if elapsed > 0 {
+					b.ReportMetric(float64(accepted)/elapsed, "req/s")
+				}
+				if accepted == 0 {
+					b.Fatal("no requests accepted")
+				}
+			})
 		}
 	}
 }

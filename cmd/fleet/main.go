@@ -1,0 +1,192 @@
+// Command fleet serves an inference workload on a multi-replica accelerator
+// deployment: each replica group wraps a mapped design (a homogeneous
+// crossbar shape or an explicit AutoHet strategy), and a dispatcher spreads
+// a Poisson request stream across them under a pluggable load-balancing
+// policy, with per-replica dynamic batching, bounded admission queues,
+// latency budgets, and retry routing away from fault-degraded replicas.
+//
+// Usage:
+//
+//	fleet -model VGG16 -spec "4*128x128" -policy jsq -load 0.9
+//	fleet -model VGG16 -spec "2*128x128;2*L1:72x64 L2-L16:576x512" -policy p2c
+//	fleet -model VGG16 -spec "3*128x128" -fault-replica g0-1 -fault-at 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/fault"
+	"autohet/internal/fleet"
+	"autohet/internal/hw"
+	"autohet/internal/sim"
+	"autohet/internal/xbar"
+)
+
+func main() {
+	model := flag.String("model", "VGG16", "model name (see dnn.ByName)")
+	spec := flag.String("spec", "4*128x128",
+		`replica groups, ';'-separated: "N*shape" or "N*strategy"`)
+	policy := flag.String("policy", "jsq", "dispatch policy: rr, least-outstanding, jsq, p2c")
+	load := flag.Float64("load", 0.8, "offered load as a fraction of aggregate capacity")
+	requests := flag.Int("requests", 5000, "requests to offer")
+	batch := flag.Int("batch", 1, "max dynamic batch size per replica (1 = no batching)")
+	batchTimeout := flag.Float64("batch-timeout", 100, "batch close timeout in virtual µs")
+	queue := flag.Int("queue", 256, "per-replica admission queue depth")
+	budget := flag.Float64("budget", 0, "per-request latency budget in virtual µs (0 = none)")
+	seed := flag.Int64("seed", 0, "arrival-process seed (0 = the default fixed stream)")
+	timescale := flag.Float64("timescale", 0.2, "wall-clock pacing factor (1 = real time)")
+	faultReplica := flag.String("fault-replica", "", "replica name to degrade mid-run (see printed legend)")
+	faultRate := flag.Float64("fault-rate", 0.05, "stuck-at cell rate injected into -fault-replica")
+	faultAt := flag.Float64("fault-at", 0.3, "injection instant as a fraction of the run")
+	hwConfig := flag.String("hwconfig", "", "JSON hardware-config file (empty = paper defaults)")
+	flag.Parse()
+
+	if err := run(*model, *spec, *policy, *load, *requests, *batch, *batchTimeout,
+		*queue, *budget, *seed, *timescale, *faultReplica, *faultRate, *faultAt, *hwConfig); err != nil {
+		fmt.Fprintln(os.Stderr, "fleet:", err)
+		os.Exit(1)
+	}
+}
+
+// parseSpec expands "N*shapeOrStrategy" groups into replica specs. A group
+// text containing ':' is an explicit accel strategy; otherwise it is a
+// homogeneous crossbar shape.
+func parseSpec(cfg hw.Config, m *dnn.Model, text string, batch int) ([]fleet.ReplicaSpec, error) {
+	var specs []fleet.ReplicaSpec
+	for gi, part := range strings.Split(text, ";") {
+		part = strings.TrimSpace(part)
+		countText, designText, ok := strings.Cut(part, "*")
+		if !ok {
+			countText, designText = "1", part
+		}
+		count, err := strconv.Atoi(strings.TrimSpace(countText))
+		if err != nil || count < 1 {
+			return nil, fmt.Errorf("bad replica count in group %q", part)
+		}
+		designText = strings.TrimSpace(designText)
+		var st accel.Strategy
+		if strings.Contains(designText, ":") {
+			st, err = accel.ParseStrategy(designText)
+		} else {
+			var shape xbar.Shape
+			shape, err = xbar.ParseShape(designText)
+			st = accel.Homogeneous(m.NumMappable(), shape)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(st) != m.NumMappable() {
+			return nil, fmt.Errorf("group %q covers %d layers, %s has %d",
+				part, len(st), m.Name, m.NumMappable())
+		}
+		p, err := accel.BuildPlan(cfg, m, st, true)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := sim.SimulateBatch(p, batch)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("group g%d: %d x %s — capacity %.0f req/s, area %.1f mm²\n",
+			gi, count, designText, 1e9/pr.IntervalNS, p.Area()/1e6)
+		for ci := 0; ci < count; ci++ {
+			specs = append(specs, fleet.ReplicaSpec{
+				Name: fmt.Sprintf("g%d-%d", gi, ci), Pipeline: pr, Plan: p,
+			})
+		}
+	}
+	return specs, nil
+}
+
+func run(modelName, specText, policyText string, load float64, requests, batch int,
+	batchTimeoutUS float64, queue int, budgetUS float64, seed int64, timescale float64,
+	faultReplica string, faultRate, faultAt float64, hwConfig string) error {
+	m, err := dnn.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	cfg, err := hw.LoadConfig(hwConfig)
+	if err != nil {
+		return err
+	}
+	policy, err := fleet.ParsePolicy(policyText)
+	if err != nil {
+		return err
+	}
+	if load <= 0 {
+		return fmt.Errorf("load fraction %v", load)
+	}
+	if batch < 1 {
+		return fmt.Errorf("batch %d", batch)
+	}
+	specs, err := parseSpec(cfg, m, specText, batch)
+	if err != nil {
+		return err
+	}
+
+	var aggregate float64
+	for _, s := range specs {
+		aggregate += 1e9 / s.Pipeline.IntervalNS
+	}
+	fmt.Printf("fleet: %d replicas, aggregate capacity %.0f req/s; offering %.0f%% = %.0f req/s\n\n",
+		len(specs), aggregate, 100*load, load*aggregate)
+
+	fcfg := fleet.Config{
+		Policy:         policy,
+		MaxBatch:       batch,
+		BatchTimeoutNS: batchTimeoutUS * 1000,
+		QueueDepth:     queue,
+		TimeScale:      timescale,
+		Seed:           seed,
+	}
+	f, err := fleet.New(fcfg, specs...)
+	if err != nil {
+		return err
+	}
+	w := fleet.Workload{
+		ArrivalRate: load * aggregate,
+		Requests:    requests,
+		Seed:        seed,
+		BudgetNS:    budgetUS * 1000,
+	}
+	var timer *time.Timer
+	if faultReplica != "" {
+		spanNS := float64(requests) / w.ArrivalRate * 1e9
+		at := time.Duration(faultAt * spanNS * timescale)
+		stuck := &fault.Model{StuckAtZero: faultRate, Seed: 1}
+		timer = time.AfterFunc(at, func() {
+			if err := f.InjectFault(faultReplica, stuck); err != nil {
+				fmt.Fprintln(os.Stderr, "fleet:", err)
+			} else {
+				fmt.Printf("[%.0f%% of run] injected %.1f%% stuck-at cells into %s\n",
+					100*faultAt, 100*faultRate, faultReplica)
+			}
+		})
+	}
+	res, err := fleet.Run(f, w)
+	if timer != nil {
+		timer.Stop()
+	}
+	snap := f.Snapshot()
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%v\n\n", res)
+	fmt.Printf("%-8s %-9s %-8s %-8s %-11s %-12s %-12s %s\n",
+		"replica", "degraded", "served", "batches", "mean batch", "p50 (µs)", "p99 (µs)", "max (µs)")
+	for _, r := range snap.Replicas {
+		fmt.Printf("%-8s %-9t %-8d %-8d %-11.2f %-12.1f %-12.1f %.1f\n",
+			r.Name, r.Degraded, r.Served, r.Batches, r.MeanBatch,
+			r.P50NS/1000, r.P99NS/1000, r.MaxNS/1000)
+	}
+	return nil
+}

@@ -21,7 +21,7 @@ import (
 // sensitivity, inter-layer pipelining, and the LLM-domain workload.
 
 // Extensions lists the extension experiment names.
-var Extensions = []string{"breakdown", "faults", "pipeline", "llm", "stability", "programming", "precision", "pruning", "noc", "adc"}
+var Extensions = []string{"breakdown", "faults", "pipeline", "llm", "stability", "programming", "precision", "pruning", "noc", "adc", "fleet"}
 
 // RunExtension generates the named extension experiment.
 func (s *Suite) RunExtension(name string) ([]*report.Table, error) {
@@ -56,6 +56,8 @@ func (s *Suite) RunExtension(name string) ([]*report.Table, error) {
 	case "adc":
 		t, err := s.ADCSweep()
 		return wrap(t, err)
+	case "fleet":
+		return s.Fleet()
 	default:
 		return nil, fmt.Errorf("experiments: unknown extension %q (have %v)", name, Extensions)
 	}

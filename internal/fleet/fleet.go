@@ -1,0 +1,471 @@
+// Package fleet is a goroutine-based serving runtime that dispatches
+// inference requests across N replica accelerators. Each replica wraps a
+// mapped design (accel.Plan) whose pipelined timing (sim.PipelineResult)
+// supplies its service rate, so AutoHet-searched and homogeneous designs
+// can be mixed in one fleet. The runtime provides pluggable load-balancing
+// policies, per-replica dynamic batching (close a batch at size B or after
+// a timeout), bounded admission queues with shedding, per-request latency
+// budgets, retry routing away from fault-degraded replicas, graceful drain,
+// and built-in counters/latency histograms.
+//
+// Time model: requests carry virtual arrival stamps in nanoseconds and all
+// queueing/latency accounting is done in that virtual clock using the exact
+// pipelined-service recurrence (entry = max(arrival, replica-free),
+// completion = entry + fill + i·interval within a batch). Wall-clock sleeps
+// scaled by Config.TimeScale only pace the system so queue depths — and the
+// routing decisions reading them — evolve realistically; with a single
+// replica and no batching the accounting reduces to exactly
+// serving.Serve's recurrence regardless of scheduling jitter.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autohet/internal/fault"
+)
+
+// Policy names a dispatcher load-balancing policy.
+type Policy string
+
+// The built-in policies.
+const (
+	// RoundRobin cycles through healthy replicas regardless of load.
+	RoundRobin Policy = "rr"
+	// LeastOutstanding picks the replica with the fewest queued+executing
+	// requests.
+	LeastOutstanding Policy = "least-outstanding"
+	// JoinShortestQueue picks the replica with the shortest admission queue.
+	JoinShortestQueue Policy = "jsq"
+	// PowerOfTwo samples two random replicas and picks the shorter queue —
+	// near-JSQ quality at O(1) inspection cost.
+	PowerOfTwo Policy = "p2c"
+)
+
+// Policies lists every built-in policy.
+var Policies = []Policy{RoundRobin, LeastOutstanding, JoinShortestQueue, PowerOfTwo}
+
+// ParsePolicy resolves a policy name (accepting a few aliases).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "rr", "roundrobin", "round-robin":
+		return RoundRobin, nil
+	case "lo", "least-outstanding", "leastoutstanding":
+		return LeastOutstanding, nil
+	case "jsq", "join-shortest-queue":
+		return JoinShortestQueue, nil
+	case "p2c", "power-of-two", "poweroftwo":
+		return PowerOfTwo, nil
+	}
+	return "", fmt.Errorf("fleet: unknown policy %q (have %v)", s, Policies)
+}
+
+// Config tunes the runtime. The zero value of each field selects the
+// documented default.
+type Config struct {
+	// Policy is the dispatch policy (default RoundRobin).
+	Policy Policy
+	// MaxBatch closes a replica batch at this size (default 1 = no
+	// batching).
+	MaxBatch int
+	// BatchTimeoutNS closes a partial batch this many virtual nanoseconds
+	// after its first request was picked up (default 100 µs). Only
+	// meaningful with MaxBatch > 1.
+	BatchTimeoutNS float64
+	// QueueDepth bounds each replica's admission queue (default 256). A
+	// request finding every healthy queue full is shed.
+	QueueDepth int
+	// MaxRetries bounds re-dispatches when a replica degrades with the
+	// request still queued (default 3).
+	MaxRetries int
+	// DegradeThreshold is the stuck-at cell fault rate at or above which an
+	// injected fault.Model marks its replica degraded (default 0.01).
+	DegradeThreshold float64
+	// TimeScale is the wall-clock pacing factor: a virtual duration of
+	// d nanoseconds sleeps d·TimeScale real nanoseconds (default 1.0 —
+	// real time). Tiny values (e.g. 1e-9) make the fleet free-running:
+	// accounting stays exact but queue depths reflect burst order rather
+	// than paced arrivals.
+	TimeScale float64
+	// Seed drives the PowerOfTwo sampler (default 1).
+	Seed int64
+}
+
+// DefaultConfig returns the documented defaults.
+func DefaultConfig() Config {
+	return Config{
+		Policy:           RoundRobin,
+		MaxBatch:         1,
+		BatchTimeoutNS:   100_000,
+		QueueDepth:       256,
+		MaxRetries:       3,
+		DegradeThreshold: 0.01,
+		TimeScale:        1.0,
+		Seed:             1,
+	}
+}
+
+func (c *Config) normalize() error {
+	if c.Policy == "" {
+		c.Policy = RoundRobin
+	}
+	if _, err := ParsePolicy(string(c.Policy)); err != nil {
+		return err
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 1
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("fleet: max batch %d", c.MaxBatch)
+	}
+	if c.BatchTimeoutNS == 0 {
+		c.BatchTimeoutNS = 100_000
+	}
+	if c.BatchTimeoutNS < 0 {
+		return fmt.Errorf("fleet: batch timeout %v ns", c.BatchTimeoutNS)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("fleet: queue depth %d", c.QueueDepth)
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("fleet: max retries %d", c.MaxRetries)
+	}
+	if c.DegradeThreshold == 0 {
+		c.DegradeThreshold = 0.01
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1.0
+	}
+	if c.TimeScale < 0 {
+		return fmt.Errorf("fleet: time scale %v", c.TimeScale)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// Fleet dispatches requests across replicas. Create with New; it is safe
+// for concurrent use by any number of submitters.
+type Fleet struct {
+	cfg      Config
+	replicas []*replica
+
+	rrNext   atomic.Uint64
+	rngMu    sync.Mutex
+	rng      *rand.Rand
+	counters Counters
+	hist     Histogram
+
+	// epoch anchors the virtual clock to the wall clock (UnixNano at start
+	// or the latest resetClock). Pacing sleeps target absolute deadlines
+	// derived from it, so timer overshoot never accumulates.
+	epoch atomic.Int64
+
+	// mu serializes admission against Close so the outstanding WaitGroup
+	// is never Add-ed concurrently with its final Wait.
+	mu          sync.RWMutex
+	closed      bool
+	outstanding sync.WaitGroup
+	quit        chan struct{}
+	loops       sync.WaitGroup
+	closeOnce   sync.Once
+}
+
+// New builds the fleet and starts one batching loop per replica. Callers
+// must Close it to drain and stop the loops.
+func New(cfg Config, specs ...ReplicaSpec) (*Fleet, error) {
+	f, err := newFleet(cfg, specs...)
+	if err != nil {
+		return nil, err
+	}
+	f.start()
+	return f, nil
+}
+
+// newFleet constructs without starting the replica loops (tests stage
+// queue contents deterministically before starting).
+func newFleet(cfg Config, specs ...ReplicaSpec) (*Fleet, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas")
+	}
+	f := &Fleet{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		quit: make(chan struct{}),
+	}
+	names := map[string]bool{}
+	for i, spec := range specs {
+		r, err := newReplica(i, spec, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		if names[r.name] {
+			return nil, fmt.Errorf("fleet: duplicate replica name %q", r.name)
+		}
+		names[r.name] = true
+		f.replicas = append(f.replicas, r)
+	}
+	return f, nil
+}
+
+func (f *Fleet) start() {
+	f.resetClock()
+	for _, r := range f.replicas {
+		f.loops.Add(1)
+		go r.loop(f)
+	}
+}
+
+// resetClock re-anchors virtual time 0 to the present wall-clock instant.
+// Run calls it so a fleet built long before its workload (e.g. after an
+// expensive mapping phase) does not start with its pacing deadlines already
+// in the past.
+func (f *Fleet) resetClock() { f.epoch.Store(time.Now().UnixNano()) }
+
+// Submit routes the request to a replica's admission queue. It returns nil
+// once the request is accepted (its Outcome will arrive on the request's
+// done channel), ErrClosed after Close, ErrNoReplica when every replica is
+// degraded, and ErrShed when every healthy queue is full.
+func (f *Fleet) Submit(rq *Request) error {
+	if rq == nil || rq.done == nil {
+		return fmt.Errorf("fleet: request without a done channel")
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.counters.Submitted.Add(1)
+	r := f.pick(nil)
+	if r == nil {
+		f.counters.Shed.Add(1)
+		return ErrNoReplica
+	}
+	if f.enqueue(r, rq) {
+		return nil
+	}
+	// Backpressure: the chosen queue is full — fall back to any healthy
+	// replica with space before shedding.
+	for _, alt := range f.replicas {
+		if alt != r && !alt.degraded.Load() && f.enqueue(alt, rq) {
+			return nil
+		}
+	}
+	f.counters.Shed.Add(1)
+	return ErrShed
+}
+
+// enqueue attempts a non-blocking admission to r. The outstanding counts
+// are raised before the channel send: the replica loop may dequeue and
+// resolve the request the instant it lands, and resolving before the Add
+// would drive the WaitGroup negative.
+func (f *Fleet) enqueue(r *replica, rq *Request) bool {
+	f.outstanding.Add(1)
+	r.outstanding.Add(1)
+	select {
+	case r.queue <- rq:
+		return true
+	default:
+		r.outstanding.Add(-1)
+		f.outstanding.Done()
+		return false
+	}
+}
+
+// pick applies the configured policy over healthy replicas, excluding one.
+func (f *Fleet) pick(exclude *replica) *replica {
+	healthy := make([]*replica, 0, len(f.replicas))
+	for _, r := range f.replicas {
+		if r != exclude && !r.degraded.Load() {
+			healthy = append(healthy, r)
+		}
+	}
+	switch len(healthy) {
+	case 0:
+		return nil
+	case 1:
+		return healthy[0]
+	}
+	switch f.cfg.Policy {
+	case LeastOutstanding:
+		best := healthy[0]
+		for _, r := range healthy[1:] {
+			if r.outstanding.Load() < best.outstanding.Load() {
+				best = r
+			}
+		}
+		return best
+	case JoinShortestQueue:
+		best := healthy[0]
+		for _, r := range healthy[1:] {
+			if len(r.queue) < len(best.queue) {
+				best = r
+			}
+		}
+		return best
+	case PowerOfTwo:
+		f.rngMu.Lock()
+		i := f.rng.Intn(len(healthy))
+		j := f.rng.Intn(len(healthy) - 1)
+		f.rngMu.Unlock()
+		if j >= i {
+			j++
+		}
+		a, b := healthy[i], healthy[j]
+		if len(b.queue) < len(a.queue) {
+			return b
+		}
+		return a
+	default: // RoundRobin
+		return healthy[f.rrNext.Add(1)%uint64(len(healthy))]
+	}
+}
+
+// reroute re-dispatches a request bounced off a degraded replica. The
+// request was already admitted, so a dead end resolves it with an error
+// instead of returning one.
+func (f *Fleet) reroute(from *replica, rq *Request) {
+	from.outstanding.Add(-1)
+	from.rerouted.Add(1)
+	if rq.attempts >= f.cfg.MaxRetries {
+		f.resolve(rq, Outcome{Err: ErrRetries, Replica: from.name, Retries: rq.attempts})
+		f.counters.Failed.Add(1)
+		return
+	}
+	rq.attempts++
+	f.counters.Retried.Add(1)
+	if r := f.pick(from); r != nil && f.requeue(r, rq) {
+		return
+	}
+	for _, alt := range f.replicas {
+		if alt != from && !alt.degraded.Load() && f.requeue(alt, rq) {
+			return
+		}
+	}
+	f.resolve(rq, Outcome{Err: ErrNoReplica, Replica: from.name, Retries: rq.attempts})
+	f.counters.Failed.Add(1)
+}
+
+// requeue is enqueue for an already-admitted request (the fleet-wide
+// outstanding count must not grow again). As in enqueue, the replica count
+// rises before the send so it can never dip negative under a racing loop.
+func (f *Fleet) requeue(r *replica, rq *Request) bool {
+	r.outstanding.Add(1)
+	select {
+	case r.queue <- rq:
+		return true
+	default:
+		r.outstanding.Add(-1)
+		return false
+	}
+}
+
+// finish resolves a request that replica r has disposed of (served or
+// expired) and releases its outstanding slot.
+func (f *Fleet) finish(r *replica, rq *Request, out Outcome) {
+	r.outstanding.Add(-1)
+	switch out.Err {
+	case nil:
+		f.counters.Completed.Add(1)
+		f.hist.Observe(out.LatencyNS)
+	case ErrDeadline:
+		f.counters.Expired.Add(1)
+	default:
+		f.counters.Failed.Add(1)
+	}
+	f.resolve(rq, out)
+}
+
+// resolve delivers the outcome and retires the request from the
+// outstanding set.
+func (f *Fleet) resolve(rq *Request, out Outcome) {
+	rq.done <- out
+	f.outstanding.Done()
+}
+
+// pace sleeps until the wall-clock instant corresponding to the virtual
+// time on the fleet's clock. Absolute deadlines keep sleep overshoot from
+// accumulating: an actor that has fallen behind the virtual timeline skips
+// sleeping until it catches up.
+func (f *Fleet) pace(virtualNS float64) {
+	elapsed := time.Duration(time.Now().UnixNano() - f.epoch.Load())
+	if d := f.scaled(virtualNS) - elapsed; d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// scaled converts a virtual duration to the wall-clock one.
+func (f *Fleet) scaled(virtualNS float64) time.Duration {
+	return time.Duration(virtualNS * f.cfg.TimeScale)
+}
+
+// InjectFault installs a fault model on the named replica and re-derives
+// its degraded flag from the model's stuck-at cell rate (nil recovers the
+// replica). Requests queued on a replica that degrades are re-dispatched to
+// healthy replicas by its batching loop.
+func (f *Fleet) InjectFault(name string, m *fault.Model) error {
+	for _, r := range f.replicas {
+		if r.name == name {
+			return r.injectFault(m, f.cfg.DegradeThreshold)
+		}
+	}
+	return fmt.Errorf("fleet: no replica %q", name)
+}
+
+// Close stops admission, waits for every accepted request to resolve
+// (graceful drain — queued work still executes, and work stranded on
+// degraded replicas is retried elsewhere), then stops the replica loops.
+// It is idempotent and safe to call concurrently.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.closeOnce.Do(func() {
+		f.outstanding.Wait()
+		close(f.quit)
+	})
+	f.loops.Wait()
+}
+
+// Snapshot returns a point-in-time view of the fleet and its replicas.
+func (f *Fleet) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Submitted: f.counters.Submitted.Load(),
+		Completed: f.counters.Completed.Load(),
+		Shed:      f.counters.Shed.Load(),
+		Expired:   f.counters.Expired.Load(),
+		Retried:   f.counters.Retried.Load(),
+		Failed:    f.counters.Failed.Load(),
+		MeanNS:    f.hist.Mean(),
+		P50NS:     f.hist.Quantile(0.50),
+		P95NS:     f.hist.Quantile(0.95),
+		P99NS:     f.hist.Quantile(0.99),
+		MaxNS:     f.hist.Max(),
+	}
+	for _, r := range f.replicas {
+		s.Replicas = append(s.Replicas, r.snapshot())
+	}
+	return s
+}
+
+// Replicas returns the replica names in construction order.
+func (f *Fleet) Replicas() []string {
+	names := make([]string, len(f.replicas))
+	for i, r := range f.replicas {
+		names[i] = r.name
+	}
+	return names
+}

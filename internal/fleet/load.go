@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"autohet/internal/serving"
+)
+
+// Workload describes an open-loop Poisson request stream offered to the
+// fleet, mirroring serving.Workload so fleet and closed-form serving runs
+// are comparable on identical arrival traces.
+type Workload struct {
+	// ArrivalRate is the mean fleet-wide request rate in requests per
+	// virtual second (Poisson process).
+	ArrivalRate float64
+	// Requests is the number of requests to offer.
+	Requests int
+	// Seed seeds the arrival process. 0 selects serving.DefaultSeed —
+	// the same contract as serving.Workload, so the zero value is a
+	// fixed, documented stream.
+	Seed int64
+	// BudgetNS is the per-request latency budget (0 = none).
+	BudgetNS float64
+}
+
+// Result aggregates one workload run. Latency percentiles are exact
+// (nearest-rank over the completed requests' virtual latencies), unlike
+// Snapshot's histogram-approximated ones.
+type Result struct {
+	Offered   int
+	Completed int
+	Shed      int // refused at admission (ErrShed / ErrNoReplica)
+	Expired   int // accepted but dropped for missing their budget
+	Failed    int // accepted but undeliverable (retries exhausted)
+	Retried   int // completed/resolved requests that were re-dispatched
+
+	MeanNS              float64
+	P50NS, P95NS, P99NS float64
+	MaxNS               float64
+	// MakespanNS is the latest virtual completion time.
+	MakespanNS float64
+	// ThroughputRPS is the achieved completion rate over the makespan.
+	ThroughputRPS float64
+}
+
+// Run offers the workload to the fleet and blocks until every request
+// resolves. Arrivals are generated exactly as serving.Serve generates them
+// (same seed → same trace) and paced on the wall clock by the fleet's
+// TimeScale; with a free-running TimeScale the trace still replays
+// identically, only without pacing.
+func Run(f *Fleet, w Workload) (*Result, error) {
+	if w.ArrivalRate <= 0 {
+		return nil, fmt.Errorf("fleet: arrival rate %v", w.ArrivalRate)
+	}
+	if w.Requests <= 0 {
+		return nil, fmt.Errorf("fleet: request count %d", w.Requests)
+	}
+	seed := w.Seed
+	if seed == 0 {
+		seed = serving.DefaultSeed
+	}
+	rng := rand.New(rand.NewSource(seed))
+	meanGapNS := 1e9 / w.ArrivalRate
+
+	done := make(chan Outcome, w.Requests)
+	res := &Result{Offered: w.Requests}
+	f.resetClock()
+	arrival := 0.0
+	accepted := 0
+	for i := 0; i < w.Requests; i++ {
+		arrival += rng.ExpFloat64() * meanGapNS
+		f.pace(arrival)
+		err := f.Submit(NewRequest(arrival, w.BudgetNS, done))
+		switch err {
+		case nil:
+			accepted++
+		case ErrShed, ErrNoReplica:
+			res.Shed++
+		default:
+			return nil, err
+		}
+	}
+
+	latencies := make([]float64, 0, accepted)
+	for i := 0; i < accepted; i++ {
+		out := <-done
+		if out.Retries > 0 {
+			res.Retried++
+		}
+		switch out.Err {
+		case nil:
+			res.Completed++
+			latencies = append(latencies, out.LatencyNS)
+		case ErrDeadline:
+			res.Expired++
+		default:
+			res.Failed++
+		}
+	}
+	if len(latencies) == 0 {
+		return res, nil
+	}
+	sort.Float64s(latencies)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	res.MeanNS = sum / float64(len(latencies))
+	res.P50NS = percentile(latencies, 0.50)
+	res.P95NS = percentile(latencies, 0.95)
+	res.P99NS = percentile(latencies, 0.99)
+	res.MaxNS = latencies[len(latencies)-1]
+	// Upper bound on the last virtual completion (outcomes arrive
+	// unordered, so max_i(arrival_i + latency_i) is not reconstructible).
+	res.MakespanNS = arrival + res.MaxNS
+	if res.MakespanNS > 0 {
+		res.ThroughputRPS = float64(res.Completed) / res.MakespanNS * 1e9
+	}
+	return res, nil
+}
+
+// percentile returns the p-quantile of sorted values (nearest-rank),
+// matching serving's convention so cross-checks compare like for like.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%d offered: %d completed, %d shed, %d expired, %d failed, %d retried; p50 %.4g ns, p99 %.4g ns, %.4g req/s",
+		r.Offered, r.Completed, r.Shed, r.Expired, r.Failed, r.Retried, r.P50NS, r.P99NS, r.ThroughputRPS)
+}

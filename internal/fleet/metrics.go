@@ -1,0 +1,164 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Observability primitives: lock-free counters and a log-bucketed latency
+// histogram, both safe for concurrent writers. Snapshots are plain values
+// that can be read, printed, and compared without synchronization.
+
+// Histogram is a concurrent latency histogram over geometrically growing
+// buckets. Observations are nanoseconds; quantiles are nearest-rank over
+// the bucket boundaries, so a reported quantile is within one bucket-growth
+// factor (~7%) of the exact value.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	maxBits atomic.Uint64 // float64 bits of the running max
+	buckets [histBuckets]atomic.Int64
+}
+
+const (
+	histMinNS   = 64.0 // lower edge of bucket 1; bucket 0 is [0, histMinNS)
+	histGrowth  = 1.07
+	histBuckets = 360 // covers up to histMinNS * 1.07^359 ≈ 2.4e12 ns
+)
+
+var histLogGrowth = math.Log(histGrowth)
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(ns float64) {
+	if ns < 0 || math.IsNaN(ns) {
+		return
+	}
+	h.count.Add(1)
+	addFloat(&h.sumBits, ns)
+	maxFloat(&h.maxBits, ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+func bucketIndex(ns float64) int {
+	if ns < histMinNS {
+		return 0
+	}
+	i := 1 + int(math.Log(ns/histMinNS)/histLogGrowth)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// addFloat atomically adds v to the float64 stored as bits in a.
+func addFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// maxFloat atomically raises the float64 stored as bits in a to at least v.
+func maxFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed latency (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load()) / float64(n)
+}
+
+// Max returns the largest observed latency.
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
+// Quantile returns the p-quantile (nearest-rank over buckets); each bucket
+// reports its geometric midpoint. p outside (0,1] is clamped.
+func (h *Histogram) Quantile(p float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 1e-9
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(math.Ceil(p * float64(n)))
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == 0 {
+				return histMinNS / 2
+			}
+			lower := histMinNS * math.Pow(histGrowth, float64(i-1))
+			return lower * math.Sqrt(histGrowth) // geometric midpoint
+		}
+	}
+	return h.Max()
+}
+
+// Counters aggregates fleet-wide request outcomes. All fields are atomic;
+// read them through Snapshot for a consistent-enough view.
+type Counters struct {
+	Submitted atomic.Int64 // admission attempts (including shed ones)
+	Completed atomic.Int64 // successfully served
+	Shed      atomic.Int64 // refused at admission (queues full or no healthy replica)
+	Expired   atomic.Int64 // dropped for missing their latency budget
+	Retried   atomic.Int64 // re-dispatches away from a degraded replica
+	Failed    atomic.Int64 // accepted but undeliverable (retries exhausted)
+}
+
+// ReplicaSnapshot is a point-in-time view of one replica.
+type ReplicaSnapshot struct {
+	Name     string
+	Degraded bool
+	// Queued is the current admission-queue depth; Outstanding adds
+	// requests being executed.
+	Queued, Outstanding int
+	Served, Batches     int64
+	Expired             int64
+	// MeanBatch is the average executed batch size.
+	MeanBatch float64
+	// Latency distribution of requests served by this replica.
+	MeanNS, P50NS, P95NS, P99NS, MaxNS float64
+	// CapacityRPS is the replica's pipelined service ceiling.
+	CapacityRPS float64
+	// AreaUM2 is the wrapped plan's silicon area (0 when the replica was
+	// built from a bare PipelineResult).
+	AreaUM2 float64
+}
+
+// Snapshot is a point-in-time view of the whole fleet.
+type Snapshot struct {
+	Submitted, Completed, Shed, Expired, Retried, Failed int64
+	// Fleet-wide latency distribution over completed requests.
+	MeanNS, P50NS, P95NS, P99NS, MaxNS float64
+	Replicas                           []ReplicaSnapshot
+}
+
+// String summarizes the fleet snapshot in one line.
+func (s *Snapshot) String() string {
+	return fmt.Sprintf("fleet[%d replicas]: %d submitted, %d completed, %d shed, %d expired, %d retried, %d failed; p50 %.4g ns, p99 %.4g ns",
+		len(s.Replicas), s.Submitted, s.Completed, s.Shed, s.Expired, s.Retried, s.Failed, s.P50NS, s.P99NS)
+}

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileAccuracy checks the log-bucketed quantiles against
+// exact nearest-rank values: the geometric-midpoint convention keeps every
+// reported quantile within one bucket-growth factor (~7%) of the truth.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// Deterministic LCG spanning ~3 decades (1e3 .. 1e6 ns).
+	vals := make([]float64, 0, 20000)
+	x := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		v := 1e3 * math.Pow(10, 3*float64(x>>11)/float64(1<<53))
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Float64s(vals)
+	for _, p := range []float64{0.50, 0.95, 0.99} {
+		exact := vals[int(math.Ceil(p*float64(len(vals))))-1]
+		got := h.Quantile(p)
+		if rel := math.Abs(got-exact) / exact; rel > histGrowth-1 {
+			t.Errorf("q%.2f: histogram %.1f vs exact %.1f (rel err %.3f)", p, got, exact, rel)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	if mean := h.Mean(); math.Abs(mean-sum/20000) > 1e-6*mean {
+		t.Errorf("mean %v vs %v", mean, sum/20000)
+	}
+	if max := h.Max(); max != vals[len(vals)-1] {
+		t.Errorf("max %v vs %v", max, vals[len(vals)-1])
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-5)         // ignored
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 0 {
+		t.Fatalf("invalid observations counted: %d", h.Count())
+	}
+	h.Observe(1) // bucket 0: [0, 64)
+	if q := h.Quantile(0.5); q != histMinNS/2 {
+		t.Fatalf("bucket-0 quantile %v", q)
+	}
+	h.Observe(1e15) // beyond the last bucket edge: clamped, max still exact
+	if h.Max() != 1e15 {
+		t.Fatalf("max %v", h.Max())
+	}
+	if q := h.Quantile(1); q <= 0 {
+		t.Fatalf("q100 %v", q)
+	}
+	// Quantile clamps p outside (0, 1].
+	if h.Quantile(-1) <= 0 || h.Quantile(2) <= 0 {
+		t.Fatal("clamped quantiles must be positive on a non-empty histogram")
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for ns := 1.0; ns < 1e13; ns *= 1.31 {
+		i := bucketIndex(ns)
+		if i < prev {
+			t.Fatalf("bucketIndex(%g) = %d < previous %d", ns, i, prev)
+		}
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%g) = %d out of range", ns, i)
+		}
+		prev = i
+	}
+}
+
+// TestHistogramConcurrent checks the CAS float accumulators under parallel
+// writers: identical values sum exactly, so the mean must be bit-exact.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const writers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Mean() != 1000 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max %v", h.Max())
+	}
+}

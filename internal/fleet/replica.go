@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autohet/internal/accel"
+	"autohet/internal/fault"
+	"autohet/internal/sim"
+)
+
+// ReplicaSpec describes one accelerator instance in the fleet.
+type ReplicaSpec struct {
+	// Name identifies the replica in snapshots and fault injection
+	// (default "r<index>").
+	Name string
+	// Pipeline supplies the replica's service timing (fill latency and
+	// steady-state initiation interval). Required.
+	Pipeline *sim.PipelineResult
+	// Plan optionally records the mapped design behind the pipeline so
+	// snapshots can report silicon area.
+	Plan *accel.Plan
+	// Faults optionally injects device non-idealities from the start; a
+	// stuck-at cell rate at or above Config.DegradeThreshold marks the
+	// replica degraded.
+	Faults *fault.Model
+}
+
+// replica runs one accelerator's batching loop. nextFree (the virtual time
+// at which the pipeline accepts its next input) is owned by the loop
+// goroutine; everything else shared is atomic.
+type replica struct {
+	name  string
+	pr    *sim.PipelineResult
+	plan  *accel.Plan
+	queue chan *Request
+
+	// outstanding counts queued + executing requests (the
+	// least-outstanding policy's signal).
+	outstanding atomic.Int64
+	degraded    atomic.Bool
+	faultMu     sync.Mutex
+	faults      *fault.Model
+
+	nextFree float64 // virtual ns; loop-owned
+
+	served   atomic.Int64
+	batches  atomic.Int64
+	batchSum atomic.Int64
+	expired  atomic.Int64
+	rerouted atomic.Int64
+	hist     Histogram
+}
+
+func newReplica(index int, spec ReplicaSpec, cfg *Config) (*replica, error) {
+	name := spec.Name
+	if name == "" {
+		name = fmt.Sprintf("r%d", index)
+	}
+	if spec.Pipeline == nil || spec.Pipeline.IntervalNS <= 0 || spec.Pipeline.FillNS <= 0 {
+		return nil, fmt.Errorf("fleet: replica %q has a degenerate pipeline", name)
+	}
+	r := &replica{
+		name:  name,
+		pr:    spec.Pipeline,
+		plan:  spec.Plan,
+		queue: make(chan *Request, cfg.QueueDepth),
+	}
+	if err := r.injectFault(spec.Faults, cfg.DegradeThreshold); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// injectFault installs (or clears, with nil) the fault model and re-derives
+// the degraded flag from its stuck-at cell rate.
+func (r *replica) injectFault(m *fault.Model, threshold float64) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	r.faultMu.Lock()
+	r.faults = m
+	r.faultMu.Unlock()
+	r.degraded.Store(m.CellFaultRate() >= threshold)
+	return nil
+}
+
+// loop collects batches from the admission queue and executes them until
+// the fleet shuts down. A batch closes at MaxBatch requests or
+// BatchTimeoutNS after its first one; if the replica was marked degraded,
+// the whole batch is bounced back to the dispatcher for retry elsewhere.
+func (r *replica) loop(f *Fleet) {
+	defer f.loops.Done()
+	for {
+		var first *Request
+		select {
+		case first = <-r.queue:
+		case <-f.quit:
+			return
+		}
+		batch := make([]*Request, 1, f.cfg.MaxBatch)
+		batch[0] = first
+		timedOut := false
+		if f.cfg.MaxBatch > 1 {
+			timer := time.NewTimer(f.scaled(f.cfg.BatchTimeoutNS))
+		collect:
+			for len(batch) < f.cfg.MaxBatch {
+				// Drain already-queued requests before consulting the
+				// timer, so an expired timer never truncates a batch
+				// whose members are ready (and free-running fleets,
+				// whose scaled timeout is ~0, still batch).
+				select {
+				case rq := <-r.queue:
+					batch = append(batch, rq)
+					continue
+				default:
+				}
+				select {
+				case rq := <-r.queue:
+					batch = append(batch, rq)
+				case <-timer.C:
+					timedOut = true
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		if r.degraded.Load() {
+			for _, rq := range batch {
+				f.reroute(r, rq)
+			}
+			continue
+		}
+		r.execute(f, batch, timedOut)
+	}
+}
+
+// execute prices the batch on the pipelined accelerator in virtual time:
+// the batch enters at max(pipeline free, latest member arrival, first
+// arrival + batch timeout when the timeout closed it); member i completes
+// one fill plus i initiation intervals later. Requests whose completion
+// would overshoot their latency budget are dropped without consuming
+// pipeline time. The loop then sleeps until the batch's virtual occupancy
+// has passed on the wall clock so the next batch forms under realistic
+// pacing.
+func (r *replica) execute(f *Fleet, batch []*Request, timedOut bool) {
+	entry := r.nextFree
+	for _, rq := range batch {
+		if rq.ArrivalNS > entry {
+			entry = rq.ArrivalNS
+		}
+	}
+	if timedOut {
+		if t := batch[0].ArrivalNS + f.cfg.BatchTimeoutNS; t > entry {
+			entry = t
+		}
+	}
+	kept := batch[:0]
+	for _, rq := range batch {
+		completion := entry + r.pr.FillNS + float64(len(kept))*r.pr.IntervalNS
+		if rq.BudgetNS > 0 && completion-rq.ArrivalNS > rq.BudgetNS {
+			r.expired.Add(1)
+			f.finish(r, rq, Outcome{Err: ErrDeadline, Replica: r.name, Retries: rq.attempts})
+			continue
+		}
+		kept = append(kept, rq)
+	}
+	if len(kept) == 0 {
+		return
+	}
+	r.nextFree = entry + float64(len(kept))*r.pr.IntervalNS
+	r.batches.Add(1)
+	r.batchSum.Add(int64(len(kept)))
+	f.pace(r.nextFree)
+	for i, rq := range kept {
+		latency := entry + r.pr.FillNS + float64(i)*r.pr.IntervalNS - rq.ArrivalNS
+		r.served.Add(1)
+		r.hist.Observe(latency)
+		f.finish(r, rq, Outcome{LatencyNS: latency, Replica: r.name, Retries: rq.attempts})
+	}
+}
+
+func (r *replica) snapshot() ReplicaSnapshot {
+	s := ReplicaSnapshot{
+		Name:        r.name,
+		Degraded:    r.degraded.Load(),
+		Queued:      len(r.queue),
+		Outstanding: int(r.outstanding.Load()),
+		Served:      r.served.Load(),
+		Batches:     r.batches.Load(),
+		Expired:     r.expired.Load(),
+		MeanNS:      r.hist.Mean(),
+		P50NS:       r.hist.Quantile(0.50),
+		P95NS:       r.hist.Quantile(0.95),
+		P99NS:       r.hist.Quantile(0.99),
+		MaxNS:       r.hist.Max(),
+		CapacityRPS: 1e9 / r.pr.IntervalNS,
+	}
+	if b := r.batches.Load(); b > 0 {
+		s.MeanBatch = float64(r.batchSum.Load()) / float64(b)
+	}
+	if r.plan != nil {
+		s.AreaUM2 = r.plan.Area()
+	}
+	return s
+}

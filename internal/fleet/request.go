@@ -1,0 +1,56 @@
+package fleet
+
+import "errors"
+
+// Request outcomes and admission errors.
+var (
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("fleet: closed")
+	// ErrShed rejects a submission when every healthy admission queue is
+	// full (backpressure).
+	ErrShed = errors.New("fleet: shed, all admission queues full")
+	// ErrNoReplica means no healthy replica exists (all degraded).
+	ErrNoReplica = errors.New("fleet: no healthy replica")
+	// ErrDeadline resolves an accepted request whose completion would
+	// overshoot its latency budget.
+	ErrDeadline = errors.New("fleet: latency budget exceeded")
+	// ErrRetries resolves a request bounced off degraded replicas more than
+	// Config.MaxRetries times.
+	ErrRetries = errors.New("fleet: retries exhausted")
+)
+
+// Request is one inference request. Arrival is a virtual timestamp in
+// nanoseconds on the workload's clock; the runtime's latency accounting is
+// relative to it.
+type Request struct {
+	// ArrivalNS is the request's virtual arrival time.
+	ArrivalNS float64
+	// BudgetNS is the per-request latency budget (deadline = arrival +
+	// budget); 0 means none. Requests that would miss it are dropped at
+	// dispatch without consuming pipeline time.
+	BudgetNS float64
+
+	done     chan<- Outcome
+	attempts int // re-dispatches so far; owned by whichever goroutine holds the request
+}
+
+// NewRequest builds a request whose Outcome will be delivered on done. The
+// channel must be buffered (or actively drained): a replica loop delivers
+// outcomes synchronously.
+func NewRequest(arrivalNS, budgetNS float64, done chan<- Outcome) *Request {
+	return &Request{ArrivalNS: arrivalNS, BudgetNS: budgetNS, done: done}
+}
+
+// Outcome resolves one accepted request.
+type Outcome struct {
+	// Err is nil for a served request, ErrDeadline for a dropped one, and
+	// ErrRetries/ErrNoReplica when retry routing ran out of replicas.
+	Err error
+	// LatencyNS is the virtual end-to-end latency (arrival → completion)
+	// of a served request.
+	LatencyNS float64
+	// Replica names the replica that resolved the request.
+	Replica string
+	// Retries counts re-dispatches off degraded replicas.
+	Retries int
+}

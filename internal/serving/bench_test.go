@@ -1,0 +1,44 @@
+package serving
+
+import (
+	"fmt"
+	"testing"
+
+	"autohet/internal/sim"
+)
+
+// BenchmarkServeOverload exercises the backlog accounting in the regime
+// that made the old per-arrival pending-slice rebuild quadratic: a 2×
+// overloaded stream whose queue grows in proportion to the request count.
+// With the advancing-pointer scan, ns/op must grow linearly in the request
+// count (the sort dominates); the O(n²) version grows quadratically.
+func BenchmarkServeOverload(b *testing.B) {
+	pr := &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}
+	for _, n := range []int{5_000, 20_000, 80_000} {
+		b.Run(fmt.Sprintf("requests_%d", n), func(b *testing.B) {
+			w := Workload{ArrivalRate: 2 * 1e9 / pr.IntervalNS, Requests: n, Seed: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := Serve(pr, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Stable {
+					b.Fatal("overload benchmark must be in the unstable regime")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeStable covers the light-load path for contrast.
+func BenchmarkServeStable(b *testing.B) {
+	pr := &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}
+	w := Workload{ArrivalRate: 0.5 * 1e9 / pr.IntervalNS, Requests: 20_000, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Serve(pr, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,7 +20,9 @@ type ClosedLoop struct {
 	Clients     int
 	Requests    int     // total requests across all clients
 	ThinkTimeNS float64 // mean think time (exponential); 0 = back-to-back
-	Seed        int64
+	// Seed seeds the think-time process; 0 selects DefaultSeed (the same
+	// contract as Workload.Seed).
+	Seed int64
 }
 
 // ClosedStats summarizes a closed-loop run.
@@ -68,7 +70,11 @@ func ServeClosed(pr *sim.PipelineResult, w ClosedLoop) (*ClosedStats, error) {
 	case pr.IntervalNS <= 0 || pr.FillNS <= 0:
 		return nil, fmt.Errorf("serving: degenerate pipeline (interval %v, fill %v)", pr.IntervalNS, pr.FillNS)
 	}
-	rng := rand.New(rand.NewSource(w.Seed))
+	seed := w.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	rng := rand.New(rand.NewSource(seed))
 	think := func() float64 {
 		if w.ThinkTimeNS == 0 {
 			return 0

@@ -15,11 +15,19 @@ import (
 	"autohet/internal/sim"
 )
 
+// DefaultSeed seeds the arrival process when a workload leaves Seed at 0,
+// so the zero value drives a fixed, documented stream instead of silently
+// using rand.NewSource(0). Every arrival-process consumer (Serve,
+// ServeClosed, the fleet runtime's load generator) shares this contract.
+const DefaultSeed int64 = 42
+
 // Workload describes an open-loop request stream.
 type Workload struct {
 	ArrivalRate float64 // mean requests per second (Poisson process)
 	Requests    int     // number of requests to simulate
-	Seed        int64
+	// Seed seeds the arrival process; 0 selects DefaultSeed. Runs are
+	// deterministic per seed.
+	Seed int64
 }
 
 // Stats summarizes a serving run. Latencies are end-to-end (arrival →
@@ -53,7 +61,11 @@ func Serve(pr *sim.PipelineResult, w Workload) (*Stats, error) {
 	if pr.IntervalNS <= 0 || pr.FillNS <= 0 {
 		return nil, fmt.Errorf("serving: degenerate pipeline (interval %v, fill %v)", pr.IntervalNS, pr.FillNS)
 	}
-	rng := rand.New(rand.NewSource(w.Seed))
+	seed := w.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	rng := rand.New(rand.NewSource(seed))
 	meanGapNS := 1e9 / w.ArrivalRate
 
 	latencies := make([]float64, 0, w.Requests)
@@ -65,7 +77,16 @@ func Serve(pr *sim.PipelineResult, w Workload) (*Stats, error) {
 	// Entry times form a renewal process: a request enters the pipeline at
 	// max(its arrival, previous entry + initiation interval) and completes
 	// one pipeline-fill later.
-	pending := make([]float64, 0, 64) // entry times not yet started at the latest arrival
+	//
+	// Entry times are monotone nondecreasing, so the backlog at each
+	// arrival instant (earlier requests whose entry is still in the
+	// future, plus this one if it must wait) is a contiguous suffix of the
+	// entry sequence: a single pointer advancing past started entries
+	// makes the scan O(n) overall instead of rebuilding a pending slice
+	// per arrival (O(n²) in the overload regime, where the backlog is
+	// proportional to n).
+	entries := make([]float64, 0, w.Requests)
+	head := 0 // entries[:head] had started by the latest arrival
 	for i := 0; i < w.Requests; i++ {
 		arrival += rng.ExpFloat64() * meanGapNS
 		entry := arrival
@@ -78,18 +99,12 @@ func Serve(pr *sim.PipelineResult, w Workload) (*Stats, error) {
 		if completion > makespan {
 			makespan = completion
 		}
-		// Backlog at this arrival instant: earlier requests whose entry is
-		// still in the future, plus this one if it must wait.
-		pending = append(pending, entry)
-		keep := pending[:0]
-		for _, e := range pending {
-			if e > arrival {
-				keep = append(keep, e)
-			}
+		entries = append(entries, entry)
+		for head < len(entries) && entries[head] <= arrival {
+			head++
 		}
-		pending = keep
-		if len(pending) > maxQueue {
-			maxQueue = len(pending)
+		if q := len(entries) - head; q > maxQueue {
+			maxQueue = q
 		}
 	}
 

@@ -1,6 +1,8 @@
 package serving
 
 import (
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -122,6 +124,79 @@ func TestServeValidation(t *testing.T) {
 	bad := &sim.PipelineResult{}
 	if _, err := Serve(bad, Workload{ArrivalRate: 1, Requests: 1}); err == nil {
 		t.Error("degenerate pipeline must error")
+	}
+}
+
+// TestMaxQueueMatchesNaiveScan pins the advancing-pointer backlog
+// accounting to the original per-arrival rebuild semantics: replay the
+// same arrival trace and filter the full pending set at every arrival.
+func TestMaxQueueMatchesNaiveScan(t *testing.T) {
+	pr := &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}
+	for _, frac := range []float64{0.5, 0.95, 2.0} {
+		w := Workload{ArrivalRate: frac * 1e9 / pr.IntervalNS, Requests: 2000, Seed: 7}
+		st, err := Serve(pr, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(w.Seed))
+		meanGap := 1e9 / w.ArrivalRate
+		arrival, prevEntry := 0.0, math.Inf(-1)
+		var pending []float64
+		naive := 0
+		for i := 0; i < w.Requests; i++ {
+			arrival += rng.ExpFloat64() * meanGap
+			entry := arrival
+			if e := prevEntry + pr.IntervalNS; e > entry {
+				entry = e
+			}
+			prevEntry = entry
+			pending = append(pending, entry)
+			keep := pending[:0]
+			for _, e := range pending {
+				if e > arrival {
+					keep = append(keep, e)
+				}
+			}
+			pending = keep
+			if len(pending) > naive {
+				naive = len(pending)
+			}
+		}
+		if st.MaxQueue != naive {
+			t.Fatalf("load %.0f%%: MaxQueue %d, naive scan %d", 100*frac, st.MaxQueue, naive)
+		}
+	}
+}
+
+// TestSeedZeroSelectsDefault documents the seeding contract: Seed 0 is the
+// DefaultSeed stream, not rand.NewSource(0).
+func TestSeedZeroSelectsDefault(t *testing.T) {
+	pr := &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}
+	w := Workload{ArrivalRate: 0.8 * 1e9 / pr.IntervalNS, Requests: 500}
+	zero, err := Serve(pr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Seed = DefaultSeed
+	def, err := Serve(pr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.MeanNS != def.MeanNS || zero.MaxQueue != def.MaxQueue {
+		t.Fatal("Seed 0 must behave as DefaultSeed")
+	}
+	cw := ClosedLoop{Clients: 8, Requests: 500, ThinkTimeNS: 300}
+	czero, err := ServeClosed(pr, cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw.Seed = DefaultSeed
+	cdef, err := ServeClosed(pr, cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if czero.MeanNS != cdef.MeanNS {
+		t.Fatal("closed-loop Seed 0 must behave as DefaultSeed")
 	}
 }
 

@@ -7,15 +7,21 @@
 //	autohet -model VGG16 -rounds 300
 //	autohet -model ResNet152 -candidates 32x32,36x32,72x64,288x256,576x512
 //	autohet -model AlexNet -noshare        # disable tile-shared allocation
+//	autohet -model VGG16 -fault-rate 0.002 -repair 4,1   # fault/repair study
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"autohet/internal/accel"
 	"autohet/internal/dnn"
+	"autohet/internal/fault"
 	"autohet/internal/hw"
+	"autohet/internal/repair"
 	"autohet/internal/rl"
 	"autohet/internal/search"
 	"autohet/internal/sim"
@@ -33,12 +39,65 @@ func main() {
 	objective := flag.String("objective", "rue", "search objective: rue (Eq. 2), util, energy, or area")
 	saveAgent := flag.String("save-agent", "", "write the trained DDPG agent to this file")
 	hwConfig := flag.String("hwconfig", "", "JSON hardware-config file (see hw.Config; empty = paper defaults)")
+	faultRate := flag.Float64("fault-rate", 0, "stuck-at cell rate for the fault study (split evenly SA0/SA1; 0 = none)")
+	readNoise := flag.Float64("read-noise", 0, "analog read-noise sigma in integer sum units for the fault study")
+	faultsFile := flag.String("faults", "", "JSON fault-model file (see fault.Model; -fault-rate/-read-noise override its fields)")
+	repairSpec := flag.String("repair", "", `spare provisioning "C,X": C spare columns per crossbar and X spare PEs per tile (e.g. 4,1)`)
 	flag.Parse()
 
-	if err := run(*model, *rounds, *seed, *cands, !*noshare, *verbose, *objective, *saveAgent, *hwConfig); err != nil {
+	fm, prov, err := faultArgs(*faultsFile, *faultRate, *readNoise, *seed, *repairSpec)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "autohet:", err)
 		os.Exit(1)
 	}
+	if err := run(*model, *rounds, *seed, *cands, !*noshare, *verbose, *objective, *saveAgent, *hwConfig, fm, prov); err != nil {
+		fmt.Fprintln(os.Stderr, "autohet:", err)
+		os.Exit(1)
+	}
+}
+
+// faultArgs assembles the fault study's model and spare provisioning from
+// the CLI surface: the JSON file (if any) is the base, explicit flags
+// override its fields.
+func faultArgs(faultsFile string, faultRate, readNoise float64, seed int64, repairSpec string) (*fault.Model, *repair.Provision, error) {
+	fm, err := fault.LoadModel(faultsFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	if faultRate > 0 || readNoise > 0 {
+		if fm == nil {
+			fm = &fault.Model{Seed: seed}
+		}
+		if faultRate > 0 {
+			fm.StuckAtZero, fm.StuckAtOne = faultRate/2, faultRate/2
+		}
+		if readNoise > 0 {
+			fm.ReadNoiseSigma = readNoise
+		}
+		if err := fm.Validate(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if repairSpec == "" {
+		return fm, nil, nil
+	}
+	colsText, xbsText, ok := strings.Cut(repairSpec, ",")
+	if !ok {
+		xbsText = "0"
+	}
+	cols, err := strconv.Atoi(strings.TrimSpace(colsText))
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad -repair %q: %v", repairSpec, err)
+	}
+	xbs, err := strconv.Atoi(strings.TrimSpace(xbsText))
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad -repair %q: %v", repairSpec, err)
+	}
+	prov := repair.Provision{SpareCols: cols, SpareXBs: xbs}
+	if err := prov.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return fm, &prov, nil
 }
 
 // objectiveFn resolves the -objective flag. The non-RUE objectives are
@@ -58,7 +117,7 @@ func objectiveFn(name string) (func(*sim.Result) float64, error) {
 	}
 }
 
-func run(modelName string, rounds int, seed int64, candList string, shared, verbose bool, objective, saveAgent, hwConfig string) error {
+func run(modelName string, rounds int, seed int64, candList string, shared, verbose bool, objective, saveAgent, hwConfig string, fm *fault.Model, prov *repair.Provision) error {
 	m, err := dnn.ByName(modelName)
 	if err != nil {
 		return err
@@ -151,6 +210,69 @@ func run(modelName string, rounds int, seed int64, candList string, shared, verb
 			return err
 		}
 		fmt.Printf("  trained agent written to %s\n", saveAgent)
+	}
+	if fm != nil || prov != nil {
+		if err := faultStudy(cfg, m, res.Best, shared, r, fm, prov); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// faultStudy reports how the searched strategy tolerates the requested
+// fault model: the honest RUE/area cost of provisioning spares, and per
+// layer whether the spare budget analytically covers the stuck-at rate
+// (repair.Provision.MaxCellRate). Read noise is analog and not repairable,
+// so it is only echoed.
+func faultStudy(cfg hw.Config, m *dnn.Model, st accel.Strategy, shared bool, base *sim.Result, fm *fault.Model, prov *repair.Provision) error {
+	rate := fm.CellFaultRate()
+	fmt.Printf("\nfault study: stuck-at rate %.3g%%, read-noise sigma %.3g\n", 100*rate, fm.ReadNoiseSigma)
+	if prov == nil {
+		fmt.Println("  no spares provisioned (-repair C,X to provision); faults can only be masked, not repaired")
+	}
+
+	spares := repair.Provision{}
+	if prov != nil {
+		spares = *prov
+	}
+	p, err := accel.Build(cfg, m, accel.PlanSpec{Strategy: st, Shared: shared, Spares: spares})
+	if err != nil {
+		return err
+	}
+	r, err := sim.Simulate(p)
+	if err != nil {
+		return err
+	}
+	if prov != nil {
+		fmt.Printf("  spares: %d columns/crossbar, %d PEs/tile — util %.2f%% (was %.2f%%), "+
+			"RUE %.4g (was %.4g), area %.4g µm² (+%.1f%%)\n",
+			spares.SpareCols, spares.SpareXBs, r.Utilization, base.Utilization,
+			r.RUE(), base.RUE(), r.AreaUM2, 100*(r.AreaUM2/base.AreaUM2-1))
+	}
+
+	if rate > 0 {
+		fmt.Println("  per-layer repair coverage (analytic, full detection):")
+		covered := true
+		for _, la := range p.Layers {
+			budget := p.RepairBudget(la)
+			max := budget.MaxCellRate(la.Shape.R, la.Shape.C, la.WeightBits, la.SlotsNeeded())
+			ok := rate <= max
+			covered = covered && ok
+			mark := "✓"
+			if !ok {
+				mark = "✗ (masking)"
+			}
+			fmt.Printf("    %-6s %-9v spares %d cols + %d crossbars: covers ≤%.3g%%  %s\n",
+				la.Layer.Name, la.Shape, budget.SpareCols, budget.SpareXBs, 100*max, mark)
+		}
+		if covered {
+			fmt.Println("  repaired inference is bit-exact with the ideal accelerator at this rate")
+		} else {
+			fmt.Println("  spares exhausted on ✗ layers: known-bad cells are masked to the nearest representable weight (bounded error)")
+		}
+	}
+	if fm.ReadNoiseSigma > 0 {
+		fmt.Println("  note: analog read noise is not repairable by remapping; it adds on top of any residual stuck-at error")
 	}
 	return nil
 }

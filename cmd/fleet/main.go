@@ -45,11 +45,14 @@ func main() {
 	faultReplica := flag.String("fault-replica", "", "replica name to degrade mid-run (see printed legend)")
 	faultRate := flag.Float64("fault-rate", 0.05, "stuck-at cell rate injected into -fault-replica")
 	faultAt := flag.Float64("fault-at", 0.3, "injection instant as a fraction of the run")
+	repairCap := flag.Float64("repair-capacity", 0, "stuck-at cell rate each replica's spares can absorb (0 = no self-repair)")
+	repairMiss := flag.Float64("repair-miss", 0, "per-sweep detection miss probability of the online health loop")
 	hwConfig := flag.String("hwconfig", "", "JSON hardware-config file (empty = paper defaults)")
 	flag.Parse()
 
 	if err := run(*model, *spec, *policy, *load, *requests, *batch, *batchTimeout,
-		*queue, *budget, *seed, *timescale, *faultReplica, *faultRate, *faultAt, *hwConfig); err != nil {
+		*queue, *budget, *seed, *timescale, *faultReplica, *faultRate, *faultAt,
+		*repairCap, *repairMiss, *hwConfig); err != nil {
 		fmt.Fprintln(os.Stderr, "fleet:", err)
 		os.Exit(1)
 	}
@@ -107,7 +110,7 @@ func parseSpec(cfg hw.Config, m *dnn.Model, text string, batch int) ([]fleet.Rep
 
 func run(modelName, specText, policyText string, load float64, requests, batch int,
 	batchTimeoutUS float64, queue int, budgetUS float64, seed int64, timescale float64,
-	faultReplica string, faultRate, faultAt float64, hwConfig string) error {
+	faultReplica string, faultRate, faultAt, repairCap, repairMiss float64, hwConfig string) error {
 	m, err := dnn.ByName(modelName)
 	if err != nil {
 		return err
@@ -129,6 +132,14 @@ func run(modelName, specText, policyText string, load float64, requests, batch i
 	specs, err := parseSpec(cfg, m, specText, batch)
 	if err != nil {
 		return err
+	}
+	if repairCap > 0 {
+		rs := fleet.RepairSpec{Capacity: repairCap, MissRate: repairMiss}
+		for i := range specs {
+			specs[i].Repair = &rs
+		}
+		fmt.Printf("self-repair: spares absorb %.2f%% stuck cells, %.0f%% detection miss per sweep\n",
+			100*repairCap, 100*repairMiss)
 	}
 
 	var aggregate float64
@@ -181,11 +192,11 @@ func run(modelName, specText, policyText string, load float64, requests, batch i
 	}
 
 	fmt.Printf("\n%v\n\n", res)
-	fmt.Printf("%-8s %-9s %-8s %-8s %-11s %-12s %-12s %s\n",
-		"replica", "degraded", "served", "batches", "mean batch", "p50 (µs)", "p99 (µs)", "max (µs)")
+	fmt.Printf("%-8s %-7s %-8s %-8s %-8s %-11s %-12s %-12s %s\n",
+		"replica", "health", "repairs", "served", "batches", "mean batch", "p50 (µs)", "p99 (µs)", "max (µs)")
 	for _, r := range snap.Replicas {
-		fmt.Printf("%-8s %-9t %-8d %-8d %-11.2f %-12.1f %-12.1f %.1f\n",
-			r.Name, r.Degraded, r.Served, r.Batches, r.MeanBatch,
+		fmt.Printf("%-8s %-7.2f %-8d %-8d %-8d %-11.2f %-12.1f %-12.1f %.1f\n",
+			r.Name, r.Health, r.Repairs, r.Served, r.Batches, r.MeanBatch,
 			r.P50NS/1000, r.P99NS/1000, r.MaxNS/1000)
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 
 	"autohet/internal/dnn"
 	"autohet/internal/hw"
+	"autohet/internal/repair"
 	"autohet/internal/xbar"
 )
 
@@ -47,6 +48,12 @@ type Plan struct {
 	Layers   []*LayerAlloc
 	Tiles    []*Tile
 	Shared   bool
+	// Spares is the fault-tolerance redundancy built into the plan:
+	// SpareCols extra bitline columns on every crossbar and SpareXBs spare
+	// PEs per occupied tile. Spares hold no weights — their cells and area
+	// are charged against utilization and RUE so the robustness/efficiency
+	// trade-off stays honest.
+	Spares repair.Provision
 	// Remaps records Algorithm 1's combMap: for each head tile ID, the
 	// tail tile IDs whose occupants were folded into it.
 	Remaps map[int][]int
@@ -101,6 +108,9 @@ type PlanSpec struct {
 	Replication Replication
 	Precision   Precision
 	Shared      bool
+	// Spares provisions repair redundancy (spare columns per crossbar,
+	// spare PEs per occupied tile). The zero value provisions nothing.
+	Spares repair.Provision
 }
 
 // BuildPlan maps the model onto tiles under the strategy. With shared=false
@@ -131,7 +141,10 @@ func Build(cfg hw.Config, m *dnn.Model, spec PlanSpec) (*Plan, error) {
 	if err := spec.Precision.Validate(m, cfg.WeightBits); err != nil {
 		return nil, err
 	}
-	p := &Plan{Cfg: cfg, Model: m, Strategy: st, Remaps: map[int][]int{}}
+	if err := spec.Spares.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{Cfg: cfg, Model: m, Strategy: st, Spares: spec.Spares, Remaps: map[int][]int{}}
 	slotsPerTile := cfg.PEsPerTile
 	nextID := 0
 	for _, l := range m.Mappable() {
@@ -215,14 +228,25 @@ func (p *Plan) UsedCells() int64 {
 	return total
 }
 
+// spareShape widens a crossbar shape by the plan's provisioned spare
+// columns. Spares hold no weights, so they only ever appear on the
+// cost side (area, allocated cells).
+func (p *Plan) spareShape(s xbar.Shape) xbar.Shape {
+	s.C += p.Spares.SpareCols
+	return s
+}
+
 // AllocatedCells returns the logical cells of every slot in every occupied
 // tile — the denominator of tile-level utilization. Empty slots of occupied
-// tiles count as wastage; fully freed tiles do not.
+// tiles count as wastage; fully freed tiles do not. Provisioned spares
+// (extra columns per crossbar, spare PEs per occupied tile) count too: they
+// are silicon the plan pays for but cannot put weights on.
 func (p *Plan) AllocatedCells() int64 {
 	var total int64
 	for _, t := range p.Tiles {
 		if t.Used() > 0 {
-			total += int64(t.Slots) * int64(t.Shape.Cells())
+			cells := int64(p.spareShape(t.Shape).Cells())
+			total += (int64(t.Slots) + int64(p.Spares.SpareXBs)) * cells
 		}
 	}
 	return total
@@ -256,15 +280,29 @@ func (p *Plan) EmptySlotFraction() float64 {
 }
 
 // Area returns the silicon area in µm²: the sum of occupied tiles' areas
-// (each sized by its crossbar shape) plus the bank global controller.
+// (each sized by its crossbar shape, widened by any provisioned spare
+// columns, plus any spare PEs) and the bank global controller.
 func (p *Plan) Area() float64 {
 	total := hw.GlobalCtrlArea
 	for _, t := range p.Tiles {
 		if t.Used() > 0 {
-			total += p.Cfg.TileArea(t.Shape)
+			s := p.spareShape(t.Shape)
+			total += p.Cfg.TileArea(s) + float64(p.Spares.SpareXBs)*p.Cfg.PEArea(s)
 		}
 	}
 	return total
+}
+
+// RepairBudget returns the spare capacity one layer's repair pass may draw
+// on: the per-crossbar spare columns, and the spare-PE budget summed over
+// the tiles the layer touches (spare PEs are a per-tile resource; a layer
+// spanning k tiles can absorb k whole-crossbar remaps per provisioned
+// spare).
+func (p *Plan) RepairBudget(la *LayerAlloc) repair.Provision {
+	return repair.Provision{
+		SpareCols: p.Spares.SpareCols,
+		SpareXBs:  p.Spares.SpareXBs * len(la.Placements),
+	}
 }
 
 // LayerTiles returns the number of distinct tiles holding slots of the

@@ -6,6 +6,7 @@ import (
 
 	"autohet/internal/dnn"
 	"autohet/internal/hw"
+	"autohet/internal/repair"
 	"autohet/internal/xbar"
 )
 
@@ -313,5 +314,47 @@ func TestPlaceMergesSameLayer(t *testing.T) {
 	tl.place(2, 2)
 	if len(tl.Occupants) != 1 || tl.Occupants[0].Slots != 3 {
 		t.Fatalf("occupants = %v", tl.Occupants)
+	}
+}
+
+// Spare provisioning is charged honestly: the same model planned with
+// spares must report more area, more allocated cells, and strictly lower
+// utilization — while the weight mapping itself is untouched.
+func TestPlanSparesChargedAgainstAreaAndUtilization(t *testing.T) {
+	m := flatModel(t, [3]int{3, 12, 128})
+	st := Homogeneous(1, xbar.Square(64))
+	plain, err := Build(cfg(), m, PlanSpec{Strategy: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spared, err := Build(cfg(), m, PlanSpec{Strategy: st, Spares: repair.Provision{SpareCols: 4, SpareXBs: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spared.UsedCells() != plain.UsedCells() {
+		t.Fatalf("spares must not change weight cells: %d vs %d", spared.UsedCells(), plain.UsedCells())
+	}
+	if spared.AllocatedCells() <= plain.AllocatedCells() {
+		t.Fatalf("spares must add allocated cells: %d vs %d", spared.AllocatedCells(), plain.AllocatedCells())
+	}
+	if spared.Area() <= plain.Area() {
+		t.Fatalf("spares must add area: %v vs %v", spared.Area(), plain.Area())
+	}
+	if spared.Utilization() >= plain.Utilization() {
+		t.Fatalf("spares must lower utilization: %v vs %v", spared.Utilization(), plain.Utilization())
+	}
+	// Expected exactly: each occupied tile's 4 slots widen 64x64 → 64x68,
+	// plus one spare PE of the widened shape.
+	wantAlloc := int64(4+1) * int64(64*68)
+	if got := spared.AllocatedCells(); got != wantAlloc {
+		t.Fatalf("allocated cells = %d, want %d", got, wantAlloc)
+	}
+	la := spared.Layers[0]
+	budget := spared.RepairBudget(la)
+	if budget.SpareCols != 4 || budget.SpareXBs != 1*len(la.Placements) {
+		t.Fatalf("repair budget = %+v", budget)
+	}
+	if _, err := Build(cfg(), m, PlanSpec{Strategy: st, Spares: repair.Provision{SpareCols: -1}}); err == nil {
+		t.Fatal("negative spares must be rejected")
 	}
 }

@@ -21,7 +21,7 @@ import (
 // sensitivity, inter-layer pipelining, and the LLM-domain workload.
 
 // Extensions lists the extension experiment names.
-var Extensions = []string{"breakdown", "faults", "pipeline", "llm", "stability", "programming", "precision", "pruning", "noc", "adc", "fleet"}
+var Extensions = []string{"breakdown", "faults", "repair", "pipeline", "llm", "stability", "programming", "precision", "pruning", "noc", "adc", "fleet"}
 
 // RunExtension generates the named extension experiment.
 func (s *Suite) RunExtension(name string) ([]*report.Table, error) {
@@ -32,6 +32,8 @@ func (s *Suite) RunExtension(name string) ([]*report.Table, error) {
 	case "faults":
 		t, err := s.FaultSensitivity()
 		return wrap(t, err)
+	case "repair":
+		return s.Repair()
 	case "pipeline":
 		t, err := s.Pipeline()
 		return wrap(t, err)

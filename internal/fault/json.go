@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JSON fault-model support so the command-line tools can run fault and
+// repair studies without recompiling. Fields absent from the JSON keep
+// their zero (inject-nothing) values.
+
+// modelJSON mirrors Model with pointer fields so "absent" is
+// distinguishable from zero.
+type modelJSON struct {
+	StuckAtZero    *float64 `json:"stuck_at_zero"`
+	StuckAtOne     *float64 `json:"stuck_at_one"`
+	ReadNoiseSigma *float64 `json:"read_noise_sigma"`
+	Seed           *int64   `json:"seed"`
+}
+
+// ReadModel parses a JSON fault model from r, starting from the zero Model
+// and overriding only the present fields, then validates.
+func ReadModel(r io.Reader) (*Model, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var j modelJSON
+	if err := dec.Decode(&j); err != nil {
+		return nil, fmt.Errorf("fault: parsing model: %w", err)
+	}
+	var m Model
+	if j.StuckAtZero != nil {
+		m.StuckAtZero = *j.StuckAtZero
+	}
+	if j.StuckAtOne != nil {
+		m.StuckAtOne = *j.StuckAtOne
+	}
+	if j.ReadNoiseSigma != nil {
+		m.ReadNoiseSigma = *j.ReadNoiseSigma
+	}
+	if j.Seed != nil {
+		m.Seed = *j.Seed
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// LoadModel reads a JSON fault-model file; an empty path returns nil (no
+// injected faults).
+func LoadModel(path string) (*Model, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadModel(f)
+}
+
+// WriteJSON serializes the full model (all fields explicit).
+func (m *Model) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(modelJSON{
+		StuckAtZero:    &m.StuckAtZero,
+		StuckAtOne:     &m.StuckAtOne,
+		ReadNoiseSigma: &m.ReadNoiseSigma,
+		Seed:           &m.Seed,
+	})
+}

@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadModel(t *testing.T) {
+	m, err := ReadModel(strings.NewReader(
+		`{"stuck_at_zero": 0.01, "read_noise_sigma": 0.5, "seed": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Model{StuckAtZero: 0.01, ReadNoiseSigma: 0.5, Seed: 7}
+	if *m != want {
+		t.Fatalf("got %+v, want %+v", *m, want)
+	}
+	// Absent fields keep their zero values.
+	if m.StuckAtOne != 0 {
+		t.Fatalf("absent stuck_at_one = %v", m.StuckAtOne)
+	}
+}
+
+func TestReadModelRejects(t *testing.T) {
+	for _, bad := range []string{
+		`{"stuck_at_zero": 0.8, "stuck_at_one": 0.8}`, // combined > 1
+		`{"read_noise_sigma": -1}`,
+		`{"stuck_rate": 0.1}`, // unknown field
+		`not json`,
+	} {
+		if _, err := ReadModel(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadModel(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadModelRoundTrip(t *testing.T) {
+	m, err := LoadModel("")
+	if err != nil || m != nil {
+		t.Fatalf("empty path: got (%v, %v), want (nil, nil)", m, err)
+	}
+	src := &Model{StuckAtZero: 0.02, StuckAtOne: 0.01, ReadNoiseSigma: 0.25, Seed: 3}
+	var buf bytes.Buffer
+	if err := src.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "faults.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *src {
+		t.Fatalf("round trip: got %+v, want %+v", *got, *src)
+	}
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

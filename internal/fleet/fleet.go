@@ -5,8 +5,10 @@
 // can be mixed in one fleet. The runtime provides pluggable load-balancing
 // policies, per-replica dynamic batching (close a batch at size B or after
 // a timeout), bounded admission queues with shedding, per-request latency
-// budgets, retry routing away from fault-degraded replicas, graceful drain,
-// and built-in counters/latency histograms.
+// budgets, an online health loop (periodic fault-detection sweeps that
+// self-repair onto spare capacity and feed a continuous health score into
+// the queue-aware policies), retry routing away from fully degraded
+// replicas, graceful drain, and built-in counters/latency histograms.
 //
 // Time model: requests carry virtual arrival stamps in nanoseconds and all
 // queueing/latency accounting is done in that virtual clock using the exact
@@ -81,9 +83,18 @@ type Config struct {
 	// MaxRetries bounds re-dispatches when a replica degrades with the
 	// request still queued (default 3).
 	MaxRetries int
-	// DegradeThreshold is the stuck-at cell fault rate at or above which an
-	// injected fault.Model marks its replica degraded (default 0.01).
+	// DegradeThreshold is the uncovered stuck-at cell fault rate at which a
+	// replica's health score reaches zero and it stops taking traffic
+	// (default 0.01). Below the threshold, health falls linearly —
+	// health = 1 − uncoveredRate/DegradeThreshold — and the queue-aware
+	// policies shift traffic away proportionally.
 	DegradeThreshold float64
+	// HealthSweepNS is the virtual-time period of the online health loop:
+	// every period each replica runs one detection/repair sweep over its
+	// pending fault ledger (default 1 ms virtual). Negative disables the
+	// background loop — tests and experiments then step repair
+	// deterministically with Fleet.Sweep.
+	HealthSweepNS float64
 	// TimeScale is the wall-clock pacing factor: a virtual duration of
 	// d nanoseconds sleeps d·TimeScale real nanoseconds (default 1.0 —
 	// real time). Tiny values (e.g. 1e-9) make the fleet free-running:
@@ -103,6 +114,7 @@ func DefaultConfig() Config {
 		QueueDepth:       256,
 		MaxRetries:       3,
 		DegradeThreshold: 0.01,
+		HealthSweepNS:    1e6,
 		TimeScale:        1.0,
 		Seed:             1,
 	}
@@ -142,6 +154,9 @@ func (c *Config) normalize() error {
 	if c.DegradeThreshold == 0 {
 		c.DegradeThreshold = 0.01
 	}
+	if c.HealthSweepNS == 0 {
+		c.HealthSweepNS = 1e6
+	}
 	if c.TimeScale == 0 {
 		c.TimeScale = 1.0
 	}
@@ -170,6 +185,10 @@ type Fleet struct {
 	// or the latest resetClock). Pacing sleeps target absolute deadlines
 	// derived from it, so timer overshoot never accumulates.
 	epoch atomic.Int64
+	// clockGen counts clock resets; replica loops compare it against their
+	// cached copy to invalidate pipeline-free timestamps from a previous
+	// timeline.
+	clockGen atomic.Uint64
 
 	// mu serializes admission against Close so the outstanding WaitGroup
 	// is never Add-ed concurrently with its final Wait.
@@ -227,13 +246,61 @@ func (f *Fleet) start() {
 		f.loops.Add(1)
 		go r.loop(f)
 	}
+	if f.cfg.HealthSweepNS > 0 {
+		f.loops.Add(1)
+		go f.sweeper()
+	}
+}
+
+// sweeper is the online health loop: every HealthSweepNS of virtual time it
+// runs one detection/repair sweep across the fleet. The wall tick is
+// clamped so free-running fleets (tiny TimeScale) don't spin.
+func (f *Fleet) sweeper() {
+	defer f.loops.Done()
+	d := f.scaled(f.cfg.HealthSweepNS)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	t := time.NewTicker(d)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			f.Sweep()
+		case <-f.quit:
+			return
+		}
+	}
+}
+
+// Sweep runs one detection/repair pass on every replica: each detects
+// (1−MissRate) of its pending faults, repairs them from remaining spare
+// capacity, masks the overflow, and refreshes its health score. The
+// background health loop calls it periodically; tests and experiments may
+// call it directly to step self-healing deterministically.
+func (f *Fleet) Sweep() {
+	for _, r := range f.replicas {
+		r.sweep(f.cfg.DegradeThreshold)
+	}
+}
+
+// VirtualNow returns the current virtual time in nanoseconds on the fleet's
+// clock — the workload-facing timeline the pacing sleeps track.
+func (f *Fleet) VirtualNow() float64 {
+	return float64(time.Now().UnixNano()-f.epoch.Load()) / f.cfg.TimeScale
 }
 
 // resetClock re-anchors virtual time 0 to the present wall-clock instant.
 // Run calls it so a fleet built long before its workload (e.g. after an
 // expensive mapping phase) does not start with its pacing deadlines already
-// in the past.
-func (f *Fleet) resetClock() { f.epoch.Store(time.Now().UnixNano()) }
+// in the past. Bumping the generation makes each replica loop drop its
+// pipeline-free timestamp from the previous timeline, so back-to-back runs
+// on one fleet (e.g. before/after a fault storm) each start from a quiet
+// pipeline instead of inheriting stale virtual backlog.
+func (f *Fleet) resetClock() {
+	f.epoch.Store(time.Now().UnixNano())
+	f.clockGen.Add(1)
+}
 
 // Submit routes the request to a replica's admission queue. It returns nil
 // once the request is accepted (its Outcome will arrive on the request's
@@ -260,7 +327,7 @@ func (f *Fleet) Submit(rq *Request) error {
 	// Backpressure: the chosen queue is full — fall back to any healthy
 	// replica with space before shedding.
 	for _, alt := range f.replicas {
-		if alt != r && !alt.degraded.Load() && f.enqueue(alt, rq) {
+		if alt != r && !alt.degraded() && f.enqueue(alt, rq) {
 			return nil
 		}
 	}
@@ -285,11 +352,14 @@ func (f *Fleet) enqueue(r *replica, rq *Request) bool {
 	}
 }
 
-// pick applies the configured policy over healthy replicas, excluding one.
+// pick applies the configured policy over healthy (health > 0) replicas,
+// excluding one. The queue- and load-aware policies minimize health-weighted
+// scores, so a partially sick replica keeps serving but takes
+// proportionally less traffic.
 func (f *Fleet) pick(exclude *replica) *replica {
 	healthy := make([]*replica, 0, len(f.replicas))
 	for _, r := range f.replicas {
-		if r != exclude && !r.degraded.Load() {
+		if r != exclude && !r.degraded() {
 			healthy = append(healthy, r)
 		}
 	}
@@ -301,18 +371,18 @@ func (f *Fleet) pick(exclude *replica) *replica {
 	}
 	switch f.cfg.Policy {
 	case LeastOutstanding:
-		best := healthy[0]
+		best, bestScore := healthy[0], healthy[0].loadScore()
 		for _, r := range healthy[1:] {
-			if r.outstanding.Load() < best.outstanding.Load() {
-				best = r
+			if s := r.loadScore(); s < bestScore {
+				best, bestScore = r, s
 			}
 		}
 		return best
 	case JoinShortestQueue:
-		best := healthy[0]
+		best, bestScore := healthy[0], healthy[0].queueScore()
 		for _, r := range healthy[1:] {
-			if len(r.queue) < len(best.queue) {
-				best = r
+			if s := r.queueScore(); s < bestScore {
+				best, bestScore = r, s
 			}
 		}
 		return best
@@ -325,7 +395,7 @@ func (f *Fleet) pick(exclude *replica) *replica {
 			j++
 		}
 		a, b := healthy[i], healthy[j]
-		if len(b.queue) < len(a.queue) {
+		if b.queueScore() < a.queueScore() {
 			return b
 		}
 		return a
@@ -351,7 +421,7 @@ func (f *Fleet) reroute(from *replica, rq *Request) {
 		return
 	}
 	for _, alt := range f.replicas {
-		if alt != from && !alt.degraded.Load() && f.requeue(alt, rq) {
+		if alt != from && !alt.degraded() && f.requeue(alt, rq) {
 			return
 		}
 	}
@@ -412,10 +482,13 @@ func (f *Fleet) scaled(virtualNS float64) time.Duration {
 	return time.Duration(virtualNS * f.cfg.TimeScale)
 }
 
-// InjectFault installs a fault model on the named replica and re-derives
-// its degraded flag from the model's stuck-at cell rate (nil recovers the
-// replica). Requests queued on a replica that degrades are re-dispatched to
-// healthy replicas by its batching loop.
+// InjectFault installs a fault model on the named replica (nil recovers
+// it), resets its fault ledger, and runs one immediate detection sweep; the
+// health loop (or Fleet.Sweep) then repairs the residue over subsequent
+// sweeps when the replica has a RepairSpec. The model's seed is mixed with
+// the replica's identity, so injecting one model fleet-wide still fails
+// independent cells per replica. Requests queued on a replica whose health
+// hits zero are re-dispatched to healthy replicas by its batching loop.
 func (f *Fleet) InjectFault(name string, m *fault.Model) error {
 	for _, r := range f.replicas {
 		if r.name == name {

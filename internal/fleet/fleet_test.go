@@ -307,7 +307,7 @@ func TestPolicyPick(t *testing.T) {
 	done := make(chan Outcome, 16)
 
 	rr := mk(RoundRobin)
-	rr.replicas[1].degraded.Store(true)
+	rr.replicas[1].setHealth(0)
 	seen := map[string]int{}
 	for i := 0; i < 6; i++ {
 		seen[rr.pick(nil).name]++

@@ -1,0 +1,326 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"autohet/internal/fault"
+	"autohet/internal/quant"
+	"autohet/internal/sim"
+)
+
+// manualSweeps disables the background health loop so tests step repair
+// deterministically with Fleet.Sweep.
+func manualSweeps() Config {
+	cfg := freeRunning()
+	cfg.HealthSweepNS = -1
+	return cfg
+}
+
+// Replicas given the same fault model must fail on independent cells, as
+// real chips do: the replica identity is mixed into the model's seed.
+func TestReplicaFaultSeedsDecorrelated(t *testing.T) {
+	f, err := New(manualSweeps(),
+		ReplicaSpec{Name: "a", Pipeline: fastPipeline()},
+		ReplicaSpec{Name: "b", Pipeline: fastPipeline()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m := &fault.Model{StuckAtZero: 0.05, Seed: 42}
+	for _, name := range []string{"a", "b"} {
+		if err := f.InjectFault(name, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	models := make([]*fault.Model, 2)
+	for i, r := range f.replicas {
+		r.faultMu.Lock()
+		models[i] = r.faults
+		r.faultMu.Unlock()
+	}
+	if models[0].Seed == models[1].Seed {
+		t.Fatalf("replicas share fault seed %d", models[0].Seed)
+	}
+	// The derived fault maps must actually differ: apply each model to an
+	// identical all-ones plane and diff the stuck cells.
+	ones := func() []*quant.BitPlane {
+		p := &quant.BitPlane{Rows: 40, Cols: 40, Bit: 0, Bits: make([]uint8, 1600)}
+		for i := range p.Bits {
+			p.Bits[i] = 1
+		}
+		return []*quant.BitPlane{p}
+	}
+	pa := models[0].ApplyStuckAt(ones(), 1)[0]
+	pb := models[1].ApplyStuckAt(ones(), 1)[0]
+	same, faultsA := 0, 0
+	for i := range pa.Bits {
+		if pa.Bits[i] == 0 {
+			faultsA++
+			if pb.Bits[i] == 0 {
+				same++
+			}
+		}
+	}
+	if faultsA == 0 {
+		t.Fatal("model injected no faults")
+	}
+	if same == faultsA {
+		t.Fatalf("all %d stuck cells coincide across replicas", faultsA)
+	}
+	// Pin the mixing function: deterministic and name-sensitive.
+	if replicaSeed("a", 42) != replicaSeed("a", 42) {
+		t.Fatal("replicaSeed must be deterministic")
+	}
+	if replicaSeed("a", 42) == replicaSeed("b", 42) {
+		t.Fatal("replicaSeed must differ across names")
+	}
+}
+
+// The queue-aware policies weight by health: a half-healthy replica looks
+// twice as loaded, so it keeps serving but takes proportionally less
+// traffic instead of cliff-dropping at the threshold.
+func TestHealthWeightedDispatch(t *testing.T) {
+	mk := func(policy Policy) *Fleet {
+		cfg := manualSweeps()
+		cfg.Policy = policy
+		f, err := newFleet(cfg,
+			ReplicaSpec{Name: "a", Pipeline: fastPipeline()},
+			ReplicaSpec{Name: "b", Pipeline: fastPipeline()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	done := make(chan Outcome, 16)
+
+	jsq := mk(JoinShortestQueue)
+	jsq.replicas[1].setHealth(0.4)
+	// Empty queues: the sick replica scores 1/0.4 = 2.5 vs 1 — avoid it.
+	if got := jsq.pick(nil).name; got != "a" {
+		t.Fatalf("jsq with sick b picked %q, want a", got)
+	}
+	// But pile 3 requests onto a (score 4) and the sick replica at 2.5
+	// takes traffic again: smooth shift, not a cliff.
+	for i := 0; i < 3; i++ {
+		stage(t, jsq, 0, NewRequest(0, 0, done))
+	}
+	if got := jsq.pick(nil).name; got != "b" {
+		t.Fatalf("jsq with a loaded picked %q, want the half-healthy b", got)
+	}
+
+	lo := mk(LeastOutstanding)
+	lo.replicas[1].setHealth(0.4)
+	lo.replicas[0].outstanding.Add(3)
+	if got := lo.pick(nil).name; got != "b" {
+		t.Fatalf("least-outstanding picked %q, want b (score 2.5 vs 4)", got)
+	}
+
+	p2c := mk(PowerOfTwo)
+	p2c.replicas[1].setHealth(0.5)
+	// Two replicas: p2c always samples both; equal queues, so health
+	// decides every draw.
+	for i := 0; i < 16; i++ {
+		if got := p2c.pick(nil).name; got != "a" {
+			t.Fatalf("p2c draw %d picked %q, want a", i, got)
+		}
+	}
+}
+
+// The sweep recurrence: inject 2× the degrade threshold with spare capacity
+// covering it all and a 50% detection miss rate. The immediate sweep repairs
+// half (health 0), then each manual sweep halves the pending residue:
+// health 0.5, 0.75, 0.875, ... → recovered without clearing the fault.
+func TestSelfHealingSweepRecurrence(t *testing.T) {
+	f, err := New(manualSweeps(), ReplicaSpec{
+		Name:     "a",
+		Pipeline: fastPipeline(),
+		Repair:   &RepairSpec{Capacity: 0.05, MissRate: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.InjectFault("a", &fault.Model{StuckAtZero: 0.02, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 0.75, 0.875}
+	for i, w := range want {
+		got := f.Snapshot().Replicas[0].Health
+		if math.Abs(got-w) > 1e-12 {
+			t.Fatalf("after %d sweeps health = %v, want %v", i, got, w)
+		}
+		f.Sweep()
+	}
+	for i := 0; i < 10; i++ {
+		f.Sweep()
+	}
+	s := f.Snapshot().Replicas[0]
+	if s.Health < 0.999 || s.Degraded {
+		t.Fatalf("health %v after healing, want ≈1", s.Health)
+	}
+	if s.Repairs < 4 {
+		t.Fatalf("repairs counter %d, want every productive sweep counted", s.Repairs)
+	}
+
+	// Exhausted capacity: the overflow is masked into a permanent
+	// uncovered residue that sweeps cannot clear.
+	f2, err := New(manualSweeps(), ReplicaSpec{
+		Name:     "a",
+		Pipeline: fastPipeline(),
+		Repair:   &RepairSpec{Capacity: 0.004},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if err := f2.InjectFault("a", &fault.Model{StuckAtOne: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		f2.Sweep()
+	}
+	if h := f2.Snapshot().Replicas[0].Health; h != 0 {
+		t.Fatalf("uncovered 1.6%% ≥ threshold must keep health 0, got %v", h)
+	}
+
+	// Partial residue: capacity absorbs all but 0.5× threshold → health
+	// settles at 0.5, and the replica keeps taking (reduced) traffic.
+	f3, err := New(manualSweeps(), ReplicaSpec{
+		Name:     "a",
+		Pipeline: fastPipeline(),
+		Repair:   &RepairSpec{Capacity: 0.015},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Close()
+	if err := f3.InjectFault("a", &fault.Model{StuckAtZero: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	if h := f3.Snapshot().Replicas[0].Health; math.Abs(h-0.5) > 1e-12 {
+		t.Fatalf("health %v, want 0.5 (0.5%% masked residue)", h)
+	}
+	if f3.pick(nil) == nil {
+		t.Fatal("half-healthy replica must stay in rotation")
+	}
+
+	// Invalid repair specs are rejected at construction.
+	if _, err := New(manualSweeps(), ReplicaSpec{
+		Pipeline: fastPipeline(), Repair: &RepairSpec{MissRate: 1},
+	}); err == nil {
+		t.Fatal("miss rate 1 must be rejected")
+	}
+	if _, err := New(manualSweeps(), ReplicaSpec{
+		Pipeline: fastPipeline(), Repair: &RepairSpec{Capacity: -1},
+	}); err == nil {
+		t.Fatal("negative capacity must be rejected")
+	}
+}
+
+// The background health loop heals without manual stepping: after a storm,
+// health climbs back above 0.9 while the fleet keeps serving.
+func TestOnlineHealthLoopHealsUnderTraffic(t *testing.T) {
+	cfg := freeRunning()
+	cfg.Policy = JoinShortestQueue
+	f, err := New(cfg,
+		ReplicaSpec{Name: "a", Pipeline: fastPipeline(), Repair: &RepairSpec{Capacity: 0.05, MissRate: 0.3}},
+		ReplicaSpec{Name: "b", Pipeline: fastPipeline(), Repair: &RepairSpec{Capacity: 0.05, MissRate: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.InjectFault("b", &fault.Model{StuckAtZero: 0.03, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if h := f.Snapshot().Replicas[1].Health; h > 0.9 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health loop did not heal b: %v", f.Snapshot().Replicas[1].Health)
+		}
+		res, err := Run(f, Workload{ArrivalRate: 1e6, Requests: 50, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed+res.Shed+res.Expired+res.Failed != res.Offered {
+			t.Fatalf("requests lost during healing: %+v", res)
+		}
+	}
+}
+
+// The acceptance scenario: a fleet at ~90% utilization loses a replica to a
+// fault storm mid-life, self-repairs over sweeps, and post-repair
+// throughput recovers to ≥90% of the pre-fault steady state.
+func TestFaultStormThroughputRecovers(t *testing.T) {
+	// Paced in real time so queueing dynamics are genuine: free running
+	// would deliver every arrival in one wall instant and turn the run into
+	// a pure queue-capacity test. The 200 µs service interval dwarfs
+	// per-request scheduling overhead (which the race detector inflates to
+	// tens of µs), so wall noise cannot masquerade as lost capacity.
+	cfg := DefaultConfig()
+	cfg.HealthSweepNS = -1
+	cfg.Policy = JoinShortestQueue
+	cfg.TimeScale = 1
+	pr := func() *sim.PipelineResult {
+		return &sim.PipelineResult{FillNS: 1e6, IntervalNS: 200_000}
+	}
+	rs := func() *RepairSpec { return &RepairSpec{Capacity: 0.05, MissRate: 0.5} }
+	f, err := New(cfg,
+		ReplicaSpec{Name: "a", Pipeline: pr(), Repair: rs()},
+		ReplicaSpec{Name: "b", Pipeline: pr(), Repair: rs()},
+		ReplicaSpec{Name: "c", Pipeline: pr(), Repair: rs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Aggregate capacity 3×5k rps; offer 13.5k (90%) for ~90 ms per phase.
+	w := Workload{ArrivalRate: 13.5e3, Requests: 1200, Seed: 9}
+
+	pre, err := Run(f, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Completed < w.Requests*95/100 {
+		t.Fatalf("pre-storm steady state unhealthy: %+v", pre)
+	}
+
+	// Storm: replica b takes 2× the degrade threshold and goes dark.
+	if err := f.InjectFault("b", &fault.Model{StuckAtZero: 0.02, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if h := f.Snapshot().Replicas[1].Health; h != 0 {
+		t.Fatalf("storm must degrade b, health %v", h)
+	}
+	storm, err := Run(f, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two replicas cannot carry 135% of their capacity: the storm phase
+	// visibly sheds or slows.
+	if storm.Completed == w.Requests && storm.ThroughputRPS >= 0.95*pre.ThroughputRPS {
+		t.Fatalf("storm phase shows no impact: %+v vs pre %+v", storm, pre)
+	}
+
+	// Self-heal: each sweep halves the pending residue.
+	for i := 0; i < 8; i++ {
+		f.Sweep()
+	}
+	if h := f.Snapshot().Replicas[1].Health; h < 0.99 {
+		t.Fatalf("b not healed after 8 sweeps: health %v", h)
+	}
+	post, err := Run(f, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.ThroughputRPS < 0.9*pre.ThroughputRPS {
+		t.Fatalf("post-repair throughput %.4g rps < 90%% of pre-storm %.4g rps",
+			post.ThroughputRPS, pre.ThroughputRPS)
+	}
+	if post.Completed < w.Requests*95/100 {
+		t.Fatalf("post-repair run still shedding: %+v", post)
+	}
+}

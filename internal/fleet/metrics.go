@@ -131,8 +131,15 @@ type Counters struct {
 
 // ReplicaSnapshot is a point-in-time view of one replica.
 type ReplicaSnapshot struct {
-	Name     string
+	Name string
+	// Health is the continuous health score in [0,1]: 1 − uncovered fault
+	// rate over Config.DegradeThreshold. Queue-aware dispatch weights by
+	// it; Degraded reports the score having reached zero.
+	Health   float64
 	Degraded bool
+	// Repairs counts detection sweeps that found a nonzero pending fault
+	// rate (and repaired or masked it).
+	Repairs int64
 	// Queued is the current admission-queue depth; Outstanding adds
 	// requests being executed.
 	Queued, Outstanding int

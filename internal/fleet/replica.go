@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,35 @@ import (
 	"autohet/internal/fault"
 	"autohet/internal/sim"
 )
+
+// RepairSpec configures a replica's online self-repair: how much stuck-cell
+// rate its provisioned spares can absorb and how lossy each detection sweep
+// is. The zero value detects perfectly but can repair nothing — faults are
+// masked (bounded error) and the health score carries the full residual.
+type RepairSpec struct {
+	// Capacity is the total stuck-at cell rate the replica's provisioned
+	// spares can absorb before masking takes over — typically
+	// repair.Provision.MaxCellRate of the design behind the replica.
+	Capacity float64
+	// MissRate is the probability one detection sweep misses a pending
+	// fault. Sweeps are independent, so the undetected residue decays
+	// geometrically as the online loop runs.
+	MissRate float64
+}
+
+// Validate rejects malformed repair specs.
+func (s *RepairSpec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.Capacity < 0 {
+		return fmt.Errorf("fleet: negative repair capacity %v", s.Capacity)
+	}
+	if s.MissRate < 0 || s.MissRate >= 1 {
+		return fmt.Errorf("fleet: repair miss rate %v outside [0,1)", s.MissRate)
+	}
+	return nil
+}
 
 // ReplicaSpec describes one accelerator instance in the fleet.
 type ReplicaSpec struct {
@@ -22,15 +52,33 @@ type ReplicaSpec struct {
 	// Plan optionally records the mapped design behind the pipeline so
 	// snapshots can report silicon area.
 	Plan *accel.Plan
-	// Faults optionally injects device non-idealities from the start; a
-	// stuck-at cell rate at or above Config.DegradeThreshold marks the
-	// replica degraded.
+	// Faults optionally injects device non-idealities from the start; the
+	// stuck-at cell rate left uncovered after repair, measured against
+	// Config.DegradeThreshold, sets the replica's health score.
 	Faults *fault.Model
+	// Repair enables online self-repair: detection sweeps (run by the
+	// fleet's health loop or Fleet.Sweep) move pending faults onto spare
+	// capacity until it runs out. Nil means faults land uncovered at once —
+	// the legacy binary degrade behavior.
+	Repair *RepairSpec
+}
+
+// healthState is the replica's fault ledger, owned by faultMu. All fields
+// are stuck-at cell rates (fractions of cells).
+type healthState struct {
+	// pending is the injected fault rate not yet seen by a detection sweep.
+	pending float64
+	// uncovered is the detected rate that exhausted spare capacity and was
+	// masked instead of repaired — the bounded-error residue driving the
+	// health score.
+	uncovered float64
+	// spareLeft is the remaining spare capacity.
+	spareLeft float64
 }
 
 // replica runs one accelerator's batching loop. nextFree (the virtual time
 // at which the pipeline accepts its next input) is owned by the loop
-// goroutine; everything else shared is atomic.
+// goroutine; everything else shared is atomic or under faultMu.
 type replica struct {
 	name  string
 	pr    *sim.PipelineResult
@@ -40,17 +88,25 @@ type replica struct {
 	// outstanding counts queued + executing requests (the
 	// least-outstanding policy's signal).
 	outstanding atomic.Int64
-	degraded    atomic.Bool
-	faultMu     sync.Mutex
-	faults      *fault.Model
+	// healthBits holds the health score in [0,1] as float64 bits: 1 is
+	// pristine, 0 is degraded (bounced by the batching loop). Dispatch
+	// policies weight queue scores by it so traffic shifts smoothly away
+	// from sick replicas.
+	healthBits atomic.Uint64
+	faultMu    sync.Mutex
+	faults     *fault.Model
+	repair     *RepairSpec
+	hs         healthState
 
 	nextFree float64 // virtual ns; loop-owned
+	clockGen uint64  // fleet clock generation nextFree belongs to; loop-owned
 
 	served   atomic.Int64
 	batches  atomic.Int64
 	batchSum atomic.Int64
 	expired  atomic.Int64
 	rerouted atomic.Int64
+	repairs  atomic.Int64 // sweeps that repaired or masked a nonzero rate
 	hist     Histogram
 }
 
@@ -62,35 +118,117 @@ func newReplica(index int, spec ReplicaSpec, cfg *Config) (*replica, error) {
 	if spec.Pipeline == nil || spec.Pipeline.IntervalNS <= 0 || spec.Pipeline.FillNS <= 0 {
 		return nil, fmt.Errorf("fleet: replica %q has a degenerate pipeline", name)
 	}
+	if err := spec.Repair.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: replica %q: %w", name, err)
+	}
 	r := &replica{
 		name:  name,
 		pr:    spec.Pipeline,
 		plan:  spec.Plan,
 		queue: make(chan *Request, cfg.QueueDepth),
 	}
+	if spec.Repair != nil {
+		rs := *spec.Repair
+		r.repair = &rs
+	}
+	r.setHealth(1)
 	if err := r.injectFault(spec.Faults, cfg.DegradeThreshold); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-// injectFault installs (or clears, with nil) the fault model and re-derives
-// the degraded flag from its stuck-at cell rate.
+func (r *replica) health() float64 { return math.Float64frombits(r.healthBits.Load()) }
+func (r *replica) degraded() bool  { return r.health() <= 0 }
+func (r *replica) setHealth(h float64) {
+	r.healthBits.Store(math.Float64bits(h))
+}
+
+// queueScore is the health-weighted admission-queue depth the JSQ and P2C
+// policies minimize: a replica at half health looks twice as long, so
+// traffic shifts smoothly away instead of cliff-dropping at a threshold.
+func (r *replica) queueScore() float64 { return float64(len(r.queue)+1) / r.health() }
+
+// loadScore is queueScore over outstanding work (least-outstanding policy).
+func (r *replica) loadScore() float64 {
+	return float64(r.outstanding.Load()+1) / r.health()
+}
+
+// replicaSeed mixes the replica's identity into a fault seed (FNV-1a over
+// the name) so identical fault models injected fleet-wide still produce
+// independent per-chip fault maps, as real silicon does.
+func replicaSeed(name string, seed int64) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return seed ^ int64(h)
+}
+
+// injectFault installs (or clears, with nil) the fault model, resets the
+// fault ledger to the new model's stuck-at rate against a full spare budget,
+// and runs one immediate detection sweep. Without a RepairSpec that sweep
+// detects everything and repairs nothing, reproducing the legacy binary
+// degrade semantics; with one, the first sweep repairs what it detects and
+// the online loop keeps sweeping the missed residue.
 func (r *replica) injectFault(m *fault.Model, threshold float64) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
 	r.faultMu.Lock()
-	r.faults = m
-	r.faultMu.Unlock()
-	r.degraded.Store(m.CellFaultRate() >= threshold)
+	defer r.faultMu.Unlock()
+	if m == nil {
+		r.faults = nil
+	} else {
+		mm := *m
+		mm.Seed = replicaSeed(r.name, m.Seed)
+		r.faults = &mm
+	}
+	r.hs = healthState{pending: m.CellFaultRate()}
+	if r.repair != nil {
+		r.hs.spareLeft = r.repair.Capacity
+	}
+	r.sweepLocked(threshold)
 	return nil
+}
+
+// sweep runs one online detection/repair pass: detect (1−miss) of the
+// pending faults, repair them from the remaining spare capacity, mask the
+// overflow into the uncovered residue, and refresh the health score.
+func (r *replica) sweep(threshold float64) {
+	r.faultMu.Lock()
+	defer r.faultMu.Unlock()
+	r.sweepLocked(threshold)
+}
+
+func (r *replica) sweepLocked(threshold float64) {
+	detected := r.hs.pending
+	if r.repair != nil {
+		detected *= 1 - r.repair.MissRate
+	}
+	if detected > 0 {
+		r.hs.pending -= detected
+		repaired := math.Min(detected, r.hs.spareLeft)
+		r.hs.spareLeft -= repaired
+		r.hs.uncovered += detected - repaired
+		r.repairs.Add(1)
+	}
+	h := 1 - (r.hs.pending+r.hs.uncovered)/threshold
+	if h < 0 {
+		h = 0
+	}
+	if h > 1 {
+		h = 1
+	}
+	r.setHealth(h)
 }
 
 // loop collects batches from the admission queue and executes them until
 // the fleet shuts down. A batch closes at MaxBatch requests or
-// BatchTimeoutNS after its first one; if the replica was marked degraded,
-// the whole batch is bounced back to the dispatcher for retry elsewhere.
+// BatchTimeoutNS after its first one; if the replica's health has reached
+// zero, the whole batch is bounced back to the dispatcher for retry
+// elsewhere.
 func (r *replica) loop(f *Fleet) {
 	defer f.loops.Done()
 	for {
@@ -127,7 +265,7 @@ func (r *replica) loop(f *Fleet) {
 			}
 			timer.Stop()
 		}
-		if r.degraded.Load() {
+		if r.degraded() {
 			for _, rq := range batch {
 				f.reroute(r, rq)
 			}
@@ -146,6 +284,10 @@ func (r *replica) loop(f *Fleet) {
 // has passed on the wall clock so the next batch forms under realistic
 // pacing.
 func (r *replica) execute(f *Fleet, batch []*Request, timedOut bool) {
+	if g := f.clockGen.Load(); g != r.clockGen {
+		r.clockGen = g
+		r.nextFree = 0
+	}
 	entry := r.nextFree
 	for _, rq := range batch {
 		if rq.ArrivalNS > entry {
@@ -185,12 +327,14 @@ func (r *replica) execute(f *Fleet, batch []*Request, timedOut bool) {
 func (r *replica) snapshot() ReplicaSnapshot {
 	s := ReplicaSnapshot{
 		Name:        r.name,
-		Degraded:    r.degraded.Load(),
+		Health:      r.health(),
+		Degraded:    r.degraded(),
 		Queued:      len(r.queue),
 		Outstanding: int(r.outstanding.Load()),
 		Served:      r.served.Load(),
 		Batches:     r.batches.Load(),
 		Expired:     r.expired.Load(),
+		Repairs:     r.repairs.Load(),
 		MeanNS:      r.hist.Mean(),
 		P50NS:       r.hist.Quantile(0.50),
 		P95NS:       r.hist.Quantile(0.95),

@@ -1,0 +1,58 @@
+package quant
+
+import "testing"
+
+// FuzzBitSliceRoundTrip checks the bit-slice → reassemble invariant the
+// crossbar engines rely on: for any quantized matrix, summing 2^Bit · plane
+// over the Slices() planes reconstructs q + Offset() exactly, with planes
+// ordered least significant first.
+func FuzzBitSliceRoundTrip(f *testing.F) {
+	f.Add(uint8(8), uint8(3), []byte{1, 255, 0, 127, 128, 5})
+	f.Add(uint8(1), uint8(1), []byte{0, 1, 2})
+	f.Add(uint8(4), uint8(7), []byte{200, 100, 50, 25, 12, 6, 3})
+	f.Fuzz(func(t *testing.T, bitsRaw, colsRaw uint8, data []byte) {
+		bits := int(bitsRaw)%8 + 1
+		cols := int(colsRaw)%16 + 1
+		rows := len(data) / cols
+		if rows == 0 {
+			return
+		}
+		data = data[:rows*cols]
+		off := 1 << (bits - 1)
+		m := &Matrix{Rows: rows, Cols: cols, Bits: bits, Scale: 0.5, Q: make([]int8, len(data))}
+		for i, b := range data {
+			q := int(int8(b))
+			if q > off-1 {
+				q = off - 1
+			}
+			if q < -off {
+				q = -off
+			}
+			m.Q[i] = int8(q)
+		}
+		planes := m.Slices()
+		if len(planes) != bits {
+			t.Fatalf("%d-bit matrix sliced into %d planes", bits, len(planes))
+		}
+		for b, p := range planes {
+			if p.Bit != b {
+				t.Fatalf("plane %d has significance %d", b, p.Bit)
+			}
+			if p.Rows != rows || p.Cols != cols || len(p.Bits) != len(m.Q) {
+				t.Fatalf("plane %d shape %dx%d (%d cells), want %dx%d", b, p.Rows, p.Cols, len(p.Bits), rows, cols)
+			}
+		}
+		for i, q := range m.Q {
+			sum := 0
+			for _, p := range planes {
+				if p.Bits[i] > 1 {
+					t.Fatalf("cell %d plane %d holds non-binary %d", i, p.Bit, p.Bits[i])
+				}
+				sum += int(p.Bits[i]) << p.Bit
+			}
+			if sum != int(q)+off {
+				t.Fatalf("cell %d: planes reassemble %d, want q %d + offset %d", i, sum, q, off)
+			}
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"autohet/internal/quant"
+)
+
+// Apply performs one repair pass over a faulted bit-plane stack. ideal holds
+// the weights as programmed, faulted what the defective array actually
+// stores (fault.Model.ApplyStuckAt), detected the fault map the march test
+// found, and truth the ground-truth map (equal to detected under perfect
+// detection). regions partitions the weight matrix into per-crossbar
+// windows. The repair policy, per region:
+//
+//  1. Every detected faulty column is remapped onto one of the region's
+//     prov.SpareCols spare columns (tested-pristine, so the column's bits —
+//     including faults detection missed — become ideal).
+//  2. A region with more faulty columns than spare columns is relocated
+//     wholesale onto a spare crossbar while the shared prov.SpareXBs budget
+//     lasts.
+//  3. When both spares are exhausted the worst columns take the spare
+//     columns and the remaining detected cells are masked: their free bit
+//     planes are reprogrammed to the closest representable value to the
+//     ideal weight, so the cell's error is bounded by the stuck bits'
+//     irreducible discrepancy instead of an arbitrary weight corruption —
+//     never worse than the unrepaired encoding, usually far better.
+//
+// The returned planes are a fresh copy; inputs are not modified.
+func Apply(ideal, faulted []*quant.BitPlane, detected, truth *FaultMap, regions []Region, prov Provision) ([]*quant.BitPlane, Stats, error) {
+	var st Stats
+	if len(ideal) == 0 || len(ideal) != len(faulted) {
+		return nil, st, fmt.Errorf("repair: %d ideal planes vs %d faulted", len(ideal), len(faulted))
+	}
+	if detected.Planes != len(ideal) || truth.Planes != len(ideal) {
+		return nil, st, fmt.Errorf("repair: fault maps cover %d/%d planes, stack has %d",
+			detected.Planes, truth.Planes, len(ideal))
+	}
+	rows, cols := ideal[0].Rows, ideal[0].Cols
+	if detected.Rows != rows || detected.Cols != cols {
+		return nil, st, fmt.Errorf("repair: fault map %dx%d, planes %dx%d", detected.Rows, detected.Cols, rows, cols)
+	}
+	st.TrueFaults = truth.Count()
+	st.Detected = detected.Count()
+
+	repaired := make([]*quant.BitPlane, len(faulted))
+	for i, p := range faulted {
+		c := &quant.BitPlane{Rows: p.Rows, Cols: p.Cols, Bit: p.Bit, Bits: make([]uint8, len(p.Bits))}
+		copy(c.Bits, p.Bits)
+		repaired[i] = c
+	}
+	if detected.Empty() && truth.Empty() {
+		st.FullyRepaired = true
+		return repaired, st, nil
+	}
+
+	byCol := make([][]Cell, cols)
+	for _, c := range detected.Cells {
+		byCol[c.Col] = append(byCol[c.Col], c)
+	}
+	truthAt := make(map[[3]int]uint8, len(truth.Cells))
+	for _, c := range truth.Cells {
+		truthAt[[3]int{c.Plane, c.Row, c.Col}] = c.Stuck
+	}
+
+	spareXBsLeft := prov.SpareXBs
+	regionRemapped := make([]bool, len(regions))
+	colRemapped := make(map[[2]int]bool)
+
+	type faultyCol struct {
+		col   int
+		cells []Cell
+	}
+	for ri, rg := range regions {
+		var faulty []faultyCol
+		for j := rg.C0; j < rg.C1 && j < cols; j++ {
+			var cells []Cell
+			for _, c := range byCol[j] {
+				if c.Row >= rg.R0 && c.Row < rg.R1 {
+					cells = append(cells, c)
+				}
+			}
+			if len(cells) > 0 {
+				faulty = append(faulty, faultyCol{j, cells})
+			}
+		}
+		if len(faulty) == 0 {
+			continue
+		}
+		if len(faulty) > prov.SpareCols && spareXBsLeft > 0 {
+			// Relocate the whole region onto a spare crossbar.
+			spareXBsLeft--
+			st.RemappedXBs++
+			regionRemapped[ri] = true
+			for pi, p := range repaired {
+				for i := rg.R0; i < rg.R1; i++ {
+					copy(p.Bits[i*cols+rg.C0:i*cols+rg.C1], ideal[pi].Bits[i*cols+rg.C0:i*cols+rg.C1])
+				}
+			}
+			continue
+		}
+		remap := faulty
+		var masked []faultyCol
+		if len(faulty) > prov.SpareCols {
+			// Spares exhausted: repair the worst columns, mask the rest.
+			sort.Slice(faulty, func(a, b int) bool {
+				if len(faulty[a].cells) != len(faulty[b].cells) {
+					return len(faulty[a].cells) > len(faulty[b].cells)
+				}
+				return faulty[a].col < faulty[b].col
+			})
+			remap, masked = faulty[:prov.SpareCols], faulty[prov.SpareCols:]
+		}
+		for _, f := range remap {
+			for pi, p := range repaired {
+				for i := rg.R0; i < rg.R1; i++ {
+					p.Bits[i*cols+f.col] = ideal[pi].Bits[i*cols+f.col]
+				}
+			}
+			colRemapped[[2]int{ri, f.col}] = true
+			st.RemappedCols++
+		}
+		for _, f := range masked {
+			byRow := map[int]map[int]uint8{}
+			for _, c := range f.cells {
+				if byRow[c.Row] == nil {
+					byRow[c.Row] = map[int]uint8{}
+				}
+				byRow[c.Row][c.Plane] = c.Stuck
+			}
+			for row, stuck := range byRow {
+				maskCell(repaired, ideal, row, f.col, stuck, truthAt)
+				st.MaskedCells += len(stuck)
+			}
+		}
+	}
+
+	for _, c := range truth.Cells {
+		ri := regionOf(regions, c.Row, c.Col)
+		if ri >= 0 && (regionRemapped[ri] || colRemapped[[2]int{ri, c.Col}]) {
+			continue
+		}
+		st.UncoveredFaults++
+	}
+	st.FullyRepaired = st.UncoveredFaults == 0
+	return repaired, st, nil
+}
+
+// maskCell reprograms the weight at (row, col) to the closest representable
+// value to the ideal one given the detected stuck bits: stuck contributions
+// are forced, and the free planes are chosen by exhaustive search (≤ 2^8
+// subsets for 8-bit weights) to minimize the residual. The faulted encoding
+// — ideal free bits plus stuck overrides — is among the candidates, so the
+// masked cell's error never exceeds the unrepaired one. Writes land through
+// the physical array, so ground-truth stuck cells detection missed keep
+// their stuck value regardless of what we program.
+func maskCell(repaired, ideal []*quant.BitPlane, row, col int, stuck map[int]uint8, truthAt map[[3]int]uint8) {
+	idx := row*repaired[0].Cols + col
+	target, forced := 0, 0
+	var free []int
+	for pi, p := range ideal {
+		target += int(p.Bits[idx]) << uint(p.Bit)
+		if s, isStuck := stuck[pi]; isStuck {
+			forced += int(s) << uint(repaired[pi].Bit)
+		} else {
+			free = append(free, pi)
+		}
+	}
+	bestMask, bestErr := 0, abs(forced-target)
+	for mask := 1; mask < 1<<uint(len(free)); mask++ {
+		v := forced
+		for bi, pi := range free {
+			if mask&(1<<uint(bi)) != 0 {
+				v += 1 << uint(repaired[pi].Bit)
+			}
+		}
+		if e := abs(v - target); e < bestErr {
+			bestMask, bestErr = mask, e
+		}
+	}
+	bits := make([]uint8, len(repaired))
+	for pi, s := range stuck {
+		bits[pi] = s
+	}
+	for bi, pi := range free {
+		if bestMask&(1<<uint(bi)) != 0 {
+			bits[pi] = 1
+		}
+	}
+	for pi := range repaired {
+		b := bits[pi]
+		if s, isStuck := truthAt[[3]int{pi, row, col}]; isStuck {
+			b = s
+		}
+		repaired[pi].Bits[idx] = b
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// regionOf returns the index of the region containing (row, col), or -1.
+func regionOf(regions []Region, row, col int) int {
+	for ri, rg := range regions {
+		if rg.contains(row, col) {
+			return ri
+		}
+	}
+	return -1
+}

@@ -1,0 +1,82 @@
+package repair
+
+import (
+	"math/rand"
+
+	"autohet/internal/fault"
+	"autohet/internal/quant"
+)
+
+// March-test fault detection. A real controller programs known bit patterns
+// into the array and reads them back: a cell that reads 0 after an all-ones
+// write is stuck at zero, a cell that reads 1 after an all-zeros write is
+// stuck at one. fault.Model draws each cell's fate from an RNG keyed only on
+// (Seed, layerKey) and the plane iteration order — the same physical cells
+// fail regardless of what is programmed — so replaying the model over test
+// patterns reads back exactly the fault map the weights will suffer.
+
+// MarchTest returns the ground-truth stuck-at fault map of the layerKey'd
+// crossbar stack under m: rows×cols cells on each of planes bit-slice
+// crossbars. A nil or stuck-free model yields an empty map.
+func MarchTest(m *fault.Model, layerKey int64, rows, cols, planes int) *FaultMap {
+	fm := &FaultMap{Rows: rows, Cols: cols, Planes: planes}
+	if m == nil || m.CellFaultRate() == 0 {
+		return fm
+	}
+	readOnes := m.ApplyStuckAt(patternPlanes(rows, cols, planes, 1), layerKey)
+	readZeros := m.ApplyStuckAt(patternPlanes(rows, cols, planes, 0), layerKey)
+	for b := 0; b < planes; b++ {
+		po, pz := readOnes[b], readZeros[b]
+		for i, bit := range po.Bits {
+			switch {
+			case bit == 0:
+				fm.Cells = append(fm.Cells, Cell{Plane: b, Row: i / cols, Col: i % cols, Stuck: 0})
+			case pz.Bits[i] == 1:
+				fm.Cells = append(fm.Cells, Cell{Plane: b, Row: i / cols, Col: i % cols, Stuck: 1})
+			}
+		}
+	}
+	return fm
+}
+
+// patternPlanes builds a bit-plane stack uniformly programmed to v, shaped
+// like the weight planes so fault.Model's per-cell RNG stream lines up.
+func patternPlanes(rows, cols, planes int, v uint8) []*quant.BitPlane {
+	out := make([]*quant.BitPlane, planes)
+	for b := range out {
+		p := &quant.BitPlane{Rows: rows, Cols: cols, Bit: b, Bits: make([]uint8, rows*cols)}
+		if v != 0 {
+			for i := range p.Bits {
+				p.Bits[i] = v
+			}
+		}
+		out[b] = p
+	}
+	return out
+}
+
+// Thin models an imperfect detection sweep: each fault is independently
+// missed with probability missRate (reproducibly in seed). A non-positive
+// rate returns the map unchanged.
+func (f *FaultMap) Thin(missRate float64, seed int64) *FaultMap {
+	if missRate <= 0 || f.Empty() {
+		return f
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x6d3a7c91))
+	out := &FaultMap{Rows: f.Rows, Cols: f.Cols, Planes: f.Planes}
+	for _, c := range f.Cells {
+		if rng.Float64() >= missRate {
+			out.Cells = append(out.Cells, c)
+		}
+	}
+	return out
+}
+
+// Detect runs one march-test sweep under the policy: the ground-truth map
+// thinned by the policy's miss rate. It returns both so callers can repair
+// on what was detected while accounting residuals against the truth.
+func (p Policy) Detect(m *fault.Model, layerKey int64, rows, cols, planes int) (truth, detected *FaultMap) {
+	truth = MarchTest(m, layerKey, rows, cols, planes)
+	detected = truth.Thin(p.DetectMissRate, p.DetectSeed^layerKey)
+	return truth, detected
+}

@@ -1,0 +1,280 @@
+package repair
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autohet/internal/fault"
+	"autohet/internal/mat"
+	"autohet/internal/quant"
+)
+
+// randomQuantized builds a reproducible random quantized matrix.
+func randomQuantized(t *testing.T, rows, cols int, seed int64) *quant.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w := mat.New(rows, cols)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	return quant.QuantizeWeights(w)
+}
+
+// oneRegion covers the whole matrix as a single crossbar.
+func oneRegion(rows, cols int) []Region { return []Region{{R0: 0, R1: rows, C0: 0, C1: cols}} }
+
+func TestMarchTestMatchesApplyStuckAt(t *testing.T) {
+	const rows, cols = 12, 9
+	w := randomQuantized(t, rows, cols, 3)
+	ideal := w.Slices()
+	fm := &fault.Model{StuckAtZero: 0.02, StuckAtOne: 0.03, Seed: 7}
+	faulted := fm.ApplyStuckAt(ideal, 5)
+	truth := MarchTest(fm, 5, rows, cols, len(ideal))
+	if truth.Empty() {
+		t.Fatal("march test found nothing at 5% fault rate")
+	}
+	// Every cell where the faulted planes disagree with the ideal ones must
+	// appear in the march-test map with the observed stuck value.
+	at := map[[3]int]uint8{}
+	for _, c := range truth.Cells {
+		at[[3]int{c.Plane, c.Row, c.Col}] = c.Stuck
+	}
+	for pi := range ideal {
+		for i := range ideal[pi].Bits {
+			if ideal[pi].Bits[i] != faulted[pi].Bits[i] {
+				s, ok := at[[3]int{pi, i / cols, i % cols}]
+				if !ok {
+					t.Fatalf("divergent cell (plane %d, idx %d) missing from march map", pi, i)
+				}
+				if s != faulted[pi].Bits[i] {
+					t.Fatalf("march map stuck=%d, array reads %d", s, faulted[pi].Bits[i])
+				}
+			}
+		}
+	}
+	// And every mapped cell must really be pinned at its stuck value.
+	for _, c := range truth.Cells {
+		if faulted[c.Plane].Bits[c.Row*cols+c.Col] != c.Stuck {
+			t.Fatalf("cell %+v not pinned in the faulted array", c)
+		}
+	}
+	if MarchTest(nil, 5, rows, cols, 8).Count() != 0 {
+		t.Fatal("nil model must yield an empty map")
+	}
+	if MarchTest(&fault.Model{ReadNoiseSigma: 1}, 5, rows, cols, 8).Count() != 0 {
+		t.Fatal("noise-only model must yield an empty stuck map")
+	}
+}
+
+func TestThinDropsRoughlyMissRate(t *testing.T) {
+	f := &FaultMap{Rows: 100, Cols: 100, Planes: 1}
+	for i := 0; i < 100*100; i++ {
+		f.Cells = append(f.Cells, Cell{Plane: 0, Row: i / 100, Col: i % 100})
+	}
+	thinned := f.Thin(0.3, 11)
+	frac := float64(thinned.Count()) / float64(f.Count())
+	if math.Abs(frac-0.7) > 0.05 {
+		t.Fatalf("thin kept %.2f, want ~0.70", frac)
+	}
+	if f.Thin(0, 1) != f {
+		t.Fatal("zero miss rate must return the map unchanged")
+	}
+}
+
+// Full coverage ⇒ bit-exact: with enough spare columns every plane equals
+// the ideal stack.
+func TestApplyFullCoverageIsBitExact(t *testing.T) {
+	const rows, cols = 24, 16
+	w := randomQuantized(t, rows, cols, 9)
+	ideal := w.Slices()
+	fm := &fault.Model{StuckAtZero: 0.01, StuckAtOne: 0.01, Seed: 13}
+	faulted := fm.ApplyStuckAt(ideal, 1)
+	truth := MarchTest(fm, 1, rows, cols, len(ideal))
+	repaired, st, err := Apply(ideal, faulted, truth, truth, oneRegion(rows, cols), Provision{SpareCols: cols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullyRepaired || st.UncoveredFaults != 0 {
+		t.Fatalf("spares cover every column yet stats = %v", st)
+	}
+	for pi := range ideal {
+		for i := range ideal[pi].Bits {
+			if repaired[pi].Bits[i] != ideal[pi].Bits[i] {
+				t.Fatalf("plane %d cell %d not restored", pi, i)
+			}
+		}
+	}
+	// Inputs must be untouched.
+	refaulted := fm.ApplyStuckAt(ideal, 1)
+	for pi := range faulted {
+		for i := range faulted[pi].Bits {
+			if faulted[pi].Bits[i] != refaulted[pi].Bits[i] {
+				t.Fatal("Apply modified its faulted input")
+			}
+		}
+	}
+}
+
+// A spare crossbar absorbs a region whose faulty columns overflow the spare
+// columns.
+func TestApplySpareCrossbarAbsorbsRegion(t *testing.T) {
+	const rows, cols = 16, 12
+	w := randomQuantized(t, rows, cols, 21)
+	ideal := w.Slices()
+	fm := &fault.Model{StuckAtZero: 0.05, StuckAtOne: 0.05, Seed: 17}
+	faulted := fm.ApplyStuckAt(ideal, 2)
+	truth := MarchTest(fm, 2, rows, cols, len(ideal))
+	repaired, st, err := Apply(ideal, faulted, truth, truth, oneRegion(rows, cols), Provision{SpareCols: 1, SpareXBs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemappedXBs != 1 || !st.FullyRepaired {
+		t.Fatalf("expected a whole-crossbar remap, got %v", st)
+	}
+	for pi := range ideal {
+		for i := range ideal[pi].Bits {
+			if repaired[pi].Bits[i] != ideal[pi].Bits[i] {
+				t.Fatalf("plane %d cell %d not restored by spare crossbar", pi, i)
+			}
+		}
+	}
+}
+
+// Exhausted spares: every masked cell must land at least as close to its
+// ideal weight as the raw faulted encoding (strictly closer on aggregate),
+// and the stats must count the residue.
+func TestApplyMaskingBoundsCellError(t *testing.T) {
+	const rows, cols = 32, 8
+	w := randomQuantized(t, rows, cols, 33)
+	ideal := w.Slices()
+	fm := &fault.Model{StuckAtZero: 0.04, StuckAtOne: 0.04, Seed: 23}
+	faulted := fm.ApplyStuckAt(ideal, 3)
+	truth := MarchTest(fm, 3, rows, cols, len(ideal))
+	if truth.Empty() {
+		t.Fatal("need faults to mask")
+	}
+	repaired, st, err := Apply(ideal, faulted, truth, truth, oneRegion(rows, cols), Provision{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaskedCells == 0 || st.FullyRepaired || st.UncoveredFaults != st.TrueFaults {
+		t.Fatalf("no spares: stats %v", st)
+	}
+	value := func(planes []*quant.BitPlane, row, col int) int {
+		v := 0
+		for _, p := range planes {
+			v += int(p.Bits[row*cols+col]) << uint(p.Bit)
+		}
+		return v
+	}
+	// Per cell: the faulted encoding is one feasible masking, so the masked
+	// error can never exceed the raw fault error; on aggregate it must win
+	// strictly.
+	var maskedErr, faultedErr float64
+	seen := map[[2]int]bool{}
+	for _, c := range truth.Cells {
+		key := [2]int{c.Row, c.Col}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		want := value(ideal, c.Row, c.Col)
+		me := math.Abs(float64(value(repaired, c.Row, c.Col) - want))
+		fe := math.Abs(float64(value(faulted, c.Row, c.Col) - want))
+		if me > fe {
+			t.Fatalf("cell (%d,%d): masked error %v exceeds raw fault error %v", c.Row, c.Col, me, fe)
+		}
+		maskedErr += me
+		faultedErr += fe
+	}
+	if maskedErr >= faultedErr {
+		t.Fatalf("masking (%.1f total units) must beat raw faults (%.1f)", maskedErr, faultedErr)
+	}
+	// And it should win big: the free planes approximate the ideal weight
+	// to within a few units on average (stuck MSBs carry irreducible
+	// error), far below the ~32-unit average of a raw random bit flip.
+	if n := float64(len(seen)); maskedErr/n > 8 {
+		t.Fatalf("masked cells average %.2f units from ideal, want ≤ 8", maskedErr/n)
+	}
+}
+
+// Imperfect detection leaves residual faults uncovered; a second sweep with
+// a fresh seed catches some of them (geometric decay).
+func TestApplyImperfectDetectionLeavesResidue(t *testing.T) {
+	const rows, cols = 24, 12
+	w := randomQuantized(t, rows, cols, 41)
+	ideal := w.Slices()
+	fm := &fault.Model{StuckAtZero: 0.03, StuckAtOne: 0.02, Seed: 29}
+	faulted := fm.ApplyStuckAt(ideal, 4)
+	pol := Policy{Provision: Provision{SpareCols: cols}, DetectMissRate: 0.5, DetectSeed: 1}
+	truth, detected := pol.Detect(fm, 4, rows, cols, len(ideal))
+	if detected.Count() >= truth.Count() {
+		t.Fatalf("miss rate 0.5 detected %d of %d", detected.Count(), truth.Count())
+	}
+	_, st, err := Apply(ideal, faulted, detected, truth, oneRegion(rows, cols), pol.Provision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns with at least one detected cell are fully remapped, so the
+	// uncovered count is at most the cells in completely-missed columns.
+	if st.FullyRepaired && st.UncoveredFaults != 0 {
+		t.Fatalf("inconsistent stats %v", st)
+	}
+	if st.Detected != detected.Count() || st.TrueFaults != truth.Count() {
+		t.Fatalf("stats miscount: %v", st)
+	}
+}
+
+func TestProvisionMaxCellRate(t *testing.T) {
+	p := Provision{SpareCols: 8}
+	r := p.MaxCellRate(128, 128, 8, 16)
+	if r <= 0 || r >= 1 {
+		t.Fatalf("rate %v outside (0,1)", r)
+	}
+	// More spares cover more.
+	if p2 := (Provision{SpareCols: 16}); p2.MaxCellRate(128, 128, 8, 16) <= r {
+		t.Fatal("doubling spares must raise the coverable rate")
+	}
+	if (Provision{}).MaxCellRate(128, 128, 8, 16) != 0 {
+		t.Fatal("no spares cover nothing")
+	}
+	if (Provision{SpareCols: 1 << 20}).MaxCellRate(128, 128, 8, 16) != 1 {
+		t.Fatal("overwhelming spares cover everything")
+	}
+	if p.MaxCellRate(0, 0, 0, 0) != 0 {
+		t.Fatal("degenerate geometry covers nothing")
+	}
+}
+
+func TestPolicyAndProvisionValidate(t *testing.T) {
+	if err := (Policy{DetectMissRate: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Policy{
+		{Provision: Provision{SpareCols: -1}},
+		{Provision: Provision{SpareXBs: -2}},
+		{DetectMissRate: -0.1},
+		{DetectMissRate: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("policy %+v must be rejected", bad)
+		}
+	}
+}
+
+func TestApplyShapeValidation(t *testing.T) {
+	w := randomQuantized(t, 4, 4, 1)
+	ideal := w.Slices()
+	empty := &FaultMap{Rows: 4, Cols: 4, Planes: len(ideal)}
+	if _, _, err := Apply(ideal, ideal[:4], empty, empty, oneRegion(4, 4), Provision{}); err == nil {
+		t.Fatal("plane-count mismatch must error")
+	}
+	bad := &FaultMap{Rows: 9, Cols: 9, Planes: len(ideal)}
+	if _, _, err := Apply(ideal, ideal, bad, bad, oneRegion(4, 4), Provision{}); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+	if _, _, err := Apply(nil, nil, empty, empty, nil, Provision{}); err == nil {
+		t.Fatal("empty stack must error")
+	}
+}

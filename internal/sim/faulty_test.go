@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"autohet/internal/accel"
@@ -172,5 +173,66 @@ func TestRunInferenceWithFaults(t *testing.T) {
 	// Invalid model is rejected on the fast path too.
 	if _, _, err := RunInference(p, input, InferenceOptions{Seed: 13, Faults: &fault.Model{StuckAtOne: 2}}); err == nil {
 		t.Fatal("invalid fault model must error")
+	}
+}
+
+// Zero-model equivalence must hold on rectangular (RXB) candidates too,
+// including geometries where a band splits the convolution kernel across
+// crossbar rows — the paths where the faulty engine's per-plane copies
+// could diverge from the ideal one.
+func TestExecuteMVMFaultyZeroModelRectangularShapes(t *testing.T) {
+	cases := []struct {
+		k, inC, outC int
+		shape        xbar.Shape
+	}{
+		{3, 16, 40, xbar.Rect(72, 64)},   // 144 rows needed: split-kernel bands
+		{5, 3, 20, xbar.Rect(36, 32)},    // 75 rows over 36-row bands
+		{1, 80, 24, xbar.Rect(288, 256)}, // FC-style on a wide RXB
+	}
+	for _, c := range cases {
+		p := singleLayerPlan(t, c.k, c.inC, c.outC, c.shape)
+		la := p.Layers[0]
+		w := quant.QuantizeWeights(dnn.SyntheticWeights(la.Layer, 1))
+		in := quant.QuantizeInput(dnn.SyntheticInput(la.Layer, 2))
+		ideal, idealStats, err := ExecuteMVM(cfg(), la, w, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fm := range []*fault.Model{nil, {}} {
+			got, stats, err := ExecuteMVMFaulty(cfg(), la, w, in, fm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.ADCConversions != idealStats.ADCConversions {
+				t.Fatalf("%v: conversions %d vs ideal %d", c.shape, stats.ADCConversions, idealStats.ADCConversions)
+			}
+			for j := range ideal {
+				if math.Abs(got[j]-ideal[j]) > 1e-9 {
+					t.Fatalf("%v: zero fault model diverged at %d: %v vs %v", c.shape, j, got[j], ideal[j])
+				}
+			}
+		}
+	}
+}
+
+// Grouped convolutions take the same unsupported-path error as the ideal
+// engine instead of silently computing a dense result.
+func TestExecuteMVMFaultyGroupedConvRejected(t *testing.T) {
+	l := &dnn.Layer{Name: "dw", Kind: dnn.Conv, K: 3, InC: 8, OutC: 8, Groups: 8, Stride: 1, Pad: 1, InH: 8, InW: 8}
+	m, err := dnn.NewFlatModel("grouped", 8, 8, 8, []*dnn.Layer{l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := accel.BuildPlan(cfg(), m, accel.Homogeneous(1, xbar.Square(32)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := p.Layers[0]
+	w := quant.QuantizeWeights(dnn.SyntheticWeights(la.Layer, 1))
+	in := quant.QuantizeInput(dnn.SyntheticInput(la.Layer, 1))
+	if _, _, err := ExecuteMVMFaulty(cfg(), la, w, in, &fault.Model{StuckAtZero: 0.1}); err == nil {
+		t.Fatal("grouped convolution must be rejected")
+	} else if !strings.Contains(err.Error(), "grouped") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }

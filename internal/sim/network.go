@@ -7,6 +7,7 @@ import (
 	"autohet/internal/dnn"
 	"autohet/internal/fault"
 	"autohet/internal/quant"
+	"autohet/internal/repair"
 )
 
 // Whole-network functional inference: stream a feature map through the
@@ -36,12 +37,51 @@ type InferenceOptions struct {
 	// output column (per-kernel), tightening quantization error at no
 	// hardware cost (the scale folds into the column's shift-and-add).
 	PerColumnScales bool
+	// Repair, when non-nil, runs a detect-and-repair pass (march-test
+	// detection, spare remapping, bounded-error masking — package repair) over
+	// every layer's stuck-at fault map before serving MVMs. A zero Provision
+	// in the policy draws on the plan's provisioned spares
+	// (accel.Plan.Spares) instead. Ignored when Faults injects no stuck-at
+	// cells.
+	Repair *repair.Policy
 }
 
 // InferenceStats aggregates the work one inference performed.
 type InferenceStats struct {
 	MVMs           int64
 	ADCConversions int64
+}
+
+// repairCache memoizes per-layer detect-and-repair passes across the many
+// MVMs of one RunInference: the fault map is fixed for the run, so the
+// controller repairs each layer once, not once per sliding window.
+type repairCache struct {
+	layers map[int]*RepairedLayer
+}
+
+// repairFor resolves the effective policy (plan spares when the policy
+// provisions none) and returns the layer's repaired planes, memoized.
+func (c *repairCache) repairFor(p *accel.Plan, la *accel.LayerAlloc, w *quant.Matrix, opts InferenceOptions) (*RepairedLayer, error) {
+	if c != nil {
+		if rl, ok := c.layers[la.Layer.Index]; ok {
+			return rl, nil
+		}
+	}
+	pol := *opts.Repair
+	if pol.Provision.Zero() {
+		pol.Provision = p.RepairBudget(la)
+	}
+	rl, err := RepairLayer(la, w, opts.Faults, pol)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil {
+		if c.layers == nil {
+			c.layers = map[int]*RepairedLayer{}
+		}
+		c.layers[la.Layer.Index] = rl
+	}
+	return rl, nil
 }
 
 // RunInference executes one input through the plan's model on the mapped
@@ -53,6 +93,7 @@ func RunInference(p *accel.Plan, input *dnn.Tensor, opts InferenceOptions) ([]fl
 			input.C, input.H, input.W, m.Name, m.InC, m.InH, m.InW)
 	}
 	var stats InferenceStats
+	rc := &repairCache{}
 	cur := input
 	var flat []float64
 	mappables := m.Mappable()
@@ -88,7 +129,7 @@ func RunInference(p *accel.Plan, input *dnn.Tensor, opts InferenceOptions) ([]fl
 			out := dnn.NewTensor(l.OutC, l.OutH, l.OutW)
 			for oy := 0; oy < l.OutH; oy++ {
 				for ox := 0; ox < l.OutW; ox++ {
-					y, err := mvm(p, la, w, cur.Patch(l, oy, ox), opts, &stats)
+					y, err := mvm(p, la, w, cur.Patch(l, oy, ox), opts, &stats, rc)
 					if err != nil {
 						return nil, stats, err
 					}
@@ -109,7 +150,7 @@ func RunInference(p *accel.Plan, input *dnn.Tensor, opts InferenceOptions) ([]fl
 			}
 			la := p.Layers[l.Index]
 			w := weightsFor(l)
-			y, err := mvm(p, la, w, flat, opts, &stats)
+			y, err := mvm(p, la, w, flat, opts, &stats, rc)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -130,15 +171,29 @@ func RunInference(p *accel.Plan, input *dnn.Tensor, opts InferenceOptions) ([]fl
 // building block the Global Controller interpreter (package isa) drives.
 func LayerMVM(p *accel.Plan, la *accel.LayerAlloc, w *quant.Matrix, patch []float64) ([]float64, error) {
 	var stats InferenceStats
-	return mvm(p, la, w, patch, InferenceOptions{}, &stats)
+	return mvm(p, la, w, patch, InferenceOptions{}, &stats, nil)
 }
 
 // mvm quantizes one input patch, runs it through the layer's crossbar grid,
 // and dequantizes the outputs back to float.
-func mvm(p *accel.Plan, la *accel.LayerAlloc, w *quant.Matrix, patch []float64, opts InferenceOptions, stats *InferenceStats) ([]float64, error) {
+func mvm(p *accel.Plan, la *accel.LayerAlloc, w *quant.Matrix, patch []float64, opts InferenceOptions, stats *InferenceStats, rc *repairCache) ([]float64, error) {
 	in := quant.QuantizeInput(patch)
 	var ints []float64
 	switch {
+	case opts.Repair != nil && opts.Faults.CellFaultRate() > 0:
+		rl, err := rc.repairFor(p, la, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		if opts.BitExact {
+			out, execStats := execRepairedBitSerial(p.Cfg, la, rl, w, in, opts.Faults)
+			ints = out
+			stats.ADCConversions += execStats.ADCConversions
+		} else {
+			ints = repairedIntegerMVM(p.Cfg, int64(la.Layer.Index+1), rl, w, in, opts.Faults)
+			stats.ADCConversions += int64(la.Mapping.ActiveCols) *
+				int64(w.PlaneCount()) * int64(p.Cfg.InputBits)
+		}
 	case opts.BitExact && !opts.Faults.Zero():
 		out, execStats, err := ExecuteMVMFaulty(p.Cfg, la, w, in, opts.Faults)
 		if err != nil {

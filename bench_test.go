@@ -220,6 +220,55 @@ func BenchmarkSearch300(b *testing.B) {
 	benchSearchRounds(b, dnn.VGG16(), xbar.DefaultCandidates(), true)
 }
 
+// BenchmarkAutoHetSearch measures the evaluation engine's per-round cost on
+// VGG16, cached vs uncached. The eval/* variants drive an SA-style episode
+// stream (one layer mutated per round — the search's actual access pattern)
+// straight through the evaluator; the search/* variants run the full RL
+// loop with the engine on and off. `cached` must come out ≥3x faster per
+// round than `uncached`; the bit-identicality of the two paths is asserted
+// in internal/search's tests.
+func BenchmarkAutoHetSearch(b *testing.B) {
+	m := dnn.VGG16()
+	cands := xbar.DefaultCandidates()
+	for _, cached := range []bool{false, true} {
+		name := map[bool]string{false: "uncached", true: "cached"}[cached]
+		b.Run("eval/"+name, func(b *testing.B) {
+			env, err := search.NewEnv(hw.DefaultConfig(), m, cands, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			env.NoCache = !cached
+			ev := env.Evaluator()
+			n := env.NumLayers()
+			indices := make([]int, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				indices[i%n] = (indices[i%n] + i/n + 1) % len(cands)
+				if _, err := ev.EvalIndices(indices); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(100*ev.Stats().HitRate(), "hit%")
+		})
+		b.Run("search/"+name, func(b *testing.B) {
+			env, err := search.NewEnv(hw.DefaultConfig(), m, cands, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			env.NoCache = !cached
+			opts := search.DefaultOptions()
+			opts.Rounds = b.N
+			opts.UpdateStride = m.NumMappable()/16 + 1
+			res, err := search.AutoHet(env, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*res.Stats.HitRate(), "hit%")
+		})
+	}
+}
+
 // --- Design-choice ablations (DESIGN.md §5) ---
 
 // BenchmarkAllocSchemes contrasts Algorithm 1's two-pointer tile sharing

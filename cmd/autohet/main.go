@@ -197,6 +197,8 @@ func run(modelName string, rounds int, seed int64, candList string, shared, verb
 	fmt.Printf("  latency %.4g ns  area %.4g µm²  occupied tiles %d\n",
 		r.LatencyNS, r.AreaUM2, r.OccupiedTiles)
 	fmt.Printf("  search time %v (simulator %v)\n", res.TotalTime.Round(1e6), res.SimTime.Round(1e6))
+	fmt.Printf("  evaluations %d (cache hits %d, hit rate %.1f%%)\n",
+		res.Stats.Evals, res.Stats.CacheHits, 100*res.Stats.HitRate())
 	if saveAgent != "" {
 		f, err := os.Create(saveAgent)
 		if err != nil {

@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	experiments -run all                # every experiment, paper order
-//	experiments -run fig9 -rounds 300   # one experiment, paper-scale search
-//	experiments -run table5 -csv out/   # also emit CSV files
+//	experiments -run all                       # every experiment, paper order
+//	experiments -run fig9 -rounds 300          # one experiment, paper-scale search
+//	experiments -run table5 -csv out/          # also emit CSV files
+//	experiments -bench-json BENCH_search.json  # search-speedup benchmark only
+//	experiments -run fig9 -cpuprofile cpu.out  # profile with go tool pprof
 package main
 
 import (
@@ -13,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"autohet/internal/experiments"
@@ -25,7 +29,54 @@ func main() {
 	rounds := flag.Int("rounds", 300, "RL search rounds per search (paper: 300)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	csvDir := flag.String("csv", "", "directory to also write per-table CSV files into")
+	benchJSON := flag.String("bench-json", "", "run the cached-vs-uncached search benchmark instead of experiments and write its JSON document to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *benchJSON != "" {
+		b, err := experiments.BenchSearch(*rounds, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := b.WriteJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("search bench (%s, %d rounds, %d workers): uncached %.2fs, cached %.2fs (%.1fx, hit rate %.1f%%) -> %s\n",
+			b.Model, b.Rounds, b.Workers, b.Uncached.WallSeconds, b.Cached.WallSeconds,
+			b.Speedup, 100*b.Cached.HitRate, *benchJSON)
+		return
+	}
 
 	suite := experiments.NewSuite(*rounds, *seed)
 	var names []string

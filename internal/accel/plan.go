@@ -320,6 +320,23 @@ func (p *Plan) LayerTiles(layerIndex int) int {
 	return n
 }
 
+// LayerTileCounts returns, for every entry of p.Layers in order, the number
+// of distinct tiles holding that layer's slots — all layers' LayerTiles in
+// one pass over the tiles (each tile holds at most one occupancy per layer).
+func (p *Plan) LayerTileCounts() []int {
+	pos := make(map[int]int, len(p.Layers))
+	for i, la := range p.Layers {
+		pos[la.Layer.Index] = i
+	}
+	counts := make([]int, len(p.Layers))
+	for _, t := range p.Tiles {
+		for _, o := range t.Occupants {
+			counts[pos[o.LayerIndex]]++
+		}
+	}
+	return counts
+}
+
 // Validate cross-checks internal consistency: every layer's slots are fully
 // placed, no tile is over-filled, and placements agree with occupancies.
 // Tests and the simulator call it after construction and after sharing.

@@ -1,0 +1,139 @@
+package accel
+
+import (
+	"fmt"
+	"sort"
+
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/xbar"
+)
+
+// Summary holds the plan-level aggregates of mapping a model under a
+// strategy, computed WITHOUT materializing tiles. For the search path
+// (no replication, no spares) every field is bit-identical to the
+// corresponding Plan quantity after BuildPlan — Utilization, Area(),
+// OccupiedTiles(), LayerTileCounts() — which tests assert exactly.
+type Summary struct {
+	Utilization   float64
+	AreaUM2       float64
+	OccupiedTiles int
+	// TotalTiles is the tile count before sharing (equals len(Plan.Tiles)).
+	TotalTiles int
+	// LayerTiles[i] is the number of distinct tiles holding mappable layer
+	// i's slots. It is invariant under Algorithm 1, which only ever moves a
+	// tile's occupants wholesale into one other tile, so a layer's tile
+	// count never changes — only which tiles it lives on.
+	LayerTiles []int
+}
+
+// Summarize computes the Summary directly from the strategy's per-layer
+// mapping arithmetic, replaying Algorithm 1's fold decisions over partial
+// tiles only. It exists for the search stack's memoizing evaluation engine:
+// it skips the dominant cost of BuildPlan (tile materialization) while
+// reproducing its aggregates exactly.
+//
+// Why this works: tile-based allocation gives layer i ⌈slots_i/S⌉ private
+// tiles of which at most the last is partially filled. Algorithm 1 sorts
+// each same-shape group ascending by empty-slot count — all full tiles
+// first, so the head pointer walks past them without folding (a full head
+// has no room) and a full tile is never a fold tail (it would need an
+// entirely empty head). The fold dynamics therefore play out over the
+// partial tiles alone, one per layer, which is what the two-pointer loop
+// below replays. Shared aggregation still has to be recomputed per
+// strategy: which partial tiles fold depends on the empty-slot counts of
+// every OTHER layer mapped to the same shape, so fold results are not
+// memoizable per layer.
+func Summarize(cfg hw.Config, m *dnn.Model, st Strategy, shared bool) (*Summary, error) {
+	if err := st.Validate(m); err != nil {
+		return nil, err
+	}
+	mappable := m.Mappable()
+	S := cfg.PEsPerTile
+	n := len(mappable)
+	sum := &Summary{LayerTiles: make([]int, n)}
+
+	// Per-layer footprints: tile count and the partial (last) tile's fill.
+	type partial struct{ empty, id int }
+	partials := map[xbar.Shape][]partial{}
+	tilesOf := make([]int, n)
+	var usedCells int64
+	tileID := 0
+	for i, l := range mappable {
+		shape := st[l.Index]
+		mp := xbar.MapLayer(l, shape)
+		slots := mp.Crossbars()
+		usedCells += mp.UsedCells
+		t := (slots + S - 1) / S
+		tilesOf[i] = t
+		sum.LayerTiles[i] = t
+		if rem := slots % S; rem != 0 {
+			partials[shape] = append(partials[shape], partial{empty: S - rem, id: tileID + t - 1})
+		}
+		tileID += t
+	}
+	sum.TotalTiles = tileID
+	if tileID > cfg.TilesPerBank {
+		return nil, fmt.Errorf("accel: model %q needs %d tiles, bank has %d", m.Name, tileID, cfg.TilesPerBank)
+	}
+
+	// Replay Algorithm 1 per shape group over the partial tiles: sorted
+	// ascending by (empty, ID), the tail (emptiest) folds into the head
+	// whenever its used slots fit the head's remaining room.
+	folded := map[int]bool{}
+	if shared {
+		for _, list := range partials {
+			sort.Slice(list, func(i, j int) bool {
+				if list[i].empty != list[j].empty {
+					return list[i].empty < list[j].empty
+				}
+				return list[i].id < list[j].id
+			})
+			head, tail := 0, len(list)-1
+			for head < tail {
+				used := S - list[tail].empty
+				if list[head].empty >= used {
+					list[head].empty -= used
+					folded[list[tail].id] = true
+					tail--
+				} else {
+					head++
+				}
+			}
+		}
+	}
+
+	// Area and allocated cells in tile-ID order, skipping folded (released)
+	// tiles — the same float-addition order Plan.Area uses, so the sums are
+	// bit-identical.
+	area := hw.GlobalCtrlArea
+	var allocCells int64
+	tileAreas := map[xbar.Shape]float64{}
+	cellsPer := map[xbar.Shape]int64{}
+	id := 0
+	for i, l := range mappable {
+		shape := st[l.Index]
+		ta, ok := tileAreas[shape]
+		if !ok {
+			ta = cfg.TileArea(shape)
+			tileAreas[shape] = ta
+			cellsPer[shape] = int64(S) * int64(shape.Cells())
+		}
+		cells := cellsPer[shape]
+		for k := 0; k < tilesOf[i]; k++ {
+			if folded[id] {
+				id++
+				continue
+			}
+			area += ta
+			allocCells += cells
+			sum.OccupiedTiles++
+			id++
+		}
+	}
+	sum.AreaUM2 = area
+	if allocCells > 0 {
+		sum.Utilization = 100 * float64(usedCells) / float64(allocCells)
+	}
+	return sum, nil
+}

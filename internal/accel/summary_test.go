@@ -1,0 +1,120 @@
+package accel
+
+import (
+	"strings"
+	"testing"
+
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/xbar"
+)
+
+// summaryModels are the workloads the bit-equality sweep covers: the three
+// paper models plus the grouped-convolution stress model.
+func summaryModels() []*dnn.Model {
+	return append(dnn.Zoo(), dnn.DepthwiseNet())
+}
+
+// summaryStrategies builds a representative strategy set for a model:
+// every homogeneous candidate plus deterministic mixed patterns that stripe
+// the candidates across layers (producing several partial tiles per shape
+// group, the case tile sharing acts on).
+func summaryStrategies(m *dnn.Model, cands []xbar.Shape) []Strategy {
+	n := m.NumMappable()
+	var out []Strategy
+	for _, s := range cands {
+		out = append(out, Homogeneous(n, s))
+	}
+	for stride := 1; stride <= 3; stride++ {
+		st := make(Strategy, n)
+		for i := range st {
+			st[i] = cands[(i/stride)%len(cands)]
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// TestSummarizeMatchesPlan asserts the tile-free Summary reproduces the
+// materialized plan's aggregates bit-identically (exact float equality) for
+// both allocation schemes across models, candidate pools, and strategies.
+func TestSummarizeMatchesPlan(t *testing.T) {
+	cfg := hw.DefaultConfig()
+	for _, m := range summaryModels() {
+		for _, st := range summaryStrategies(m, xbar.DefaultCandidates()) {
+			for _, shared := range []bool{false, true} {
+				p, err := BuildPlan(cfg, m, st, shared)
+				if err != nil {
+					t.Fatalf("%s %v shared=%t: build: %v", m.Name, st, shared, err)
+				}
+				sum, err := Summarize(cfg, m, st, shared)
+				if err != nil {
+					t.Fatalf("%s %v shared=%t: summarize: %v", m.Name, st, shared, err)
+				}
+				if got, want := sum.Utilization, p.Utilization(); got != want {
+					t.Errorf("%s shared=%t: utilization %v != plan %v", m.Name, shared, got, want)
+				}
+				if got, want := sum.AreaUM2, p.Area(); got != want {
+					t.Errorf("%s shared=%t: area %v != plan %v", m.Name, shared, got, want)
+				}
+				if got, want := sum.OccupiedTiles, p.OccupiedTiles(); got != want {
+					t.Errorf("%s shared=%t: occupied tiles %d != plan %d", m.Name, shared, got, want)
+				}
+				if got, want := sum.TotalTiles, len(p.Tiles); got != want {
+					t.Errorf("%s shared=%t: total tiles %d != plan %d", m.Name, shared, got, want)
+				}
+				counts := p.LayerTileCounts()
+				for i := range counts {
+					if sum.LayerTiles[i] != counts[i] {
+						t.Errorf("%s shared=%t: layer %d tiles %d != plan %d",
+							m.Name, shared, i, sum.LayerTiles[i], counts[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSummarizeBankOverflow asserts Summarize rejects over-capacity mappings
+// with the same error Build produces.
+func TestSummarizeBankOverflow(t *testing.T) {
+	cfg := hw.DefaultConfig()
+	cfg.TilesPerBank = 4
+	m := dnn.VGG16()
+	st := Homogeneous(m.NumMappable(), xbar.Square(64))
+	_, planErr := BuildPlan(cfg, m, st, true)
+	_, sumErr := Summarize(cfg, m, st, true)
+	if planErr == nil || sumErr == nil {
+		t.Fatalf("want bank-overflow errors, got plan=%v summary=%v", planErr, sumErr)
+	}
+	if planErr.Error() != sumErr.Error() {
+		t.Errorf("error mismatch:\n plan:    %v\n summary: %v", planErr, sumErr)
+	}
+	if !strings.Contains(sumErr.Error(), "bank has 4") {
+		t.Errorf("unexpected error %v", sumErr)
+	}
+}
+
+// TestLayerTileCountsMatchesLayerTiles pins the one-pass helper to the
+// per-layer scan it replaces.
+func TestLayerTileCountsMatchesLayerTiles(t *testing.T) {
+	cfg := hw.DefaultConfig()
+	m := dnn.VGG16()
+	st := make(Strategy, m.NumMappable())
+	cands := xbar.DefaultCandidates()
+	for i := range st {
+		st[i] = cands[i%len(cands)]
+	}
+	for _, shared := range []bool{false, true} {
+		p, err := BuildPlan(cfg, m, st, shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := p.LayerTileCounts()
+		for i, la := range p.Layers {
+			if want := p.LayerTiles(la.Layer.Index); counts[i] != want {
+				t.Errorf("shared=%t layer %d: counts %d, LayerTiles %d", shared, i, counts[i], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchSearch smoke-tests the cached-vs-uncached search benchmark at a
+// reduced budget: legs must converge to the same winner (BenchSearch errors
+// otherwise), the cached leg must actually hit its cache, and the JSON
+// document must round-trip.
+func TestBenchSearch(t *testing.T) {
+	b, err := BenchSearch(25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Uncached.HitRate != 0 {
+		t.Fatalf("uncached leg reports hits: %+v", b.Uncached)
+	}
+	if b.Cached.CacheHits == 0 {
+		t.Fatalf("cached leg never hit: %+v", b.Cached)
+	}
+	if b.Uncached.Evals != b.Cached.Evals {
+		t.Fatalf("legs diverged: %d vs %d evals", b.Uncached.Evals, b.Cached.Evals)
+	}
+	if b.Speedup <= 0 {
+		t.Fatalf("speedup %v", b.Speedup)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_search.json")
+	if err := b.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SearchBench
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != b.Model || back.Cached.Evals != b.Cached.Evals {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, b)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"autohet/internal/accel"
 	"autohet/internal/dnn"
 	"autohet/internal/report"
+	"autohet/internal/search"
+	"autohet/internal/sim"
 	"autohet/internal/xbar"
 )
 
@@ -31,41 +33,47 @@ func (s *Suite) Fig9() ([]*report.Table, error) {
 	}
 
 	models := dnn.Zoo()
+	shapes := xbar.SquareCandidates()
 	type cell struct{ rue, util, energy float64 }
-	grid := map[string][]cell{}
-	rows := []string{}
-	addCell := func(name string, c cell) {
-		if _, ok := grid[name]; !ok {
-			rows = append(rows, name)
-			grid[name] = make([]cell, 0, len(models))
-		}
-		grid[name] = append(grid[name], c)
-	}
-
+	// One column of cells per model (row order: homogeneous shapes, then
+	// AutoHet). The models are independent — each owns one RL search plus a
+	// homogeneous sweep — so they evaluate concurrently; rows assemble
+	// deterministically afterwards.
+	cols := make([][]cell, len(models))
 	minHomoEnergy := make([]float64, len(models))
-	for mi, m := range models {
-		for _, shape := range xbar.SquareCandidates() {
+	if err := search.ParallelFor(len(models), func(mi int) error {
+		m := models[mi]
+		col := make([]cell, 0, len(shapes)+1)
+		for _, shape := range shapes {
 			r, err := s.evaluate(m, accel.Homogeneous(m.NumMappable(), shape), false)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if minHomoEnergy[mi] == 0 || r.EnergyNJ < minHomoEnergy[mi] {
 				minHomoEnergy[mi] = r.EnergyNJ
 			}
-			addCell(shape.String(), cell{r.RUE(), r.Utilization, r.EnergyNJ})
+			col = append(col, cell{r.RUE(), r.Utilization, r.EnergyNJ})
 		}
 		_, autoRes, err := s.variantResult(m, All)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		addCell("AutoHet", cell{autoRes.RUE(), autoRes.Utilization, autoRes.EnergyNJ})
+		cols[mi] = append(col, cell{autoRes.RUE(), autoRes.Utilization, autoRes.EnergyNJ})
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	for _, name := range rows {
+	for ri := 0; ri <= len(shapes); ri++ {
+		name := "AutoHet"
+		if ri < len(shapes) {
+			name = shapes[ri].String()
+		}
 		rueRow := []string{name}
 		utilRow := []string{name}
 		energyRow := []string{name}
-		for mi, c := range grid[name] {
+		for mi := range models {
+			c := cols[mi][ri]
 			rueRow = append(rueRow, report.E(c.rue))
 			utilRow = append(utilRow, report.Pct(c.util))
 			energyRow = append(energyRow, report.F(c.energy/minHomoEnergy[mi]))
@@ -82,19 +90,29 @@ func (s *Suite) Fig9() ([]*report.Table, error) {
 // SXB), +He (heterogeneous SXBs via RL), +Hy (square + rectangular
 // candidates), All (+ tile-shared allocation) — for all three models.
 func (s *Suite) Fig10() ([]*report.Table, error) {
+	models := dnn.Zoo()
+	variants := []Variant{Base, He, Hy, All}
+	// Flatten model × variant into one task list: every pair is an
+	// independent search (distinct cache keys), so the whole grid runs
+	// concurrently and tables assemble in order afterwards.
+	results := make([]*sim.Result, len(models)*len(variants))
+	if err := search.ParallelFor(len(results), func(i int) error {
+		_, r, err := s.variantResult(models[i/len(variants)], variants[i%len(variants)])
+		results[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	var tables []*report.Table
-	for _, m := range dnn.Zoo() {
+	for mi, m := range models {
 		t := &report.Table{
 			Title: "Fig. 10 — ablation on " + m.Name,
 			Note: "Paper shape: each stage improves or maintains RUE " +
 				"(+Hy cuts energy via RXBs; All lifts utilization via tile sharing).",
 			Header: []string{"Variant", "RUE", "Utilization", "Energy (nJ)", "Tiles"},
 		}
-		for _, v := range []Variant{Base, He, Hy, All} {
-			_, r, err := s.variantResult(m, v)
-			if err != nil {
-				return nil, err
-			}
+		for vi, v := range variants {
+			r := results[mi*len(variants)+vi]
 			t.AddRow(string(v), report.E(r.RUE()), report.Pct(r.Utilization),
 				report.E(r.EnergyNJ), report.I(r.OccupiedTiles))
 		}

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"autohet/internal/accel"
 	"autohet/internal/dnn"
@@ -32,12 +33,17 @@ const (
 )
 
 // Suite runs the experiments with shared, cached search results so related
-// figures reuse the same RL runs.
+// figures reuse the same RL runs. The caches are mutex-guarded: generators
+// fan out across models/variants/shapes with search.ParallelFor, and the
+// parallel units are chosen so concurrent tasks use distinct cache keys
+// (a duplicated concurrent miss is deterministic, so at worst it costs a
+// redundant evaluation, never a wrong row).
 type Suite struct {
 	Cfg    hw.Config
 	Rounds int   // RL episodes per search (paper: 300)
 	Seed   int64 // base RNG seed
 
+	mu          sync.Mutex
 	searchCache map[string]*search.Result
 	evalCache   map[string]*sim.Result
 }
@@ -63,28 +69,43 @@ func evalKey(m *dnn.Model, st accel.Strategy, shared bool) string {
 	return fmt.Sprintf("%s|%v|%t", m.Name, st.String(), shared)
 }
 
-// evaluate simulates a strategy with caching.
+// evaluate simulates a strategy with caching. Simulation runs outside the
+// lock; on a concurrent duplicate miss the first stored result wins so every
+// caller sees one stable pointer per key.
 func (s *Suite) evaluate(m *dnn.Model, st accel.Strategy, shared bool) (*sim.Result, error) {
 	key := evalKey(m, st, shared)
-	if r, ok := s.evalCache[key]; ok {
+	s.mu.Lock()
+	r, ok := s.evalCache[key]
+	s.mu.Unlock()
+	if ok {
 		return r, nil
 	}
 	p, err := accel.BuildPlan(s.Cfg, m, st, shared)
 	if err != nil {
 		return nil, err
 	}
-	r, err := sim.Simulate(p)
+	r, err = sim.Simulate(p)
 	if err != nil {
 		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.evalCache[key]; ok {
+		return prev, nil
 	}
 	s.evalCache[key] = r
 	return r, nil
 }
 
-// runSearch runs (or fetches) one RL search.
+// runSearch runs (or fetches) one RL search. Parallel generators fan out
+// over distinct (model, tag) pairs, so concurrent callers never duplicate a
+// search; the lock only protects the map itself.
 func (s *Suite) runSearch(m *dnn.Model, cands []xbar.Shape, shared bool, tag string) (*search.Result, error) {
 	key := fmt.Sprintf("%s|%s|%v|%t|%d", m.Name, tag, xbar.ShapeNames(cands), shared, s.Rounds)
-	if r, ok := s.searchCache[key]; ok {
+	s.mu.Lock()
+	r, ok := s.searchCache[key]
+	s.mu.Unlock()
+	if ok {
 		return r, nil
 	}
 	env, err := s.env(m, cands, shared)
@@ -100,6 +121,11 @@ func (s *Suite) runSearch(m *dnn.Model, cands []xbar.Shape, shared bool, tag str
 	res, err := search.AutoHet(env, opts)
 	if err != nil {
 		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.searchCache[key]; ok {
+		return prev, nil
 	}
 	s.searchCache[key] = res
 	return res, nil

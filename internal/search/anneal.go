@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"autohet/internal/accel"
+	"autohet/internal/sim"
 )
 
 // SAOptions configures SimulatedAnnealing.
@@ -36,34 +37,48 @@ func SimulatedAnnealing(env *Env, opts SAOptions) (Evaluation, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	n := env.NumLayers()
 	c := len(env.Candidates)
+	engine := env.Evaluator()
 
-	// Seed from the best homogeneous strategy.
-	cur := make([]int, n)
-	var curRes, bestRes *Evaluation
-	refRUE := 0.0
-	for i := 0; i < c; i++ {
+	// Seed from the best homogeneous strategy (evaluated in parallel,
+	// selected in candidate order).
+	homos := make([]*sim.Result, c)
+	if err := ParallelFor(c, func(i int) error {
 		indices := make([]int, n)
 		for j := range indices {
 			indices[j] = i
 		}
-		r, err := env.EvalIndices(indices)
-		if err != nil {
-			return Evaluation{}, err
-		}
+		r, err := engine.EvalIndices(indices)
+		homos[i] = r
+		return err
+	}); err != nil {
+		return Evaluation{}, err
+	}
+	cur := make([]int, n)
+	var curRes, bestRes *Evaluation
+	refRUE := 0.0
+	for i, r := range homos {
 		if r.RUE() > refRUE {
 			refRUE = r.RUE()
-			copy(cur, indices)
-			st, _ := accel.FromIndices(env.Candidates, indices)
-			ev := Evaluation{Strategy: st, Result: r}
+			for j := range cur {
+				cur[j] = i
+			}
+			ev := Evaluation{Strategy: accel.Homogeneous(n, env.Candidates[i]), Result: r}
 			curRes, bestRes = &ev, &ev
 		}
 	}
 	if refRUE == 0 {
 		return Evaluation{}, fmt.Errorf("search: SA reference RUE is zero")
 	}
+	finish := func(best *Evaluation) (Evaluation, error) {
+		r, err := engine.Materialize(best.Result, best.Strategy, nil)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		return Evaluation{Strategy: best.Strategy, Result: r}, nil
+	}
 	if c == 1 {
 		// Nothing to mutate: the single homogeneous strategy is the space.
-		return *bestRes, nil
+		return finish(bestRes)
 	}
 
 	temp := opts.T0
@@ -73,7 +88,7 @@ func SimulatedAnnealing(env *Env, opts SAOptions) (Evaluation, error) {
 		k := rng.Intn(n)
 		// Mutate to a different candidate.
 		cand[k] = (cand[k] + 1 + rng.Intn(c-1)) % c
-		r, err := env.EvalIndices(cand)
+		r, err := engine.EvalIndices(cand)
 		if err != nil {
 			return Evaluation{}, err
 		}
@@ -89,5 +104,5 @@ func SimulatedAnnealing(env *Env, opts SAOptions) (Evaluation, error) {
 		}
 		temp *= opts.Alpha
 	}
-	return *bestRes, nil
+	return finish(bestRes)
 }

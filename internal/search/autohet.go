@@ -61,9 +61,15 @@ type Result struct {
 	RefRUE float64
 	// TotalTime is the wall-clock search time; SimTime is the portion
 	// spent waiting for accelerator feedback (the paper reports 97% of
-	// its 49.2-minute search inside the simulator, §4.5).
+	// its 49.2-minute search inside the simulator, §4.5). SimTime counts
+	// only actual simulation — evaluation-cache hits cost nothing and are
+	// not billed (parallel phases sum worker time, so SimTime can exceed
+	// TotalTime on multicore runs).
 	TotalTime time.Duration
 	SimTime   time.Duration
+	// Stats are this search's evaluation-engine counters (deltas when the
+	// env's evaluator is shared across searches).
+	Stats EvalStats
 	// Agent is the trained DDPG agent, exposed so callers can persist it
 	// (rl.Agent.Save) or warm-start related searches.
 	Agent *rl.Agent
@@ -98,13 +104,16 @@ func AutoHet(env *Env, opts Options) (*Result, error) {
 		agent = rl.NewAgent(opts.Agent)
 	}
 	n := env.NumLayers()
+	ev := env.Evaluator()
+	startStats := ev.Stats()
 	start := time.Now()
-	var simTime time.Duration
 
 	// Reward normalization reference: the best homogeneous build over the
 	// env's own candidates. Homogeneous strategies are points of the C^N
 	// search space, so the best of them also seeds the best-so-far — the
-	// search can then only improve on it.
+	// search can then only improve on it. The candidates are independent,
+	// so they evaluate in parallel; the selection scan below stays in
+	// candidate order, keeping the result deterministic.
 	res := &Result{}
 	states := make([][]float64, n+1)
 	actions := make([]float64, n)
@@ -114,23 +123,27 @@ func AutoHet(env *Env, opts Options) (*Result, error) {
 		result *sim.Result
 		action float64
 	}
-	refRUE := 0.0
-	homos := make([]homoEval, 0, len(env.Candidates))
-	for i := range env.Candidates {
-		for j := range indices {
-			indices[j] = i
+	homos := make([]homoEval, len(env.Candidates))
+	if err := ParallelFor(len(env.Candidates), func(i int) error {
+		homoIdx := make([]int, n)
+		for j := range homoIdx {
+			homoIdx[j] = i
 		}
-		evalStart := time.Now()
-		r, err := env.EvalIndices(indices)
-		simTime += time.Since(evalStart)
+		r, err := ev.EvalIndices(homoIdx)
 		if err != nil {
-			return nil, fmt.Errorf("search: homogeneous reference %v: %w", env.Candidates[i], err)
+			return fmt.Errorf("search: homogeneous reference %v: %w", env.Candidates[i], err)
 		}
-		homos = append(homos, homoEval{result: r, action: (float64(i) + 0.5) / float64(len(env.Candidates))})
-		if score(r) > refRUE {
-			refRUE = score(r)
+		homos[i] = homoEval{result: r, action: (float64(i) + 0.5) / float64(len(env.Candidates))}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	refRUE := 0.0
+	for i, h := range homos {
+		if score(h.result) > refRUE {
+			refRUE = score(h.result)
 			res.Best = accel.Homogeneous(n, env.Candidates[i])
-			res.BestResult = r
+			res.BestResult = h.result
 		}
 	}
 	if refRUE == 0 {
@@ -176,9 +189,7 @@ func AutoHet(env *Env, opts Options) (*Result, error) {
 		states[n] = states[n-1]
 
 		// Hardware feedback.
-		evalStart := time.Now()
-		evalRes, err := env.EvalIndices(indices)
-		simTime += time.Since(evalStart)
+		evalRes, err := ev.EvalIndices(indices)
 		if err != nil {
 			return nil, err
 		}
@@ -213,8 +224,17 @@ func AutoHet(env *Env, opts Options) (*Result, error) {
 			opts.Progress(stats)
 		}
 	}
+	// Fast-path results carry no tile plan; give the winner a concrete one
+	// (consumers like the programming-cost table need it). Metrics are
+	// unchanged — the cached and uncached paths are bit-identical.
+	best, err := ev.Materialize(res.BestResult, res.Best, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.BestResult = best
 	res.TotalTime = time.Since(start)
-	res.SimTime = simTime
+	res.Stats = ev.Stats().Sub(startStats)
+	res.SimTime = res.Stats.SimTime
 	res.Agent = agent
 	return res, nil
 }

@@ -17,23 +17,34 @@ type Evaluation struct {
 	Result   *sim.Result
 }
 
-// BestHomogeneous evaluates one homogeneous accelerator per shape and
-// returns them all plus the index of the RUE-best (the paper's Best-Homo).
+// BestHomogeneous evaluates one homogeneous accelerator per shape (in
+// parallel — the shapes are independent) and returns them all plus the index
+// of the RUE-best (the paper's Best-Homo). The results carry concrete plans,
+// as callers inspect them (Pareto fronts, per-layer tables).
 func BestHomogeneous(env *Env, shapes []xbar.Shape) ([]Evaluation, int, error) {
 	if len(shapes) == 0 {
 		return nil, -1, fmt.Errorf("search: no shapes")
 	}
 	n := env.NumLayers()
-	evals := make([]Evaluation, 0, len(shapes))
-	best := -1
-	for i, s := range shapes {
-		st := accel.Homogeneous(n, s)
-		r, err := env.EvalStrategy(st)
-		if err != nil {
-			return nil, -1, fmt.Errorf("search: homogeneous %v: %w", s, err)
+	engine := env.Evaluator()
+	evals := make([]Evaluation, len(shapes))
+	if err := ParallelFor(len(shapes), func(i int) error {
+		st := accel.Homogeneous(n, shapes[i])
+		r, err := engine.EvalStrategy(st)
+		if err == nil {
+			r, err = engine.Materialize(r, st, nil)
 		}
-		evals = append(evals, Evaluation{Strategy: st, Result: r})
-		if best == -1 || r.RUE() > evals[best].Result.RUE() {
+		if err != nil {
+			return fmt.Errorf("search: homogeneous %v: %w", shapes[i], err)
+		}
+		evals[i] = Evaluation{Strategy: st, Result: r}
+		return nil
+	}); err != nil {
+		return nil, -1, err
+	}
+	best := -1
+	for i := range evals {
+		if best == -1 || evals[i].Result.RUE() > evals[best].Result.RUE() {
 			best = i
 		}
 	}
@@ -60,11 +71,16 @@ func Greedy(env *Env) (Evaluation, error) {
 		}
 		indices[k] = bestIdx
 	}
-	r, err := env.EvalIndices(indices)
+	engine := env.Evaluator()
+	r, err := engine.EvalIndices(indices)
 	if err != nil {
 		return Evaluation{}, err
 	}
 	st, _ := accel.FromIndices(env.Candidates, indices)
+	r, err = engine.Materialize(r, st, nil)
+	if err != nil {
+		return Evaluation{}, err
+	}
 	return Evaluation{Strategy: st, Result: r}, nil
 }
 
@@ -76,13 +92,14 @@ func RandomSearch(env *Env, rounds int, seed int64) (Evaluation, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	n := env.NumLayers()
+	engine := env.Evaluator()
 	var best Evaluation
 	indices := make([]int, n)
 	for round := 0; round < rounds; round++ {
 		for k := range indices {
 			indices[k] = rng.Intn(len(env.Candidates))
 		}
-		r, err := env.EvalIndices(indices)
+		r, err := engine.EvalIndices(indices)
 		if err != nil {
 			return Evaluation{}, err
 		}
@@ -91,6 +108,11 @@ func RandomSearch(env *Env, rounds int, seed int64) (Evaluation, error) {
 			best = Evaluation{Strategy: st, Result: r}
 		}
 	}
+	r, err := engine.Materialize(best.Result, best.Strategy, nil)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	best.Result = r
 	return best, nil
 }
 
@@ -112,9 +134,10 @@ func Exhaustive(env *Env) (Evaluation, error) {
 		}
 	}
 	indices := make([]int, n)
+	engine := env.Evaluator()
 	var best Evaluation
 	for {
-		r, err := env.EvalIndices(indices)
+		r, err := engine.EvalIndices(indices)
 		if err != nil {
 			return Evaluation{}, err
 		}
@@ -132,6 +155,11 @@ func Exhaustive(env *Env) (Evaluation, error) {
 			indices[k] = 0
 		}
 		if k == n {
+			r, err := engine.Materialize(best.Result, best.Strategy, nil)
+			if err != nil {
+				return Evaluation{}, err
+			}
+			best.Result = r
 			return best, nil
 		}
 	}

@@ -12,6 +12,7 @@ package search
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"autohet/internal/accel"
 	"autohet/internal/dnn"
@@ -31,6 +32,13 @@ type Env struct {
 	Candidates []xbar.Shape
 	// Shared enables the tile-shared allocation scheme during evaluation.
 	Shared bool
+	// NoCache makes the Evaluator fall through to the uncached
+	// build-and-simulate path on every call — the honest baseline for
+	// benchmarking the evaluation engine. Set it before searching.
+	NoCache bool
+
+	evalOnce  sync.Once
+	evaluator *Evaluator
 }
 
 // NewEnv validates and constructs an environment.
@@ -116,11 +124,7 @@ func (e *Env) EvalIndices(indices []int) (*sim.Result, error) {
 
 // EvalStrategy builds and simulates the accelerator for a strategy.
 func (e *Env) EvalStrategy(st accel.Strategy) (*sim.Result, error) {
-	p, err := accel.BuildPlan(e.Cfg, e.Model, st, e.Shared)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Simulate(p)
+	return e.evalDirect(st, nil)
 }
 
 // EvalSpec builds and simulates the accelerator for a strategy given as
@@ -131,6 +135,13 @@ func (e *Env) EvalSpec(indices []int, bits accel.Precision) (*sim.Result, error)
 	if err != nil {
 		return nil, err
 	}
+	return e.evalDirect(st, bits)
+}
+
+// evalDirect is the uncached evaluation path: materialize the full tile
+// plan and simulate it. The Evaluator's fast path must stay bit-identical
+// to this (asserted in tests).
+func (e *Env) evalDirect(st accel.Strategy, bits accel.Precision) (*sim.Result, error) {
 	p, err := accel.Build(e.Cfg, e.Model, accel.PlanSpec{
 		Strategy:  st,
 		Precision: bits,
@@ -140,6 +151,20 @@ func (e *Env) EvalSpec(indices []int, bits accel.Precision) (*sim.Result, error)
 		return nil, err
 	}
 	return sim.Simulate(p)
+}
+
+// Evaluator returns the env's shared memoizing evaluation engine, creating
+// it on first use. All searchers over the same env share one engine, so a
+// GA can warm the caches an annealer then profits from.
+func (e *Env) Evaluator() *Evaluator {
+	e.evalOnce.Do(func() {
+		e.evaluator = &Evaluator{
+			env:        e,
+			strategies: map[string]*sim.Result{},
+			layers:     map[layerKey]sim.LayerResult{},
+		}
+	})
+	return e.evaluator
 }
 
 // NumLayers returns the number of decisions per episode.

@@ -40,45 +40,51 @@ func Genetic(env *Env, opts GAOptions) (Evaluation, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	n := env.NumLayers()
 	c := len(env.Candidates)
+	ev := env.Evaluator()
 
 	type individual struct {
 		genes   []int
 		fitness float64
 		result  *Evaluation
 	}
-	score := func(genes []int) (individual, error) {
-		r, err := env.EvalIndices(genes)
-		if err != nil {
-			return individual{}, err
-		}
-		st, _ := accel.FromIndices(env.Candidates, genes)
-		ev := Evaluation{Strategy: st, Result: r}
-		return individual{genes: append([]int(nil), genes...), fitness: r.RUE(), result: &ev}, nil
+	// scoreBatch evaluates a cohort of genomes through the shared engine in
+	// parallel. Genome generation (the only RNG consumer) happens before the
+	// batch call, so parallel evaluation leaves the per-seed RNG stream —
+	// and thus the search trajectory — identical to a sequential run.
+	scoreBatch := func(genomes [][]int) ([]individual, error) {
+		out := make([]individual, len(genomes))
+		err := ParallelFor(len(genomes), func(i int) error {
+			r, err := ev.EvalIndices(genomes[i])
+			if err != nil {
+				return err
+			}
+			st, _ := accel.FromIndices(env.Candidates, genomes[i])
+			e := Evaluation{Strategy: st, Result: r}
+			out[i] = individual{genes: genomes[i], fitness: r.RUE(), result: &e}
+			return nil
+		})
+		return out, err
 	}
 
-	pop := make([]individual, 0, opts.Population)
-	// Homogeneous seeds first, random fill after.
-	for i := 0; i < c && len(pop) < opts.Population; i++ {
+	// Initial population: homogeneous seeds first, random fill after.
+	seeds := make([][]int, 0, opts.Population)
+	for i := 0; i < c && len(seeds) < opts.Population; i++ {
 		genes := make([]int, n)
 		for j := range genes {
 			genes[j] = i
 		}
-		ind, err := score(genes)
-		if err != nil {
-			return Evaluation{}, err
-		}
-		pop = append(pop, ind)
+		seeds = append(seeds, genes)
 	}
-	for len(pop) < opts.Population {
+	for len(seeds) < opts.Population {
 		genes := make([]int, n)
 		for j := range genes {
 			genes[j] = rng.Intn(c)
 		}
-		ind, err := score(genes)
-		if err != nil {
-			return Evaluation{}, err
-		}
-		pop = append(pop, ind)
+		seeds = append(seeds, genes)
+	}
+	pop, err := scoreBatch(seeds)
+	if err != nil {
+		return Evaluation{}, err
 	}
 
 	byFitness := func() {
@@ -94,12 +100,13 @@ func Genetic(env *Env, opts GAOptions) (Evaluation, error) {
 
 	byFitness()
 	best := pop[0]
-	genes := make([]int, n)
 	for g := 0; g < opts.Generations; g++ {
-		next := make([]individual, 0, opts.Population)
-		next = append(next, pop[:opts.Elite]...)
-		for len(next) < opts.Population {
+		// Breed the whole offspring cohort first (sequential RNG draws),
+		// then evaluate it in parallel.
+		offspring := make([][]int, 0, opts.Population-opts.Elite)
+		for len(offspring) < opts.Population-opts.Elite {
 			p1, p2 := tournament(), tournament()
+			genes := make([]int, n)
 			for j := 0; j < n; j++ {
 				if rng.Intn(2) == 0 {
 					genes[j] = p1.genes[j]
@@ -110,17 +117,24 @@ func Genetic(env *Env, opts GAOptions) (Evaluation, error) {
 					genes[j] = rng.Intn(c)
 				}
 			}
-			ind, err := score(genes)
-			if err != nil {
-				return Evaluation{}, err
-			}
-			next = append(next, ind)
+			offspring = append(offspring, genes)
 		}
+		scored, err := scoreBatch(offspring)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		next := make([]individual, 0, opts.Population)
+		next = append(next, pop[:opts.Elite]...)
+		next = append(next, scored...)
 		pop = next
 		byFitness()
 		if pop[0].fitness > best.fitness {
 			best = pop[0]
 		}
 	}
-	return *best.result, nil
+	r, err := ev.Materialize(best.result.Result, best.result.Strategy, nil)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluation{Strategy: best.result.Strategy, Result: r}, nil
 }

@@ -85,23 +85,30 @@ func MixedPrecision(env *Env, opts MPOptions) (*MPResult, error) {
 		return sum / totalW
 	}
 
-	// Start: best homogeneous shape at full available precision.
+	// Start: best homogeneous shape at full available precision (the
+	// candidates evaluate in parallel; selection stays in candidate order).
+	engine := env.Evaluator()
 	indices := make([]int, n)
 	bits := make(accel.Precision, n)
 	for i := range bits {
 		bits[i] = maxBits
 	}
+	homos := make([]*sim.Result, c)
+	if err := ParallelFor(c, func(i int) error {
+		homoIdx := make([]int, n)
+		for j := range homoIdx {
+			homoIdx[j] = i
+		}
+		r, err := engine.EvalSpec(homoIdx, bits)
+		homos[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	refRUE := 0.0
 	bestIdx := 0
 	var cur *sim.Result
-	for i := 0; i < c; i++ {
-		for j := range indices {
-			indices[j] = i
-		}
-		r, err := env.EvalSpec(indices, bits)
-		if err != nil {
-			return nil, err
-		}
+	for i, r := range homos {
 		if r.RUE() > refRUE {
 			refRUE = r.RUE()
 			cur = r
@@ -138,7 +145,7 @@ func MixedPrecision(env *Env, opts MPOptions) (*MPResult, error) {
 			temp *= opts.Alpha
 			continue // infeasible: rejected without evaluation
 		}
-		r, err := env.EvalSpec(candIdx, candBits)
+		r, err := engine.EvalSpec(candIdx, candBits)
 		if err != nil {
 			return nil, err
 		}
@@ -158,6 +165,11 @@ func MixedPrecision(env *Env, opts MPOptions) (*MPResult, error) {
 		}
 		temp *= opts.Alpha
 	}
+	r, err := engine.Materialize(best.Result, best.Strategy, best.Precision)
+	if err != nil {
+		return nil, err
+	}
+	best.Result = r
 	return best, nil
 }
 

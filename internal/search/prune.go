@@ -103,23 +103,31 @@ func PruneSearch(cfg hw.Config, m *dnn.Model, candidates []xbar.Shape, shared bo
 		return r, kept, nil
 	}
 
-	// Start: best homogeneous shape, fully dense.
+	// Start: best homogeneous shape, fully dense. Pruning evaluations build
+	// per-variant models, so they bypass the env-level evaluation cache —
+	// but the homogeneous sweep's points are independent and run in
+	// parallel (selection stays in candidate order).
 	indices := make([]int, n)
 	keep := make([]float64, n)
 	for i := range keep {
 		keep[i] = 1
 	}
+	homos := make([]*sim.Result, c)
+	if err := ParallelFor(c, func(i int) error {
+		homoIdx := make([]int, n)
+		for j := range homoIdx {
+			homoIdx[j] = i
+		}
+		r, _, err := evaluate(homoIdx, keep)
+		homos[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	refRUE := 0.0
 	bestIdx := 0
 	var cur *sim.Result
-	for i := 0; i < c; i++ {
-		for j := range indices {
-			indices[j] = i
-		}
-		r, _, err := evaluate(indices, keep)
-		if err != nil {
-			return nil, err
-		}
+	for i, r := range homos {
 		if r.RUE() > refRUE {
 			refRUE, cur, bestIdx = r.RUE(), r, i
 		}

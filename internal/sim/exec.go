@@ -106,13 +106,6 @@ func execCrossbar(cfg hw.Config, planes []*quant.BitPlane, in *quant.Input, r0, 
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func shapeErr(gotR, gotC, wantR, wantC int) error {
 	return fmt.Errorf("sim: weight matrix %dx%d, layer unfolds to %dx%d", gotR, gotC, wantR, wantC)
 }

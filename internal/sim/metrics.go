@@ -51,6 +51,9 @@ type LayerResult struct {
 	Energy    Breakdown
 	LatencyNS float64
 	Tiles     int
+	// GridRows is the layer's crossbar-grid height (vertically stacked
+	// bands); FinishLayer needs it for the partial-sum merge latency.
+	GridRows int
 }
 
 // Result aggregates a whole-model inference on a given plan.
@@ -101,39 +104,85 @@ func (r *Result) PowerW() float64 {
 func (r *Result) Reward() float64 { return r.RUE() }
 
 // Simulate prices one inference of the plan's model on its accelerator.
+//
+// It is the composition of the exported pieces LayerBase, FinishLayer,
+// PoolEnergyPJ and Assemble — split out so the search stack's memoizing
+// evaluation engine (search.Evaluator) can reuse cached per-layer bases and
+// plan-free aggregates (accel.Summarize) while staying bit-identical to this
+// path (asserted in tests).
 func Simulate(p *accel.Plan) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	cfg := p.Cfg
-	res := &Result{
-		Plan:          p,
+	tiles := p.LayerTileCounts()
+	layers := make([]LayerResult, len(p.Layers))
+	for i, la := range p.Layers {
+		base := LayerBase(cfg, la.Layer, la.Shape, la.WeightBits)
+		layers[i] = FinishLayer(cfg, base, tiles[i], la.Copies)
+	}
+	res := Assemble(Aggregates{
 		Utilization:   p.Utilization(),
 		AreaUM2:       p.Area(),
 		OccupiedTiles: p.OccupiedTiles(),
+		PoolEnergyPJ:  PoolEnergyPJ(p.Model),
+	}, layers)
+	res.Plan = p
+	return res, nil
+}
+
+// PoolEnergyPJ prices the model's pooling layers, per pooled output element
+// over its window. Pooling is digital peripheral work, independent of the
+// crossbar strategy, so the evaluation engine computes it once per model.
+func PoolEnergyPJ(m *dnn.Model) float64 {
+	var pool float64
+	for _, l := range m.Layers {
+		if l.Kind != dnn.Pool {
+			continue
+		}
+		ops := int64(l.OutputPositions()) * int64(l.K*l.K) * int64(l.InC)
+		pool += float64(ops) * hw.PoolEnergyPerOp
+	}
+	return pool
+}
+
+// Aggregates carries the plan-level metrics Assemble folds into a Result.
+type Aggregates struct {
+	Utilization   float64
+	AreaUM2       float64
+	OccupiedTiles int
+	PoolEnergyPJ  float64
+}
+
+// Assemble combines finished per-layer results and plan-level aggregates
+// into a whole-model Result. Accumulation order matches the model's layer
+// order, so a Result assembled from cached pieces is bit-identical to one
+// from Simulate.
+func Assemble(agg Aggregates, layers []LayerResult) *Result {
+	res := &Result{
+		Utilization:   agg.Utilization,
+		AreaUM2:       agg.AreaUM2,
+		OccupiedTiles: agg.OccupiedTiles,
 	}
 	var totalNS float64
-	for _, la := range p.Layers {
-		lr := simulateLayer(cfg, p, la)
+	for _, lr := range layers {
 		res.Layers = append(res.Layers, lr)
 		res.Energy.Add(lr.Energy)
 		totalNS += lr.LatencyNS
 		res.ADCConversions += lr.ADCConversions
 	}
-	// Pooling layers: priced per pooled output element over its window.
-	for _, l := range p.Model.Layers {
-		if l.Kind != dnn.Pool {
-			continue
-		}
-		ops := int64(l.OutputPositions()) * int64(l.K*l.K) * int64(l.InC)
-		res.Energy.Pool += float64(ops) * hw.PoolEnergyPerOp
-	}
+	res.Energy.Pool += agg.PoolEnergyPJ
 	res.EnergyNJ = res.Energy.Total() / 1000
 	res.LatencyNS = totalNS
-	return res, nil
+	return res
 }
 
-// simulateLayer prices one layer's inference work.
+// LayerBase prices the placement-independent part of one layer's inference
+// work under a crossbar shape and weight precision. The returned LayerResult
+// carries no tile-dependent terms yet (bus energy, EnergyPJ, latency, tile
+// count); FinishLayer adds them. The split exists so the evaluation engine
+// can memoize bases on (layer, shape, precision): the rest of the strategy
+// can only affect a layer through its tile count.
 //
 // Per output position (MVM), the input vector is streamed bit-serially over
 // InputBits cycles. In each cycle every one of the XBPerPE weight bit-plane
@@ -141,18 +190,16 @@ func Simulate(p *accel.Plan) (*Result, error) {
 // DACs, all active bitlines integrate currents, and each active bitline is
 // digitized once by its (multiplexed) ADC. Partial sums from the GridRows
 // vertically stacked bands are then shifted and added.
-func simulateLayer(cfg hw.Config, p *accel.Plan, la *accel.LayerAlloc) LayerResult {
-	l := la.Layer
-	m := la.Mapping
-	planes := int64(la.WeightBits)
+func LayerBase(cfg hw.Config, l *dnn.Layer, shape xbar.Shape, weightBits int) LayerResult {
+	m := xbar.MapLayer(l, shape)
+	planes := int64(weightBits)
 	if planes < 1 {
 		planes = int64(cfg.XBPerPE)
 	}
 	bits := int64(cfg.InputBits)
 	mvms := int64(l.OutputPositions())
-	tiles := p.LayerTiles(l.Index)
 
-	lr := LayerResult{Layer: l, Shape: la.Shape, MVMs: mvms, Tiles: tiles}
+	lr := LayerResult{Layer: l, Shape: shape, MVMs: mvms, GridRows: m.GridRows}
 	cyc := mvms * bits // analog read cycles per plane-crossbar set
 
 	lr.ADCConversions = cyc * planes * int64(m.ActiveCols)
@@ -168,28 +215,41 @@ func simulateLayer(cfg hw.Config, p *accel.Plan, la *accel.LayerAlloc) LayerResu
 	// per MVM (2 bytes per partial output).
 	bufBytes := float64(mvms) * (float64(l.UnfoldedRows()) + 2*float64(l.OutC))
 	lr.Energy.Buffer = bufBytes * hw.BufferEnergyPerByte
+	return lr
+}
+
+// FinishLayer completes a LayerBase with the placement-dependent terms: bus
+// energy for partial-sum hops across the layer's tiles, total energy, and
+// latency (divided by the weight-replication factor).
+func FinishLayer(cfg hw.Config, base LayerResult, tiles, copies int) LayerResult {
+	lr := base
+	l := lr.Layer
+	lr.Tiles = tiles
 	// Bus: partial sums hop between tiles when a layer spans several.
 	if tiles > 1 {
-		lr.Energy.Bus = float64(mvms) * 2 * float64(l.OutC) * float64(tiles-1) * hw.TileBusEnergyPerByte
+		lr.Energy.Bus = float64(lr.MVMs) * 2 * float64(l.OutC) * float64(tiles-1) * hw.TileBusEnergyPerByte
 	}
 	lr.EnergyPJ = lr.Energy.Total()
 
 	// Latency: bit-serial cycles through the crossbar (all grid crossbars
 	// operate in parallel) plus the per-MVM partial-sum merge. Weight
-	// replication (la.Copies > 1) processes that many output positions in
+	// replication (copies > 1) processes that many output positions in
 	// parallel, dividing the layer's serial latency.
-	cycle := cfg.XBReadLatency(la.Shape)
-	merge := cfg.MergeLatency(m.GridRows, tiles)
-	copies := la.Copies
+	cycle := cfg.XBReadLatency(lr.Shape)
+	merge := cfg.MergeLatency(lr.GridRows, tiles)
 	if copies < 1 {
 		copies = 1
 	}
-	lr.LatencyNS = float64(mvms) * (float64(bits)*cycle + merge) / float64(copies)
+	lr.LatencyNS = float64(lr.MVMs) * (float64(int64(cfg.InputBits))*cycle + merge) / float64(copies)
 	return lr
 }
 
 // String summarizes the result.
 func (r *Result) String() string {
+	name := "(no plan)"
+	if r.Plan != nil {
+		name = r.Plan.Model.Name
+	}
 	return fmt.Sprintf("%s: util %.1f%%, energy %.3g nJ, RUE %.3g, latency %.3g ns, area %.3g µm², %d tiles",
-		r.Plan.Model.Name, r.Utilization, r.EnergyNJ, r.RUE(), r.LatencyNS, r.AreaUM2, r.OccupiedTiles)
+		name, r.Utilization, r.EnergyNJ, r.RUE(), r.LatencyNS, r.AreaUM2, r.OccupiedTiles)
 }

@@ -126,13 +126,6 @@ func mapGrouped(l *dnn.Layer, s Shape) Mapping {
 	return m
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Crossbars returns the number of crossbars in the grid (including
 // per-group copies for grouped convolutions).
 func (m Mapping) Crossbars() int {

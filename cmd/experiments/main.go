@@ -7,6 +7,7 @@
 //	experiments -run fig9 -rounds 300          # one experiment, paper-scale search
 //	experiments -run table5 -csv out/          # also emit CSV files
 //	experiments -bench-json BENCH_search.json  # search-speedup benchmark only
+//	experiments -bench mvm -bench-json BENCH_mvm.json  # packed-MVM benchmark
 //	experiments -run fig9 -cpuprofile cpu.out  # profile with go tool pprof
 package main
 
@@ -29,7 +30,8 @@ func main() {
 	rounds := flag.Int("rounds", 300, "RL search rounds per search (paper: 300)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	csvDir := flag.String("csv", "", "directory to also write per-table CSV files into")
-	benchJSON := flag.String("bench-json", "", "run the cached-vs-uncached search benchmark instead of experiments and write its JSON document to this path")
+	benchJSON := flag.String("bench-json", "", "run a benchmark instead of experiments and write its JSON document to this path")
+	bench := flag.String("bench", "search", "which benchmark -bench-json runs: search (cached-vs-uncached search) or mvm (packed-vs-scalar MVM engine)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -63,18 +65,38 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		b, err := experiments.BenchSearch(*rounds, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+		switch *bench {
+		case "search":
+			b, err := experiments.BenchSearch(*rounds, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := b.WriteJSON(*benchJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("search bench (%s, %d rounds, %d workers): uncached %.2fs, cached %.2fs (%.1fx, hit rate %.1f%%) -> %s\n",
+				b.Model, b.Rounds, b.Workers, b.Uncached.WallSeconds, b.Cached.WallSeconds,
+				b.Speedup, 100*b.Cached.HitRate, *benchJSON)
+		case "mvm":
+			b, err := experiments.BenchMVM(*seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := b.WriteJSON(*benchJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("mvm bench (%d workers): kernel %.0fns packed vs %.0fns scalar (%.0fx); %s end-to-end %.2fs/inf (%.1f inf/s, %.2f allocs/patch, est. %.0fx over scalar) -> %s\n",
+				b.Workers, b.Kernel.PackedNsPerMVM, b.Kernel.ScalarNsPerMVM, b.Kernel.Speedup,
+				b.EndToEnd.Model, b.EndToEnd.WallSecondsPerInf, b.EndToEnd.InferencesPerSec,
+				b.EndToEnd.AllocsPerPatch, b.EndToEnd.EstimatedSpeedup, *benchJSON)
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown benchmark %q (want search or mvm)\n", *bench)
 			os.Exit(1)
 		}
-		if err := b.WriteJSON(*benchJSON); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("search bench (%s, %d rounds, %d workers): uncached %.2fs, cached %.2fs (%.1fx, hit rate %.1f%%) -> %s\n",
-			b.Model, b.Rounds, b.Workers, b.Uncached.WallSeconds, b.Cached.WallSeconds,
-			b.Speedup, 100*b.Cached.HitRate, *benchJSON)
 		return
 	}
 

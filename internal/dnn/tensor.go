@@ -52,11 +52,20 @@ func (t *Tensor) Flatten() []float64 {
 // channel-major then row-major within the window, with zero padding outside
 // the feature map. This matches the weight-matrix row order of Fig. 7.
 func (t *Tensor) Patch(l *Layer, oy, ox int) []float64 {
+	return t.PatchInto(make([]float64, t.C*l.K*l.K), l, oy, ox)
+}
+
+// PatchInto is Patch writing into dst, which must have length C·k² — the
+// allocation-free form the sliding-window inference loop reuses per worker.
+func (t *Tensor) PatchInto(dst []float64, l *Layer, oy, ox int) []float64 {
 	if l.Kind != Conv {
 		panic("dnn: Patch on non-CONV layer " + l.Name)
 	}
 	k := l.K
-	out := make([]float64, t.C*k*k)
+	out := dst
+	if len(out) != t.C*k*k {
+		panic(fmt.Sprintf("dnn: patch buffer %d, want %d", len(out), t.C*k*k))
+	}
 	y0 := oy*l.Stride - l.Pad
 	x0 := ox*l.Stride - l.Pad
 	i := 0
@@ -66,6 +75,8 @@ func (t *Tensor) Patch(l *Layer, oy, ox int) []float64 {
 				y, x := y0+ky, x0+kx
 				if y >= 0 && y < t.H && x >= 0 && x < t.W {
 					out[i] = t.At(c, y, x)
+				} else {
+					out[i] = 0 // zero padding; dst may be reused
 				}
 				i++
 			}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/quant"
+	"autohet/internal/sim"
+	"autohet/internal/xbar"
+)
+
+// MVMKernelLeg records the packed-vs-scalar kernel comparison on the paper's
+// Fig. 5 layer (3×3×12 → 128 on a 2×2 grid of 64×64 crossbars).
+type MVMKernelLeg struct {
+	ScalarNsPerMVM float64 `json:"scalar_ns_per_mvm"`
+	PackedNsPerMVM float64 `json:"packed_ns_per_mvm"`
+	Speedup        float64 `json:"speedup"`
+	// BitExact confirms the two kernels produced `==`-identical outputs and
+	// stats on this layer before timing.
+	BitExact bool `json:"bit_exact"`
+}
+
+// MVMEndToEndLeg records whole-network functional inference through the
+// packed engine: measured throughput, the O(1)-scratch allocation budget, and
+// the scalar engine's estimated cost for the same workload (measured per
+// layer, scaled by patch counts — running it outright takes minutes).
+type MVMEndToEndLeg struct {
+	Model               string  `json:"model"`
+	MVMsPerInference    int64   `json:"mvms_per_inference"`
+	WallSecondsPerInf   float64 `json:"wall_seconds_per_inference"`
+	InferencesPerSec    float64 `json:"inferences_per_sec"`
+	AllocsPerPatch      float64 `json:"allocs_per_patch"`
+	ScalarEstimateSecs  float64 `json:"scalar_estimate_seconds_per_inference"`
+	EstimatedSpeedup    float64 `json:"estimated_speedup"`
+	BitExactMatchesFast bool    `json:"bit_exact_matches_fast"`
+}
+
+// MVMBench is the JSON document cmd/experiments -bench mvm writes: the packed
+// popcount engine measured against the byte-per-cell scalar reference it
+// replaced, at kernel granularity and end to end.
+type MVMBench struct {
+	Workers  int            `json:"workers"`
+	Seed     int64          `json:"seed"`
+	Kernel   MVMKernelLeg   `json:"kernel"`
+	EndToEnd MVMEndToEndLeg `json:"end_to_end"`
+}
+
+// BenchMVM measures the packed MVM engine: the Fig. 5 kernel comparison plus
+// an AlexNet-scale end-to-end inference leg.
+func BenchMVM(seed int64) (*MVMBench, error) {
+	return benchMVMModel(dnn.AlexNet(), seed, 200)
+}
+
+func benchMVMModel(m *dnn.Model, seed int64, kernelReps int) (*MVMBench, error) {
+	b := &MVMBench{Workers: runtime.GOMAXPROCS(0), Seed: seed}
+	var err error
+	if b.Kernel, err = benchMVMKernel(seed, kernelReps); err != nil {
+		return nil, err
+	}
+	if b.EndToEnd, err = benchMVMEndToEnd(m, seed); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// benchMVMKernel times ExecuteMVM against ExecuteMVMScalar on the Fig. 5
+// layer, asserting bit-exact agreement first.
+func benchMVMKernel(seed int64, reps int) (MVMKernelLeg, error) {
+	cfg := hw.DefaultConfig()
+	l := &dnn.Layer{Name: "fig5", Kind: dnn.Conv, K: 3, InC: 12, OutC: 128, Stride: 1, Pad: 0, InH: 8, InW: 8}
+	m, err := dnn.NewFlatModel("fig5", 8, 8, 12, []*dnn.Layer{l})
+	if err != nil {
+		return MVMKernelLeg{}, err
+	}
+	p, err := accel.BuildPlan(cfg, m, accel.Homogeneous(1, xbar.Square(64)), false)
+	if err != nil {
+		return MVMKernelLeg{}, err
+	}
+	la := p.Layers[0]
+	w := quant.QuantizeWeights(dnn.SyntheticWeights(la.Layer, seed+1))
+	in := quant.QuantizeInput(dnn.SyntheticInput(la.Layer, seed+2))
+
+	packed, ps, err := sim.ExecuteMVM(cfg, la, w, in)
+	if err != nil {
+		return MVMKernelLeg{}, err
+	}
+	scalar, ss, err := sim.ExecuteMVMScalar(cfg, la, w, in)
+	if err != nil {
+		return MVMKernelLeg{}, err
+	}
+	leg := MVMKernelLeg{BitExact: ps == ss}
+	for j := range packed {
+		if packed[j] != scalar[j] {
+			leg.BitExact = false
+		}
+	}
+	if !leg.BitExact {
+		return leg, fmt.Errorf("experiments: packed and scalar kernels disagree on the Fig. 5 layer")
+	}
+
+	leg.PackedNsPerMVM = timePerOp(reps, func() error {
+		_, _, err := sim.ExecuteMVM(cfg, la, w, in)
+		return err
+	})
+	// The scalar kernel is orders of magnitude slower; a handful of reps is
+	// enough resolution.
+	scalarReps := reps/50 + 1
+	leg.ScalarNsPerMVM = timePerOp(scalarReps, func() error {
+		_, _, err := sim.ExecuteMVMScalar(cfg, la, w, in)
+		return err
+	})
+	if leg.PackedNsPerMVM > 0 {
+		leg.Speedup = leg.ScalarNsPerMVM / leg.PackedNsPerMVM
+	}
+	return leg, nil
+}
+
+// benchMVMEndToEnd runs full bit-exact inferences through a warm Engine,
+// counting allocations per sliding-window MVM, and estimates the scalar
+// engine's cost for the same workload from per-layer scalar MVM timings.
+func benchMVMEndToEnd(m *dnn.Model, seed int64) (MVMEndToEndLeg, error) {
+	cfg := hw.DefaultConfig()
+	p, err := accel.BuildPlan(cfg, m, accel.Homogeneous(m.NumMappable(), xbar.Square(128)), true)
+	if err != nil {
+		return MVMEndToEndLeg{}, err
+	}
+	leg := MVMEndToEndLeg{Model: m.Name}
+	input := dnn.SyntheticTensor(m.InC, m.InH, m.InW, seed+3)
+	eng := sim.NewEngine(p)
+	opts := sim.InferenceOptions{Seed: seed, BitExact: true}
+	ref, stats, err := eng.Run(input, opts) // warm the caches
+	if err != nil {
+		return leg, err
+	}
+	leg.MVMsPerInference = stats.MVMs
+	fast, _, err := eng.Run(input, sim.InferenceOptions{Seed: seed})
+	if err != nil {
+		return leg, err
+	}
+	leg.BitExactMatchesFast = len(fast) == len(ref)
+	for j := range ref {
+		if fast[j] != ref[j] {
+			leg.BitExactMatchesFast = false
+		}
+	}
+	if !leg.BitExactMatchesFast {
+		return leg, fmt.Errorf("experiments: bit-exact and fast inference paths diverged on %s", m.Name)
+	}
+
+	const runs = 3
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for r := 0; r < runs; r++ {
+		if _, _, err := eng.Run(input, opts); err != nil {
+			return leg, err
+		}
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+	leg.WallSecondsPerInf = wall / runs
+	if wall > 0 {
+		leg.InferencesPerSec = runs / wall
+	}
+	if stats.MVMs > 0 {
+		leg.AllocsPerPatch = float64(ms1.Mallocs-ms0.Mallocs) / float64(runs*stats.MVMs)
+	}
+
+	// Scalar estimate: one scalar MVM per mappable layer, scaled by the
+	// layer's sliding-window position count.
+	for _, l := range m.Mappable() {
+		la := p.Layers[l.Index]
+		w := quant.QuantizeWeights(dnn.SyntheticWeights(l, seed))
+		in := quant.QuantizeInput(dnn.SyntheticInput(l, seed+4))
+		ns := timePerOp(1, func() error {
+			_, _, err := sim.ExecuteMVMScalar(cfg, la, w, in)
+			return err
+		})
+		leg.ScalarEstimateSecs += ns * 1e-9 * float64(l.OutputPositions())
+	}
+	if leg.WallSecondsPerInf > 0 {
+		leg.EstimatedSpeedup = leg.ScalarEstimateSecs / leg.WallSecondsPerInf
+	}
+	return leg, nil
+}
+
+// timePerOp returns the mean ns per call of fn over reps calls.
+func timePerOp(reps int, fn func() error) float64 {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := fn(); err != nil {
+			return 0
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps)
+}
+
+// WriteJSON writes the benchmark document to path (indented, trailing
+// newline) so CI and EXPERIMENTS.md recipes can archive it.
+func (b *MVMBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autohet/internal/dnn"
+)
+
+func TestBenchMVMTinyModel(t *testing.T) {
+	m, err := dnn.NewModel("tiny", 8, 8, 3, []*dnn.Layer{
+		{Name: "c1", Kind: dnn.Conv, K: 3, InC: 3, OutC: 8, Stride: 1, Pad: 1},
+		{Name: "f1", Kind: dnn.FC, K: 1, InC: 8 * 8 * 8, OutC: 4, Stride: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := benchMVMModel(m, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Kernel.BitExact {
+		t.Fatal("kernel leg must verify bit-exactness before timing")
+	}
+	if b.Kernel.PackedNsPerMVM <= 0 || b.Kernel.ScalarNsPerMVM <= 0 {
+		t.Fatalf("kernel timings missing: %+v", b.Kernel)
+	}
+	if b.Kernel.Speedup <= 1 {
+		t.Fatalf("packed kernel slower than scalar: %+v", b.Kernel)
+	}
+	e := b.EndToEnd
+	if !e.BitExactMatchesFast {
+		t.Fatal("end-to-end leg must verify bit-exact == fast")
+	}
+	if e.MVMsPerInference != int64(8*8+1) {
+		t.Fatalf("MVMs per inference %d, want %d", e.MVMsPerInference, 8*8+1)
+	}
+	if e.InferencesPerSec <= 0 || e.WallSecondsPerInf <= 0 || e.ScalarEstimateSecs <= 0 {
+		t.Fatalf("end-to-end timings missing: %+v", e)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_mvm.json")
+	if err := b.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MVMBench
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kernel.Speedup != b.Kernel.Speedup || back.EndToEnd.Model != "tiny" {
+		t.Fatalf("JSON round trip lost fields: %+v", back)
+	}
+}

@@ -126,8 +126,9 @@ func (s *Suite) FaultSensitivity() (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := sim.NewEngine(p) // weights quantized once across every fault model
 	relErr := func(fm *fault.Model) (float64, error) {
-		got, _, err := sim.RunInference(p, input, sim.InferenceOptions{Seed: s.Seed, Faults: fm})
+		got, _, err := eng.Run(input, sim.InferenceOptions{Seed: s.Seed, Faults: fm})
 		if err != nil {
 			return 0, err
 		}

@@ -71,8 +71,11 @@ func (s *Suite) repairAccuracy() (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One engine per plan: weights are quantized and planes packed once,
+	// then every (fault rate, repair mode) combination reuses them.
+	engines := map[*accel.Plan]*sim.Engine{bare: sim.NewEngine(bare), spared: sim.NewEngine(spared)}
 	relErr := func(p *accel.Plan, opts sim.InferenceOptions) (float64, error) {
-		got, _, err := sim.RunInference(p, input, opts)
+		got, _, err := engines[p].Run(input, opts)
 		if err != nil {
 			return 0, err
 		}

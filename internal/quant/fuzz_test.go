@@ -6,6 +6,87 @@ import "testing"
 // crossbar engines rely on: for any quantized matrix, summing 2^Bit · plane
 // over the Slices() planes reconstructs q + Offset() exactly, with planes
 // ordered least significant first.
+// FuzzPackedMVM checks the packed popcount kernel against the scalar integer
+// MVM: for any quantized matrix (1–8 bit weights, ragged row counts, all-zero
+// and all-ones planes) and any input vector, reconstructing
+// Σ_p Σ_b 2^(Bit+b)·popcount(plane ∧ digits) over a row split must equal the
+// exact integer product Σ_i (q_i+offset)·u_i — `==`, never a tolerance.
+func FuzzPackedMVM(f *testing.F) {
+	f.Add(uint8(8), uint8(3), uint8(30), []byte{1, 255, 0, 127, 128, 5}, []byte{9, 0, 255})
+	f.Add(uint8(1), uint8(1), uint8(0), []byte{0, 1, 2}, []byte{7})
+	// 70 rows: the packed column spans two words with a ragged tail.
+	f.Add(uint8(4), uint8(1), uint8(65), make([]byte, 70), []byte{255, 1, 0, 128})
+	allOnes := make([]byte, 70)
+	for i := range allOnes {
+		allOnes[i] = 0xff
+	}
+	f.Add(uint8(8), uint8(1), uint8(64), allOnes, allOnes)
+	f.Fuzz(func(t *testing.T, bitsRaw, colsRaw, splitRaw uint8, wdata, xdata []byte) {
+		bits := int(bitsRaw)%8 + 1
+		cols := int(colsRaw)%8 + 1
+		rows := len(wdata) / cols
+		if rows == 0 {
+			return
+		}
+		if rows > 200 {
+			rows = 200
+		}
+		off := 1 << (bits - 1)
+		m := &Matrix{Rows: rows, Cols: cols, Bits: bits, Scale: 1, Q: make([]int8, rows*cols)}
+		for i := range m.Q {
+			q := int(int8(wdata[i]))
+			if q > off-1 {
+				q = off - 1
+			}
+			if q < -off {
+				q = -off
+			}
+			m.Q[i] = int8(q)
+		}
+		u := make([]uint8, rows)
+		for i := range u {
+			if len(xdata) > 0 {
+				u[i] = xdata[i%len(xdata)]
+			}
+		}
+		// Build the bit-serial form of u directly (QuantizeInput rescales to
+		// the full 8-bit range; here the raw codes are the ground truth).
+		in := &Input{N: rows, Scale: 1, U: u, Digits: make([][]uint8, InputBits)}
+		for b := range in.Digits {
+			in.Digits[b] = make([]uint8, rows)
+			for i, v := range u {
+				in.Digits[b][i] = (v >> b) & 1
+			}
+		}
+		in.DigitWords = packDigits(nil, u)
+		pm := m.Packed()
+		if len(pm.Planes) != bits {
+			t.Fatalf("%d-bit matrix packed into %d planes", bits, len(pm.Planes))
+		}
+		split := int(splitRaw) % (rows + 1) // row band boundary, may be 0 or rows
+		for j := 0; j < cols; j++ {
+			var packed int64
+			for _, p := range pm.Planes {
+				for b := 0; b < InputBits; b++ {
+					d := in.DigitWords[b]
+					sum := p.ColRangeSum(j, 0, split, d) + p.ColRangeSum(j, split, rows, d)
+					if full := p.ColSum(j, d); sum != full {
+						t.Fatalf("col %d plane %d cycle %d: split at %d sums %d, full %d", j, p.Bit, b, split, sum, full)
+					}
+					packed += int64(sum) << uint(b+p.Bit)
+				}
+			}
+			var want int64
+			for i := 0; i < rows; i++ {
+				want += (int64(m.Q[i*cols+j]) + int64(off)) * int64(u[i])
+			}
+			if packed != want {
+				t.Fatalf("col %d: packed MVM %d, integer reference %d", j, packed, want)
+			}
+		}
+	})
+}
+
 func FuzzBitSliceRoundTrip(f *testing.F) {
 	f.Add(uint8(8), uint8(3), []byte{1, 255, 0, 127, 128, 5})
 	f.Add(uint8(1), uint8(1), []byte{0, 1, 2})

@@ -1,0 +1,169 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomMatrix returns a quantized matrix with uniformly random codes at the
+// given bit width, including the extremes -2^(b-1) and 2^(b-1)-1.
+func randomMatrix(rng *rand.Rand, rows, cols, bits int) *Matrix {
+	off := 1 << (bits - 1)
+	m := &Matrix{Rows: rows, Cols: cols, Bits: bits, Scale: 1, Q: make([]int8, rows*cols)}
+	for i := range m.Q {
+		m.Q[i] = int8(rng.Intn(2*off) - off)
+	}
+	return m
+}
+
+func TestPackPlaneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Rows chosen to exercise sub-word, exact-word, and ragged tails.
+	for _, rows := range []int{1, 63, 64, 65, 100, 128, 129} {
+		m := randomMatrix(rng, rows, 5, 8)
+		for _, p := range m.Slices() {
+			pp := PackPlane(p)
+			if pp.Rows != rows || pp.Cols != 5 || pp.Bit != p.Bit {
+				t.Fatalf("rows=%d: packed shape %d×%d bit %d", rows, pp.Rows, pp.Cols, pp.Bit)
+			}
+			if pp.WordsPerCol != (rows+63)/64 {
+				t.Fatalf("rows=%d: WordsPerCol %d", rows, pp.WordsPerCol)
+			}
+			for j := 0; j < pp.Cols; j++ {
+				col := pp.Col(j)
+				for i := 0; i < rows; i++ {
+					got := uint8(col[i>>6] >> uint(i&63) & 1)
+					if got != p.Bits[i*p.Cols+j] {
+						t.Fatalf("rows=%d plane %d cell (%d,%d): packed %d byte %d", rows, p.Bit, i, j, got, p.Bits[i*p.Cols+j])
+					}
+				}
+				// Tail bits beyond Rows must be zero so full-column popcounts
+				// need no masking.
+				for i := rows; i < pp.WordsPerCol*64; i++ {
+					if col[i>>6]>>uint(i&63)&1 != 0 {
+						t.Fatalf("rows=%d plane %d col %d: tail bit %d set", rows, p.Bit, j, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestColRangeSumMatchesByteLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const rows, cols = 150, 4
+	m := randomMatrix(rng, rows, cols, 4)
+	x := make([]float64, rows)
+	for i := range x {
+		x[i] = rng.Float64() * 3
+	}
+	in := QuantizeInput(x)
+	ranges := [][2]int{{0, rows}, {0, 64}, {0, 63}, {1, 63}, {63, 65}, {64, 128}, {37, 100}, {128, 150}, {149, 150}, {5, 5}}
+	for _, p := range m.Slices() {
+		pp := PackPlane(p)
+		for _, rr := range ranges {
+			r0, r1 := rr[0], rr[1]
+			for j := 0; j < cols; j++ {
+				for b := 0; b < InputBits; b++ {
+					want := 0
+					for i := r0; i < r1; i++ {
+						if p.Bits[i*p.Cols+j] != 0 && in.Digits[b][i] != 0 {
+							want++
+						}
+					}
+					if got := pp.ColRangeSum(j, r0, r1, in.DigitWords[b]); got != want {
+						t.Fatalf("plane %d col %d rows [%d,%d) cycle %d: packed %d byte %d", p.Bit, j, r0, r1, b, got, want)
+					}
+					if r0 == 0 && r1 == rows {
+						if got := pp.ColSum(j, in.DigitWords[b]); got != want {
+							t.Fatalf("plane %d col %d cycle %d: ColSum %d byte %d", p.Bit, j, b, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDigitWordsMatchDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 64, 65, 200} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		in := QuantizeInput(x)
+		if len(in.DigitWords) != InputBits {
+			t.Fatalf("n=%d: %d digit word rows", n, len(in.DigitWords))
+		}
+		for b := 0; b < InputBits; b++ {
+			if len(in.DigitWords[b]) != (n+63)/64 {
+				t.Fatalf("n=%d cycle %d: %d words", n, b, len(in.DigitWords[b]))
+			}
+			for i := 0; i < n; i++ {
+				got := uint8(in.DigitWords[b][i>>6] >> uint(i&63) & 1)
+				if got != in.Digits[b][i] {
+					t.Fatalf("n=%d cycle %d row %d: word bit %d digit %d", n, b, i, got, in.Digits[b][i])
+				}
+			}
+			for i := n; i < len(in.DigitWords[b])*64; i++ {
+				if in.DigitWords[b][i>>6]>>uint(i&63)&1 != 0 {
+					t.Fatalf("n=%d cycle %d: tail bit %d set", n, b, i)
+				}
+			}
+		}
+	}
+}
+
+// QuantizeInputInto must reuse buffers (no growth when capacity suffices) and
+// produce exactly what a fresh QuantizeInput produces.
+func TestQuantizeInputIntoReuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	big := make([]float64, 130)
+	for i := range big {
+		big[i] = rng.Float64() * 7
+	}
+	in := QuantizeInputInto(nil, big)
+	u0 := &in.U[0]
+	for _, n := range []int{130, 70, 1, 130} {
+		x := big[:n]
+		got := QuantizeInputInto(in, x)
+		if got != in {
+			t.Fatal("QuantizeInputInto must return the same Input")
+		}
+		if &in.U[0] != u0 {
+			t.Fatalf("n=%d: U buffer reallocated despite capacity", n)
+		}
+		want := QuantizeInput(x)
+		if got.N != want.N || got.Scale != want.Scale {
+			t.Fatalf("n=%d: header %d/%v want %d/%v", n, got.N, got.Scale, want.N, want.Scale)
+		}
+		for i := range want.U {
+			if got.U[i] != want.U[i] {
+				t.Fatalf("n=%d: U[%d] %d want %d", n, i, got.U[i], want.U[i])
+			}
+		}
+		for b := range want.DigitWords {
+			for w := range want.DigitWords[b] {
+				if got.DigitWords[b][w] != want.DigitWords[b][w] {
+					t.Fatalf("n=%d cycle %d word %d: %x want %x", n, b, w, got.DigitWords[b][w], want.DigitWords[b][w])
+				}
+			}
+		}
+	}
+}
+
+// Planes and Packed are memoized: repeated calls must return the same stack.
+func TestPlanesAndPackedMemoized(t *testing.T) {
+	m := randomMatrix(rand.New(rand.NewSource(5)), 40, 6, 8)
+	p1, p2 := m.Planes(), m.Planes()
+	if &p1[0] != &p2[0] {
+		t.Fatal("Planes rebuilt on second call")
+	}
+	if m.Packed() != m.Packed() {
+		t.Fatal("Packed rebuilt on second call")
+	}
+	if m.Packed().Rows != 40 || m.Packed().Cols != 6 || len(m.Packed().Planes) != 8 {
+		t.Fatalf("packed header %dx%d, %d planes", m.Packed().Rows, m.Packed().Cols, len(m.Packed().Planes))
+	}
+}

@@ -9,6 +9,7 @@ package quant
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"autohet/internal/mat"
 )
@@ -36,6 +37,15 @@ type Matrix struct {
 	// ColScales, when non-nil, overrides Scale per output column.
 	ColScales []float64
 	Q         []int8 // row-major, len Rows*Cols
+
+	// memo caches the bit-plane stack and its packed form (Planes/Packed).
+	// Matrices are shared by pointer; the memo makes re-slicing per MVM —
+	// once per sliding-window patch — a one-time cost per matrix instead.
+	memo struct {
+		sync.Mutex
+		planes []*BitPlane
+		packed *PackedMatrix
+	}
 }
 
 // ScaleFor returns the dequantization scale of column j.
@@ -216,12 +226,26 @@ type Input struct {
 	Scale  float64
 	U      []uint8   // quantized unsigned values
 	Digits [][]uint8 // Digits[b][i] = bit b of U[i]
+	// DigitWords is the packed form of Digits: DigitWords[b] holds bit b of
+	// every U[i] as a ⌈N/64⌉-word bitset (row i → word i/64, bit i%64),
+	// matching PackedPlane's word order so the popcount kernels can AND
+	// them directly. Built by QuantizeInput; tail bits beyond N are zero.
+	DigitWords [][]uint64
 }
 
 // QuantizeInput quantizes a non-negative activation vector to 8 bits and
 // decomposes it into bit-serial digits. Negative inputs (which cannot occur
 // after ReLU, but may in tests) are clamped to zero.
-func QuantizeInput(x []float64) *Input {
+func QuantizeInput(x []float64) *Input { return QuantizeInputInto(nil, x) }
+
+// QuantizeInputInto is QuantizeInput reusing in's buffers (U, Digits,
+// DigitWords) when their capacity allows, so callers quantizing one patch
+// per sliding-window position allocate once per layer, not once per patch.
+// A nil in allocates fresh. Returns the (re)used Input.
+func QuantizeInputInto(in *Input, x []float64) *Input {
+	if in == nil {
+		in = &Input{}
+	}
 	var maxV float64
 	for _, v := range x {
 		if v > maxV {
@@ -232,7 +256,11 @@ func QuantizeInput(x []float64) *Input {
 	if scale == 0 {
 		scale = 1
 	}
-	in := &Input{N: len(x), Scale: scale, U: make([]uint8, len(x))}
+	in.N, in.Scale = len(x), scale
+	if cap(in.U) < len(x) {
+		in.U = make([]uint8, len(x))
+	}
+	in.U = in.U[:len(x)]
 	for i, v := range x {
 		if v < 0 {
 			v = 0
@@ -243,14 +271,21 @@ func QuantizeInput(x []float64) *Input {
 		}
 		in.U[i] = uint8(r)
 	}
-	in.Digits = make([][]uint8, InputBits)
+	if cap(in.Digits) < InputBits {
+		in.Digits = make([][]uint8, InputBits)
+	}
+	in.Digits = in.Digits[:InputBits]
 	for b := 0; b < InputBits; b++ {
-		d := make([]uint8, len(x))
+		if cap(in.Digits[b]) < len(x) {
+			in.Digits[b] = make([]uint8, len(x))
+		}
+		d := in.Digits[b][:len(x)]
 		for i, u := range in.U {
 			d[i] = (u >> b) & 1
 		}
 		in.Digits[b] = d
 	}
+	in.DigitWords = packDigits(in.DigitWords, in.U)
 	return in
 }
 

@@ -39,7 +39,10 @@ func BenchmarkSimulateResNet152(b *testing.B) {
 	}
 }
 
-func BenchmarkExecuteMVM(b *testing.B) {
+// benchMVMSetup builds the Fig. 5 benchmark layer (3×3×12 → 128 on 64×64
+// crossbars, a 2×2 grid) shared by the kernel benchmarks.
+func benchMVMSetup(b *testing.B) (hw.Config, *accel.LayerAlloc, *quant.Matrix, *quant.Input) {
+	b.Helper()
 	cfg := hw.DefaultConfig()
 	l := &dnn.Layer{Name: "c", Kind: dnn.Conv, K: 3, InC: 12, OutC: 128, Stride: 1, Pad: 0, InH: 8, InW: 8}
 	m, err := dnn.NewFlatModel("bench", 8, 8, 12, []*dnn.Layer{l})
@@ -52,9 +55,85 @@ func BenchmarkExecuteMVM(b *testing.B) {
 	}
 	w := quant.QuantizeWeights(dnn.SyntheticWeights(m.Mappable()[0], 1))
 	in := quant.QuantizeInput(dnn.SyntheticInput(m.Mappable()[0], 2))
+	return cfg, p.Layers[0], w, in
+}
+
+func BenchmarkExecuteMVM(b *testing.B) {
+	cfg, la, w, in := benchMVMSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ExecuteMVM(cfg, p.Layers[0], w, in); err != nil {
+		if _, _, err := ExecuteMVM(cfg, la, w, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteMVMScalar measures the byte-per-cell reference kernel the
+// packed engine replaced; the ratio against BenchmarkExecuteMVM is the
+// kernel speedup BENCH_mvm.json records.
+func BenchmarkExecuteMVMScalar(b *testing.B) {
+	cfg, la, w, in := benchMVMSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ExecuteMVMScalar(cfg, la, w, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunInferenceBitExact is the end-to-end serving path: a CNN with
+// conv layers large enough to stream patches in parallel, run through the
+// full bit-sliced, bit-serial pipeline. ReportAllocs tracks the per-patch
+// allocation budget (satellite: O(1) scratch per worker, not per patch).
+func BenchmarkRunInferenceBitExact(b *testing.B) {
+	m, err := dnn.NewModel("bench-cnn", 32, 32, 3, []*dnn.Layer{
+		{Name: "c1", Kind: dnn.Conv, K: 3, InC: 3, OutC: 32, Stride: 1, Pad: 1},
+		{Name: "p1", Kind: dnn.Pool, K: 2, Stride: 2},
+		{Name: "c2", Kind: dnn.Conv, K: 3, InC: 32, OutC: 64, Stride: 1, Pad: 1},
+		{Name: "p2", Kind: dnn.Pool, K: 2, Stride: 2},
+		{Name: "f1", Kind: dnn.FC, K: 1, InC: 4096, OutC: 10, Stride: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := accel.BuildPlan(hw.DefaultConfig(), m, accel.Homogeneous(m.NumMappable(), xbar.Square(128)), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(p)
+	input := dnn.SyntheticTensor(3, 32, 32, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Run(input, InferenceOptions{Seed: 7, BitExact: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunInferenceFast is the same network through the int64-blocked
+// integer path — the fleet/serving hot path.
+func BenchmarkRunInferenceFast(b *testing.B) {
+	m, err := dnn.NewModel("bench-cnn", 32, 32, 3, []*dnn.Layer{
+		{Name: "c1", Kind: dnn.Conv, K: 3, InC: 3, OutC: 32, Stride: 1, Pad: 1},
+		{Name: "p1", Kind: dnn.Pool, K: 2, Stride: 2},
+		{Name: "c2", Kind: dnn.Conv, K: 3, InC: 32, OutC: 64, Stride: 1, Pad: 1},
+		{Name: "p2", Kind: dnn.Pool, K: 2, Stride: 2},
+		{Name: "f1", Kind: dnn.FC, K: 1, InC: 4096, OutC: 10, Stride: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := accel.BuildPlan(hw.DefaultConfig(), m, accel.Homogeneous(m.NumMappable(), xbar.Square(128)), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(p)
+	input := dnn.SyntheticTensor(3, 32, 32, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Run(input, InferenceOptions{Seed: 7}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,435 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/fault"
+	"autohet/internal/hw"
+	"autohet/internal/quant"
+	"autohet/internal/repair"
+)
+
+// Engine serves repeated functional inferences over one plan. It memoizes
+// every per-layer derivation the per-patch loop used to redo — quantized
+// weights per (seed, per-column) choice, packed bit planes (on the matrices
+// themselves), stuck-at-faulted packed planes per fault model, and
+// detect-and-repair passes per (fault model, policy) — and streams
+// independent conv patches through a bounded worker pool. Results are
+// bit-identical to the one-shot RunInference path (which is now a thin
+// wrapper over a transient Engine): patches write disjoint output cells,
+// each MVM's noise stream is keyed per layer exactly as before, and stats
+// are aggregated race-free. Safe for concurrent use.
+type Engine struct {
+	p *accel.Plan
+
+	mu       sync.Mutex
+	weights  map[weightKey][]*quant.Matrix
+	faulted  map[faultKey]*quant.PackedMatrix
+	repaired map[repairKey]*RepairedLayer
+}
+
+type weightKey struct {
+	seed   int64
+	perCol bool
+}
+
+type faultKey struct {
+	layer int
+	model fault.Model
+}
+
+type repairKey struct {
+	layer  int
+	model  fault.Model
+	policy repair.Policy
+}
+
+// NewEngine binds an engine to a plan.
+func NewEngine(p *accel.Plan) *Engine {
+	return &Engine{
+		p:        p,
+		weights:  map[weightKey][]*quant.Matrix{},
+		faulted:  map[faultKey]*quant.PackedMatrix{},
+		repaired: map[repairKey]*RepairedLayer{},
+	}
+}
+
+// minParallelPatches is the conv size below which patch streaming stays
+// sequential — tiny layers finish before a worker pool spins up.
+const minParallelPatches = 64
+
+// weightsFor returns the layer's quantized weight matrix under opts,
+// memoized across calls and inferences.
+func (e *Engine) weightsFor(l *dnn.Layer, opts InferenceOptions) *quant.Matrix {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := weightKey{seed: opts.Seed, perCol: opts.PerColumnScales}
+	qw := e.weights[k]
+	if qw == nil {
+		qw = make([]*quant.Matrix, len(e.p.Layers))
+		e.weights[k] = qw
+	}
+	if qw[l.Index] == nil {
+		bits := e.p.Layers[l.Index].WeightBits
+		if bits < 1 {
+			bits = e.p.Cfg.WeightBits
+		}
+		raw := dnn.SyntheticWeights(l, opts.Seed)
+		if opts.PerColumnScales {
+			qw[l.Index] = quant.QuantizeWeightsPerColumn(raw, bits)
+		} else {
+			qw[l.Index] = quant.QuantizeWeightsN(raw, bits)
+		}
+	}
+	return qw[l.Index]
+}
+
+// faultedFor returns the layer's packed plane stack under the fault model's
+// stuck-at map, memoized — the fault map is deterministic in (Seed, layer),
+// so one injection pass serves every patch of every inference.
+func (e *Engine) faultedFor(la *accel.LayerAlloc, w *quant.Matrix, fm *fault.Model) *quant.PackedMatrix {
+	if fm.CellFaultRate() == 0 {
+		return w.Packed()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := faultKey{layer: la.Layer.Index, model: *fm}
+	if pm, ok := e.faulted[k]; ok {
+		return pm
+	}
+	pm := quant.PackPlanes(fm.ApplyStuckAt(w.Planes(), int64(la.Layer.Index+1)))
+	e.faulted[k] = pm
+	return pm
+}
+
+// repairFor resolves the effective policy (plan spares when the policy
+// provisions none) and returns the layer's repaired planes, memoized.
+func (e *Engine) repairFor(la *accel.LayerAlloc, w *quant.Matrix, opts InferenceOptions) (*RepairedLayer, error) {
+	pol := *opts.Repair
+	if pol.Provision.Zero() {
+		pol.Provision = e.p.RepairBudget(la)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := repairKey{layer: la.Layer.Index, model: *opts.Faults, policy: pol}
+	if rl, ok := e.repaired[k]; ok {
+		return rl, nil
+	}
+	rl, err := RepairLayer(la, w, opts.Faults, pol)
+	if err != nil {
+		return nil, err
+	}
+	e.repaired[k] = rl
+	return rl, nil
+}
+
+// execMode selects which kernel one layer's MVMs run through. The mode
+// split mirrors the option switch the per-patch mvm dispatcher used to
+// re-evaluate for every sliding-window position.
+type execMode int
+
+const (
+	modeFast          execMode = iota // int64-blocked integer MVM
+	modeAggregate                     // packed planes + aggregate noise (faulty/repaired fast)
+	modeBitExact                      // packed bit-serial pipeline, ideal planes
+	modeBitExactNoisy                 // packed bit-serial pipeline + per-conversion noise
+)
+
+// layerExec is one layer's resolved execution state: every per-layer
+// derivation done once, shared read-only by all patch workers.
+type layerExec struct {
+	cfg     hw.Config
+	la      *accel.LayerAlloc
+	w       *quant.Matrix
+	mode    execMode
+	pm      *quant.PackedMatrix // planes served (ideal, faulted, or repaired)
+	fm      *fault.Model
+	key     int64
+	fastADC int64 // analytic ADC conversions per MVM on the fast paths
+}
+
+// prepareLayer resolves a layer's weights, planes, repair pass, and kernel
+// mode for one inference's options.
+func (e *Engine) prepareLayer(l *dnn.Layer, opts InferenceOptions) (*layerExec, error) {
+	la := e.p.Layers[l.Index]
+	w := e.weightsFor(l, opts)
+	le := &layerExec{cfg: e.p.Cfg, la: la, w: w, fm: opts.Faults, key: int64(l.Index + 1)}
+	le.fastADC = int64(la.Mapping.ActiveCols) * int64(w.PlaneCount()) * int64(e.p.Cfg.InputBits)
+	switch {
+	case opts.Repair != nil && opts.Faults.CellFaultRate() > 0:
+		rl, err := e.repairFor(la, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		le.pm = rl.Packed
+		if opts.BitExact {
+			le.mode = modeBitExactNoisy
+		} else {
+			le.mode = modeAggregate
+		}
+	case !opts.Faults.Zero():
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		le.pm = e.faultedFor(la, w, opts.Faults)
+		if opts.BitExact {
+			le.mode = modeBitExactNoisy
+		} else {
+			le.mode = modeAggregate
+		}
+	case opts.BitExact:
+		le.pm = w.Packed()
+		le.mode = modeBitExact
+	default:
+		le.mode = modeFast
+	}
+	return le, nil
+}
+
+// mvmScratch is one worker's reusable buffers: the quantized input (U +
+// digit bytes + digit words), the extracted patch, and the integer/float
+// output accumulators. With it, a sliding-window MVM allocates nothing.
+type mvmScratch struct {
+	in    *quant.Input
+	patch []float64
+	out   []float64
+	acc   []int64
+}
+
+func (s *mvmScratch) patchFor(n int) []float64 {
+	if cap(s.patch) < n {
+		s.patch = make([]float64, n)
+	}
+	s.patch = s.patch[:n]
+	return s.patch
+}
+
+func (s *mvmScratch) outFor(n int) []float64 {
+	if cap(s.out) < n {
+		s.out = make([]float64, n)
+	}
+	s.out = s.out[:n]
+	clear(s.out)
+	return s.out
+}
+
+func (s *mvmScratch) accFor(n int) []int64 {
+	if cap(s.acc) < n {
+		s.acc = make([]int64, n)
+	}
+	s.acc = s.acc[:n]
+	clear(s.acc)
+	return s.acc
+}
+
+// apply runs one MVM for the prepared layer on one input patch, returning
+// the dequantized outputs in s.out (valid until the next apply on s).
+func (le *layerExec) apply(s *mvmScratch, patch []float64, stats *InferenceStats) ([]float64, error) {
+	in := quant.QuantizeInputInto(s.in, patch)
+	s.in = in
+	if in.N != le.w.Rows {
+		return nil, lengthErr(in.N, le.w.Rows)
+	}
+	out := s.outFor(le.w.Cols)
+	switch le.mode {
+	case modeFast:
+		integerMVMInto(out, s.accFor(le.w.Cols), le.w, in)
+		stats.ADCConversions += le.fastADC
+	case modeAggregate:
+		packedAggregateMVM(le.cfg, le.pm, le.w, in, le.fm, le.fm.Noise(le.key), out)
+		stats.ADCConversions += le.fastADC
+	case modeBitExact:
+		var es ExecStats
+		execPackedGrid(le.cfg, le.la, le.pm, in, nil, out, &es)
+		applyCorrection(out, le.w, in)
+		stats.ADCConversions += es.ADCConversions
+	case modeBitExactNoisy:
+		var es ExecStats
+		execPackedGrid(le.cfg, le.la, le.pm, in, le.fm.Noise(le.key), out, &es)
+		applyCorrection(out, le.w, in)
+		stats.ADCConversions += es.ADCConversions
+	}
+	stats.MVMs++
+	for j := range out {
+		out[j] = le.w.ScaleFor(j) * in.Scale * out[j]
+	}
+	return out, nil
+}
+
+// Run executes one input through the plan's model on the mapped crossbars
+// and returns the output vector (logits for the zoo models).
+func (e *Engine) Run(input *dnn.Tensor, opts InferenceOptions) ([]float64, InferenceStats, error) {
+	m := e.p.Model
+	if input.C != m.InC || input.H != m.InH || input.W != m.InW {
+		return nil, InferenceStats{}, fmt.Errorf("sim: input %dx%dx%d, model %q wants %dx%dx%d",
+			input.C, input.H, input.W, m.Name, m.InC, m.InH, m.InW)
+	}
+	var stats InferenceStats
+	for _, l := range m.Mappable() {
+		if l.GroupCount() > 1 {
+			return nil, stats, fmt.Errorf("sim: functional inference does not support grouped convolutions (layer %s); metrics via Simulate do", l.Name)
+		}
+	}
+	mappables := m.Mappable()
+	last := mappables[len(mappables)-1]
+	cur := input
+	var flat []float64
+	scratch := &mvmScratch{}
+	for _, l := range m.Layers {
+		switch l.Kind {
+		case dnn.Conv:
+			le, err := e.prepareLayer(l, opts)
+			if err != nil {
+				return nil, stats, err
+			}
+			out := dnn.NewTensor(l.OutC, l.OutH, l.OutW)
+			if err := e.streamPatches(le, l, cur, out, &stats); err != nil {
+				return nil, stats, err
+			}
+			cur = out
+			if l != last {
+				dnn.ReLU(cur.Data)
+			}
+		case dnn.Pool:
+			cur = dnn.PoolMaxRef(l, cur)
+		case dnn.FC:
+			if flat == nil {
+				flat = cur.Flatten()
+			}
+			le, err := e.prepareLayer(l, opts)
+			if err != nil {
+				return nil, stats, err
+			}
+			y, err := le.apply(scratch, flat, &stats)
+			if err != nil {
+				return nil, stats, err
+			}
+			flat = append(flat[:0:0], y...) // y aliases scratch; detach
+			if l != last {
+				dnn.ReLU(flat)
+			}
+		}
+	}
+	if flat == nil {
+		flat = cur.Flatten()
+	}
+	return flat, stats, nil
+}
+
+// streamPatches computes every sliding-window MVM of one conv layer,
+// fanning independent output positions across a bounded worker pool
+// (sequentially below minParallelPatches). Each worker owns its scratch
+// buffers and stats; patches write disjoint cells of out, so the result is
+// deterministic regardless of schedule, and worker stats are summed after
+// the barrier. The returned error is the lowest-index one, as in
+// search.ParallelFor.
+func (e *Engine) streamPatches(le *layerExec, l *dnn.Layer, cur, out *dnn.Tensor, stats *InferenceStats) error {
+	n := l.OutH * l.OutW
+	patchLen := cur.C * l.K * l.K
+	runOne := func(s *mvmScratch, idx int, st *InferenceStats) error {
+		oy, ox := idx/l.OutW, idx%l.OutW
+		patch := cur.PatchInto(s.patchFor(patchLen), l, oy, ox)
+		y, err := le.apply(s, patch, st)
+		if err != nil {
+			return err
+		}
+		for c, v := range y {
+			out.Set(c, oy, ox, v)
+		}
+		return nil
+	}
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if n < minParallelPatches || workers <= 1 {
+		s := &mvmScratch{}
+		for idx := 0; idx < n; idx++ {
+			if err := runOne(s, idx, stats); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	type workerState struct {
+		stats  InferenceStats
+		errIdx int
+		err    error
+	}
+	states := make([]workerState, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ws *workerState) {
+			defer wg.Done()
+			s := &mvmScratch{}
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= n {
+					return
+				}
+				if err := runOne(s, idx, &ws.stats); err != nil {
+					// Keep the lowest-index error this worker hit; the
+					// cross-worker minimum is taken after the barrier so
+					// error reporting is schedule-independent.
+					if ws.err == nil || idx < ws.errIdx {
+						ws.errIdx, ws.err = idx, err
+					}
+				}
+			}
+		}(&states[w])
+	}
+	wg.Wait()
+	var firstErr error
+	firstIdx := n
+	for i := range states {
+		stats.MVMs += states[i].stats.MVMs
+		stats.ADCConversions += states[i].stats.ADCConversions
+		if states[i].err != nil && states[i].errIdx < firstIdx {
+			firstIdx, firstErr = states[i].errIdx, states[i].err
+		}
+	}
+	return firstErr
+}
+
+// integerMVMInto is the fast path: the exact integer product qᵀ·u the
+// analog pipeline reconstructs (proved equal to ExecuteMVM in tests),
+// accumulated in int64 with a 4-row-blocked loop. acc must have length
+// w.Cols and arrive zeroed; out receives the result.
+func integerMVMInto(out []float64, acc []int64, w *quant.Matrix, in *quant.Input) {
+	cols := w.Cols
+	i := 0
+	for ; i+3 < w.Rows; i += 4 {
+		u0, u1 := int64(in.U[i]), int64(in.U[i+1])
+		u2, u3 := int64(in.U[i+2]), int64(in.U[i+3])
+		if u0|u1|u2|u3 == 0 {
+			continue
+		}
+		r0 := w.Q[i*cols : (i+1)*cols]
+		r1 := w.Q[(i+1)*cols : (i+2)*cols]
+		r2 := w.Q[(i+2)*cols : (i+3)*cols]
+		r3 := w.Q[(i+3)*cols : (i+4)*cols]
+		for j := 0; j < cols; j++ {
+			acc[j] += u0*int64(r0[j]) + u1*int64(r1[j]) + u2*int64(r2[j]) + u3*int64(r3[j])
+		}
+	}
+	for ; i < w.Rows; i++ {
+		u := int64(in.U[i])
+		if u == 0 {
+			continue
+		}
+		row := w.Q[i*cols : (i+1)*cols]
+		for j, q := range row {
+			acc[j] += u * int64(q)
+		}
+	}
+	for j, v := range acc {
+		out[j] = float64(v)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"autohet/internal/accel"
 	"autohet/internal/hw"
@@ -16,6 +17,14 @@ import (
 // and return the integer-exact result. Tests use this to prove the mapping
 // geometry preserves MVM semantics and that the analytic activation counts
 // in Simulate match what execution actually performs.
+//
+// The serving kernel is word-packed (quant.PackedMatrix): one read cycle per
+// bitline is bits.OnesCount64(planeWord & digitWord) over ⌈rows/64⌉ words,
+// exactly the analog population count the crossbar performs. The byte-loop
+// kernel is kept as ExecuteMVMScalar, the reference both tests and the MVM
+// benchmark compare against — the two are asserted `==`-identical, never
+// within a tolerance. Every partial sum is an integer far below 2^53, so
+// float64 accumulation is exact and summation order cannot perturb results.
 
 // ExecStats counts the component activations one executed MVM performed.
 type ExecStats struct {
@@ -24,28 +33,75 @@ type ExecStats struct {
 	Crossbars      int
 }
 
+// AnalyticExecStats computes, from the mapping geometry alone, the stats one
+// executed MVM must produce: every active wordline is DAC-driven once per
+// (cycle, plane) and every active bitline ADC-digitized once per
+// (cycle, plane). Both functional kernels are asserted against it, so
+// energy/latency attribution cannot drift with kernel rewrites.
+func AnalyticExecStats(cfg hw.Config, la *accel.LayerAlloc, planes int) ExecStats {
+	m := la.Mapping
+	return ExecStats{
+		Crossbars:      m.Crossbars(),
+		DACConversions: int64(m.ActiveRows) * int64(planes) * int64(cfg.InputBits),
+		ADCConversions: int64(m.ActiveCols) * int64(planes) * int64(cfg.InputBits),
+	}
+}
+
 // ExecuteMVM computes the layer's MVM for one input patch on the mapped
 // crossbar grid of la. w is the layer's quantized unfolded weight matrix
 // (C_in·k² × C_out) and in the quantized input patch (length C_in·k²).
 // The result is in integer product units: out[j] = Σ_i q[i][j]·u[i].
 func ExecuteMVM(cfg hw.Config, la *accel.LayerAlloc, w *quant.Matrix, in *quant.Input) ([]float64, ExecStats, error) {
+	if err := checkMVMShapes(la, w, in); err != nil {
+		return nil, ExecStats{}, err
+	}
+	out := make([]float64, w.Cols)
+	var stats ExecStats
+	execPackedGrid(cfg, la, w.Packed(), in, nil, out, &stats)
+	applyCorrection(out, w, in)
+	return out, stats, nil
+}
+
+// ExecuteMVMScalar is the byte-per-cell reference engine: the same
+// bit-serial, bit-sliced pipeline evaluated one cell at a time. It exists to
+// prove the packed kernel exact (tests assert `==` equality of outputs and
+// stats) and to measure its speedup (BenchmarkExecuteMVMScalar, BENCH_mvm).
+func ExecuteMVMScalar(cfg hw.Config, la *accel.LayerAlloc, w *quant.Matrix, in *quant.Input) ([]float64, ExecStats, error) {
+	if err := checkMVMShapes(la, w, in); err != nil {
+		return nil, ExecStats{}, err
+	}
+	planes := w.Planes()
+	out := make([]float64, w.Cols)
+	var stats ExecStats
+	forEachCrossbar(la, func(r0, r1, c0, c1 int) {
+		stats.Crossbars++
+		execCrossbarScalar(cfg, planes, in, r0, r1, c0, c1, out, &stats)
+	})
+	applyCorrection(out, w, in)
+	return out, stats, nil
+}
+
+// checkMVMShapes validates la/w/in agreement for one functional MVM.
+func checkMVMShapes(la *accel.LayerAlloc, w *quant.Matrix, in *quant.Input) error {
 	l := la.Layer
-	m := la.Mapping
 	if l.GroupCount() > 1 {
-		return nil, ExecStats{}, fmt.Errorf("sim: functional execution of grouped convolutions is not supported (layer %s)", l.Name)
+		return fmt.Errorf("sim: functional execution of grouped convolutions is not supported (layer %s)", l.Name)
 	}
 	rows, cols := l.UnfoldedRows(), l.UnfoldedCols()
 	if w.Rows != rows || w.Cols != cols {
-		return nil, ExecStats{}, shapeErr(w.Rows, w.Cols, rows, cols)
+		return shapeErr(w.Rows, w.Cols, rows, cols)
 	}
 	if in.N != rows {
-		return nil, ExecStats{}, lengthErr(in.N, rows)
+		return lengthErr(in.N, rows)
 	}
+	return nil
+}
 
-	planes := w.Slices()
-	out := make([]float64, cols)
-	var stats ExecStats
-
+// forEachCrossbar visits the non-empty (band, grid-column) windows of the
+// layer's mapping in execution order.
+func forEachCrossbar(la *accel.LayerAlloc, fn func(r0, r1, c0, c1 int)) {
+	m := la.Mapping
+	cols := la.Layer.UnfoldedCols()
 	for band := 0; band < m.GridRows; band++ {
 		r0, r1 := bandRows(m, band)
 		if r0 >= r1 {
@@ -54,16 +110,17 @@ func ExecuteMVM(cfg hw.Config, la *accel.LayerAlloc, w *quant.Matrix, in *quant.
 		for cg := 0; cg < m.GridCols; cg++ {
 			c0 := cg * la.Shape.C
 			c1 := min(c0+la.Shape.C, cols)
-			stats.Crossbars++
-			execCrossbar(cfg, planes, in, r0, r1, c0, c1, out, &stats)
+			fn(r0, r1, c0, c1)
 		}
 	}
-	// Offset-binary correction, once per output column.
+}
+
+// applyCorrection subtracts the offset-binary bias, once per output column.
+func applyCorrection(out []float64, w *quant.Matrix, in *quant.Input) {
 	corr := w.Correction(in)
 	for j := range out {
 		out[j] -= corr
 	}
-	return out, stats, nil
 }
 
 // bandRows returns the unfolded-matrix row range [r0, r1) stored by band.
@@ -79,15 +136,69 @@ func bandRows(m xbar.Mapping, band int) (int, int) {
 	return ch0 * k2, ch1 * k2
 }
 
-// execCrossbar performs the bit-serial, bit-sliced reads of one crossbar
-// holding weight rows [r0,r1) × columns [c0,c1), accumulating shifted
-// partial sums into out.
-func execCrossbar(cfg hw.Config, planes []*quant.BitPlane, in *quant.Input, r0, r1, c0, c1 int, out []float64, stats *ExecStats) {
+// execPackedGrid runs the packed bit-serial pipeline over the layer's whole
+// crossbar grid, accumulating shifted partial sums into out (which must be
+// zeroed). A nil noise source selects the ideal kernel; otherwise one noise
+// sample is added to every digitized bitline sum, in the same
+// (band, grid-col, cycle, plane, column) order as the scalar reference so
+// noisy results stay bit-identical to it.
+func execPackedGrid(cfg hw.Config, la *accel.LayerAlloc, pm *quant.PackedMatrix, in *quant.Input, noise func() float64, out []float64, stats *ExecStats) {
+	forEachCrossbar(la, func(r0, r1, c0, c1 int) {
+		stats.Crossbars++
+		execCrossbarPacked(cfg, pm, in, r0, r1, c0, c1, out, noise, stats)
+	})
+}
+
+// execCrossbarPacked performs the bit-serial, bit-sliced reads of one
+// crossbar holding weight rows [r0,r1) × columns [c0,c1) with word-packed
+// popcounts: each (cycle, plane, bitline) read is OnesCount64 over the
+// band's words instead of a byte loop over its rows.
+func execCrossbarPacked(cfg hw.Config, pm *quant.PackedMatrix, in *quant.Input, r0, r1, c0, c1 int, out []float64, noise func() float64, stats *ExecStats) {
+	nRows, nCols := r1-r0, c1-c0
+	// Row-band word window and boundary masks, hoisted out of the per-
+	// bitline loop (same masking ColRangeSum applies per call).
+	w0, w1 := r0>>6, (r1-1)>>6
+	first := ^uint64(0) << uint(r0&63)
+	last := ^uint64(0) >> uint(63-(r1-1)&63)
+	if w0 == w1 {
+		first &= last
+	}
+	for ib := 0; ib < cfg.InputBits; ib++ {
+		digits := in.DigitWords[ib]
+		// Every cycle drives the crossbar's active wordlines through the
+		// 1-bit DACs, on each of the weight-bit plane crossbars.
+		stats.DACConversions += int64(nRows) * int64(len(pm.Planes))
+		for _, p := range pm.Planes {
+			shift := float64(int64(1) << uint(ib+p.Bit))
+			wpc := p.WordsPerCol
+			for j := c0; j < c1; j++ {
+				col := p.Words[j*wpc : (j+1)*wpc]
+				// One popcount word per 64 rows reads this bitline.
+				sum := bits.OnesCount64(col[w0] & digits[w0] & first)
+				if w0 != w1 {
+					for w := w0 + 1; w < w1; w++ {
+						sum += bits.OnesCount64(col[w] & digits[w])
+					}
+					sum += bits.OnesCount64(col[w1] & digits[w1] & last)
+				}
+				if noise == nil {
+					out[j] += shift * float64(sum)
+				} else {
+					// One ADC conversion digitizes this bitline's current.
+					out[j] += shift * (float64(sum) + noise())
+				}
+			}
+			stats.ADCConversions += int64(nCols)
+		}
+	}
+}
+
+// execCrossbarScalar is the byte-per-cell crossbar read the packed kernel
+// replaces, retained as the equality reference.
+func execCrossbarScalar(cfg hw.Config, planes []*quant.BitPlane, in *quant.Input, r0, r1, c0, c1 int, out []float64, stats *ExecStats) {
 	nCols := c1 - c0
 	for ib := 0; ib < cfg.InputBits; ib++ {
 		digit := in.Digits[ib]
-		// Every cycle drives the crossbar's active wordlines through the
-		// 1-bit DACs, on each of the weight-bit plane crossbars.
 		stats.DACConversions += int64(r1-r0) * int64(len(planes))
 		for _, p := range planes {
 			shift := float64(int64(1) << uint(ib+p.Bit))
@@ -98,7 +209,6 @@ func execCrossbar(cfg hw.Config, planes []*quant.BitPlane, in *quant.Input, r0, 
 						sum++
 					}
 				}
-				// One ADC conversion digitizes this bitline's current.
 				out[j] += shift * sum
 			}
 			stats.ADCConversions += int64(nCols)

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 
 	"autohet/internal/accel"
@@ -12,7 +11,19 @@ import (
 
 // Fault-aware execution: the same bit-sliced crossbar pipeline as
 // ExecuteMVM, but with stuck-at cells injected into the stored bit planes
-// and Gaussian read noise added to every digitized bitline sum.
+// and Gaussian read noise added to every digitized bitline sum. Stuck-at
+// faults compose with the packed representation for free: the faulted
+// planes are packed once and the popcount kernel reads them unchanged (a
+// stuck-at-one cell is a set bit, stuck-at-zero a cleared one).
+
+// faultedPacked returns the layer's packed plane stack under the model's
+// stuck-at faults. Fault-free models reuse the matrix's memoized packing.
+func faultedPacked(w *quant.Matrix, fm *fault.Model, layerKey int64) *quant.PackedMatrix {
+	if fm.CellFaultRate() == 0 {
+		return w.Packed()
+	}
+	return quant.PackPlanes(fm.ApplyStuckAt(w.Planes(), layerKey))
+}
 
 // ExecuteMVMFaulty runs one MVM on the mapped grid under a fault model.
 // A nil or zero model reproduces ExecuteMVM exactly.
@@ -20,47 +31,44 @@ func ExecuteMVMFaulty(cfg hw.Config, la *accel.LayerAlloc, w *quant.Matrix, in *
 	if err := fm.Validate(); err != nil {
 		return nil, ExecStats{}, err
 	}
-	l := la.Layer
-	m := la.Mapping
-	if l.GroupCount() > 1 {
-		return nil, ExecStats{}, fmt.Errorf("sim: functional execution of grouped convolutions is not supported (layer %s)", l.Name)
+	if err := checkMVMShapes(la, w, in); err != nil {
+		return nil, ExecStats{}, err
 	}
-	rows, cols := l.UnfoldedRows(), l.UnfoldedCols()
-	if w.Rows != rows || w.Cols != cols {
-		return nil, ExecStats{}, shapeErr(w.Rows, w.Cols, rows, cols)
-	}
-	if in.N != rows {
-		return nil, ExecStats{}, lengthErr(in.N, rows)
-	}
-
-	key := int64(l.Index + 1)
-	planes := fm.ApplyStuckAt(w.Slices(), key)
-	noise := fm.Noise(key)
-
-	out := make([]float64, cols)
+	key := int64(la.Layer.Index + 1)
+	pm := faultedPacked(w, fm, key)
+	out := make([]float64, w.Cols)
 	var stats ExecStats
-	for band := 0; band < m.GridRows; band++ {
-		r0, r1 := bandRows(m, band)
-		if r0 >= r1 {
-			continue
-		}
-		for cg := 0; cg < m.GridCols; cg++ {
-			c0 := cg * la.Shape.C
-			c1 := min(c0+la.Shape.C, cols)
-			stats.Crossbars++
-			execCrossbarNoisy(cfg, planes, in, r0, r1, c0, c1, out, noise, &stats)
-		}
-	}
-	corr := w.Correction(in)
-	for j := range out {
-		out[j] -= corr
-	}
+	execPackedGrid(cfg, la, pm, in, fm.Noise(key), out, &stats)
+	applyCorrection(out, w, in)
 	return out, stats, nil
 }
 
-// execCrossbarNoisy mirrors execCrossbar with a noise sample added to each
-// bitline sum before digitization.
-func execCrossbarNoisy(cfg hw.Config, planes []*quant.BitPlane, in *quant.Input, r0, r1, c0, c1 int, out []float64, noise func() float64, stats *ExecStats) {
+// executeMVMFaultyScalar is the byte-per-cell reference for the faulty
+// pipeline, retained so tests can assert the packed kernel bit-identical
+// under stuck-at faults and (order-preserved) read noise.
+func executeMVMFaultyScalar(cfg hw.Config, la *accel.LayerAlloc, w *quant.Matrix, in *quant.Input, fm *fault.Model) ([]float64, ExecStats, error) {
+	if err := fm.Validate(); err != nil {
+		return nil, ExecStats{}, err
+	}
+	if err := checkMVMShapes(la, w, in); err != nil {
+		return nil, ExecStats{}, err
+	}
+	key := int64(la.Layer.Index + 1)
+	planes := fm.ApplyStuckAt(w.Planes(), key)
+	noise := fm.Noise(key)
+	out := make([]float64, w.Cols)
+	var stats ExecStats
+	forEachCrossbar(la, func(r0, r1, c0, c1 int) {
+		stats.Crossbars++
+		execCrossbarNoisyScalar(cfg, planes, in, r0, r1, c0, c1, out, noise, &stats)
+	})
+	applyCorrection(out, w, in)
+	return out, stats, nil
+}
+
+// execCrossbarNoisyScalar mirrors execCrossbarScalar with a noise sample
+// added to each bitline sum before digitization.
+func execCrossbarNoisyScalar(cfg hw.Config, planes []*quant.BitPlane, in *quant.Input, r0, r1, c0, c1 int, out []float64, noise func() float64, stats *ExecStats) {
 	nCols := c1 - c0
 	for ib := 0; ib < cfg.InputBits; ib++ {
 		digit := in.Digits[ib]
@@ -81,40 +89,54 @@ func execCrossbarNoisy(cfg hw.Config, planes []*quant.BitPlane, in *quant.Input,
 	}
 }
 
-// faultyIntegerMVM is the fast fault path: stuck-at faults applied exactly
-// via the faulted planes, read noise folded in as one distribution-
-// equivalent aggregate sample per (plane, column) — bit-identical to
-// ExecuteMVMFaulty when ReadNoiseSigma is 0.
-func faultyIntegerMVM(cfg hw.Config, layerKey int64, w *quant.Matrix, in *quant.Input, fm *fault.Model) []float64 {
-	planes := fm.ApplyStuckAt(w.Slices(), layerKey)
-	noise := fm.Noise(layerKey)
-	// Aggregate noise scale per plane: Σ_ib 4^(ib+b) has standard
-	// deviation factor sqrt of that sum.
-	var inputBitsVar float64
+// aggregateNoiseVar is Σ_ib 4^ib for ib < InputBits: the variance factor of
+// folding the per-cycle noise samples of one (plane, column) bitline into a
+// single distribution-equivalent aggregate sample.
+func aggregateNoiseVar(cfg hw.Config) float64 {
+	var v float64
 	for ib := 0; ib < cfg.InputBits; ib++ {
-		inputBitsVar += math.Pow(4, float64(ib))
+		v += math.Pow(4, float64(ib))
 	}
+	return v
+}
 
-	out := make([]float64, w.Cols)
-	tmp := make([]float64, w.Cols)
-	xf := make([]float64, w.Rows)
-	for i, u := range in.U {
-		xf[i] = float64(u)
-	}
-	for _, p := range planes {
-		p.MulVec(tmp, xf)
+// packedAggregateMVM is the fast noisy path shared by the faulty and
+// repaired integer engines: full-height packed popcounts per (plane, cycle,
+// column) with read noise folded in as one aggregate sample per
+// (plane, column), in the same order the byte-loop version drew them —
+// bit-identical to the full bit-serial pipeline when ReadNoiseSigma is 0.
+func packedAggregateMVM(cfg hw.Config, pm *quant.PackedMatrix, w *quant.Matrix, in *quant.Input, fm *fault.Model, noise func() float64, out []float64) {
+	noisy := fm != nil && fm.ReadNoiseSigma > 0
+	aggSigma := math.Sqrt(aggregateNoiseVar(cfg))
+	for _, p := range pm.Planes {
 		shift := float64(int64(1) << uint(p.Bit))
-		noiseScale := shift * math.Sqrt(inputBitsVar)
+		noiseScale := shift * aggSigma
 		for j := range out {
-			out[j] += shift * tmp[j]
-			if fm != nil && fm.ReadNoiseSigma > 0 {
+			var sum int64
+			for ib := 0; ib < cfg.InputBits; ib++ {
+				sum += int64(p.ColSum(j, in.DigitWords[ib])) << uint(ib)
+			}
+			out[j] += shift * float64(sum)
+			if noisy {
 				out[j] += noiseScale * noise()
 			}
 		}
 	}
-	corr := w.Correction(in)
-	for j := range out {
-		out[j] -= corr
-	}
+	applyCorrection(out, w, in)
+}
+
+// faultyIntegerMVM is the fast fault path: stuck-at faults applied exactly
+// via the packed faulted planes, read noise folded in as one distribution-
+// equivalent aggregate sample per (plane, column) — bit-identical to
+// ExecuteMVMFaulty when ReadNoiseSigma is 0.
+func faultyIntegerMVM(cfg hw.Config, layerKey int64, w *quant.Matrix, in *quant.Input, fm *fault.Model) []float64 {
+	return faultyIntegerMVMPacked(cfg, faultedPacked(w, fm, layerKey), layerKey, w, in, fm)
+}
+
+// faultyIntegerMVMPacked is faultyIntegerMVM on an already-packed (and
+// already-faulted) plane stack — the form Engine serves from its cache.
+func faultyIntegerMVMPacked(cfg hw.Config, pm *quant.PackedMatrix, layerKey int64, w *quant.Matrix, in *quant.Input, fm *fault.Model) []float64 {
+	out := make([]float64, w.Cols)
+	packedAggregateMVM(cfg, pm, w, in, fm, fm.Noise(layerKey), out)
 	return out
 }

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"fmt"
-
 	"autohet/internal/accel"
 	"autohet/internal/dnn"
 	"autohet/internal/fault"
@@ -16,6 +14,12 @@ import (
 // and pooling between layers. This is the end-to-end check that the
 // heterogeneous mapping computes the same network the float reference
 // (dnn.RunReference) defines, up to 8-bit quantization error.
+//
+// The execution machinery lives in Engine (engine.go): per-layer caches of
+// quantized weights and packed/faulted/repaired planes, word-packed
+// popcount kernels, and parallel patch streaming. RunInference wraps a
+// transient Engine; callers serving many inferences over one plan should
+// hold an Engine so the caches persist across calls.
 
 // InferenceOptions configures RunInference.
 type InferenceOptions struct {
@@ -25,8 +29,8 @@ type InferenceOptions struct {
 	// BitExact switches the per-MVM engine from the fast integer path to
 	// the full bit-sliced, bit-serial crossbar execution (ExecuteMVM).
 	// Both produce identical integers (asserted in tests); BitExact
-	// additionally exercises the plane/cycle structure and costs ~64× the
-	// arithmetic.
+	// additionally exercises the plane/cycle structure at the cost of one
+	// popcount word per 64 rows per (cycle, plane, bitline).
 	BitExact bool
 	// Faults, when non-nil, injects ReRAM device non-idealities (stuck-at
 	// cells, read noise) into every MVM. Stuck-at faults are exact on both
@@ -52,195 +56,34 @@ type InferenceStats struct {
 	ADCConversions int64
 }
 
-// repairCache memoizes per-layer detect-and-repair passes across the many
-// MVMs of one RunInference: the fault map is fixed for the run, so the
-// controller repairs each layer once, not once per sliding window.
-type repairCache struct {
-	layers map[int]*RepairedLayer
-}
-
-// repairFor resolves the effective policy (plan spares when the policy
-// provisions none) and returns the layer's repaired planes, memoized.
-func (c *repairCache) repairFor(p *accel.Plan, la *accel.LayerAlloc, w *quant.Matrix, opts InferenceOptions) (*RepairedLayer, error) {
-	if c != nil {
-		if rl, ok := c.layers[la.Layer.Index]; ok {
-			return rl, nil
-		}
-	}
-	pol := *opts.Repair
-	if pol.Provision.Zero() {
-		pol.Provision = p.RepairBudget(la)
-	}
-	rl, err := RepairLayer(la, w, opts.Faults, pol)
-	if err != nil {
-		return nil, err
-	}
-	if c != nil {
-		if c.layers == nil {
-			c.layers = map[int]*RepairedLayer{}
-		}
-		c.layers[la.Layer.Index] = rl
-	}
-	return rl, nil
-}
-
 // RunInference executes one input through the plan's model on the mapped
 // crossbars and returns the output vector (logits for the zoo models).
+// Each call builds a transient Engine; use NewEngine directly to keep the
+// per-layer caches warm across many inferences.
 func RunInference(p *accel.Plan, input *dnn.Tensor, opts InferenceOptions) ([]float64, InferenceStats, error) {
-	m := p.Model
-	if input.C != m.InC || input.H != m.InH || input.W != m.InW {
-		return nil, InferenceStats{}, fmt.Errorf("sim: input %dx%dx%d, model %q wants %dx%dx%d",
-			input.C, input.H, input.W, m.Name, m.InC, m.InH, m.InW)
-	}
-	var stats InferenceStats
-	rc := &repairCache{}
-	cur := input
-	var flat []float64
-	mappables := m.Mappable()
-	for _, l := range mappables {
-		if l.GroupCount() > 1 {
-			return nil, stats, fmt.Errorf("sim: functional inference does not support grouped convolutions (layer %s); metrics via Simulate do", l.Name)
-		}
-	}
-	last := mappables[len(mappables)-1]
-	// Quantized weights per mappable layer, built on demand.
-	qw := make([]*quant.Matrix, len(mappables))
-	weightsFor := func(l *dnn.Layer) *quant.Matrix {
-		if qw[l.Index] == nil {
-			bits := p.Layers[l.Index].WeightBits
-			if bits < 1 {
-				bits = p.Cfg.WeightBits
-			}
-			raw := dnn.SyntheticWeights(l, opts.Seed)
-			if opts.PerColumnScales {
-				qw[l.Index] = quant.QuantizeWeightsPerColumn(raw, bits)
-			} else {
-				qw[l.Index] = quant.QuantizeWeightsN(raw, bits)
-			}
-		}
-		return qw[l.Index]
-	}
-
-	for _, l := range m.Layers {
-		switch l.Kind {
-		case dnn.Conv:
-			la := p.Layers[l.Index]
-			w := weightsFor(l)
-			out := dnn.NewTensor(l.OutC, l.OutH, l.OutW)
-			for oy := 0; oy < l.OutH; oy++ {
-				for ox := 0; ox < l.OutW; ox++ {
-					y, err := mvm(p, la, w, cur.Patch(l, oy, ox), opts, &stats, rc)
-					if err != nil {
-						return nil, stats, err
-					}
-					for c, v := range y {
-						out.Set(c, oy, ox, v)
-					}
-				}
-			}
-			cur = out
-			if l != last {
-				dnn.ReLU(cur.Data)
-			}
-		case dnn.Pool:
-			cur = dnn.PoolMaxRef(l, cur)
-		case dnn.FC:
-			if flat == nil {
-				flat = cur.Flatten()
-			}
-			la := p.Layers[l.Index]
-			w := weightsFor(l)
-			y, err := mvm(p, la, w, flat, opts, &stats, rc)
-			if err != nil {
-				return nil, stats, err
-			}
-			flat = y
-			if l != last {
-				dnn.ReLU(flat)
-			}
-		}
-	}
-	if flat == nil {
-		flat = cur.Flatten()
-	}
-	return flat, stats, nil
+	return NewEngine(p).Run(input, opts)
 }
 
 // LayerMVM executes one quantized MVM for layer la on one input patch using
 // the fast integer path and returns the dequantized outputs. It is the
 // building block the Global Controller interpreter (package isa) drives.
 func LayerMVM(p *accel.Plan, la *accel.LayerAlloc, w *quant.Matrix, patch []float64) ([]float64, error) {
-	var stats InferenceStats
-	return mvm(p, la, w, patch, InferenceOptions{}, &stats, nil)
-}
-
-// mvm quantizes one input patch, runs it through the layer's crossbar grid,
-// and dequantizes the outputs back to float.
-func mvm(p *accel.Plan, la *accel.LayerAlloc, w *quant.Matrix, patch []float64, opts InferenceOptions, stats *InferenceStats, rc *repairCache) ([]float64, error) {
 	in := quant.QuantizeInput(patch)
-	var ints []float64
-	switch {
-	case opts.Repair != nil && opts.Faults.CellFaultRate() > 0:
-		rl, err := rc.repairFor(p, la, w, opts)
-		if err != nil {
-			return nil, err
-		}
-		if opts.BitExact {
-			out, execStats := execRepairedBitSerial(p.Cfg, la, rl, w, in, opts.Faults)
-			ints = out
-			stats.ADCConversions += execStats.ADCConversions
-		} else {
-			ints = repairedIntegerMVM(p.Cfg, int64(la.Layer.Index+1), rl, w, in, opts.Faults)
-			stats.ADCConversions += int64(la.Mapping.ActiveCols) *
-				int64(w.PlaneCount()) * int64(p.Cfg.InputBits)
-		}
-	case opts.BitExact && !opts.Faults.Zero():
-		out, execStats, err := ExecuteMVMFaulty(p.Cfg, la, w, in, opts.Faults)
-		if err != nil {
-			return nil, err
-		}
-		ints = out
-		stats.ADCConversions += execStats.ADCConversions
-	case opts.BitExact:
-		out, execStats, err := ExecuteMVM(p.Cfg, la, w, in)
-		if err != nil {
-			return nil, err
-		}
-		ints = out
-		stats.ADCConversions += execStats.ADCConversions
-	case !opts.Faults.Zero():
-		if err := opts.Faults.Validate(); err != nil {
-			return nil, err
-		}
-		ints = faultyIntegerMVM(p.Cfg, int64(la.Layer.Index+1), w, in, opts.Faults)
-		stats.ADCConversions += int64(la.Mapping.ActiveCols) *
-			int64(w.PlaneCount()) * int64(p.Cfg.InputBits)
-	default:
-		ints = integerMVM(w, in)
-		stats.ADCConversions += int64(la.Mapping.ActiveCols) *
-			int64(w.PlaneCount()) * int64(p.Cfg.InputBits)
+	if in.N != w.Rows {
+		return nil, lengthErr(in.N, w.Rows)
 	}
-	stats.MVMs++
-	out := make([]float64, len(ints))
-	for j, v := range ints {
-		out[j] = w.ScaleFor(j) * in.Scale * v
+	out := make([]float64, w.Cols)
+	integerMVMInto(out, make([]int64, w.Cols), w, in)
+	for j := range out {
+		out[j] = w.ScaleFor(j) * in.Scale * out[j]
 	}
 	return out, nil
 }
 
-// integerMVM is the fast path: the exact integer product qᵀ·u the analog
-// pipeline reconstructs (proved equal to ExecuteMVM in tests).
+// integerMVM computes the exact integer product qᵀ·u — the scalar form the
+// engines are asserted against in tests.
 func integerMVM(w *quant.Matrix, in *quant.Input) []float64 {
 	out := make([]float64, w.Cols)
-	for i := 0; i < w.Rows; i++ {
-		u := float64(in.U[i])
-		if u == 0 {
-			continue
-		}
-		row := w.Q[i*w.Cols : (i+1)*w.Cols]
-		for j, q := range row {
-			out[j] += u * float64(q)
-		}
-	}
+	integerMVMInto(out, make([]int64, w.Cols), w, in)
 	return out
 }

@@ -1,9 +1,6 @@
 package sim
 
 import (
-	"fmt"
-	"math"
-
 	"autohet/internal/accel"
 	"autohet/internal/fault"
 	"autohet/internal/hw"
@@ -19,11 +16,12 @@ import (
 // result is bit-exact with the ideal ExecuteMVM (read noise aside).
 
 // RepairedLayer is the outcome of one detect-and-repair pass over a layer:
-// the bit planes actually stored after remapping/masking, and the pass
-// statistics. It is valid until the fault model changes, so callers serving
-// many MVMs compute it once.
+// the bit planes actually stored after remapping/masking (in both byte and
+// word-packed form), and the pass statistics. It is valid until the fault
+// model changes, so callers serving many MVMs compute it once.
 type RepairedLayer struct {
 	Planes []*quant.BitPlane
+	Packed *quant.PackedMatrix
 	Stats  repair.Stats
 }
 
@@ -31,20 +29,10 @@ type RepairedLayer struct {
 // weight matrix under its mapping — the repair granularity: one spare-column
 // budget per window, whole-window relocation onto a spare crossbar.
 func LayerRegions(la *accel.LayerAlloc) []repair.Region {
-	m := la.Mapping
-	cols := la.Layer.UnfoldedCols()
 	var regions []repair.Region
-	for band := 0; band < m.GridRows; band++ {
-		r0, r1 := bandRows(m, band)
-		if r0 >= r1 {
-			continue
-		}
-		for cg := 0; cg < m.GridCols; cg++ {
-			c0 := cg * la.Shape.C
-			c1 := min(c0+la.Shape.C, cols)
-			regions = append(regions, repair.Region{R0: r0, R1: r1, C0: c0, C1: c1})
-		}
-	}
+	forEachCrossbar(la, func(r0, r1, c0, c1 int) {
+		regions = append(regions, repair.Region{R0: r0, R1: r1, C0: c0, C1: c1})
+	})
 	return regions
 }
 
@@ -60,9 +48,10 @@ func RepairLayer(la *accel.LayerAlloc, w *quant.Matrix, fm *fault.Model, pol rep
 		return nil, err
 	}
 	key := int64(la.Layer.Index + 1)
-	ideal := w.Slices()
+	ideal := w.Planes()
 	if fm.CellFaultRate() == 0 {
-		return &RepairedLayer{Planes: ideal, Stats: repair.Stats{FullyRepaired: true}}, nil
+		return &RepairedLayer{Planes: ideal, Packed: w.Packed(),
+			Stats: repair.Stats{FullyRepaired: true}}, nil
 	}
 	faulted := fm.ApplyStuckAt(ideal, key)
 	truth, detected := pol.Detect(fm, key, w.Rows, w.Cols, len(ideal))
@@ -70,7 +59,7 @@ func RepairLayer(la *accel.LayerAlloc, w *quant.Matrix, fm *fault.Model, pol rep
 	if err != nil {
 		return nil, err
 	}
-	return &RepairedLayer{Planes: planes, Stats: stats}, nil
+	return &RepairedLayer{Planes: planes, Packed: quant.PackPlanes(planes), Stats: stats}, nil
 }
 
 // ExecuteMVMRepaired runs one MVM on the mapped grid under a fault model
@@ -78,16 +67,8 @@ func RepairLayer(la *accel.LayerAlloc, w *quant.Matrix, fm *fault.Model, pol rep
 // exactly; so does any fault map the policy's spares fully cover (asserted
 // by property test).
 func ExecuteMVMRepaired(cfg hw.Config, la *accel.LayerAlloc, w *quant.Matrix, in *quant.Input, fm *fault.Model, pol repair.Policy) ([]float64, ExecStats, repair.Stats, error) {
-	l := la.Layer
-	if l.GroupCount() > 1 {
-		return nil, ExecStats{}, repair.Stats{}, fmt.Errorf("sim: functional execution of grouped convolutions is not supported (layer %s)", l.Name)
-	}
-	rows, cols := l.UnfoldedRows(), l.UnfoldedCols()
-	if w.Rows != rows || w.Cols != cols {
-		return nil, ExecStats{}, repair.Stats{}, shapeErr(w.Rows, w.Cols, rows, cols)
-	}
-	if in.N != rows {
-		return nil, ExecStats{}, repair.Stats{}, lengthErr(in.N, rows)
+	if err := checkMVMShapes(la, w, in); err != nil {
+		return nil, ExecStats{}, repair.Stats{}, err
 	}
 	rl, err := RepairLayer(la, w, fm, pol)
 	if err != nil {
@@ -97,65 +78,24 @@ func ExecuteMVMRepaired(cfg hw.Config, la *accel.LayerAlloc, w *quant.Matrix, in
 	return out, stats, rl.Stats, nil
 }
 
-// execRepairedBitSerial runs the bit-serial, bit-sliced pipeline over
+// execRepairedBitSerial runs the packed bit-serial pipeline over
 // already-repaired planes, with the fault model contributing only read noise
 // (its stuck-at half is baked into the planes).
 func execRepairedBitSerial(cfg hw.Config, la *accel.LayerAlloc, rl *RepairedLayer, w *quant.Matrix, in *quant.Input, fm *fault.Model) ([]float64, ExecStats) {
-	m := la.Mapping
-	cols := la.Layer.UnfoldedCols()
 	noise := fm.Noise(int64(la.Layer.Index + 1))
-	out := make([]float64, cols)
+	out := make([]float64, la.Layer.UnfoldedCols())
 	var stats ExecStats
-	for band := 0; band < m.GridRows; band++ {
-		r0, r1 := bandRows(m, band)
-		if r0 >= r1 {
-			continue
-		}
-		for cg := 0; cg < m.GridCols; cg++ {
-			c0 := cg * la.Shape.C
-			c1 := min(c0+la.Shape.C, cols)
-			stats.Crossbars++
-			execCrossbarNoisy(cfg, rl.Planes, in, r0, r1, c0, c1, out, noise, &stats)
-		}
-	}
-	corr := w.Correction(in)
-	for j := range out {
-		out[j] -= corr
-	}
+	execPackedGrid(cfg, la, rl.Packed, in, noise, out, &stats)
+	applyCorrection(out, w, in)
 	return out, stats
 }
 
 // repairedIntegerMVM is the fast repaired path: the repaired planes served
-// through the integer engine, read noise folded in as one aggregate sample
-// per (plane, column) — bit-identical to ExecuteMVMRepaired when
+// through the packed integer engine, read noise folded in as one aggregate
+// sample per (plane, column) — bit-identical to ExecuteMVMRepaired when
 // ReadNoiseSigma is 0.
 func repairedIntegerMVM(cfg hw.Config, layerKey int64, rl *RepairedLayer, w *quant.Matrix, in *quant.Input, fm *fault.Model) []float64 {
-	noise := fm.Noise(layerKey)
-	var inputBitsVar float64
-	for ib := 0; ib < cfg.InputBits; ib++ {
-		inputBitsVar += math.Pow(4, float64(ib))
-	}
-
 	out := make([]float64, w.Cols)
-	tmp := make([]float64, w.Cols)
-	xf := make([]float64, w.Rows)
-	for i, u := range in.U {
-		xf[i] = float64(u)
-	}
-	for _, p := range rl.Planes {
-		p.MulVec(tmp, xf)
-		shift := float64(int64(1) << uint(p.Bit))
-		noiseScale := shift * math.Sqrt(inputBitsVar)
-		for j := range out {
-			out[j] += shift * tmp[j]
-			if fm != nil && fm.ReadNoiseSigma > 0 {
-				out[j] += noiseScale * noise()
-			}
-		}
-	}
-	corr := w.Correction(in)
-	for j := range out {
-		out[j] -= corr
-	}
+	packedAggregateMVM(cfg, rl.Packed, w, in, fm, fm.Noise(layerKey), out)
 	return out
 }

@@ -21,6 +21,7 @@ import (
 	"autohet/internal/dnn"
 	"autohet/internal/fault"
 	"autohet/internal/hw"
+	"autohet/internal/obs"
 	"autohet/internal/repair"
 	"autohet/internal/rl"
 	"autohet/internal/search"
@@ -43,6 +44,7 @@ func main() {
 	readNoise := flag.Float64("read-noise", 0, "analog read-noise sigma in integer sum units for the fault study")
 	faultsFile := flag.String("faults", "", "JSON fault-model file (see fault.Model; -fault-rate/-read-noise override its fields)")
 	repairSpec := flag.String("repair", "", `spare provisioning "C,X": C spare columns per crossbar and X spare PEs per tile (e.g. 4,1)`)
+	metricsJSON := flag.String("metrics-json", "", "write an obs-registry JSON snapshot (search/sim counters, stage timings) to this file after the run")
 	flag.Parse()
 
 	fm, prov, err := faultArgs(*faultsFile, *faultRate, *readNoise, *seed, *repairSpec)
@@ -54,6 +56,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "autohet:", err)
 		os.Exit(1)
 	}
+	if *metricsJSON != "" {
+		if err := writeMetricsJSON(*metricsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "autohet:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsJSON)
+	}
+}
+
+// writeMetricsJSON dumps the process-wide obs registry — search stage
+// timings, per-searcher eval counts, sim cache hit/miss counters — as an
+// indented JSON snapshot.
+func writeMetricsJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // faultArgs assembles the fault study's model and spare provisioning from

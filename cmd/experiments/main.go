@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"autohet/internal/experiments"
+	"autohet/internal/obs"
 	"autohet/internal/report"
 )
 
@@ -34,7 +35,18 @@ func main() {
 	bench := flag.String("bench", "search", "which benchmark -bench-json runs: search (cached-vs-uncached search) or mvm (packed-vs-scalar MVM engine)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsJSON := flag.String("metrics-json", "", "write an obs-registry JSON snapshot (search/sim counters, stage timings) to this file on exit")
 	flag.Parse()
+
+	if *metricsJSON != "" {
+		defer func() {
+			if err := writeMetricsJSON(*metricsJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: metrics-json: %v\n", err)
+				return
+			}
+			fmt.Printf("metrics snapshot written to %s\n", *metricsJSON)
+		}()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -144,6 +156,21 @@ func main() {
 			}
 		}
 	}
+}
+
+// writeMetricsJSON dumps the process-wide obs registry — search stage
+// timings, per-searcher eval counts, sim cache hit/miss counters — as an
+// indented JSON snapshot.
+func writeMetricsJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(dir, name string, t *report.Table) error {

@@ -15,6 +15,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on http.DefaultServeMux
 	"os"
 	"strconv"
 	"strings"
@@ -25,6 +28,7 @@ import (
 	"autohet/internal/fault"
 	"autohet/internal/fleet"
 	"autohet/internal/hw"
+	"autohet/internal/obs"
 	"autohet/internal/sim"
 	"autohet/internal/xbar"
 )
@@ -48,14 +52,39 @@ func main() {
 	repairCap := flag.Float64("repair-capacity", 0, "stuck-at cell rate each replica's spares can absorb (0 = no self-repair)")
 	repairMiss := flag.Float64("repair-miss", 0, "per-sweep detection miss probability of the online health loop")
 	hwConfig := flag.String("hwconfig", "", "JSON hardware-config file (empty = paper defaults)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"address serving /metrics (Prometheus text) and /debug/pprof/ (empty = disabled)")
+	hold := flag.Duration("hold", 0,
+		"keep the metrics endpoint up this long after the run (for scraping; needs -metrics-addr)")
 	flag.Parse()
 
 	if err := run(*model, *spec, *policy, *load, *requests, *batch, *batchTimeout,
 		*queue, *budget, *seed, *timescale, *faultReplica, *faultRate, *faultAt,
-		*repairCap, *repairMiss, *hwConfig); err != nil {
+		*repairCap, *repairMiss, *hwConfig, *metricsAddr, *hold); err != nil {
 		fmt.Fprintln(os.Stderr, "fleet:", err)
 		os.Exit(1)
 	}
+}
+
+// serveMetrics exposes the obs registry and pprof on addr. The listener is
+// bound synchronously (so the printed URL is live before the workload
+// starts); requests are served in the background for the process lifetime.
+func serveMetrics(addr string) error {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Default.Handler())
+	// The pprof import registered its handlers on the default mux.
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet: metrics server:", err)
+		}
+	}()
+	return nil
 }
 
 // parseSpec expands "N*shapeOrStrategy" groups into replica specs. A group
@@ -110,10 +139,16 @@ func parseSpec(cfg hw.Config, m *dnn.Model, text string, batch int) ([]fleet.Rep
 
 func run(modelName, specText, policyText string, load float64, requests, batch int,
 	batchTimeoutUS float64, queue int, budgetUS float64, seed int64, timescale float64,
-	faultReplica string, faultRate, faultAt, repairCap, repairMiss float64, hwConfig string) error {
+	faultReplica string, faultRate, faultAt, repairCap, repairMiss float64, hwConfig string,
+	metricsAddr string, hold time.Duration) error {
 	m, err := dnn.ByName(modelName)
 	if err != nil {
 		return err
+	}
+	if metricsAddr != "" {
+		if err := serveMetrics(metricsAddr); err != nil {
+			return err
+		}
 	}
 	cfg, err := hw.LoadConfig(hwConfig)
 	if err != nil {
@@ -198,6 +233,10 @@ func run(modelName, specText, policyText string, load float64, requests, batch i
 		fmt.Printf("%-8s %-7.2f %-8d %-8d %-8d %-11.2f %-12.1f %-12.1f %.1f\n",
 			r.Name, r.Health, r.Repairs, r.Served, r.Batches, r.MeanBatch,
 			r.P50NS/1000, r.P99NS/1000, r.MaxNS/1000)
+	}
+	if hold > 0 && metricsAddr != "" {
+		fmt.Printf("\nholding metrics endpoint for %v\n", hold)
+		time.Sleep(hold)
 	}
 	return nil
 }

@@ -365,7 +365,10 @@ func (s *Suite) Pruning() (*report.Table, error) {
 // placement-dependent interconnect cost.
 func (s *Suite) NoC() (*report.Table, error) {
 	m := dnn.VGG16()
-	mesh, err := noc.NewMesh(256)
+	// Size the mesh from the configured bank capacity rather than hardcoding
+	// the default bank's 256 width, so non-default TilesPerBank configs get a
+	// mesh that actually covers every placed tile.
+	mesh, err := noc.NewMeshFor(s.Cfg.TilesPerBank)
 	if err != nil {
 		return nil, err
 	}

@@ -237,6 +237,7 @@ func newFleet(cfg Config, specs ...ReplicaSpec) (*Fleet, error) {
 		names[r.name] = true
 		f.replicas = append(f.replicas, r)
 	}
+	f.registerMetrics()
 	return f, nil
 }
 

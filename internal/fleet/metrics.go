@@ -2,131 +2,63 @@ package fleet
 
 import (
 	"fmt"
-	"math"
-	"sync/atomic"
+
+	"autohet/internal/obs"
 )
 
-// Observability primitives: lock-free counters and a log-bucketed latency
-// histogram, both safe for concurrent writers. Snapshots are plain values
-// that can be read, printed, and compared without synchronization.
+// Observability: the fleet's counters and latency histograms live on the
+// shared internal/obs primitives and are published on obs.Default, so
+// cmd/fleet's /metrics endpoint exposes them without extra plumbing.
+// Snapshots remain plain values that can be read, printed, and compared
+// without synchronization.
 
-// Histogram is a concurrent latency histogram over geometrically growing
-// buckets. Observations are nanoseconds; quantiles are nearest-rank over
-// the bucket boundaries, so a reported quantile is within one bucket-growth
-// factor (~7%) of the exact value.
-type Histogram struct {
-	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 bits of the running sum
-	maxBits atomic.Uint64 // float64 bits of the running max
-	buckets [histBuckets]atomic.Int64
-}
-
-const (
-	histMinNS   = 64.0 // lower edge of bucket 1; bucket 0 is [0, histMinNS)
-	histGrowth  = 1.07
-	histBuckets = 360 // covers up to histMinNS * 1.07^359 ≈ 2.4e12 ns
-)
-
-var histLogGrowth = math.Log(histGrowth)
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(ns float64) {
-	if ns < 0 || math.IsNaN(ns) {
-		return
-	}
-	h.count.Add(1)
-	addFloat(&h.sumBits, ns)
-	maxFloat(&h.maxBits, ns)
-	h.buckets[bucketIndex(ns)].Add(1)
-}
-
-func bucketIndex(ns float64) int {
-	if ns < histMinNS {
-		return 0
-	}
-	i := 1 + int(math.Log(ns/histMinNS)/histLogGrowth)
-	if i >= histBuckets {
-		return histBuckets - 1
-	}
-	return i
-}
-
-// addFloat atomically adds v to the float64 stored as bits in a.
-func addFloat(a *atomic.Uint64, v float64) {
-	for {
-		old := a.Load()
-		nw := math.Float64bits(math.Float64frombits(old) + v)
-		if a.CompareAndSwap(old, nw) {
-			return
-		}
-	}
-}
-
-// maxFloat atomically raises the float64 stored as bits in a to at least v.
-func maxFloat(a *atomic.Uint64, v float64) {
-	for {
-		old := a.Load()
-		if math.Float64frombits(old) >= v {
-			return
-		}
-		if a.CompareAndSwap(old, math.Float64bits(v)) {
-			return
-		}
-	}
-}
-
-// Count returns the number of samples observed.
-func (h *Histogram) Count() int64 { return h.count.Load() }
-
-// Mean returns the mean observed latency (0 when empty).
-func (h *Histogram) Mean() float64 {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return math.Float64frombits(h.sumBits.Load()) / float64(n)
-}
-
-// Max returns the largest observed latency.
-func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
-
-// Quantile returns the p-quantile (nearest-rank over buckets); each bucket
-// reports its geometric midpoint. p outside (0,1] is clamped.
-func (h *Histogram) Quantile(p float64) float64 {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	if p <= 0 {
-		p = 1e-9
-	}
-	if p > 1 {
-		p = 1
-	}
-	rank := int64(math.Ceil(p * float64(n)))
-	var cum int64
-	for i := 0; i < histBuckets; i++ {
-		cum += h.buckets[i].Load()
-		if cum >= rank {
-			if i == 0 {
-				return histMinNS / 2
-			}
-			lower := histMinNS * math.Pow(histGrowth, float64(i-1))
-			return lower * math.Sqrt(histGrowth) // geometric midpoint
-		}
-	}
-	return h.Max()
-}
+// Histogram is the shared log-bucketed concurrent latency histogram,
+// promoted into internal/obs (this alias keeps the fleet API stable).
+type Histogram = obs.Histogram
 
 // Counters aggregates fleet-wide request outcomes. All fields are atomic;
 // read them through Snapshot for a consistent-enough view.
 type Counters struct {
-	Submitted atomic.Int64 // admission attempts (including shed ones)
-	Completed atomic.Int64 // successfully served
-	Shed      atomic.Int64 // refused at admission (queues full or no healthy replica)
-	Expired   atomic.Int64 // dropped for missing their latency budget
-	Retried   atomic.Int64 // re-dispatches away from a degraded replica
-	Failed    atomic.Int64 // accepted but undeliverable (retries exhausted)
+	Submitted obs.Counter // admission attempts (including shed ones)
+	Completed obs.Counter // successfully served
+	Shed      obs.Counter // refused at admission (queues full or no healthy replica)
+	Expired   obs.Counter // dropped for missing their latency budget
+	Retried   obs.Counter // re-dispatches away from a degraded replica
+	Failed    obs.Counter // accepted but undeliverable (retries exhausted)
+}
+
+// registerMetrics publishes the fleet's counters, latency histogram, and
+// per-replica queue/health gauges on obs.Default. Registration rebinds by
+// name, so tests and benchmarks that build many fleets re-claim the series
+// instead of leaking stale ones; the latest fleet wins.
+func (f *Fleet) registerMetrics() {
+	reg := obs.Default
+	const reqHelp = "Fleet request outcomes by disposition."
+	for _, oc := range []struct {
+		outcome string
+		c       *obs.Counter
+	}{
+		{"submitted", &f.counters.Submitted},
+		{"completed", &f.counters.Completed},
+		{"shed", &f.counters.Shed},
+		{"expired", &f.counters.Expired},
+		{"retried", &f.counters.Retried},
+		{"failed", &f.counters.Failed},
+	} {
+		reg.RegisterCounter(fmt.Sprintf("autohet_fleet_requests_total{outcome=%q}", oc.outcome), reqHelp, oc.c)
+	}
+	reg.RegisterHistogram("autohet_fleet_latency_ns", "Fleet-wide completed-request latency in virtual nanoseconds.", &f.hist)
+	for _, r := range f.replicas {
+		r := r
+		reg.RegisterHistogram(fmt.Sprintf("autohet_fleet_replica_latency_ns{replica=%q}", r.name),
+			"Per-replica served-request latency in virtual nanoseconds.", &r.hist)
+		reg.GaugeFunc(fmt.Sprintf("autohet_fleet_queue_depth{replica=%q}", r.name),
+			"Current admission-queue depth per replica.",
+			func() float64 { return float64(len(r.queue)) })
+		reg.GaugeFunc(fmt.Sprintf("autohet_fleet_replica_health{replica=%q}", r.name),
+			"Replica health score in [0,1] (1 pristine, 0 degraded).",
+			r.health)
+	}
 }
 
 // ReplicaSnapshot is a point-in-time view of one replica.

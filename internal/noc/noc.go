@@ -7,7 +7,10 @@
 // additional (and measurable) benefit of the tile-shared scheme.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Mesh is a W×W grid of tile routers. Tile IDs map row-major onto
 // coordinates: tile t sits at (t mod W, t div W).
@@ -19,9 +22,9 @@ type Mesh struct {
 	HopEnergyPJPerByte float64
 }
 
-// Default mesh constants: a 256-wide mesh matches the paper's 256×256-tile
-// bank; hop costs follow on-chip-network literature (~1 ns, ~0.05 pJ/byte
-// per hop at edge scales).
+// Default mesh constants: a 256-wide mesh holds the paper's
+// 256×256 = 65,536-tile bank (hw.Config.TilesPerBank); hop costs follow
+// on-chip-network literature (~1 ns, ~0.05 pJ/byte per hop at edge scales).
 const (
 	DefaultHopLatencyNS = 1.0
 	DefaultHopEnergy    = 0.05
@@ -33,6 +36,30 @@ func NewMesh(width int) (*Mesh, error) {
 		return nil, fmt.Errorf("noc: mesh width %d", width)
 	}
 	return &Mesh{Width: width, HopLatencyNS: DefaultHopLatencyNS, HopEnergyPJPerByte: DefaultHopEnergy}, nil
+}
+
+// WidthFor returns the smallest mesh width whose W×W grid holds tiles
+// routers: ceil(sqrt(tiles)), at least 1. Deriving the width from the
+// bank's tile capacity keeps the mesh consistent with hw.Config.TilesPerBank
+// instead of hardcoding the default bank's 256.
+func WidthFor(tiles int) int {
+	if tiles <= 1 {
+		return 1
+	}
+	w := int(math.Ceil(math.Sqrt(float64(tiles))))
+	for w*w < tiles { // guard against float rounding on huge banks
+		w++
+	}
+	return w
+}
+
+// NewMeshFor returns the smallest square mesh covering a bank of the given
+// tile capacity, with default hop costs.
+func NewMeshFor(tiles int) (*Mesh, error) {
+	if tiles <= 0 {
+		return nil, fmt.Errorf("noc: bank capacity %d tiles", tiles)
+	}
+	return NewMesh(WidthFor(tiles))
 }
 
 // Coord returns tile t's mesh coordinates.

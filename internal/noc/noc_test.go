@@ -24,6 +24,37 @@ func TestNewMeshValidation(t *testing.T) {
 	}
 }
 
+// TestWidthFor is the regression test for the mesh-sizing inconsistency:
+// the mesh width must be derived from the bank's tile capacity
+// (ceil(sqrt(tiles))), so the default 256×256-tile bank gets a 256-wide
+// mesh — not a mesh of 256² tiles.
+func TestWidthFor(t *testing.T) {
+	cases := []struct{ tiles, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {4, 2}, {5, 3}, {9, 3}, {10, 4},
+		{256, 16},
+		{256 * 256, 256}, // the paper's bank: hw.DefaultConfig TilesPerBank
+		{256*256 + 1, 257},
+	}
+	for _, c := range cases {
+		if got := WidthFor(c.tiles); got != c.want {
+			t.Errorf("WidthFor(%d) = %d, want %d", c.tiles, got, c.want)
+		}
+	}
+	// The derived mesh always covers every tile ID in [0, tiles).
+	for _, tiles := range []int{1, 7, 100, 65536} {
+		m, err := NewMeshFor(tiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.Coord(tiles - 1); err != nil {
+			t.Errorf("NewMeshFor(%d): last tile outside mesh: %v", tiles, err)
+		}
+	}
+	if _, err := NewMeshFor(0); err == nil {
+		t.Fatal("zero-capacity bank must error")
+	}
+}
+
 func TestCoordRowMajor(t *testing.T) {
 	m := mesh(t, 4)
 	cases := []struct{ t, x, y int }{

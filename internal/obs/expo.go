@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Exposition: Prometheus text format 0.0.4 for scraping (cmd/fleet
+// /metrics) and JSON snapshots for one-shot runs (cmd/autohet,
+// cmd/experiments -metrics-json).
+
+// splitSeries breaks a series name into its family and the label block's
+// interior ("" when unlabeled): `f{a="b"}` → (`f`, `a="b"`).
+func splitSeries(name string) (fam, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// seriesWith renders fam plus the merged label set.
+func seriesWith(fam, labels string, extra ...string) string {
+	parts := make([]string, 0, 1+len(extra))
+	if labels != "" {
+		parts = append(parts, labels)
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return fam
+	}
+	return fam + "{" + strings.Join(parts, ",") + "}"
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered series in Prometheus text
+// exposition format 0.0.4, grouped by family with one HELP/TYPE header
+// each, in registration order. Histograms are exposed as summaries
+// (quantile-labeled series plus _sum and _count) with a companion
+// <family>_max gauge carrying the exact tracked maximum.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	entries, help := r.snapshot()
+	headered := map[string]bool{}
+	header := func(fam, typ string) {
+		if headered[fam] {
+			return
+		}
+		headered[fam] = true
+		if h := help[fam]; h != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", fam, h)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ)
+	}
+	for _, e := range entries {
+		fam, labels := splitSeries(e.name)
+		switch e.kind {
+		case kindCounter, kindCounterFunc:
+			header(fam, "counter")
+			fmt.Fprintf(w, "%s %d\n", e.name, e.ival)
+		case kindGauge, kindGaugeFunc:
+			header(fam, "gauge")
+			fmt.Fprintf(w, "%s %s\n", e.name, promFloat(e.fval))
+		case kindHistogram:
+			header(fam, "summary")
+			for _, q := range [...]float64{0.5, 0.95, 0.99} {
+				fmt.Fprintf(w, "%s %s\n",
+					seriesWith(fam, labels, fmt.Sprintf("quantile=%q", promFloat(q))),
+					promFloat(e.hist.Quantile(q)))
+			}
+			fmt.Fprintf(w, "%s %s\n", seriesWith(fam+"_sum", labels), promFloat(e.hist.Sum()))
+			fmt.Fprintf(w, "%s %d\n", seriesWith(fam+"_count", labels), e.hist.Count())
+			header(fam+"_max", "gauge")
+			fmt.Fprintf(w, "%s %s\n", seriesWith(fam+"_max", labels), promFloat(e.hist.Max()))
+		}
+	}
+}
+
+// Handler serves WritePrometheus over HTTP with the text-format content
+// type, for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// HistogramStats is the JSON-snapshot view of one histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean_ns"`
+	P50   float64 `json:"p50_ns"`
+	P95   float64 `json:"p95_ns"`
+	P99   float64 `json:"p99_ns"`
+	Max   float64 `json:"max_ns"`
+}
+
+// JSONSnapshot is a point-in-time dump of the registry, keyed by full
+// series name (labels included).
+type JSONSnapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// JSON captures the registry as a snapshot value.
+func (r *Registry) JSON() JSONSnapshot {
+	entries, _ := r.snapshot()
+	s := JSONSnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStats{},
+	}
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter, kindCounterFunc:
+			s.Counters[e.name] = e.ival
+		case kindGauge, kindGaugeFunc:
+			s.Gauges[e.name] = e.fval
+		case kindHistogram:
+			s.Histograms[e.name] = HistogramStats{
+				Count: e.hist.Count(),
+				Mean:  e.hist.Mean(),
+				P50:   e.hist.Quantile(0.5),
+				P95:   e.hist.Quantile(0.95),
+				P99:   e.hist.Quantile(0.99),
+				Max:   e.hist.Max(),
+			}
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.JSON())
+}

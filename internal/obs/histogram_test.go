@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileAccuracy checks the log-bucketed quantiles against
+// exact nearest-rank values: the geometric-midpoint convention keeps every
+// reported quantile within one bucket-growth factor (~7%) of the truth.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// Deterministic LCG spanning ~3 decades (1e3 .. 1e6 ns).
+	vals := make([]float64, 0, 20000)
+	x := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		v := 1e3 * math.Pow(10, 3*float64(x>>11)/float64(1<<53))
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Float64s(vals)
+	for _, p := range []float64{0.50, 0.95, 0.99} {
+		exact := vals[int(math.Ceil(p*float64(len(vals))))-1]
+		got := h.Quantile(p)
+		if rel := math.Abs(got-exact) / exact; rel > histGrowth-1 {
+			t.Errorf("q%.2f: histogram %.1f vs exact %.1f (rel err %.3f)", p, got, exact, rel)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	if mean := h.Mean(); math.Abs(mean-sum/20000) > 1e-6*mean {
+		t.Errorf("mean %v vs %v", mean, sum/20000)
+	}
+	if max := h.Max(); max != vals[len(vals)-1] {
+		t.Errorf("max %v vs %v", max, vals[len(vals)-1])
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-5)         // ignored
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 0 {
+		t.Fatalf("invalid observations counted: %d", h.Count())
+	}
+	h.Observe(1) // bucket 0: [0, 64), but the cap at Max() bites first
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("single-sample quantile %v, want the sample itself", q)
+	}
+	h.Observe(100)
+	if q := h.Quantile(0.25); q != histMinNS/2 {
+		t.Fatalf("bucket-0 quantile %v, want midpoint %v", q, histMinNS/2)
+	}
+	// Quantile clamps p outside (0, 1].
+	if h.Quantile(-1) <= 0 || h.Quantile(2) != h.Max() {
+		t.Fatal("clamped quantiles wrong on a non-empty histogram")
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for ns := 1.0; ns < 1e13; ns *= 1.31 {
+		i := bucketIndex(ns)
+		if i < prev {
+			t.Fatalf("bucketIndex(%g) = %d < previous %d", ns, i, prev)
+		}
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%g) = %d out of range", ns, i)
+		}
+		prev = i
+	}
+}
+
+// TestHistogramOverflowTail is the regression test for the tail-reporting
+// bug: samples beyond the last bucket edge (histMinNS·1.07^358 ≈ 2.28e12 ns)
+// are clamped into the overflow bucket, and the pre-fix code reported them
+// at the bucket's geometric midpoint — underestimating high quantiles by
+// orders of magnitude. The overflow bucket must report the tracked max.
+func TestHistogramOverflowTail(t *testing.T) {
+	var h Histogram
+	if bucketIndex(1e13) != histBuckets-1 {
+		t.Fatalf("1e13 ns must land in the overflow bucket, got %d", bucketIndex(1e13))
+	}
+	if 1e13 < HistMaxEdge {
+		t.Fatalf("test sample 1e13 not beyond the overflow edge %g", HistMaxEdge)
+	}
+	// 90 fast samples, 10 huge ones: q95 and q99 land in the overflow bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1e13)
+	}
+	for _, p := range []float64{0.95, 0.99} {
+		if got := h.Quantile(p); got != 1e13 {
+			t.Errorf("q%g = %g, want tracked max 1e13 (overflow midpoint would be ~%g)",
+				p, got, HistMaxEdge*math.Sqrt(histGrowth))
+		}
+	}
+	if q50, exact := h.Quantile(0.5), 1000.0; math.Abs(q50-exact)/exact > histGrowth-1 {
+		t.Errorf("q50 %g drifted from %g", q50, exact)
+	}
+}
+
+// TestHistogramQuantileOneIsMax pins Quantile(1) == Max() exactly, for any
+// sample placement — including interior buckets where the pre-fix code
+// returned a bucket midpoint.
+func TestHistogramQuantileOneIsMax(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{100, 5000, 123456, 7.7e8} {
+		h.Observe(v)
+		if q, m := h.Quantile(1), h.Max(); q != m {
+			t.Fatalf("after observing %g: Quantile(1) = %g != Max() = %g", v, q, m)
+		}
+	}
+}
+
+// TestHistogramQuantileProperties is the property test: for random sample
+// sets, quantiles are monotone non-decreasing in p and bracketed by
+// [min(histMinNS/2, Max()), Max()].
+func TestHistogramQuantileProperties(t *testing.T) {
+	x := uint64(99991)
+	rnd := func() float64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return float64(x>>11) / float64(1<<53)
+	}
+	for trial := 0; trial < 50; trial++ {
+		var h Histogram
+		n := 1 + int(rnd()*500)
+		for i := 0; i < n; i++ {
+			// Span bucket 0 through the overflow bucket (~1e13).
+			h.Observe(math.Pow(10, 13*rnd()))
+		}
+		lo := math.Min(histMinNS/2, h.Max())
+		prev := 0.0
+		for p := 0.01; p <= 1.0; p += 0.01 {
+			q := h.Quantile(p)
+			if q < prev {
+				t.Fatalf("trial %d: Quantile(%g) = %g < Quantile(%g) = %g — not monotone",
+					trial, p, q, p-0.01, prev)
+			}
+			if q < lo || q > h.Max() {
+				t.Fatalf("trial %d: Quantile(%g) = %g outside [%g, %g]", trial, p, q, lo, h.Max())
+			}
+			prev = q
+		}
+	}
+}
+
+// TestHistogramConcurrent checks the CAS float accumulators under parallel
+// writers: identical values sum exactly, so the mean must be bit-exact.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const writers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Mean() != 1000 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max %v", h.Max())
+	}
+}
+
+// TestHistogramConcurrentReaders hammers Observe, Quantile, Mean, and Max
+// from parallel goroutines — run under -race in CI. Readers only assert
+// invariants that hold mid-flight.
+func TestHistogramConcurrentReaders(t *testing.T) {
+	var h Histogram
+	const writers, readers, per = 4, 4, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			x := seed
+			for i := 0; i < per; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				h.Observe(math.Pow(10, 13*float64(x>>11)/float64(1<<53)))
+			}
+		}(uint64(w + 1))
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q50, q99 := h.Quantile(0.5), h.Quantile(0.99)
+				if q50 < 0 || q99 < 0 {
+					t.Error("negative quantile")
+					return
+				}
+				if h.Mean() < 0 || h.Count() < 0 {
+					t.Error("negative mean or count")
+					return
+				}
+				_ = h.Max()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("count %d", h.Count())
+	}
+	if q := h.Quantile(1); q != h.Max() {
+		t.Fatalf("Quantile(1) = %g != Max() = %g", q, h.Max())
+	}
+}
+
+// TestMetricAllocs pins the record path allocation-free — the guarantee
+// that lets sim/search/fleet instrument warm paths without breaking PR 4's
+// zero-alloc warm-MVM assertion.
+func TestMetricAllocs(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	if a := testing.AllocsPerRun(1000, func() { h.Observe(1234) }); a != 0 {
+		t.Errorf("Histogram.Observe allocates %v per call", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); a != 0 {
+		t.Errorf("Counter ops allocate %v per call", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() { g.Set(1); g.Add(2) }); a != 0 {
+		t.Errorf("Gauge ops allocate %v per call", a)
+	}
+}

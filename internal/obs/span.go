@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is a lightweight trace span: a named timed region with parent/child
+// nesting, built for attributing wall time to pipeline stages (decide /
+// simulate / learn in the search loop; quantize / pack / stream in the
+// engine). Spans are owned by a single goroutine — they carry no locks and
+// must not be shared across goroutines while open. Cross-goroutine stage
+// attribution uses registry counters instead (Counter.AddSince).
+type Span struct {
+	Name     string
+	start    time.Time
+	dur      time.Duration
+	parent   *Span
+	children []*Span
+	ended    bool
+}
+
+// StartSpan opens a root span.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now()}
+}
+
+// Child opens a nested span under s.
+func (s *Span) Child(name string) *Span {
+	c := &Span{Name: name, start: time.Now(), parent: s}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End closes the span and returns its duration. Ending twice is a no-op
+// that returns the first duration.
+func (s *Span) End() time.Duration {
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	return s.dur
+}
+
+// Duration returns the span's duration — elapsed-so-far when still open.
+func (s *Span) Duration() time.Duration {
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Parent returns the enclosing span (nil for a root).
+func (s *Span) Parent() *Span { return s.parent }
+
+// Walk visits s and every descendant depth-first, in start order, with the
+// node's depth below s.
+func (s *Span) Walk(fn func(sp *Span, depth int)) {
+	s.walk(fn, 0)
+}
+
+func (s *Span) walk(fn func(sp *Span, depth int), depth int) {
+	fn(s, depth)
+	for _, c := range s.children {
+		c.walk(fn, depth+1)
+	}
+}
+
+// Durations sums the subtree's time by span name — the per-stage
+// attribution map. Repeated stages (one child per round) accumulate.
+func (s *Span) Durations() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	s.Walk(func(sp *Span, _ int) { out[sp.Name] += sp.Duration() })
+	return out
+}
+
+// Record adds the subtree's per-stage durations to registry counters named
+// family{stage="<name>"} in nanoseconds. The root's own name is included,
+// so family totals can be compared against the sum of stages.
+func (s *Span) Record(r *Registry, familyName, help string) {
+	for name, d := range s.Durations() {
+		r.Counter(fmt.Sprintf("%s{stage=%q}", familyName, name), help).Add(int64(d))
+	}
+}
+
+// String renders the span tree with per-node durations, children indented
+// under parents — a poor man's trace viewer for -v test logs and debugging.
+func (s *Span) String() string {
+	var b strings.Builder
+	s.Walk(func(sp *Span, depth int) {
+		fmt.Fprintf(&b, "%s%s %s\n", strings.Repeat("  ", depth), sp.Name, sp.Duration().Round(time.Microsecond))
+	})
+	return b.String()
+}
+
+// StageBreakdown formats a Durations-style map as "name=dur" pairs sorted
+// by descending duration — compact stage attribution for progress lines.
+func StageBreakdown(d map[string]time.Duration) string {
+	type kv struct {
+		k string
+		v time.Duration
+	}
+	pairs := make([]kv, 0, len(d))
+	for k, v := range d {
+		pairs = append(pairs, kv{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].v != pairs[j].v {
+			return pairs[i].v > pairs[j].v
+		}
+		return pairs[i].k < pairs[j].k
+	})
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = fmt.Sprintf("%s=%s", p.k, p.v.Round(time.Microsecond))
+	}
+	return strings.Join(parts, " ")
+}

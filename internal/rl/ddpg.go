@@ -17,9 +17,14 @@ type AgentConfig struct {
 	Gamma    float64 // discount
 	Tau      float64 // soft target-update rate
 	Sigma    float64 // initial OU exploration sigma
-	Capacity int     // experience-pool capacity
-	Batch    int     // minibatch size per update
-	Seed     int64
+	// SigmaDecay multiplies sigma once per episode (EndEpisode) and
+	// SigmaMin floors it, so exploration anneals as the search converges.
+	// Zero values select the paper schedule (0.99 decay to a 0.02 floor).
+	SigmaDecay float64
+	SigmaMin   float64
+	Capacity   int // experience-pool capacity
+	Batch      int // minibatch size per update
+	Seed       int64
 
 	// TD3 extensions (Fujimoto et al., 2018), opt-in. TwinCritics enables
 	// clipped double-Q targets: two critics trained on the same batches,
@@ -35,16 +40,18 @@ type AgentConfig struct {
 // workloads within a few hundred episodes.
 func DefaultAgentConfig(stateDim int) AgentConfig {
 	return AgentConfig{
-		StateDim: stateDim,
-		Hidden:   64,
-		ActorLR:  1e-3,
-		CriticLR: 1e-2,
-		Gamma:    0.6,
-		Tau:      0.01,
-		Sigma:    0.4,
-		Capacity: 8192,
-		Batch:    64,
-		Seed:     1,
+		StateDim:   stateDim,
+		Hidden:     64,
+		ActorLR:    1e-3,
+		CriticLR:   1e-2,
+		Gamma:      0.6,
+		Tau:        0.01,
+		Sigma:      0.4,
+		SigmaDecay: 0.99,
+		SigmaMin:   0.02,
+		Capacity:   8192,
+		Batch:      64,
+		Seed:       1,
 	}
 }
 
@@ -78,6 +85,14 @@ type Agent struct {
 func NewAgent(cfg AgentConfig) *Agent {
 	if cfg.StateDim <= 0 {
 		panic(fmt.Sprintf("rl: state dim %d", cfg.StateDim))
+	}
+	// Zero-value sigma schedule selects the paper defaults; this also
+	// normalizes configs gob-decoded from saves that predate the fields.
+	if cfg.SigmaDecay == 0 {
+		cfg.SigmaDecay = 0.99
+	}
+	if cfg.SigmaMin == 0 {
+		cfg.SigmaMin = 0.02
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	actor := nn.NewNetwork(rng, cfg.StateDim,
@@ -220,8 +235,16 @@ func (a *Agent) Update() float64 {
 // Updates reports how many minibatch updates have run.
 func (a *Agent) Updates() int { return a.updates }
 
-// EndEpisode resets the exploration noise and decays its magnitude.
+// StartEpisode resets the exploration noise to its mean so the episode's
+// first action is not biased by residual state — from the previous episode
+// of this search, or from a warm-started agent's earlier life. Search loops
+// call it at the top of every episode; it is idempotent.
+func (a *Agent) StartEpisode() { a.Noise.Reset() }
+
+// EndEpisode decays the exploration magnitude on the configured schedule
+// (paper default: ×0.99 per episode, floored at 0.02) and resets the noise
+// state for the next episode.
 func (a *Agent) EndEpisode() {
-	a.Noise.Decay(0.99, 0.02)
+	a.Noise.Decay(a.cfg.SigmaDecay, a.cfg.SigmaMin)
 	a.Noise.Reset()
 }

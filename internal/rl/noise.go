@@ -25,6 +25,10 @@ func NewOUNoise(rng *rand.Rand, sigma float64) *OUNoise {
 // Reset returns the process to its mean; call between episodes.
 func (n *OUNoise) Reset() { n.state = n.Mu }
 
+// State returns the process's current value without advancing it — episode
+// hygiene tests assert it sits at the mean when an episode starts.
+func (n *OUNoise) State() float64 { return n.state }
+
 // Sample advances the process one step and returns the new value.
 func (n *OUNoise) Sample() float64 {
 	n.state += n.Theta*(n.Mu-n.state) + n.Sigma*n.rng.NormFloat64()

@@ -200,6 +200,71 @@ func TestEndEpisodeDecaysNoise(t *testing.T) {
 	}
 }
 
+// TestEpisodeNoiseHygiene is the regression test for OU episode hygiene:
+// two consecutive episodes must each start with the noise process at its
+// mean, even when actions between them perturbed the state, and even for an
+// agent that arrives mid-life (warm start) — StartEpisode clears residual
+// state that EndEpisode alone cannot reach.
+func TestEpisodeNoiseHygiene(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(2))
+	s := []float64{0.3, 0.7}
+	runEpisode := func() {
+		a.StartEpisode()
+		if got := a.Noise.State(); got != a.Noise.Mu {
+			t.Fatalf("episode started with noise state %v, want mean %v", got, a.Noise.Mu)
+		}
+		for i := 0; i < 10; i++ {
+			a.ActNoisy(s)
+		}
+		a.EndEpisode()
+	}
+	runEpisode()
+	runEpisode() // second consecutive episode also starts from the mean
+
+	// Warm-start shape: an agent whose noise carries residual state from a
+	// previous life (Sample without EndEpisode) must still start clean.
+	for i := 0; i < 5; i++ {
+		a.Noise.Sample()
+	}
+	if a.Noise.State() == a.Noise.Mu {
+		t.Fatal("sampling should have perturbed the noise state")
+	}
+	a.StartEpisode()
+	if got := a.Noise.State(); got != a.Noise.Mu {
+		t.Fatalf("warm-started episode began at %v, want mean %v", got, a.Noise.Mu)
+	}
+}
+
+// TestSigmaScheduleConfigurable pins the sigma decay schedule to the
+// config: explicit values are honored, and zero values normalize to the
+// paper schedule (×0.99 per episode, floored at 0.02) — including configs
+// gob-decoded from saves that predate the fields.
+func TestSigmaScheduleConfigurable(t *testing.T) {
+	cfg := DefaultAgentConfig(2)
+	if cfg.SigmaDecay != 0.99 || cfg.SigmaMin != 0.02 {
+		t.Fatalf("default schedule %v/%v, want 0.99/0.02", cfg.SigmaDecay, cfg.SigmaMin)
+	}
+	cfg.SigmaDecay = 0.5
+	cfg.SigmaMin = 0.1
+	a := NewAgent(cfg)
+	a.EndEpisode()
+	if a.Noise.Sigma != 0.2 {
+		t.Fatalf("sigma after one episode = %v, want 0.4×0.5 = 0.2", a.Noise.Sigma)
+	}
+	a.EndEpisode()
+	a.EndEpisode()
+	if a.Noise.Sigma != 0.1 {
+		t.Fatalf("sigma floor = %v, want 0.1", a.Noise.Sigma)
+	}
+	// Zero-value schedule (legacy saves) normalizes to the paper defaults.
+	legacy := AgentConfig{StateDim: 2, Hidden: 8, Sigma: 0.4, Capacity: 16, Batch: 4, Seed: 1}
+	b := NewAgent(legacy)
+	b.EndEpisode()
+	if want := 0.4 * 0.99; math.Abs(b.Noise.Sigma-want) > 1e-12 {
+		t.Fatalf("legacy-config sigma after one episode = %v, want %v", b.Noise.Sigma, want)
+	}
+}
+
 func TestNewAgentPanicsOnBadDim(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -38,6 +38,7 @@ func SimulatedAnnealing(env *Env, opts SAOptions) (Evaluation, error) {
 	n := env.NumLayers()
 	c := len(env.Candidates)
 	engine := env.Evaluator()
+	defer trackSearch("sa", engine)()
 
 	// Seed from the best homogeneous strategy (evaluated in parallel,
 	// selected in candidate order).

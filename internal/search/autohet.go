@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"autohet/internal/accel"
+	"autohet/internal/obs"
 	"autohet/internal/rl"
 	"autohet/internal/sim"
 )
@@ -174,8 +175,14 @@ func AutoHet(env *Env, opts Options) (*Result, error) {
 		}
 	}
 
+	span := obs.StartSpan("search")
 	for round := 0; round < opts.Rounds; round++ {
-		// Decision stage: walk the layers.
+		// Decision stage: walk the layers. Episode hygiene: the OU noise
+		// must start each episode from its mean — EndEpisode resets it
+		// between rounds, but a warm-started agent can arrive carrying
+		// residual state from its previous life.
+		agent.StartEpisode()
+		stage := span.Child("decide")
 		prevA, prevU := 0.0, 0.0
 		for k := 0; k < n; k++ {
 			states[k] = env.State(k, prevA, prevU)
@@ -187,9 +194,12 @@ func AutoHet(env *Env, opts Options) (*Result, error) {
 		}
 		// Terminal next-state: reuse the last state (done masks it out).
 		states[n] = states[n-1]
+		stage.End()
 
 		// Hardware feedback.
+		stage = span.Child("simulate")
 		evalRes, err := ev.EvalIndices(indices)
+		stage.End()
 		if err != nil {
 			return nil, err
 		}
@@ -197,6 +207,7 @@ func AutoHet(env *Env, opts Options) (*Result, error) {
 		reward := rue / refRUE
 
 		// Learning stage: pool the episode, then minibatch updates.
+		stage = span.Child("learn")
 		for k := 0; k < n; k++ {
 			agent.Remember(rl.Transition{
 				State:     states[k],
@@ -210,6 +221,7 @@ func AutoHet(env *Env, opts Options) (*Result, error) {
 			}
 		}
 		agent.EndEpisode()
+		stage.End()
 
 		stats := RoundStats{Round: round, RUE: rue, Reward: reward}
 		if res.BestResult == nil || rue > score(res.BestResult) {
@@ -236,5 +248,8 @@ func AutoHet(env *Env, opts Options) (*Result, error) {
 	res.Stats = ev.Stats().Sub(startStats)
 	res.SimTime = res.Stats.SimTime
 	res.Agent = agent
+	span.End()
+	span.Record(obs.Default, "autohet_search_stage_ns_total", stageHelp)
+	recordSearch("autohet", res.Stats, res.TotalTime)
 	return res, nil
 }

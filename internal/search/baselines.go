@@ -72,6 +72,7 @@ func Greedy(env *Env) (Evaluation, error) {
 		indices[k] = bestIdx
 	}
 	engine := env.Evaluator()
+	defer trackSearch("greedy", engine)()
 	r, err := engine.EvalIndices(indices)
 	if err != nil {
 		return Evaluation{}, err
@@ -93,6 +94,7 @@ func RandomSearch(env *Env, rounds int, seed int64) (Evaluation, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := env.NumLayers()
 	engine := env.Evaluator()
+	defer trackSearch("random", engine)()
 	var best Evaluation
 	indices := make([]int, n)
 	for round := 0; round < rounds; round++ {

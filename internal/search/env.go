@@ -163,6 +163,7 @@ func (e *Env) Evaluator() *Evaluator {
 			strategies: map[string]*sim.Result{},
 			layers:     map[layerKey]sim.LayerResult{},
 		}
+		e.evaluator.publish()
 	})
 	return e.evaluator
 }

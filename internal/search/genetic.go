@@ -41,6 +41,7 @@ func Genetic(env *Env, opts GAOptions) (Evaluation, error) {
 	n := env.NumLayers()
 	c := len(env.Candidates)
 	ev := env.Evaluator()
+	defer trackSearch("ga", ev)()
 
 	type individual struct {
 		genes   []int

@@ -88,6 +88,7 @@ func MixedPrecision(env *Env, opts MPOptions) (*MPResult, error) {
 	// Start: best homogeneous shape at full available precision (the
 	// candidates evaluate in parallel; selection stays in candidate order).
 	engine := env.Evaluator()
+	defer trackSearch("mixed", engine)()
 	indices := make([]int, n)
 	bits := make(accel.Precision, n)
 	for i := range bits {

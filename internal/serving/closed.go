@@ -108,6 +108,8 @@ func ServeClosed(pr *sim.PipelineResult, w ClosedLoop) (*ClosedStats, error) {
 		heap.Push(&h, c)
 	}
 
+	servingRunsClosed.Inc()
+	servingRequests.Add(int64(len(latencies)))
 	sort.Float64s(latencies)
 	st := &ClosedStats{Completed: len(latencies), MakespanNS: makespan}
 	var sum float64

@@ -108,6 +108,8 @@ func Serve(pr *sim.PipelineResult, w Workload) (*Stats, error) {
 		}
 	}
 
+	servingRunsOpen.Inc()
+	servingRequests.Add(int64(len(latencies)))
 	sort.Float64s(latencies)
 	st := &Stats{
 		Completed:   len(latencies),

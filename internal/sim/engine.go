@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"autohet/internal/accel"
 	"autohet/internal/dnn"
@@ -75,6 +76,8 @@ func (e *Engine) weightsFor(l *dnn.Layer, opts InferenceOptions) *quant.Matrix {
 		e.weights[k] = qw
 	}
 	if qw[l.Index] == nil {
+		simWeightsMiss.Inc()
+		start := time.Now()
 		bits := e.p.Layers[l.Index].WeightBits
 		if bits < 1 {
 			bits = e.p.Cfg.WeightBits
@@ -85,6 +88,9 @@ func (e *Engine) weightsFor(l *dnn.Layer, opts InferenceOptions) *quant.Matrix {
 		} else {
 			qw[l.Index] = quant.QuantizeWeightsN(raw, bits)
 		}
+		simStageQuantize.AddSince(start)
+	} else {
+		simWeightsHit.Inc()
 	}
 	return qw[l.Index]
 }
@@ -94,15 +100,22 @@ func (e *Engine) weightsFor(l *dnn.Layer, opts InferenceOptions) *quant.Matrix {
 // so one injection pass serves every patch of every inference.
 func (e *Engine) faultedFor(la *accel.LayerAlloc, w *quant.Matrix, fm *fault.Model) *quant.PackedMatrix {
 	if fm.CellFaultRate() == 0 {
-		return w.Packed()
+		return packedTimed(w)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	k := faultKey{layer: la.Layer.Index, model: *fm}
 	if pm, ok := e.faulted[k]; ok {
+		simFaultedHit.Inc()
 		return pm
 	}
-	pm := quant.PackPlanes(fm.ApplyStuckAt(w.Planes(), int64(la.Layer.Index+1)))
+	simFaultedMiss.Inc()
+	start := time.Now()
+	planes := fm.ApplyStuckAt(w.Planes(), int64(la.Layer.Index+1))
+	simStageFault.AddSince(start)
+	start = time.Now()
+	pm := quant.PackPlanes(planes)
+	simStagePack.AddSince(start)
 	e.faulted[k] = pm
 	return pm
 }
@@ -118,12 +131,16 @@ func (e *Engine) repairFor(la *accel.LayerAlloc, w *quant.Matrix, opts Inference
 	defer e.mu.Unlock()
 	k := repairKey{layer: la.Layer.Index, model: *opts.Faults, policy: pol}
 	if rl, ok := e.repaired[k]; ok {
+		simRepairedHit.Inc()
 		return rl, nil
 	}
+	simRepairedMiss.Inc()
+	start := time.Now()
 	rl, err := RepairLayer(la, w, opts.Faults, pol)
 	if err != nil {
 		return nil, err
 	}
+	simStageRepair.AddSince(start)
 	e.repaired[k] = rl
 	return rl, nil
 }
@@ -183,12 +200,22 @@ func (e *Engine) prepareLayer(l *dnn.Layer, opts InferenceOptions) (*layerExec, 
 			le.mode = modeAggregate
 		}
 	case opts.BitExact:
-		le.pm = w.Packed()
+		le.pm = packedTimed(w)
 		le.mode = modeBitExact
 	default:
 		le.mode = modeFast
 	}
 	return le, nil
+}
+
+// packedTimed bills the matrix's pack step to the pack stage counter.
+// Matrix.Packed memoizes, so warm calls contribute only the clock reads —
+// and packedTimed runs once per layer per inference, never per patch.
+func packedTimed(w *quant.Matrix) *quant.PackedMatrix {
+	start := time.Now()
+	pm := w.Packed()
+	simStagePack.AddSince(start)
+	return pm
 }
 
 // mvmScratch is one worker's reusable buffers: the quantized input (U +
@@ -269,6 +296,7 @@ func (e *Engine) Run(input *dnn.Tensor, opts InferenceOptions) ([]float64, Infer
 		return nil, InferenceStats{}, fmt.Errorf("sim: input %dx%dx%d, model %q wants %dx%dx%d",
 			input.C, input.H, input.W, m.Name, m.InC, m.InH, m.InW)
 	}
+	simInferences.Inc()
 	var stats InferenceStats
 	for _, l := range m.Mappable() {
 		if l.GroupCount() > 1 {
@@ -329,6 +357,7 @@ func (e *Engine) Run(input *dnn.Tensor, opts InferenceOptions) ([]float64, Infer
 // the barrier. The returned error is the lowest-index one, as in
 // search.ParallelFor.
 func (e *Engine) streamPatches(le *layerExec, l *dnn.Layer, cur, out *dnn.Tensor, stats *InferenceStats) error {
+	defer simStageStream.AddSince(time.Now())
 	n := l.OutH * l.OutW
 	patchLen := cur.C * l.K * l.K
 	runOne := func(s *mvmScratch, idx int, st *InferenceStats) error {

@@ -69,6 +69,37 @@ func TestNoCRewardsTileSharing(t *testing.T) {
 	}
 }
 
+// TestNoCMeshCoversPlannedModel is the regression test for the mesh-sizing
+// inconsistency: the mesh derived from the configured bank capacity
+// (noc.NewMeshFor(cfg.TilesPerBank), as the experiments suite now builds
+// it) must cover every tile the planner places — every placement's tile ID
+// has valid mesh coordinates and the simulation succeeds.
+func TestNoCMeshCoversPlannedModel(t *testing.T) {
+	c := cfg()
+	m := dnn.VGG16()
+	p, err := accel.BuildPlan(c, m, accel.Homogeneous(16, xbar.Square(64)), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := noc.NewMeshFor(c.TilesPerBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap := mesh.Width * mesh.Width; cap < c.TilesPerBank {
+		t.Fatalf("mesh holds %d tiles, bank has %d", cap, c.TilesPerBank)
+	}
+	for _, la := range p.Layers {
+		for _, pl := range la.Placements {
+			if _, _, err := mesh.Coord(pl.TileID); err != nil {
+				t.Fatalf("placed tile outside derived mesh: %v", err)
+			}
+		}
+	}
+	if _, err := SimulateNoC(p, mesh); err != nil {
+		t.Fatalf("SimulateNoC on derived mesh: %v", err)
+	}
+}
+
 func TestSimulateNoCMeshTooSmall(t *testing.T) {
 	m := dnn.VGG16()
 	p, _ := accel.BuildPlan(cfg(), m, accel.Homogeneous(16, xbar.Square(32)), false)

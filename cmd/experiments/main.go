@@ -8,6 +8,7 @@
 //	experiments -run table5 -csv out/          # also emit CSV files
 //	experiments -bench-json BENCH_search.json  # search-speedup benchmark only
 //	experiments -bench mvm -bench-json BENCH_mvm.json  # packed-MVM benchmark
+//	experiments -bench fleet -bench-json BENCH_fleet.json  # DES fleet benchmark
 //	experiments -run fig9 -cpuprofile cpu.out  # profile with go tool pprof
 package main
 
@@ -32,7 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	csvDir := flag.String("csv", "", "directory to also write per-table CSV files into")
 	benchJSON := flag.String("bench-json", "", "run a benchmark instead of experiments and write its JSON document to this path")
-	bench := flag.String("bench", "search", "which benchmark -bench-json runs: search (cached-vs-uncached search) or mvm (packed-vs-scalar MVM engine)")
+	bench := flag.String("bench", "search", "which benchmark -bench-json runs: search (cached-vs-uncached search), mvm (packed-vs-scalar MVM engine), or fleet (DES cluster-scale fleet)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsJSON := flag.String("metrics-json", "", "write an obs-registry JSON snapshot (search/sim counters, stage timings) to this file on exit")
@@ -105,8 +106,23 @@ func main() {
 				b.Workers, b.Kernel.PackedNsPerMVM, b.Kernel.ScalarNsPerMVM, b.Kernel.Speedup,
 				b.EndToEnd.Model, b.EndToEnd.WallSecondsPerInf, b.EndToEnd.InferencesPerSec,
 				b.EndToEnd.AllocsPerPatch, b.EndToEnd.EstimatedSpeedup, *benchJSON)
+		case "fleet":
+			b, err := experiments.BenchFleet(*seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := b.WriteJSON(*benchJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+				os.Exit(1)
+			}
+			for _, l := range b.Legs {
+				fmt.Printf("fleet bench: %d replicas / %d requests: %.2fs wall, %.1fM ev/s, %.0fx virtual/wall, %.0f req/s simulated\n",
+					l.Replicas, l.Requests, l.WallSeconds, l.EventsPerSec/1e6, l.SpeedupVsWall, l.RequestsPerSec)
+			}
+			fmt.Printf("fleet bench -> %s\n", *benchJSON)
 		default:
-			fmt.Fprintf(os.Stderr, "experiments: unknown benchmark %q (want search or mvm)\n", *bench)
+			fmt.Fprintf(os.Stderr, "experiments: unknown benchmark %q (want search, mvm, or fleet)\n", *bench)
 			os.Exit(1)
 		}
 		return

@@ -10,6 +10,16 @@
 //	fleet -model VGG16 -spec "4*128x128" -policy jsq -load 0.9
 //	fleet -model VGG16 -spec "2*128x128;2*L1:72x64 L2-L16:576x512" -policy p2c
 //	fleet -model VGG16 -spec "3*128x128" -fault-replica g0-1 -fault-at 0.3
+//
+// The -engine flag selects the runtime: "goroutine" (default) runs the
+// wall-clock-paced concurrent fleet above; "des" runs the same service
+// model on the discrete-event virtual-time engine (internal/des), which
+// simulates cluster-scale fleets — tile the parsed spec up to -replicas,
+// split into -clusters for two-level routing, and drive it with a -trace
+// arrival process:
+//
+//	fleet -engine des -spec "4*128x128" -replicas 10000 -clusters 100 \
+//	      -trace bursty -requests 1000000 -policy jsq
 package main
 
 import (
@@ -24,14 +34,29 @@ import (
 	"time"
 
 	"autohet/internal/accel"
+	"autohet/internal/des"
+	"autohet/internal/des/trace"
 	"autohet/internal/dnn"
 	"autohet/internal/fault"
 	"autohet/internal/fleet"
 	"autohet/internal/hw"
 	"autohet/internal/obs"
+	"autohet/internal/serving"
 	"autohet/internal/sim"
 	"autohet/internal/xbar"
 )
+
+// desOpts carries the DES-engine flags through run.
+type desOpts struct {
+	engine    string
+	traceName string
+	replicas  int
+	clusters  int
+	// scaleTarget enables the TargetUtilization autoscaler (0 = off);
+	// admitCap enables QueueCap admission control (0 = off).
+	scaleTarget float64
+	admitCap    float64
+}
 
 func main() {
 	model := flag.String("model", "VGG16", "model name (see dnn.ByName)")
@@ -56,11 +81,24 @@ func main() {
 		"address serving /metrics (Prometheus text) and /debug/pprof/ (empty = disabled)")
 	hold := flag.Duration("hold", 0,
 		"keep the metrics endpoint up this long after the run (for scraping; needs -metrics-addr)")
+	engine := flag.String("engine", "goroutine", "runtime: goroutine (wall-clock paced) or des (virtual time)")
+	traceName := flag.String("trace", "poisson",
+		"arrival process for -engine des: poisson, diurnal, bursty, pareto")
+	replicas := flag.Int("replicas", 0,
+		"tile the -spec replicas up to this fleet size (-engine des only; 0 = spec as written)")
+	clusters := flag.Int("clusters", 0,
+		"cluster count for two-level routing (-engine des only; 0 = one cluster per 100 replicas)")
+	scaleTarget := flag.Float64("scale-target", 0,
+		"autoscaler utilization target in (0,1] (-engine des only; 0 = autoscaling off)")
+	admitCap := flag.Float64("admit-queue-cap", 0,
+		"admission control: max queued requests per active replica (-engine des only; 0 = off)")
 	flag.Parse()
 
+	dopts := desOpts{engine: *engine, traceName: *traceName, replicas: *replicas,
+		clusters: *clusters, scaleTarget: *scaleTarget, admitCap: *admitCap}
 	if err := run(*model, *spec, *policy, *load, *requests, *batch, *batchTimeout,
 		*queue, *budget, *seed, *timescale, *faultReplica, *faultRate, *faultAt,
-		*repairCap, *repairMiss, *hwConfig, *metricsAddr, *hold); err != nil {
+		*repairCap, *repairMiss, *hwConfig, *metricsAddr, *hold, dopts); err != nil {
 		fmt.Fprintln(os.Stderr, "fleet:", err)
 		os.Exit(1)
 	}
@@ -140,7 +178,10 @@ func parseSpec(cfg hw.Config, m *dnn.Model, text string, batch int) ([]fleet.Rep
 func run(modelName, specText, policyText string, load float64, requests, batch int,
 	batchTimeoutUS float64, queue int, budgetUS float64, seed int64, timescale float64,
 	faultReplica string, faultRate, faultAt, repairCap, repairMiss float64, hwConfig string,
-	metricsAddr string, hold time.Duration) error {
+	metricsAddr string, hold time.Duration, dopts desOpts) error {
+	if dopts.engine != "goroutine" && dopts.engine != "des" {
+		return fmt.Errorf("unknown engine %q (want goroutine or des)", dopts.engine)
+	}
 	m, err := dnn.ByName(modelName)
 	if err != nil {
 		return err
@@ -167,6 +208,13 @@ func run(modelName, specText, policyText string, load float64, requests, batch i
 	specs, err := parseSpec(cfg, m, specText, batch)
 	if err != nil {
 		return err
+	}
+	if dopts.engine == "des" {
+		if faultReplica != "" || repairCap > 0 {
+			return fmt.Errorf("mid-run fault injection and self-repair need -engine goroutine")
+		}
+		return desRun(specs, policy, load, requests, batch, batchTimeoutUS, queue,
+			budgetUS, seed, dopts, hold, metricsAddr)
 	}
 	if repairCap > 0 {
 		rs := fleet.RepairSpec{Capacity: repairCap, MissRate: repairMiss}
@@ -233,6 +281,88 @@ func run(modelName, specText, policyText string, load float64, requests, batch i
 		fmt.Printf("%-8s %-7.2f %-8d %-8d %-8d %-11.2f %-12.1f %-12.1f %.1f\n",
 			r.Name, r.Health, r.Repairs, r.Served, r.Batches, r.MeanBatch,
 			r.P50NS/1000, r.P99NS/1000, r.MaxNS/1000)
+	}
+	if hold > 0 && metricsAddr != "" {
+		fmt.Printf("\nholding metrics endpoint for %v\n", hold)
+		time.Sleep(hold)
+	}
+	return nil
+}
+
+// tileSpecs replicates the parsed spec round-robin up to n replicas. Plans
+// and pipeline results are shared pointers, so a 10k-replica fleet costs
+// 10k spec structs, not 10k mapped designs.
+func tileSpecs(specs []fleet.ReplicaSpec, n int) []fleet.ReplicaSpec {
+	if n <= len(specs) {
+		return specs
+	}
+	tiled := make([]fleet.ReplicaSpec, n)
+	for i := range tiled {
+		tiled[i] = specs[i%len(specs)]
+		tiled[i].Name = fmt.Sprintf("r%d", i)
+	}
+	return tiled
+}
+
+// desRun drives the spec on the discrete-event engine: virtual time, no
+// pacing, cluster-scale fleet sizes.
+func desRun(specs []fleet.ReplicaSpec, policy fleet.Policy, load float64,
+	requests, batch int, batchTimeoutUS float64, queue int, budgetUS float64,
+	seed int64, dopts desOpts, hold time.Duration, metricsAddr string) error {
+	specs = tileSpecs(specs, dopts.replicas)
+	clusters := dopts.clusters
+	if clusters <= 0 {
+		clusters = (len(specs) + 99) / 100
+	}
+	var aggregate float64
+	for _, s := range specs {
+		aggregate += 1e9 / s.Pipeline.IntervalNS
+	}
+	rate := load * aggregate
+	fmt.Printf("des fleet: %d replicas in %d clusters, aggregate capacity %.0f req/s; offering %.0f%% = %.0f req/s (%s arrivals)\n",
+		len(specs), clusters, aggregate, 100*load, rate, dopts.traceName)
+
+	cfg := des.Config{
+		Policy:         policy,
+		ClusterPolicy:  policy,
+		Clusters:       clusters,
+		MaxBatch:       batch,
+		BatchTimeoutNS: batchTimeoutUS * 1000,
+		QueueDepth:     queue,
+		Seed:           seed,
+	}
+	if dopts.scaleTarget > 0 {
+		cfg.Scaler = des.TargetUtilization{Target: dopts.scaleTarget, Min: 1}
+	}
+	if dopts.admitCap > 0 {
+		cfg.Admit = des.QueueCap{MaxQueuedPerActive: dopts.admitCap}
+	}
+	f, err := des.NewFleet(cfg, specs...)
+	if err != nil {
+		return err
+	}
+	if seed == 0 {
+		seed = serving.DefaultSeed
+	}
+	gen, err := trace.Parse(dopts.traceName, rate, seed)
+	if err != nil {
+		return err
+	}
+	res, err := f.RunTrace(gen, requests, budgetUS*1000)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%v\n", res)
+	if res.AdmissionShed > 0 || res.ScaleActions > 0 {
+		fmt.Printf("admission shed %d, autoscaler actions %d\n", res.AdmissionShed, res.ScaleActions)
+	}
+	// Per-cluster table, elided for very large fleets.
+	if len(res.Clusters) <= 64 {
+		fmt.Printf("\n%-8s %-9s %-8s %-10s %s\n", "cluster", "replicas", "active", "served", "peak queue")
+		for _, cl := range res.Clusters {
+			fmt.Printf("%-8s %-9d %-8d %-10d %d\n", cl.Name, cl.Replicas, cl.Active, cl.Served, cl.PeakQueued)
+		}
 	}
 	if hold > 0 && metricsAddr != "" {
 		fmt.Printf("\nholding metrics endpoint for %v\n", hold)

@@ -1,0 +1,228 @@
+// Package des is a deterministic discrete-event virtual-time engine: a
+// single binary event heap keyed on (virtual time, schedule order), a
+// virtual clock read with Now(), and cancellable timers. Simulations built
+// on it advance time by popping events instead of sleeping, so a model that
+// would take minutes of wall-clock pacing under internal/fleet's TimeScale
+// runs in however long its event handlers take — cluster-scale fleets
+// (des.Fleet) simulate 10k replicas under million-request traces in seconds.
+//
+// Determinism: the engine has no hidden randomness and no wall-clock
+// dependence. Events at equal virtual times fire in FIFO schedule order
+// (a strictly increasing sequence number breaks ties), and handlers run on
+// the single goroutine driving Run/Step, so a simulation fed identical
+// inputs and seeds replays an identical event sequence — des.Fleet asserts
+// this with a byte-identical event log. Seeds for independent random
+// streams are derived with SubSeed.
+//
+// Time is float64 virtual nanoseconds, matching the repo's timing
+// convention (sim.PipelineResult, fleet accounting): identical inputs
+// produce identical floating-point schedules, so float time keys do not
+// weaken determinism.
+package des
+
+import (
+	"sync/atomic"
+)
+
+// Timer is a handle to one scheduled event. It is single-goroutine like the
+// engine: Cancel must be called from the goroutine driving the engine
+// (typically from inside another event handler).
+type Timer struct {
+	at  float64
+	seq uint64
+	fn  func()
+	eng *Engine
+	idx int // position in the heap; -1 once fired, cancelled, or popped
+}
+
+// At returns the virtual time the timer is scheduled for.
+func (t *Timer) At() float64 { return t.at }
+
+// Active reports whether the timer is still pending (not fired, not
+// cancelled).
+func (t *Timer) Active() bool { return t.idx >= 0 }
+
+// Cancel removes a pending timer from the heap. It returns false when the
+// timer already fired or was already cancelled.
+func (t *Timer) Cancel() bool {
+	if t.idx < 0 {
+		return false
+	}
+	t.eng.remove(t.idx)
+	return true
+}
+
+// Engine is the event loop. The zero value is not usable; create with New.
+// All methods must be called from one goroutine (the one driving Run/Step);
+// only Now, Events, and Pending are safe to read concurrently (Events via
+// an atomic, for metric exposition while a run is in flight).
+type Engine struct {
+	heap   []*Timer
+	now    float64
+	seq    uint64
+	events atomic.Int64
+	halted bool
+}
+
+// New returns an empty engine with the virtual clock at 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in nanoseconds: the timestamp of the
+// most recently fired event (0 before any fires, or the RunUntil horizon
+// after one returns).
+func (e *Engine) Now() float64 { return e.now }
+
+// Events returns the number of events fired so far. It is safe to read
+// concurrently with a run (metric exposition).
+func (e *Engine) Events() int64 { return e.events.Load() }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule fires fn delayNS virtual nanoseconds from Now. Non-positive or
+// NaN delays clamp to zero — the event fires on the next Step, after events
+// already queued at the current instant (FIFO tie order).
+func (e *Engine) Schedule(delayNS float64, fn func()) *Timer {
+	if !(delayNS > 0) { // also catches NaN
+		delayNS = 0
+	}
+	return e.At(e.now+delayNS, fn)
+}
+
+// At fires fn at virtual time atNS. Times in the past clamp to Now (virtual
+// time never runs backwards); equal-time events fire in schedule order.
+func (e *Engine) At(atNS float64, fn func()) *Timer {
+	if fn == nil {
+		panic("des: At with nil event func")
+	}
+	if !(atNS >= e.now) { // also catches NaN
+		atNS = e.now
+	}
+	t := &Timer{at: atNS, seq: e.seq, fn: fn, eng: e, idx: len(e.heap)}
+	e.seq++
+	e.heap = append(e.heap, t)
+	e.up(t.idx)
+	return t
+}
+
+// Step pops and fires the earliest event, advancing the virtual clock to
+// its timestamp. It returns false when no events are pending.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	t := e.heap[0]
+	e.remove(0)
+	e.now = t.at
+	e.events.Add(1)
+	t.fn()
+	return true
+}
+
+// Run fires events in virtual-time order until the heap is empty (or Halt
+// is called from a handler) and returns the number fired by this call.
+func (e *Engine) Run() int64 {
+	e.halted = false
+	start := e.events.Load()
+	for !e.halted && e.Step() {
+	}
+	return e.events.Load() - start
+}
+
+// RunUntil fires every event scheduled at or before horizonNS, then
+// advances the clock to the horizon, and returns the number fired. Events
+// scheduled beyond the horizon stay pending.
+func (e *Engine) RunUntil(horizonNS float64) int64 {
+	e.halted = false
+	start := e.events.Load()
+	for !e.halted && len(e.heap) > 0 && e.heap[0].at <= horizonNS {
+		e.Step()
+	}
+	if e.now < horizonNS {
+		e.now = horizonNS
+	}
+	return e.events.Load() - start
+}
+
+// Halt stops the innermost Run/RunUntil after the current handler returns.
+// Pending events stay scheduled; a subsequent Run resumes them.
+func (e *Engine) Halt() { e.halted = true }
+
+// less orders the heap by (time, schedule sequence) — the FIFO tie-break
+// that makes equal-time event order deterministic.
+func (e *Engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].idx = i
+	e.heap[j].idx = j
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			return
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && e.less(l, min) {
+			min = l
+		}
+		if r < n && e.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		e.swap(i, min)
+		i = min
+	}
+}
+
+// remove detaches the timer at heap index i, restoring the heap invariant.
+func (e *Engine) remove(i int) {
+	t := e.heap[i]
+	last := len(e.heap) - 1
+	if i != last {
+		e.swap(i, last)
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i < last {
+		e.up(i)
+		e.down(i)
+	}
+	t.idx = -1
+}
+
+// SubSeed derives a stable seed for a named random stream from a base seed
+// (FNV-1a over the name, XORed in), so one user-facing seed can drive many
+// independent deterministic streams — the same idiom internal/fleet uses
+// for per-replica fault maps.
+func SubSeed(seed int64, name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	s := seed ^ int64(h)
+	if s == 0 { // rand.NewSource(0) is a degenerate-looking stream; avoid it
+		s = int64(h)
+	}
+	return s
+}

@@ -1,0 +1,191 @@
+package des
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("ran %d events, want 3", n)
+	}
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now %v after run, want 30", e.Now())
+	}
+}
+
+// Equal-time events fire in schedule (FIFO) order, including events
+// scheduled from inside a handler at the current instant.
+func TestEqualTimeFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	e.At(100, func() { e.Schedule(0, func() { got = append(got, 99) }) })
+	e.Run()
+	if want := []int{0, 1, 2, 3, 4, 99}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+}
+
+func TestScheduleRelative(t *testing.T) {
+	e := New()
+	var at float64
+	e.At(50, func() {
+		e.Schedule(25, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 75 {
+		t.Fatalf("relative event fired at %v, want 75", at)
+	}
+}
+
+// Scheduling in the past clamps to Now: virtual time never runs backwards.
+func TestPastSchedulesClamp(t *testing.T) {
+	e := New()
+	var at float64
+	e.At(100, func() {
+		e.At(10, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 100 {
+		t.Fatalf("past event fired at %v, want clamp to 100", at)
+	}
+	e2 := New()
+	fired := false
+	e2.Schedule(-5, func() { fired = true })
+	e2.Run()
+	if !fired || e2.Now() != 0 {
+		t.Fatalf("negative delay: fired=%t now=%v, want immediate at 0", fired, e2.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.At(10, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer not active after schedule")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first Cancel returned false")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	// Cancelling after firing reports false.
+	tm2 := e.At(20, func() {})
+	e.Run()
+	if tm2.Active() || tm2.Cancel() {
+		t.Fatal("fired timer still active / cancellable")
+	}
+}
+
+// Cancelling an interior event must not disturb the firing order of the
+// rest — the heap removal restores the invariant.
+func TestCancelKeepsOrder(t *testing.T) {
+	e := New()
+	var got []int
+	timers := make([]*Timer, 0, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		timers = append(timers, e.At(float64(10-i), func() { got = append(got, 10-i) }))
+	}
+	timers[3].Cancel() // event at time 7
+	timers[8].Cancel() // event at time 2
+	e.Run()
+	if want := []int{1, 3, 4, 5, 6, 8, 9, 10}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []int
+	for _, at := range []float64{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { got = append(got, int(at)) })
+	}
+	if n := e.RunUntil(25); n != 2 {
+		t.Fatalf("RunUntil fired %d, want 2", n)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now %v after RunUntil(25), want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("%d pending, want 2", e.Pending())
+	}
+	e.Run()
+	if want := []int{10, 20, 30, 40}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(10, func() { got = append(got, 1); e.Halt() })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if want := []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fired %v before halt, want %v", got, want)
+	}
+	// Resuming picks up the pending events.
+	e.Run()
+	if want := []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fired %v after resume, want %v", got, want)
+	}
+	if e.Events() != 2 {
+		t.Fatalf("Events %d, want 2", e.Events())
+	}
+}
+
+// An open-loop chain (each event schedules its successor) keeps the heap
+// tiny no matter how many events flow through.
+func TestChainedEventsBoundedHeap(t *testing.T) {
+	e := New()
+	const n = 100000
+	count := 0
+	var next func()
+	next = func() {
+		count++
+		if count < n {
+			e.Schedule(1, next)
+		}
+		if p := e.Pending(); p > 1 {
+			t.Fatalf("heap grew to %d entries on a chained workload", p)
+		}
+	}
+	e.Schedule(1, next)
+	e.Run()
+	if count != n || e.Now() != float64(n) {
+		t.Fatalf("ran %d events to t=%v, want %d to %d", count, e.Now(), n, n)
+	}
+}
+
+func TestSubSeed(t *testing.T) {
+	a, b := SubSeed(7, "arrivals"), SubSeed(7, "dispatch")
+	if a == b {
+		t.Fatal("distinct stream names produced the same seed")
+	}
+	if a != SubSeed(7, "arrivals") {
+		t.Fatal("SubSeed not stable")
+	}
+	if SubSeed(0, "") == 0 {
+		t.Fatal("SubSeed produced the degenerate 0 seed")
+	}
+}

@@ -1,0 +1,220 @@
+package des
+
+import (
+	"fmt"
+
+	"autohet/internal/fleet"
+)
+
+// Two-level dispatch: the cluster policy picks a cluster among those with
+// at least one dispatchable replica, the replica policy picks within it,
+// and a full queue falls back to scanning the cluster, then the fleet —
+// mirroring the goroutine runtime's Submit/enqueue fallback. On the common
+// all-dispatchable path the picks are pure index arithmetic (no per-arrival
+// allocation); only fleets with degraded or deactivated replicas pay for a
+// filtered candidate scan (into reusable scratch buffers).
+
+// arrive admits and dispatches one request at the current virtual time.
+func (f *Fleet) arrive(id int, arrival, budget float64) {
+	f.submitted.Add(1)
+	f.arrivalsTick++
+	f.logf("A t=%.3f id=%d\n", arrival, id)
+	if f.cfg.Admit != nil && !f.cfg.Admit.Admit(f.signal()) {
+		f.admissionShed++
+		f.shedReq(id, "admit")
+		return
+	}
+	r := f.pickReplica()
+	if r == nil {
+		f.shedReq(id, "noreplica")
+		return
+	}
+	if r.queue.n >= f.cfg.QueueDepth {
+		r = f.fallback(r)
+		if r == nil {
+			f.shedReq(id, "full")
+			return
+		}
+	}
+	f.enqueue(r, simReq{id: id, arrival: arrival, budget: budget})
+}
+
+func (f *Fleet) shedReq(id int, reason string) {
+	f.shed.Add(1)
+	f.logf("H t=%.3f id=%d reason=%s\n", f.eng.Now(), id, reason)
+}
+
+// enqueue places the request on r's admission queue and starts service if
+// the replica is idle.
+func (f *Fleet) enqueue(r *simReplica, rq simReq) {
+	r.queue.push(rq)
+	f.queued++
+	if q := r.cl.queued.Add(1); q > r.cl.peakQueued {
+		r.cl.peakQueued = q
+	}
+	f.logf("D t=%.3f id=%d r=%s q=%d\n", f.eng.Now(), rq.id, r.name, r.queue.n)
+	if r.collecting {
+		// A collecting batch fills early when the queue reaches MaxBatch.
+		if r.queue.n >= f.cfg.MaxBatch {
+			r.collect.Cancel()
+			r.collecting = false
+			f.executeBatch(r, f.cfg.MaxBatch, false)
+			f.maybeService(r)
+		}
+		return
+	}
+	f.maybeService(r)
+}
+
+// pickReplica applies the two-level policy. Returns nil when no
+// dispatchable replica exists.
+func (f *Fleet) pickReplica() *simReplica {
+	cl := f.pickCluster()
+	if cl == nil {
+		return nil
+	}
+	return f.pickInCluster(cl)
+}
+
+// pickCluster selects among clusters with dispatchable replicas. A
+// single-cluster fleet short-circuits without consuming policy state, so
+// flat fleets consume the same sampler stream as the goroutine runtime.
+func (f *Fleet) pickCluster() *simCluster {
+	if len(f.clusters) == 1 {
+		cl := f.clusters[0]
+		if cl.dispatchable == 0 {
+			return nil
+		}
+		return cl
+	}
+	cands := f.clusterBuf[:0]
+	for _, cl := range f.clusters {
+		if cl.dispatchable > 0 {
+			cands = append(cands, cl)
+		}
+	}
+	f.clusterBuf = cands[:0] // retain grown storage
+	switch len(cands) {
+	case 0:
+		return nil
+	case 1:
+		return cands[0]
+	}
+	switch f.cfg.ClusterPolicy {
+	case fleet.LeastOutstanding:
+		best, bestScore := cands[0], cands[0].loadScore()
+		for _, cl := range cands[1:] {
+			if s := cl.loadScore(); s < bestScore {
+				best, bestScore = cl, s
+			}
+		}
+		return best
+	case fleet.JoinShortestQueue:
+		best, bestScore := cands[0], cands[0].queueScore()
+		for _, cl := range cands[1:] {
+			if s := cl.queueScore(); s < bestScore {
+				best, bestScore = cl, s
+			}
+		}
+		return best
+	case fleet.PowerOfTwo:
+		i := f.rng.Intn(len(cands))
+		j := f.rng.Intn(len(cands) - 1)
+		if j >= i {
+			j++
+		}
+		a, b := cands[i], cands[j]
+		if b.queueScore() < a.queueScore() {
+			return b
+		}
+		return a
+	default: // RoundRobin
+		f.clusterRR++
+		return cands[f.clusterRR%uint64(len(cands))]
+	}
+}
+
+// pickInCluster applies the replica policy inside cl, mirroring the
+// goroutine runtime's pick: the single-candidate case short-circuits
+// without touching policy state, and round robin / power-of-two index over
+// the dispatchable set in construction order.
+func (f *Fleet) pickInCluster(cl *simCluster) *simReplica {
+	// Fast path: every replica dispatchable — index arithmetic only.
+	if cl.dispatchable == len(cl.replicas) {
+		return f.pickAmong(cl, cl.replicas)
+	}
+	cands := f.replicaBuf[:0]
+	for _, r := range cl.replicas {
+		if r.dispatchable() {
+			cands = append(cands, r)
+		}
+	}
+	f.replicaBuf = cands[:0]
+	if len(cands) == 0 {
+		return nil
+	}
+	return f.pickAmong(cl, cands)
+}
+
+func (f *Fleet) pickAmong(cl *simCluster, cands []*simReplica) *simReplica {
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	switch f.cfg.Policy {
+	case fleet.LeastOutstanding:
+		best, bestScore := cands[0], cands[0].loadScore()
+		for _, r := range cands[1:] {
+			if s := r.loadScore(); s < bestScore {
+				best, bestScore = r, s
+			}
+		}
+		return best
+	case fleet.JoinShortestQueue:
+		best, bestScore := cands[0], cands[0].queueScore()
+		for _, r := range cands[1:] {
+			if s := r.queueScore(); s < bestScore {
+				best, bestScore = r, s
+			}
+		}
+		return best
+	case fleet.PowerOfTwo:
+		i := f.rng.Intn(len(cands))
+		j := f.rng.Intn(len(cands) - 1)
+		if j >= i {
+			j++
+		}
+		a, b := cands[i], cands[j]
+		if b.queueScore() < a.queueScore() {
+			return b
+		}
+		return a
+	default: // RoundRobin
+		cl.rrNext++
+		return cands[cl.rrNext%uint64(len(cands))]
+	}
+}
+
+// fallback scans for any dispatchable replica with queue space after the
+// picked one was full: first the rest of its cluster, then the whole fleet
+// in construction order (the goroutine runtime's backpressure scan).
+func (f *Fleet) fallback(full *simReplica) *simReplica {
+	for _, r := range full.cl.replicas {
+		if r != full && r.dispatchable() && r.queue.n < f.cfg.QueueDepth {
+			return r
+		}
+	}
+	for _, r := range f.replicas {
+		if r != full && r.cl != full.cl && r.dispatchable() && r.queue.n < f.cfg.QueueDepth {
+			return r
+		}
+	}
+	return nil
+}
+
+// logf appends one deterministic event-log line when logging is enabled.
+func (f *Fleet) logf(format string, args ...any) {
+	if f.log == nil {
+		return
+	}
+	fmt.Fprintf(f.log, format, args...)
+}

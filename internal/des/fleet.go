@@ -1,0 +1,539 @@
+package des
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"autohet/internal/des/trace"
+	"autohet/internal/fleet"
+	"autohet/internal/serving"
+)
+
+// This file is the DES-backed fleet mode: the same replica service-time
+// model, dispatch policies, bounded admission queues, shedding, dynamic
+// batching, and latency budgets as the goroutine runtime in internal/fleet,
+// but advanced by popping events off the virtual-time heap instead of
+// pacing wall-clock sleeps. A 10k-replica fleet under a million-request
+// trace completes in seconds of wall time, and on small configurations the
+// per-request virtual latencies cross-check against the goroutine fleet and
+// serving.Serve's exact pipelined recurrence (see crosscheck_test.go).
+//
+// Differences from the goroutine runtime, by design:
+//
+//   - Queue depths are virtual: a request occupies its admission queue from
+//     its arrival until the batch containing it enters the pipeline, so the
+//     queue-aware policies see the virtual backlog rather than a wall-clock
+//     race between submitter and replica loops. This is the signal a paced
+//     (TimeScale ≈ 1) goroutine fleet approximates.
+//   - Replica health is static, derived from ReplicaSpec.Faults against
+//     DegradeThreshold at build time; the online detect/repair loop (and
+//     with it retry routing and RepairSpec) stays in the goroutine runtime.
+//   - Routing is hierarchical: replicas are grouped into clusters, the
+//     cluster policy picks a cluster, the replica policy picks within it —
+//     O(#clusters + #replicas/cluster) per dispatch instead of O(#replicas),
+//     which is what keeps 10k-replica JSQ affordable.
+type Config struct {
+	// Policy dispatches within a cluster (default RoundRobin); ClusterPolicy
+	// picks the cluster (default: same as Policy).
+	Policy        fleet.Policy
+	ClusterPolicy fleet.Policy
+	// Clusters splits the replicas into this many contiguous clusters
+	// (default 1 = flat routing).
+	Clusters int
+	// MaxBatch, BatchTimeoutNS, QueueDepth, and DegradeThreshold carry the
+	// goroutine runtime's semantics (fleet.Config).
+	MaxBatch         int
+	BatchTimeoutNS   float64
+	QueueDepth       int
+	DegradeThreshold float64
+	// Seed drives the dispatch sampler (PowerOfTwo), default 1.
+	Seed int64
+	// Scaler, when set, is consulted every ControlPeriodNS of virtual time
+	// and may grow or shrink the active replica set (see scale.go).
+	Scaler Scaler
+	// ControlPeriodNS is the autoscaling control-loop period (default 10 ms
+	// virtual).
+	ControlPeriodNS float64
+	// Admit, when set, is consulted per arrival before dispatch; a rejected
+	// request is shed (admission control).
+	Admit Admitter
+	// Log, when set, receives one line per simulation event. Identical
+	// configs and seeds produce byte-identical logs — the determinism
+	// anchor asserted in tests. Logging a million-request run is large;
+	// leave nil outside tests and small experiments.
+	Log io.Writer
+}
+
+// DefaultConfig mirrors fleet.DefaultConfig for the fields the DES mode
+// shares.
+func DefaultConfig() Config {
+	return Config{
+		Policy:           fleet.RoundRobin,
+		Clusters:         1,
+		MaxBatch:         1,
+		BatchTimeoutNS:   100_000,
+		QueueDepth:       256,
+		DegradeThreshold: 0.01,
+		Seed:             1,
+		ControlPeriodNS:  10e6,
+	}
+}
+
+func (c *Config) normalize() error {
+	if c.Policy == "" {
+		c.Policy = fleet.RoundRobin
+	}
+	if _, err := fleet.ParsePolicy(string(c.Policy)); err != nil {
+		return err
+	}
+	if c.ClusterPolicy == "" {
+		c.ClusterPolicy = c.Policy
+	}
+	if _, err := fleet.ParsePolicy(string(c.ClusterPolicy)); err != nil {
+		return err
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 1
+	}
+	if c.Clusters < 1 {
+		return fmt.Errorf("des: cluster count %d", c.Clusters)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 1
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("des: max batch %d", c.MaxBatch)
+	}
+	if c.BatchTimeoutNS == 0 {
+		c.BatchTimeoutNS = 100_000
+	}
+	if c.BatchTimeoutNS < 0 {
+		return fmt.Errorf("des: batch timeout %v ns", c.BatchTimeoutNS)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("des: queue depth %d", c.QueueDepth)
+	}
+	if c.DegradeThreshold == 0 {
+		c.DegradeThreshold = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ControlPeriodNS == 0 {
+		c.ControlPeriodNS = 10e6
+	}
+	if c.ControlPeriodNS < 0 {
+		return fmt.Errorf("des: control period %v ns", c.ControlPeriodNS)
+	}
+	return nil
+}
+
+// simReq is one queued request.
+type simReq struct {
+	id      int
+	arrival float64
+	budget  float64
+}
+
+// reqRing is a growable FIFO ring buffer of requests — per-replica
+// admission queues allocate lazily and reuse storage across batches.
+type reqRing struct {
+	buf  []simReq
+	head int
+	n    int
+}
+
+func (r *reqRing) push(q simReq) {
+	if r.n == len(r.buf) {
+		grown := make([]simReq, 2*len(r.buf)+8)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = q
+	r.n++
+}
+
+func (r *reqRing) pop() simReq {
+	q := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return q
+}
+
+func (r *reqRing) peek() simReq { return r.buf[r.head] }
+
+// simReplica is one accelerator's virtual-time service state.
+type simReplica struct {
+	id          int
+	name        string
+	fill        float64
+	interval    float64
+	capacityRPS float64
+	health      float64
+	area        float64
+	cl          *simCluster
+
+	active     bool
+	queue      reqRing
+	nextFree   float64 // virtual time the pipeline accepts its next batch
+	busy       bool    // a batch occupies the pipeline until nextFree
+	inFlight   int     // kept members of the executing batch
+	collecting bool
+	collect    *Timer
+
+	served   int64
+	expired  int64
+	batches  int64
+	batchSum int64
+}
+
+func (r *simReplica) healthy() bool { return r.health > 0 }
+
+// dispatchable reports whether new traffic may route here.
+func (r *simReplica) dispatchable() bool { return r.active && r.healthy() }
+
+// queueScore and loadScore carry the goroutine runtime's health weighting
+// (fleet.replica): a half-health replica looks twice as loaded.
+func (r *simReplica) queueScore() float64 { return float64(r.queue.n+1) / r.health }
+func (r *simReplica) loadScore() float64 {
+	return float64(r.queue.n+r.inFlight+1) / r.health
+}
+
+// simCluster groups replicas for two-level routing.
+type simCluster struct {
+	id       int
+	name     string
+	replicas []*simReplica
+
+	// queued is atomic only so metric exposition can read it while a run
+	// is in flight; the simulation itself is single-goroutine.
+	queued       atomic.Int64
+	peakQueued   int64
+	dispatchable int // replicas accepting traffic (active && healthy)
+	rrNext       uint64
+	served       int64
+}
+
+// queueScore is the cluster-level JSQ signal: waiting requests per
+// dispatchable replica.
+func (c *simCluster) queueScore() float64 {
+	return (float64(c.queued.Load()) + 1) / float64(c.dispatchable)
+}
+
+// loadScore adds in-flight work (cluster-level least-outstanding signal).
+func (c *simCluster) loadScore() float64 {
+	var inFlight int
+	for _, r := range c.replicas {
+		inFlight += r.inFlight
+	}
+	return (float64(c.queued.Load())+float64(inFlight))/float64(c.dispatchable) + 1
+}
+
+// Fleet is the DES-backed fleet simulator. Build with NewFleet, run one
+// workload with RunTrace (or Run), then read the Result; a Fleet is
+// single-use and single-goroutine.
+type Fleet struct {
+	cfg      Config
+	eng      *Engine
+	clusters []*simCluster
+	replicas []*simReplica
+	rng      *rand.Rand
+	log      io.Writer
+
+	clusterRR uint64
+
+	// O(1) fleet-wide dispatch/signal state, maintained incrementally.
+	queued      int
+	inFlight    int
+	active      int
+	capacityRPS float64
+	arrivalRate float64
+	allClean    bool // every replica dispatchable — enables index-arithmetic picks
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	shed      atomic.Int64
+	expired   atomic.Int64
+
+	latencies     []float64
+	makespan      float64
+	lastArrival   float64
+	arrivalsTick  int64 // arrivals since the last control tick
+	traceDone     bool
+	speedupGauge  *gaugeHandle
+	ran           bool
+	clusterBuf    []*simCluster // reusable scratch for degraded-path picks
+	replicaBuf    []*simReplica
+	scaleActions  int64
+	admissionShed int64
+}
+
+// NewFleet builds the simulator from the same ReplicaSpec values the
+// goroutine runtime takes. ReplicaSpec.Faults sets a static health score
+// (1 − cellRate/DegradeThreshold, clamped); ReplicaSpec.Repair is ignored —
+// online self-repair lives in the goroutine runtime.
+func NewFleet(cfg Config, specs ...fleet.ReplicaSpec) (*Fleet, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("des: no replicas")
+	}
+	if cfg.Clusters > len(specs) {
+		return nil, fmt.Errorf("des: %d clusters over %d replicas", cfg.Clusters, len(specs))
+	}
+	f := &Fleet{
+		cfg: cfg,
+		eng: New(),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		log: cfg.Log,
+	}
+	names := map[string]bool{}
+	for i, spec := range specs {
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("r%d", i)
+		}
+		if names[name] {
+			return nil, fmt.Errorf("des: duplicate replica name %q", name)
+		}
+		names[name] = true
+		if spec.Pipeline == nil || spec.Pipeline.IntervalNS <= 0 || spec.Pipeline.FillNS <= 0 {
+			return nil, fmt.Errorf("des: replica %q has a degenerate pipeline", name)
+		}
+		if err := spec.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("des: replica %q: %w", name, err)
+		}
+		health := 1.0
+		if spec.Faults != nil {
+			health = 1 - spec.Faults.CellFaultRate()/cfg.DegradeThreshold
+			if health < 0 {
+				health = 0
+			}
+		}
+		r := &simReplica{
+			id:          i,
+			name:        name,
+			fill:        spec.Pipeline.FillNS,
+			interval:    spec.Pipeline.IntervalNS,
+			capacityRPS: 1e9 / spec.Pipeline.IntervalNS,
+			health:      health,
+			active:      true,
+		}
+		if spec.Plan != nil {
+			r.area = spec.Plan.Area()
+		}
+		f.replicas = append(f.replicas, r)
+	}
+	// Contiguous, near-equal cluster split.
+	n := len(f.replicas)
+	for ci := 0; ci < cfg.Clusters; ci++ {
+		lo := ci * n / cfg.Clusters
+		hi := (ci + 1) * n / cfg.Clusters
+		cl := &simCluster{id: ci, name: fmt.Sprintf("c%d", ci), replicas: f.replicas[lo:hi]}
+		for _, r := range cl.replicas {
+			r.cl = cl
+			if r.dispatchable() {
+				cl.dispatchable++
+			}
+		}
+		f.clusters = append(f.clusters, cl)
+	}
+	f.recountSignal()
+	f.registerMetrics()
+	return f, nil
+}
+
+// recountSignal rebuilds the O(1) signal aggregates from scratch (build
+// time and after scale actions).
+func (f *Fleet) recountSignal() {
+	f.active, f.capacityRPS, f.allClean = 0, 0, true
+	for _, r := range f.replicas {
+		if r.active {
+			f.active++
+			if r.healthy() {
+				f.capacityRPS += r.capacityRPS
+			}
+		}
+		if !r.dispatchable() {
+			f.allClean = false
+		}
+	}
+}
+
+// Engine exposes the underlying event engine (virtual clock, event count).
+func (f *Fleet) Engine() *Engine { return f.eng }
+
+// Run offers a fleet.Workload (open-loop Poisson, serving.Serve's arrival
+// construction: same seed, same trace) and returns the result — the DES
+// counterpart of fleet.Run.
+func (f *Fleet) Run(w fleet.Workload) (*Result, error) {
+	if w.ArrivalRate <= 0 {
+		return nil, fmt.Errorf("des: arrival rate %v", w.ArrivalRate)
+	}
+	seed := w.Seed
+	if seed == 0 {
+		seed = serving.DefaultSeed
+	}
+	return f.RunTrace(trace.Poisson(w.ArrivalRate, seed), w.Requests, w.BudgetNS)
+}
+
+// RunTrace offers requests arrivals drawn from gen and runs the simulation
+// to completion. One call per Fleet.
+func (f *Fleet) RunTrace(gen trace.Generator, requests int, budgetNS float64) (*Result, error) {
+	if requests <= 0 {
+		return nil, fmt.Errorf("des: request count %d", requests)
+	}
+	if f.ran {
+		return nil, fmt.Errorf("des: fleet already ran; build a new one per workload")
+	}
+	f.ran = true
+	f.latencies = make([]float64, 0, requests)
+
+	wallStart := time.Now()
+	if f.cfg.Scaler != nil {
+		f.eng.Schedule(f.cfg.ControlPeriodNS, f.controlTick)
+	}
+	arrival := 0.0
+	id := 0
+	var nextArrival func()
+	nextArrival = func() {
+		f.arrive(id, arrival, budgetNS)
+		id++
+		if id < requests {
+			arrival += gen.NextGapNS()
+			f.lastArrival = arrival
+			f.eng.At(arrival, nextArrival)
+		} else {
+			f.traceDone = true
+		}
+	}
+	arrival += gen.NextGapNS()
+	f.lastArrival = arrival
+	f.eng.At(arrival, nextArrival)
+	events := f.eng.Run()
+	wall := time.Since(wallStart)
+
+	return f.compileResult(requests, events, wall), nil
+}
+
+// Result is a DES run summary: the goroutine runtime's fleet.Result fields
+// plus engine-level speed metrics and per-cluster stats.
+type Result struct {
+	fleet.Result
+	// LatenciesNS holds every completed request's virtual latency, sorted
+	// ascending — the cross-check currency against the goroutine fleet.
+	LatenciesNS []float64
+	// Events is the number of simulation events fired.
+	Events int64
+	// VirtualNS is the simulated span (last completion or arrival).
+	VirtualNS float64
+	// WallSeconds is the wall-clock cost of the run; SpeedupVsWall is
+	// virtual seconds simulated per wall second — the DES engine's reason
+	// to exist (a TimeScale-1 goroutine fleet holds this at ~1).
+	WallSeconds   float64
+	SpeedupVsWall float64
+	EventsPerSec  float64
+	// AdmissionShed counts sheds decided by the Admit hook (a subset of
+	// Result.Shed); ScaleActions counts autoscaler activate/deactivate
+	// steps.
+	AdmissionShed int64
+	ScaleActions  int64
+	Clusters      []ClusterStats
+}
+
+// ClusterStats summarizes one cluster after a run.
+type ClusterStats struct {
+	Name       string
+	Replicas   int
+	Active     int
+	Served     int64
+	PeakQueued int64
+}
+
+func (f *Fleet) compileResult(requests int, events int64, wall time.Duration) *Result {
+	res := &Result{
+		Result: fleet.Result{
+			Offered:   requests,
+			Completed: int(f.completed.Load()),
+			Shed:      int(f.shed.Load()),
+			Expired:   int(f.expired.Load()),
+		},
+		Events:        events,
+		WallSeconds:   wall.Seconds(),
+		AdmissionShed: f.admissionShed,
+		ScaleActions:  f.scaleActions,
+	}
+	sort.Float64s(f.latencies)
+	res.LatenciesNS = f.latencies
+	if n := len(f.latencies); n > 0 {
+		var sum float64
+		for _, l := range f.latencies {
+			sum += l
+		}
+		res.MeanNS = sum / float64(n)
+		res.P50NS = percentile(f.latencies, 0.50)
+		res.P95NS = percentile(f.latencies, 0.95)
+		res.P99NS = percentile(f.latencies, 0.99)
+		res.MaxNS = f.latencies[n-1]
+	}
+	res.MakespanNS = math.Max(f.makespan, f.lastArrival)
+	res.VirtualNS = math.Max(res.MakespanNS, f.eng.Now())
+	if res.MakespanNS > 0 {
+		res.ThroughputRPS = float64(res.Completed) / res.MakespanNS * 1e9
+	}
+	if res.WallSeconds > 0 {
+		res.SpeedupVsWall = res.VirtualNS / 1e9 / res.WallSeconds
+		res.EventsPerSec = float64(events) / res.WallSeconds
+	}
+	f.speedupGauge.set(res.SpeedupVsWall)
+	for _, cl := range f.clusters {
+		active := 0
+		for _, r := range cl.replicas {
+			if r.active {
+				active++
+			}
+		}
+		res.Clusters = append(res.Clusters, ClusterStats{
+			Name:       cl.name,
+			Replicas:   len(cl.replicas),
+			Active:     active,
+			Served:     cl.served,
+			PeakQueued: cl.peakQueued,
+		})
+	}
+	return res
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%d offered: %d completed, %d shed, %d expired; p50 %.4g ns, p99 %.4g ns, %.4g req/s; %d events (%.3gM ev/s), virtual/wall speedup %.3gx",
+		r.Offered, r.Completed, r.Shed, r.Expired, r.P50NS, r.P99NS, r.ThroughputRPS,
+		r.Events, r.EventsPerSec/1e6, r.SpeedupVsWall)
+}
+
+// percentile is the repo's nearest-rank convention (serving, fleet), so
+// cross-checks compare like for like.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

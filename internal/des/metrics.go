@@ -1,0 +1,47 @@
+package des
+
+import "autohet/internal/obs"
+
+// Observability. The simulation loop is single-goroutine and allocation-
+// sensitive, so nothing on the event path records into the registry
+// directly: counters publish the fleet's existing atomics through
+// CounterFunc (zero cost until a scrape), queue depths read the per-cluster
+// atomic through GaugeFunc, and the speedup gauge is set once per run.
+// Rebinding semantics (RegisterCounter/CounterFunc replace callbacks on
+// re-registration) mean each new Fleet re-claims the series, matching the
+// goroutine runtime's convention.
+
+// gaugeHandle is a nil-safe wrapper so compileResult can set the speedup
+// gauge without caring whether metrics registration happened.
+type gaugeHandle struct{ g *obs.Gauge }
+
+func (h *gaugeHandle) set(v float64) {
+	if h == nil || h.g == nil {
+		return
+	}
+	h.g.Set(v)
+}
+
+func (f *Fleet) registerMetrics() {
+	reg := obs.Default
+	reg.CounterFunc("autohet_des_events_total",
+		"Simulation events fired by the DES engine.",
+		f.eng.Events)
+	reg.CounterFunc(`autohet_des_requests_total{outcome="completed"}`,
+		"DES fleet requests by outcome.",
+		f.completed.Load)
+	reg.CounterFunc(`autohet_des_requests_total{outcome="shed"}`,
+		"DES fleet requests by outcome.",
+		f.shed.Load)
+	reg.CounterFunc(`autohet_des_requests_total{outcome="expired"}`,
+		"DES fleet requests by outcome.",
+		f.expired.Load)
+	f.speedupGauge = &gaugeHandle{g: reg.Gauge("autohet_des_speedup",
+		"Virtual seconds simulated per wall second in the last DES run.")}
+	for _, cl := range f.clusters {
+		cl := cl
+		reg.GaugeFunc(`autohet_des_cluster_queue_depth{cluster="`+cl.name+`"}`,
+			"Queued requests per DES cluster.",
+			func() float64 { return float64(cl.queued.Load()) })
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package des
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary; wall-clock performance assertions are skipped under it.
+const raceEnabled = false

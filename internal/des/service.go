@@ -1,0 +1,112 @@
+package des
+
+// Replica service in virtual time. The recurrence is the goroutine
+// runtime's (fleet.replica.execute), term for term: a batch enters the
+// pipeline at
+//
+//	entry = max(pipeline free, latest member arrival,
+//	            first arrival + batch timeout when the timeout closed it)
+//
+// member i completes at entry + fill + i·interval, requests whose
+// completion would overshoot their budget are dropped without consuming
+// pipeline time, and the pipeline is next free at entry + kept·interval.
+// The expressions are written in the same operation order so that, where
+// the dispatch decisions coincide (single replica; round robin), per-request
+// latencies match the goroutine fleet bit for bit.
+
+// maybeService starts batches on r while it is idle and work is queued.
+func (f *Fleet) maybeService(r *simReplica) {
+	for !r.busy && !r.collecting && r.queue.n > 0 {
+		if f.cfg.MaxBatch > 1 && r.queue.n < f.cfg.MaxBatch {
+			// Partial batch: open a collect window, timed from pickup like
+			// the goroutine loop's wall timer.
+			r.collecting = true
+			rr := r
+			r.collect = f.eng.Schedule(f.cfg.BatchTimeoutNS, func() { f.onCollectTimeout(rr) })
+			return
+		}
+		take := 1
+		if f.cfg.MaxBatch > 1 {
+			take = f.cfg.MaxBatch
+		}
+		f.executeBatch(r, take, false)
+	}
+}
+
+func (f *Fleet) onCollectTimeout(r *simReplica) {
+	r.collecting = false
+	r.collect = nil
+	take := r.queue.n
+	if take > f.cfg.MaxBatch {
+		take = f.cfg.MaxBatch
+	}
+	if take > 0 {
+		f.executeBatch(r, take, true)
+	}
+	f.maybeService(r)
+}
+
+// executeBatch prices a batch of take queued requests on the pipelined
+// accelerator and schedules the pipeline-free event. It leaves further
+// batch formation to the caller (maybeService loops while the replica is
+// idle, e.g. after an all-expired batch).
+func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
+	entry := r.nextFree
+	first := r.queue.peek()
+	kept := 0
+	// Two passes over the batch members mirror the goroutine execute: the
+	// entry time closes over every member before any completion is priced.
+	for i := 0; i < take; i++ {
+		rq := r.queue.buf[(r.queue.head+i)%len(r.queue.buf)]
+		if rq.arrival > entry {
+			entry = rq.arrival
+		}
+	}
+	if timedOut {
+		if t := first.arrival + f.cfg.BatchTimeoutNS; t > entry {
+			entry = t
+		}
+	}
+	for i := 0; i < take; i++ {
+		rq := r.queue.pop()
+		f.queued--
+		r.cl.queued.Add(-1)
+		completion := entry + r.fill + float64(kept)*r.interval
+		if rq.budget > 0 && completion-rq.arrival > rq.budget {
+			r.expired++
+			f.expired.Add(1)
+			f.logf("X t=%.3f id=%d r=%s reason=budget\n", f.eng.Now(), rq.id, r.name)
+			continue
+		}
+		latency := completion - rq.arrival
+		f.latencies = append(f.latencies, latency)
+		f.completed.Add(1)
+		r.served++
+		r.cl.served++
+		if completion > f.makespan {
+			f.makespan = completion
+		}
+		f.logf("S t=%.3f id=%d r=%s e=%.3f c=%.3f\n", f.eng.Now(), rq.id, r.name, entry, completion)
+		kept++
+	}
+	if kept == 0 {
+		return
+	}
+	r.batches++
+	r.batchSum += int64(kept)
+	r.nextFree = entry + float64(kept)*r.interval
+	r.busy = true
+	r.inFlight = kept
+	f.inFlight += kept
+	rr := r
+	f.eng.At(r.nextFree, func() { f.onFree(rr) })
+}
+
+// onFree fires when the pipeline can accept its next batch.
+func (f *Fleet) onFree(r *simReplica) {
+	r.busy = false
+	f.inFlight -= r.inFlight
+	r.inFlight = 0
+	f.logf("F t=%.3f r=%s\n", f.eng.Now(), r.name)
+	f.maybeService(r)
+}

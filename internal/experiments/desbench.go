@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+
+	"autohet/internal/des"
+	"autohet/internal/des/trace"
+	"autohet/internal/fleet"
+)
+
+// FleetBenchLeg is one measured DES fleet size.
+type FleetBenchLeg struct {
+	Replicas  int   `json:"replicas"`
+	Clusters  int   `json:"clusters"`
+	Requests  int   `json:"requests"`
+	Completed int   `json:"completed"`
+	Shed      int   `json:"shed"`
+	Events    int64 `json:"events"`
+	// VirtualSeconds is the simulated span; WallSeconds what it cost.
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	// SpeedupVsWall is virtual over wall — the engine's headline (a
+	// wall-paced goroutine fleet holds this at its TimeScale).
+	SpeedupVsWall float64 `json:"speedup_vs_wall"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	// RequestsPerSec is simulated requests resolved per wall second.
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P99US          float64 `json:"p99_us"`
+}
+
+// FleetBench is the JSON document cmd/experiments -bench fleet writes:
+// the DES engine driven at three fleet sizes up to the cluster-scale
+// 10k-replica / 1M-request recipe, all under a bursty MMPP trace with
+// two-level jsq routing.
+type FleetBench struct {
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"` // GOMAXPROCS during the run (engine is single-threaded)
+	Trace   string `json:"trace"`
+	Policy  string `json:"policy"`
+	// FillNS/IntervalNS describe the per-replica service model (100 req/s
+	// serving-scale replicas).
+	FillNS     float64         `json:"fill_ns"`
+	IntervalNS float64         `json:"interval_ns"`
+	Load       float64         `json:"load"`
+	Legs       []FleetBenchLeg `json:"legs"`
+}
+
+// BenchFleet measures DES fleet simulation cost at 100, 1k, and 10k
+// replicas (100k, 300k, 1M requests) at 70% load.
+func BenchFleet(seed int64) (*FleetBench, error) {
+	b := &FleetBench{
+		Seed:       seed,
+		Workers:    runtime.GOMAXPROCS(0),
+		Trace:      "bursty",
+		Policy:     string(fleet.JoinShortestQueue),
+		FillNS:     5e7,
+		IntervalNS: 1e7,
+		Load:       0.7,
+	}
+	legs := []struct {
+		replicas, clusters, requests int
+	}{
+		{100, 4, 100_000},
+		{1_000, 32, 300_000},
+		{10_000, 100, 1_000_000},
+	}
+	for _, l := range legs {
+		cfg := des.DefaultConfig()
+		cfg.Policy = fleet.JoinShortestQueue
+		cfg.ClusterPolicy = fleet.JoinShortestQueue
+		cfg.Clusters = l.clusters
+		cfg.QueueDepth = 64
+		cfg.Seed = seed
+		f, err := des.NewFleet(cfg, desSpecs(l.replicas)...)
+		if err != nil {
+			return nil, err
+		}
+		rate := b.Load * float64(l.replicas) * (1e9 / b.IntervalNS)
+		res, err := f.RunTrace(trace.Bursty(rate, 1.8, 50e6, seed), l.requests, 0)
+		if err != nil {
+			return nil, err
+		}
+		leg := FleetBenchLeg{
+			Replicas:       l.replicas,
+			Clusters:       l.clusters,
+			Requests:       l.requests,
+			Completed:      res.Completed,
+			Shed:           res.Shed,
+			Events:         res.Events,
+			VirtualSeconds: res.VirtualNS / 1e9,
+			WallSeconds:    res.WallSeconds,
+			SpeedupVsWall:  res.SpeedupVsWall,
+			EventsPerSec:   res.EventsPerSec,
+			P99US:          res.P99NS / 1000,
+		}
+		if res.WallSeconds > 0 {
+			leg.RequestsPerSec = float64(l.requests) / res.WallSeconds
+		}
+		b.Legs = append(b.Legs, leg)
+	}
+	return b, nil
+}
+
+// WriteJSON writes the benchmark document to path (indented, trailing
+// newline), matching the other BENCH_*.json artifacts.
+func (b *FleetBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

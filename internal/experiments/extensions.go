@@ -21,7 +21,7 @@ import (
 // sensitivity, inter-layer pipelining, and the LLM-domain workload.
 
 // Extensions lists the extension experiment names.
-var Extensions = []string{"breakdown", "faults", "repair", "pipeline", "llm", "stability", "programming", "precision", "pruning", "noc", "adc", "fleet"}
+var Extensions = []string{"breakdown", "faults", "repair", "pipeline", "llm", "stability", "programming", "precision", "pruning", "noc", "adc", "fleet", "des"}
 
 // RunExtension generates the named extension experiment.
 func (s *Suite) RunExtension(name string) ([]*report.Table, error) {
@@ -60,6 +60,8 @@ func (s *Suite) RunExtension(name string) ([]*report.Table, error) {
 		return wrap(t, err)
 	case "fleet":
 		return s.Fleet()
+	case "des":
+		return s.Des()
 	default:
 		return nil, fmt.Errorf("experiments: unknown extension %q (have %v)", name, Extensions)
 	}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autohet/internal/sim"
+)
+
+func clockFleet(t *testing.T, timeScale float64) *Fleet {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.TimeScale = timeScale
+	f, err := newFleet(cfg, ReplicaSpec{Pipeline: &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// The virtual clock conversion is exact integer math for reciprocal time
+// scales: at the free-running 1e-9 scale a 1 ns wall delta is exactly 1e9
+// virtual ns, with no float division residue for any delta while the
+// product fits 2^53.
+func TestVirtualNSExactAtTinyTimeScale(t *testing.T) {
+	f := clockFleet(t, 1e-9)
+	if f.invScale != 1_000_000_000 {
+		t.Fatalf("invScale = %d for TimeScale 1e-9, want 1e9", f.invScale)
+	}
+	for _, deltaNS := range []int64{0, 1, 2, 3, 1000, 12345, 9_007_199} {
+		want := float64(deltaNS * 1_000_000_000)
+		if got := f.virtualNS(deltaNS); got != want {
+			t.Errorf("virtualNS(%d) = %v, want exactly %v", deltaNS, got, want)
+		}
+	}
+	// Past 2^53 the division fallback holds the error to 1 ulp.
+	big := int64(1 << 40)
+	got := f.virtualNS(big)
+	want := float64(big) / 1e-9
+	if got != want {
+		t.Errorf("virtualNS(2^40) = %v, want the rounded division %v", got, want)
+	}
+}
+
+// Real time (TimeScale 1) and experiment scales like 0.2 also take the
+// exact path; a non-reciprocal scale falls back to one rounded division.
+func TestVirtualNSScales(t *testing.T) {
+	f1 := clockFleet(t, 1.0)
+	if f1.invScale != 1 {
+		t.Fatalf("invScale = %d for TimeScale 1, want 1", f1.invScale)
+	}
+	for _, d := range []int64{0, 7, 1 << 52} {
+		if got := f1.virtualNS(d); got != float64(d) {
+			t.Errorf("TimeScale 1: virtualNS(%d) = %v", d, got)
+		}
+	}
+	f5 := clockFleet(t, 0.2)
+	if f5.invScale != 5 {
+		t.Fatalf("invScale = %d for TimeScale 0.2, want 5", f5.invScale)
+	}
+	if got := f5.virtualNS(12345); got != float64(12345*5) {
+		t.Errorf("TimeScale 0.2: virtualNS(12345) = %v, want 61725", got)
+	}
+	f3 := clockFleet(t, 0.3)
+	if f3.invScale != 0 {
+		t.Fatalf("invScale = %d for non-reciprocal TimeScale 0.3, want 0", f3.invScale)
+	}
+	d := int64(999_999_937)
+	got, want := f3.virtualNS(d), float64(d)/0.3
+	ulp := math.Nextafter(want, math.Inf(1)) - want
+	if math.Abs(got-want) > ulp {
+		t.Errorf("TimeScale 0.3: virtualNS(%d) = %v, want %v ± 1 ulp", d, got, want)
+	}
+}
+
+// resetDispatch returns the sampler to the seed and the round-robin cursor
+// to zero — the state Run resets so replays are deterministic.
+func TestResetDispatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 123
+	f, err := newFleet(cfg, ReplicaSpec{Pipeline: &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.rng.Int63()
+	f.rng.Int63()
+	f.rrNext.Add(17)
+	f.resetDispatch()
+	fresh := rand.New(rand.NewSource(123))
+	for i := 0; i < 5; i++ {
+		if got, want := f.rng.Int63(), fresh.Int63(); got != want {
+			t.Fatalf("draw %d after reset: %d, want %d", i, got, want)
+		}
+	}
+	if f.rrNext.Load() != 0 {
+		t.Fatalf("rrNext = %d after reset", f.rrNext.Load())
+	}
+}
+
+// Back-to-back identical workloads on one fleet produce identical results:
+// the regression the dispatch reset exists for. The request count is chosen
+// indivisible by the replica count so a carried-over round-robin cursor
+// would shift every assignment on the second run.
+func TestRunReplayDeterministic(t *testing.T) {
+	shapes := []sim.PipelineResult{
+		{FillNS: 1000, IntervalNS: 100},
+		{FillNS: 2500, IntervalNS: 160},
+		{FillNS: 600, IntervalNS: 80},
+	}
+	specs := make([]ReplicaSpec, 6)
+	for i := range specs {
+		pr := shapes[i%len(shapes)]
+		specs[i] = ReplicaSpec{Pipeline: &pr}
+	}
+	cfg := DefaultConfig()
+	cfg.TimeScale = 1e-9
+	cfg.QueueDepth = 2000
+	f, err := New(cfg, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := Workload{ArrivalRate: 2e7, Requests: 1001, Seed: 7}
+	a, err := Run(f, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(f, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.Shed != b.Shed || a.Expired != b.Expired {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+	pairs := []struct {
+		name string
+		x, y float64
+	}{
+		{"mean", a.MeanNS, b.MeanNS},
+		{"p50", a.P50NS, b.P50NS},
+		{"p95", a.P95NS, b.P95NS},
+		{"p99", a.P99NS, b.P99NS},
+		{"max", a.MaxNS, b.MaxNS},
+	}
+	for _, p := range pairs {
+		if p.x != p.y {
+			t.Errorf("replay %s diverged: %v vs %v", p.name, p.x, p.y)
+		}
+	}
+}

@@ -22,6 +22,8 @@ package fleet
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -181,6 +183,11 @@ type Fleet struct {
 	counters Counters
 	hist     Histogram
 
+	// invScale is round(1/TimeScale) when TimeScale is exactly the
+	// reciprocal of an integer, else 0; virtualNS uses it for exact
+	// integer clock conversion.
+	invScale int64
+
 	// epoch anchors the virtual clock to the wall clock (UnixNano at start
 	// or the latest resetClock). Pacing sleeps target absolute deadlines
 	// derived from it, so timer overshoot never accumulates.
@@ -224,6 +231,9 @@ func newFleet(cfg Config, specs ...ReplicaSpec) (*Fleet, error) {
 		cfg:  cfg,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		quit: make(chan struct{}),
+	}
+	if r := math.Round(1 / cfg.TimeScale); r >= 1 && r <= math.MaxInt64 && 1/r == cfg.TimeScale {
+		f.invScale = int64(r)
 	}
 	names := map[string]bool{}
 	for i, spec := range specs {
@@ -288,7 +298,36 @@ func (f *Fleet) Sweep() {
 // VirtualNow returns the current virtual time in nanoseconds on the fleet's
 // clock — the workload-facing timeline the pacing sleeps track.
 func (f *Fleet) VirtualNow() float64 {
-	return float64(time.Now().UnixNano()-f.epoch.Load()) / f.cfg.TimeScale
+	return f.virtualNS(time.Now().UnixNano() - f.epoch.Load())
+}
+
+// virtualNS converts a wall-clock nanosecond delta to virtual nanoseconds.
+// Wall deltas are exact integers, so for integer-reciprocal time scales
+// (TimeScale = 1/k: real time 1.0, the free-running 1e-9, experiment scales
+// like 0.2) the conversion multiplies in integer arithmetic and converts
+// once — exact while delta·k fits float64's 2^53 integer range. Past that,
+// and for non-reciprocal scales, a single correctly-rounded float64
+// division bounds the error at 1 ulp (relative ~1e-16); the error is
+// per-read, never accumulated, because every read re-derives from the
+// integer wall delta.
+func (f *Fleet) virtualNS(wallDeltaNS int64) float64 {
+	if f.invScale > 0 && wallDeltaNS >= 0 {
+		hi, lo := bits.Mul64(uint64(wallDeltaNS), uint64(f.invScale))
+		if hi == 0 && lo <= 1<<53 {
+			return float64(lo)
+		}
+	}
+	return float64(wallDeltaNS) / f.cfg.TimeScale
+}
+
+// resetDispatch reseeds the dispatch sampler and round-robin cursor, so
+// repeated workloads on one fleet replay identical dispatch decisions
+// (Run calls it alongside resetClock).
+func (f *Fleet) resetDispatch() {
+	f.rngMu.Lock()
+	f.rng = rand.New(rand.NewSource(f.cfg.Seed))
+	f.rngMu.Unlock()
+	f.rrNext.Store(0)
 }
 
 // resetClock re-anchors virtual time 0 to the present wall-clock instant.

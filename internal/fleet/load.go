@@ -68,6 +68,10 @@ func Run(f *Fleet, w Workload) (*Result, error) {
 	done := make(chan Outcome, w.Requests)
 	res := &Result{Offered: w.Requests}
 	f.resetClock()
+	// Re-seed the dispatch sampler and round-robin cursor: back-to-back
+	// runs on one fleet replay identical dispatch decisions, not a
+	// continuation of the previous run's stream.
+	f.resetDispatch()
 	arrival := 0.0
 	accepted := 0
 	for i := 0; i < w.Requests; i++ {

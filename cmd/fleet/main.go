@@ -20,6 +20,13 @@
 //
 //	fleet -engine des -spec "4*128x128" -replicas 10000 -clusters 100 \
 //	      -trace bursty -requests 1000000 -policy jsq
+//
+// -chaos injects a seeded fault storm (correlated crashes plus fail-slow
+// replicas, timed as fractions of the run) into either engine, and
+// -resilience turns on the client-side stack that rides it out:
+//
+//	fleet -engine des -spec "4*128x128" -replicas 64 -requests 100000 \
+//	      -budget 400000 -chaos -resilience
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"autohet/internal/accel"
+	"autohet/internal/chaos"
 	"autohet/internal/des"
 	"autohet/internal/des/trace"
 	"autohet/internal/dnn"
@@ -56,6 +64,28 @@ type desOpts struct {
 	// admitCap enables QueueCap admission control (0 = off).
 	scaleTarget float64
 	admitCap    float64
+}
+
+// chaosOpts carries the fault-storm and resilience flags through run. The
+// storm is timed in fractions of the run's virtual span so one set of
+// flags scales from a 5k-request goroutine run to a 1M-request DES run.
+type chaosOpts struct {
+	on         bool
+	at         float64 // storm start, fraction of the run
+	mttr       float64 // crash outage length, fraction of the run (slowdowns last 2x)
+	crashFrac  float64
+	slowFrac   float64
+	slowFactor float64
+	resilience bool
+}
+
+// storm builds the seeded schedule over the replica names for a run
+// spanning spanNS of virtual time.
+func (c chaosOpts) storm(names []string, spanNS float64, seed int64) *chaos.Schedule {
+	return chaos.Merge(
+		chaos.CrashStorm(c.at*spanNS, c.mttr*spanNS, names, c.crashFrac, seed),
+		chaos.SlowStorm(c.at*spanNS, 2*c.mttr*spanNS, names, c.slowFrac, c.slowFactor, seed),
+	)
 }
 
 func main() {
@@ -92,13 +122,24 @@ func main() {
 		"autoscaler utilization target in (0,1] (-engine des only; 0 = autoscaling off)")
 	admitCap := flag.Float64("admit-queue-cap", 0,
 		"admission control: max queued requests per active replica (-engine des only; 0 = off)")
+	chaosOn := flag.Bool("chaos", false, "inject a seeded fault storm (crashes + fail-slow; see -chaos-* knobs)")
+	chaosAt := flag.Float64("chaos-at", 0.3, "storm start as a fraction of the run")
+	chaosMTTR := flag.Float64("chaos-mttr", 0.2,
+		"crash outage length as a fraction of the run (fail-slow lasts twice this)")
+	chaosCrashFrac := flag.Float64("chaos-crash-frac", 0.25, "fraction of replicas the storm crashes")
+	chaosSlowFrac := flag.Float64("chaos-slow-frac", 0.125, "fraction of replicas the storm makes fail-slow")
+	chaosSlowFactor := flag.Float64("chaos-slow-factor", 10, "fail-slow service-time multiplier")
+	resilience := flag.Bool("resilience", false,
+		"enable client-side resilience (des: retry + hedging + breakers + brownout; goroutine: circuit breakers)")
 	flag.Parse()
 
 	dopts := desOpts{engine: *engine, traceName: *traceName, replicas: *replicas,
 		clusters: *clusters, scaleTarget: *scaleTarget, admitCap: *admitCap}
+	copts := chaosOpts{on: *chaosOn, at: *chaosAt, mttr: *chaosMTTR, crashFrac: *chaosCrashFrac,
+		slowFrac: *chaosSlowFrac, slowFactor: *chaosSlowFactor, resilience: *resilience}
 	if err := run(*model, *spec, *policy, *load, *requests, *batch, *batchTimeout,
 		*queue, *budget, *seed, *timescale, *faultReplica, *faultRate, *faultAt,
-		*repairCap, *repairMiss, *hwConfig, *metricsAddr, *hold, dopts); err != nil {
+		*repairCap, *repairMiss, *hwConfig, *metricsAddr, *hold, dopts, copts); err != nil {
 		fmt.Fprintln(os.Stderr, "fleet:", err)
 		os.Exit(1)
 	}
@@ -178,7 +219,7 @@ func parseSpec(cfg hw.Config, m *dnn.Model, text string, batch int) ([]fleet.Rep
 func run(modelName, specText, policyText string, load float64, requests, batch int,
 	batchTimeoutUS float64, queue int, budgetUS float64, seed int64, timescale float64,
 	faultReplica string, faultRate, faultAt, repairCap, repairMiss float64, hwConfig string,
-	metricsAddr string, hold time.Duration, dopts desOpts) error {
+	metricsAddr string, hold time.Duration, dopts desOpts, copts chaosOpts) error {
 	if dopts.engine != "goroutine" && dopts.engine != "des" {
 		return fmt.Errorf("unknown engine %q (want goroutine or des)", dopts.engine)
 	}
@@ -214,7 +255,7 @@ func run(modelName, specText, policyText string, load float64, requests, batch i
 			return fmt.Errorf("mid-run fault injection and self-repair need -engine goroutine")
 		}
 		return desRun(specs, policy, load, requests, batch, batchTimeoutUS, queue,
-			budgetUS, seed, dopts, hold, metricsAddr)
+			budgetUS, seed, dopts, copts, hold, metricsAddr)
 	}
 	if repairCap > 0 {
 		rs := fleet.RepairSpec{Capacity: repairCap, MissRate: repairMiss}
@@ -240,6 +281,10 @@ func run(modelName, specText, policyText string, load float64, requests, batch i
 		TimeScale:      timescale,
 		Seed:           seed,
 	}
+	if copts.resilience {
+		fcfg.Breaker = &chaos.BreakerConfig{}
+		fmt.Println("resilience: per-replica circuit breakers enabled")
+	}
 	f, err := fleet.New(fcfg, specs...)
 	if err != nil {
 		return err
@@ -249,6 +294,15 @@ func run(modelName, specText, policyText string, load float64, requests, batch i
 		Requests:    requests,
 		Seed:        seed,
 		BudgetNS:    budgetUS * 1000,
+	}
+	if copts.on {
+		spanNS := float64(requests) / w.ArrivalRate * 1e9
+		sched := copts.storm(replicaNames(specs), spanNS, seed)
+		stop := f.StartChaos(sched)
+		defer stop()
+		fmt.Printf("chaos: %d scheduled events — crash %.0f%% at %.0f%% of the run (mttr %.0f%%), %.0f%% fail-slow %gx\n",
+			len(sched.Events), 100*copts.crashFrac, 100*copts.at, 100*copts.mttr,
+			100*copts.slowFrac, copts.slowFactor)
 	}
 	var timer *time.Timer
 	if faultReplica != "" {
@@ -304,11 +358,20 @@ func tileSpecs(specs []fleet.ReplicaSpec, n int) []fleet.ReplicaSpec {
 	return tiled
 }
 
+// replicaNames collects the (already assigned) spec names for a storm.
+func replicaNames(specs []fleet.ReplicaSpec) []string {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
 // desRun drives the spec on the discrete-event engine: virtual time, no
 // pacing, cluster-scale fleet sizes.
 func desRun(specs []fleet.ReplicaSpec, policy fleet.Policy, load float64,
 	requests, batch int, batchTimeoutUS float64, queue int, budgetUS float64,
-	seed int64, dopts desOpts, hold time.Duration, metricsAddr string) error {
+	seed int64, dopts desOpts, copts chaosOpts, hold time.Duration, metricsAddr string) error {
 	specs = tileSpecs(specs, dopts.replicas)
 	clusters := dopts.clusters
 	if clusters <= 0 {
@@ -337,6 +400,17 @@ func desRun(specs []fleet.ReplicaSpec, policy fleet.Policy, load float64,
 	if dopts.admitCap > 0 {
 		cfg.Admit = des.QueueCap{MaxQueuedPerActive: dopts.admitCap}
 	}
+	if copts.resilience {
+		cfg.Resilience = chaos.DefaultResilience()
+		fmt.Println("resilience: retry + hedging + circuit breakers + brownout enabled")
+	}
+	if copts.on {
+		spanNS := float64(requests) / rate * 1e9
+		cfg.Chaos = copts.storm(replicaNames(specs), spanNS, cfg.Seed)
+		fmt.Printf("chaos: %d scheduled events — crash %.0f%% at %.0f%% of the run (mttr %.0f%%), %.0f%% fail-slow %gx\n",
+			len(cfg.Chaos.Events), 100*copts.crashFrac, 100*copts.at, 100*copts.mttr,
+			100*copts.slowFrac, copts.slowFactor)
+	}
 	f, err := des.NewFleet(cfg, specs...)
 	if err != nil {
 		return err
@@ -357,11 +431,16 @@ func desRun(specs []fleet.ReplicaSpec, policy fleet.Policy, load float64,
 	if res.AdmissionShed > 0 || res.ScaleActions > 0 {
 		fmt.Printf("admission shed %d, autoscaler actions %d\n", res.AdmissionShed, res.ScaleActions)
 	}
+	if res.ChaosEvents > 0 || res.Retried > 0 || res.Hedged > 0 || res.BrownoutShed > 0 {
+		fmt.Printf("chaos events %d; retried %d, hedged %d (%d wasted), brownout shed %d, failed %d, unroutable %d\n",
+			res.ChaosEvents, res.Retried, res.Hedged, res.HedgeWasted, res.BrownoutShed,
+			res.Failed, res.Unroutable)
+	}
 	// Per-cluster table, elided for very large fleets.
 	if len(res.Clusters) <= 64 {
-		fmt.Printf("\n%-8s %-9s %-8s %-10s %s\n", "cluster", "replicas", "active", "served", "peak queue")
+		fmt.Printf("\n%-8s %-9s %-8s %-10s %-11s %s\n", "cluster", "replicas", "active", "served", "adm. shed", "peak queue")
 		for _, cl := range res.Clusters {
-			fmt.Printf("%-8s %-9d %-8d %-10d %d\n", cl.Name, cl.Replicas, cl.Active, cl.Served, cl.PeakQueued)
+			fmt.Printf("%-8s %-9d %-8d %-10d %-11d %d\n", cl.Name, cl.Replicas, cl.Active, cl.Served, cl.AdmissionShed, cl.PeakQueued)
 		}
 	}
 	if hold > 0 && metricsAddr != "" {

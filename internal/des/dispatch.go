@@ -15,16 +15,39 @@ import (
 // filtered candidate scan (into reusable scratch buffers).
 
 // arrive admits and dispatches one request at the current virtual time.
+// Order: brownout (cheapest — priority shedding under backlog), cluster
+// pick, admission hook (after the pick so the rejection attributes to the
+// cluster it would have loaded), replica pick with breaker filtering, then
+// queue-full fallback. The cluster pick moving ahead of the Admit hook only
+// changes behavior for admission-shed requests under a state-consuming
+// cluster policy (round robin / power-of-two) — runs stay deterministic.
 func (f *Fleet) arrive(id int, arrival, budget float64) {
 	f.submitted.Add(1)
 	f.arrivalsTick++
+	f.window(arrival).Arrived++
 	f.logf("A t=%.3f id=%d\n", arrival, id)
+	if bp := f.res.Brownout; bp != nil && bp.Shed(bp.Priority(id), f.queued, f.active) {
+		f.brownoutShed.Add(1)
+		f.shedReq(id, "brownout")
+		return
+	}
+	cl := f.pickCluster()
+	if cl == nil {
+		f.shedReq(id, "noreplica")
+		return
+	}
 	if f.cfg.Admit != nil && !f.cfg.Admit.Admit(f.signal()) {
 		f.admissionShed++
+		cl.admissionShed++
 		f.shedReq(id, "admit")
 		return
 	}
-	r := f.pickReplica()
+	r := f.pickInCluster(cl)
+	if r == nil && f.breakersOn {
+		// Breakers filtered every candidate the policy offered; any
+		// routable replica beats shedding.
+		r = f.anyRoutable()
+	}
 	if r == nil {
 		f.shedReq(id, "noreplica")
 		return
@@ -36,12 +59,31 @@ func (f *Fleet) arrive(id int, arrival, budget float64) {
 			return
 		}
 	}
-	f.enqueue(r, simReq{id: id, arrival: arrival, budget: budget})
+	st := f.newState(id, arrival, budget)
+	if st != nil {
+		st.primary = r
+		st.attempts = 1
+		st.live = 1
+	}
+	f.route(r)
+	f.enqueue(r, simReq{id: id, arrival: arrival, budget: budget, enqueued: arrival, st: st})
+	f.armHedge(st)
 }
 
+// shedReq refuses one arrival. The "noreplica" reason is an outage signal
+// (no healthy routable replica) and counts as Unroutable; everything else
+// is overload backpressure and counts as Shed — chaos experiments need the
+// two apart to tell blast radius from load shedding.
 func (f *Fleet) shedReq(id int, reason string) {
-	f.shed.Add(1)
-	f.logf("H t=%.3f id=%d reason=%s\n", f.eng.Now(), id, reason)
+	now := f.eng.Now()
+	if reason == "noreplica" {
+		f.unroutable.Add(1)
+		f.window(now).Unroutable++
+	} else {
+		f.shed.Add(1)
+		f.window(now).Shed++
+	}
+	f.logf("H t=%.3f id=%d reason=%s\n", now, id, reason)
 }
 
 // enqueue places the request on r's admission queue and starts service if
@@ -140,12 +182,15 @@ func (f *Fleet) pickCluster() *simCluster {
 // the dispatchable set in construction order.
 func (f *Fleet) pickInCluster(cl *simCluster) *simReplica {
 	// Fast path: every replica dispatchable — index arithmetic only.
-	if cl.dispatchable == len(cl.replicas) {
+	// Breakers force the filtered path: an open breaker must drop its
+	// replica from the candidate set even when all are dispatchable.
+	if !f.breakersOn && cl.dispatchable == len(cl.replicas) {
 		return f.pickAmong(cl, cl.replicas)
 	}
+	now := f.eng.Now()
 	cands := f.replicaBuf[:0]
 	for _, r := range cl.replicas {
-		if r.dispatchable() {
+		if r.dispatchable() && (!f.breakersOn || r.canRoute(now)) {
 			cands = append(cands, r)
 		}
 	}
@@ -198,13 +243,17 @@ func (f *Fleet) pickAmong(cl *simCluster, cands []*simReplica) *simReplica {
 // picked one was full: first the rest of its cluster, then the whole fleet
 // in construction order (the goroutine runtime's backpressure scan).
 func (f *Fleet) fallback(full *simReplica) *simReplica {
+	now := f.eng.Now()
+	ok := func(r *simReplica) bool {
+		return r.dispatchable() && (!f.breakersOn || r.canRoute(now)) && r.queue.n < f.cfg.QueueDepth
+	}
 	for _, r := range full.cl.replicas {
-		if r != full && r.dispatchable() && r.queue.n < f.cfg.QueueDepth {
+		if r != full && ok(r) {
 			return r
 		}
 	}
 	for _, r := range f.replicas {
-		if r != full && r.cl != full.cl && r.dispatchable() && r.queue.n < f.cfg.QueueDepth {
+		if r != full && r.cl != full.cl && ok(r) {
 			return r
 		}
 	}

@@ -9,8 +9,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autohet/internal/chaos"
 	"autohet/internal/des/trace"
 	"autohet/internal/fleet"
+	"autohet/internal/obs"
 	"autohet/internal/serving"
 )
 
@@ -62,6 +64,21 @@ type Config struct {
 	// Admit, when set, is consulted per arrival before dispatch; a rejected
 	// request is shed (admission control).
 	Admit Admitter
+	// Chaos, when set, is a fault-injection schedule replayed on the event
+	// heap: each event fires at its virtual timestamp (crash/restart,
+	// fail-slow, degraded link, fault storms — see internal/chaos). The
+	// schedule participates in the determinism contract: same config, same
+	// seeds, same schedule → byte-identical event log.
+	Chaos *chaos.Schedule
+	// Resilience enables client-side failure handling (retry with backoff,
+	// hedged requests, per-replica circuit breakers, brownout). The zero
+	// value disables everything and preserves the legacy engine behavior
+	// bit for bit — the crosscheck anchor.
+	Resilience chaos.Resilience
+	// StatsWindowNS, when positive, buckets arrivals/completions/losses
+	// into fixed windows of virtual time (Result.Windows) — the recovery
+	// currency of the chaos experiment.
+	StatsWindowNS float64
 	// Log, when set, receives one line per simulation event. Identical
 	// configs and seeds produce byte-identical logs — the determinism
 	// anchor asserted in tests. Logging a million-request run is large;
@@ -133,14 +150,35 @@ func (c *Config) normalize() error {
 	if c.ControlPeriodNS < 0 {
 		return fmt.Errorf("des: control period %v ns", c.ControlPeriodNS)
 	}
+	if c.StatsWindowNS < 0 {
+		return fmt.Errorf("des: stats window %v ns", c.StatsWindowNS)
+	}
+	if p := c.Resilience.Retry; p != nil {
+		d := p.WithDefaults()
+		c.Resilience.Retry = &d
+	}
+	if p := c.Resilience.Hedge; p != nil {
+		d := p.WithDefaults()
+		c.Resilience.Hedge = &d
+	}
+	if p := c.Resilience.Brownout; p != nil {
+		d := p.WithDefaults()
+		c.Resilience.Brownout = &d
+	}
 	return nil
 }
 
-// simReq is one queued request.
+// simReq is one queued request copy. enqueued is the virtual time it joined
+// its current queue (== arrival for primary dispatches, so the legacy entry
+// recurrence is unchanged; retry and hedge copies carry their re-dispatch
+// time). st is nil on the legacy path; resilient requests share one reqState
+// across all their copies (see chaos.go).
 type simReq struct {
-	id      int
-	arrival float64
-	budget  float64
+	id       int
+	arrival  float64
+	budget   float64
+	enqueued float64
+	st       *reqState
 }
 
 // reqRing is a growable FIFO ring buffer of requests — per-replica
@@ -191,6 +229,14 @@ type simReplica struct {
 	collecting bool
 	collect    *Timer
 
+	// Chaos state: crashed fail-stops the replica, slow multiplies fill and
+	// interval (1 = healthy), link adds degraded-NoC transfer cost per batch
+	// (0 = healthy), breaker is the per-replica circuit breaker (nil = off).
+	crashed bool
+	slow    float64
+	link    float64
+	breaker *chaos.Breaker
+
 	served   int64
 	expired  int64
 	batches  int64
@@ -200,7 +246,12 @@ type simReplica struct {
 func (r *simReplica) healthy() bool { return r.health > 0 }
 
 // dispatchable reports whether new traffic may route here.
-func (r *simReplica) dispatchable() bool { return r.active && r.healthy() }
+func (r *simReplica) dispatchable() bool { return r.active && r.healthy() && !r.crashed }
+
+// canRoute consults the circuit breaker without mutating it (nil = always).
+func (r *simReplica) canRoute(nowNS float64) bool {
+	return r.breaker == nil || r.breaker.CanRoute(nowNS)
+}
 
 // queueScore and loadScore carry the goroutine runtime's health weighting
 // (fleet.replica): a half-health replica looks twice as loaded.
@@ -217,11 +268,12 @@ type simCluster struct {
 
 	// queued is atomic only so metric exposition can read it while a run
 	// is in flight; the simulation itself is single-goroutine.
-	queued       atomic.Int64
-	peakQueued   int64
-	dispatchable int // replicas accepting traffic (active && healthy)
-	rrNext       uint64
-	served       int64
+	queued        atomic.Int64
+	peakQueued    int64
+	dispatchable  int // replicas accepting traffic (active && healthy && !crashed)
+	rrNext        uint64
+	served        int64
+	admissionShed int64 // admission-hook rejections attributed to this cluster
 }
 
 // queueScore is the cluster-level JSQ signal: waiting requests per
@@ -260,10 +312,12 @@ type Fleet struct {
 	arrivalRate float64
 	allClean    bool // every replica dispatchable — enables index-arithmetic picks
 
-	submitted atomic.Int64
-	completed atomic.Int64
-	shed      atomic.Int64
-	expired   atomic.Int64
+	submitted  atomic.Int64
+	completed  atomic.Int64
+	shed       atomic.Int64
+	unroutable atomic.Int64
+	expired    atomic.Int64
+	failed     atomic.Int64
 
 	latencies     []float64
 	makespan      float64
@@ -276,6 +330,24 @@ type Fleet struct {
 	replicaBuf    []*simReplica
 	scaleActions  int64
 	admissionShed int64
+
+	// Chaos + resilience state (see chaos.go). res is the normalized copy
+	// of Config.Resilience; breakersOn short-circuits breaker checks off
+	// the legacy dispatch fast path.
+	res         chaos.Resilience
+	breakersOn  bool
+	retryRng    *rand.Rand
+	retryBudget *chaos.RetryBudget
+	hedgeHist   obs.Histogram
+	// Atomic like the outcome counters: CounterFunc exposition may read
+	// them while a run is in flight.
+	retried      atomic.Int64
+	hedged       atomic.Int64
+	hedgeWasted  atomic.Int64
+	brownoutShed atomic.Int64
+	chaosEvents  atomic.Int64
+	windows      []WindowStats
+	winDiscard   WindowStats // sink when StatsWindowNS is off
 }
 
 // NewFleet builds the simulator from the same ReplicaSpec values the
@@ -329,6 +401,10 @@ func NewFleet(cfg Config, specs ...fleet.ReplicaSpec) (*Fleet, error) {
 			capacityRPS: 1e9 / spec.Pipeline.IntervalNS,
 			health:      health,
 			active:      true,
+			slow:        1,
+		}
+		if cfg.Resilience.Breaker != nil {
+			r.breaker = chaos.NewBreaker(*cfg.Resilience.Breaker)
 		}
 		if spec.Plan != nil {
 			r.area = spec.Plan.Area()
@@ -348,6 +424,12 @@ func NewFleet(cfg Config, specs ...fleet.ReplicaSpec) (*Fleet, error) {
 			}
 		}
 		f.clusters = append(f.clusters, cl)
+	}
+	f.res = cfg.Resilience
+	f.breakersOn = cfg.Resilience.Breaker != nil
+	if cfg.Resilience.Retry != nil {
+		f.retryRng = rand.New(rand.NewSource(SubSeed(cfg.Seed, "chaos/retry")))
+		f.retryBudget = chaos.NewRetryBudget(*cfg.Resilience.Retry)
 	}
 	f.recountSignal()
 	f.registerMetrics()
@@ -404,6 +486,12 @@ func (f *Fleet) RunTrace(gen trace.Generator, requests int, budgetNS float64) (*
 	if f.cfg.Scaler != nil {
 		f.eng.Schedule(f.cfg.ControlPeriodNS, f.controlTick)
 	}
+	if f.cfg.Chaos != nil {
+		for _, ev := range f.cfg.Chaos.Events {
+			ev := ev
+			f.eng.At(ev.AtNS, func() { f.applyChaos(ev) })
+		}
+	}
 	arrival := 0.0
 	id := 0
 	var nextArrival func()
@@ -449,7 +537,39 @@ type Result struct {
 	// steps.
 	AdmissionShed int64
 	ScaleActions  int64
-	Clusters      []ClusterStats
+	// Chaos and resilience accounting: ChaosEvents counts schedule events
+	// applied; Hedged counts backup dispatches launched, HedgeWasted the
+	// copies that lost the first-wins race (or were cancelled in queue);
+	// BrownoutShed counts arrivals shed by priority under backlog (a subset
+	// of Result.Shed). Retried lives on the embedded fleet.Result.
+	ChaosEvents  int64
+	Hedged       int64
+	HedgeWasted  int64
+	BrownoutShed int64
+	// Windows buckets the run into Config.StatsWindowNS spans of virtual
+	// time (nil when windowing is off).
+	Windows  []WindowStats
+	Clusters []ClusterStats
+}
+
+// WindowStats is one fixed window of virtual time: arrivals bucketed by
+// arrival time, completions by completion time, losses by decision time.
+type WindowStats struct {
+	StartNS    float64
+	Arrived    int64
+	Completed  int64
+	Expired    int64
+	Failed     int64
+	Shed       int64
+	Unroutable int64
+}
+
+// GoodputRPS is the window's completion rate in requests per virtual second.
+func (w WindowStats) GoodputRPS(windowNS float64) float64 {
+	if windowNS <= 0 {
+		return 0
+	}
+	return float64(w.Completed) / windowNS * 1e9
 }
 
 // ClusterStats summarizes one cluster after a run.
@@ -459,20 +579,31 @@ type ClusterStats struct {
 	Active     int
 	Served     int64
 	PeakQueued int64
+	// AdmissionShed counts admission-hook rejections attributed to this
+	// cluster (the cluster routing had picked before the hook refused).
+	AdmissionShed int64
 }
 
 func (f *Fleet) compileResult(requests int, events int64, wall time.Duration) *Result {
 	res := &Result{
 		Result: fleet.Result{
-			Offered:   requests,
-			Completed: int(f.completed.Load()),
-			Shed:      int(f.shed.Load()),
-			Expired:   int(f.expired.Load()),
+			Offered:    requests,
+			Completed:  int(f.completed.Load()),
+			Shed:       int(f.shed.Load()),
+			Unroutable: int(f.unroutable.Load()),
+			Expired:    int(f.expired.Load()),
+			Failed:     int(f.failed.Load()),
+			Retried:    int(f.retried.Load()),
 		},
 		Events:        events,
 		WallSeconds:   wall.Seconds(),
 		AdmissionShed: f.admissionShed,
 		ScaleActions:  f.scaleActions,
+		ChaosEvents:   f.chaosEvents.Load(),
+		Hedged:        f.hedged.Load(),
+		HedgeWasted:   f.hedgeWasted.Load(),
+		BrownoutShed:  f.brownoutShed.Load(),
+		Windows:       f.windows,
 	}
 	sort.Float64s(f.latencies)
 	res.LatenciesNS = f.latencies
@@ -505,11 +636,12 @@ func (f *Fleet) compileResult(requests int, events int64, wall time.Duration) *R
 			}
 		}
 		res.Clusters = append(res.Clusters, ClusterStats{
-			Name:       cl.name,
-			Replicas:   len(cl.replicas),
-			Active:     active,
-			Served:     cl.served,
-			PeakQueued: cl.peakQueued,
+			Name:          cl.name,
+			Replicas:      len(cl.replicas),
+			Active:        active,
+			Served:        cl.served,
+			PeakQueued:    cl.peakQueued,
+			AdmissionShed: cl.admissionShed,
 		})
 	}
 	return res

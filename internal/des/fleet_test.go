@@ -22,9 +22,9 @@ func homogeneous(n int, fillNS, intervalNS float64) []fleet.ReplicaSpec {
 // conserve asserts the request conservation invariant every run must hold.
 func conserve(t *testing.T, r *Result) {
 	t.Helper()
-	if r.Completed+r.Shed+r.Expired != r.Offered {
-		t.Fatalf("conservation: %d completed + %d shed + %d expired != %d offered",
-			r.Completed, r.Shed, r.Expired, r.Offered)
+	if r.Completed+r.Shed+r.Unroutable+r.Expired+r.Failed != r.Offered {
+		t.Fatalf("conservation: %d completed + %d shed + %d unroutable + %d expired + %d failed != %d offered",
+			r.Completed, r.Shed, r.Unroutable, r.Expired, r.Failed, r.Offered)
 	}
 	if len(r.LatenciesNS) != r.Completed {
 		t.Fatalf("%d latencies for %d completions", len(r.LatenciesNS), r.Completed)

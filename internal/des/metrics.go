@@ -1,6 +1,9 @@
 package des
 
-import "autohet/internal/obs"
+import (
+	"autohet/internal/chaos"
+	"autohet/internal/obs"
+)
 
 // Observability. The simulation loop is single-goroutine and allocation-
 // sensitive, so nothing on the event path records into the registry
@@ -36,6 +39,40 @@ func (f *Fleet) registerMetrics() {
 	reg.CounterFunc(`autohet_des_requests_total{outcome="expired"}`,
 		"DES fleet requests by outcome.",
 		f.expired.Load)
+	reg.CounterFunc(`autohet_des_requests_total{outcome="unroutable"}`,
+		"DES fleet requests by outcome.",
+		f.unroutable.Load)
+	reg.CounterFunc(`autohet_des_requests_total{outcome="failed"}`,
+		"DES fleet requests by outcome.",
+		f.failed.Load)
+	reg.CounterFunc(`autohet_chaos_events_total{engine="des"}`,
+		"Chaos fault events applied to the DES fleet.",
+		f.chaosEvents.Load)
+	reg.CounterFunc(`autohet_chaos_actions_total{action="retry"}`,
+		"Resilience actions taken by the DES fleet.",
+		f.retried.Load)
+	reg.CounterFunc(`autohet_chaos_actions_total{action="hedge"}`,
+		"Resilience actions taken by the DES fleet.",
+		f.hedged.Load)
+	reg.CounterFunc(`autohet_chaos_actions_total{action="hedge_wasted"}`,
+		"Resilience actions taken by the DES fleet.",
+		f.hedgeWasted.Load)
+	reg.CounterFunc(`autohet_chaos_actions_total{action="brownout_shed"}`,
+		"Resilience actions taken by the DES fleet.",
+		f.brownoutShed.Load)
+	if f.breakersOn {
+		reg.GaugeFunc("autohet_chaos_breakers_open",
+			"DES replicas whose circuit breaker is currently open.",
+			func() float64 {
+				open := 0.0
+				for _, r := range f.replicas {
+					if r.breaker != nil && r.breaker.State() == chaos.BreakerOpen {
+						open++
+					}
+				}
+				return open
+			})
+	}
 	f.speedupGauge = &gaugeHandle{g: reg.Gauge("autohet_des_speedup",
 		"Virtual seconds simulated per wall second in the last DES run.")}
 	for _, cl := range f.clusters {

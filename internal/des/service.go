@@ -50,20 +50,29 @@ func (f *Fleet) onCollectTimeout(r *simReplica) {
 // accelerator and schedules the pipeline-free event. It leaves further
 // batch formation to the caller (maybeService loops while the replica is
 // idle, e.g. after an all-expired batch).
+//
+// Chaos degradation applies here: fail-slow multiplies fill and interval,
+// a degraded link adds per-batch transfer cost onto fill. Healthy values
+// (slow 1, link 0) reproduce the original arithmetic exactly (x·1 == x,
+// x+0 == x in IEEE), preserving the bit-identical crosschecks.
 func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
+	fill := r.fill*r.slow + r.link
+	interval := r.interval * r.slow
 	entry := r.nextFree
 	first := r.queue.peek()
 	kept := 0
 	// Two passes over the batch members mirror the goroutine execute: the
 	// entry time closes over every member before any completion is priced.
+	// Queue-join times (enqueued == arrival for primary dispatches) drive
+	// the recurrence; budgets and latencies measure from true arrival.
 	for i := 0; i < take; i++ {
 		rq := r.queue.buf[(r.queue.head+i)%len(r.queue.buf)]
-		if rq.arrival > entry {
-			entry = rq.arrival
+		if rq.enqueued > entry {
+			entry = rq.enqueued
 		}
 	}
 	if timedOut {
-		if t := first.arrival + f.cfg.BatchTimeoutNS; t > entry {
+		if t := first.enqueued + f.cfg.BatchTimeoutNS; t > entry {
 			entry = t
 		}
 	}
@@ -71,22 +80,54 @@ func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
 		rq := r.queue.pop()
 		f.queued--
 		r.cl.queued.Add(-1)
-		completion := entry + r.fill + float64(kept)*r.interval
-		if rq.budget > 0 && completion-rq.arrival > rq.budget {
-			r.expired++
-			f.expired.Add(1)
-			f.logf("X t=%.3f id=%d r=%s reason=budget\n", f.eng.Now(), rq.id, r.name)
+		if rq.st != nil && (rq.st.done || rq.st.failed) {
+			// First-wins cancellation: a copy whose request already
+			// resolved is dropped at pop without consuming a slot.
+			f.hedgeWasted.Add(1)
+			f.logf("W t=%.3f id=%d r=%s\n", f.eng.Now(), rq.id, r.name)
 			continue
 		}
-		latency := completion - rq.arrival
-		f.latencies = append(f.latencies, latency)
-		f.completed.Add(1)
-		r.served++
-		r.cl.served++
-		if completion > f.makespan {
-			f.makespan = completion
+		completion := entry + fill + float64(kept)*interval
+		if rq.budget > 0 && completion-rq.arrival > rq.budget {
+			r.expired++
+			if st := rq.st; st != nil {
+				st.expired = true
+				st.live--
+				if r.breaker != nil {
+					r.breaker.Record(f.eng.Now(), false)
+				}
+				f.logf("E t=%.3f id=%d r=%s reason=budget\n", f.eng.Now(), rq.id, r.name)
+				f.tryRetry(st)
+			} else {
+				f.expired.Add(1)
+				f.window(f.eng.Now()).Expired++
+				f.logf("X t=%.3f id=%d r=%s reason=budget\n", f.eng.Now(), rq.id, r.name)
+			}
+			continue
 		}
-		f.logf("S t=%.3f id=%d r=%s e=%.3f c=%.3f\n", f.eng.Now(), rq.id, r.name, entry, completion)
+		if st := rq.st; st != nil {
+			// Resilient copy: it occupies its pipeline slot now, but the
+			// request resolves at the virtual completion time so a faster
+			// hedge can still win (see chaos.go).
+			st.live--
+			st.pending++
+			if r.breaker != nil {
+				r.breaker.Record(f.eng.Now(), true)
+			}
+			rr, c := r, completion
+			f.eng.At(c, func() { f.resolveCopy(st, rr, c) })
+		} else {
+			latency := completion - rq.arrival
+			f.latencies = append(f.latencies, latency)
+			f.completed.Add(1)
+			r.served++
+			r.cl.served++
+			f.window(completion).Completed++
+			if completion > f.makespan {
+				f.makespan = completion
+			}
+			f.logf("S t=%.3f id=%d r=%s e=%.3f c=%.3f\n", f.eng.Now(), rq.id, r.name, entry, completion)
+		}
 		kept++
 	}
 	if kept == 0 {
@@ -94,7 +135,7 @@ func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
 	}
 	r.batches++
 	r.batchSum += int64(kept)
-	r.nextFree = entry + float64(kept)*r.interval
+	r.nextFree = entry + float64(kept)*interval
 	r.busy = true
 	r.inFlight = kept
 	f.inFlight += kept

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autohet/internal/chaos"
+	"autohet/internal/des"
+	"autohet/internal/des/trace"
+	"autohet/internal/fleet"
+	"autohet/internal/report"
+)
+
+// Chaos experiment — fault injection against the DES fleet with the
+// client-side resilience stack on and off. One storm recipe, three runs:
+// a calm baseline, the storm with legacy dispatch, and the storm with
+// retry + hedging + breakers + brownout. Goodput is windowed so the table
+// shows the collapse and the recovery, not just end-of-run totals.
+//
+// The storm is sized to overload the survivors: an eighth of the fleet
+// turns 20x slow at 6s (capacity ~4880 vs 4800 offered — balanced on a
+// knife edge), then a quarter crashes at 9s (capacity ~3280 — deep
+// overload) and restarts at 13s; the slowdown lifts at 16s. The 400 ms
+// latency budget is the SLO: without resilience the backlog burns it for
+// everyone, with resilience breakers route around the stragglers, brownout
+// sheds the lowest priority classes first, and retries re-home the copies
+// the crashes drained.
+const (
+	chaosReplicas = 64
+	chaosClusters = 8
+	chaosRequests = 150_000
+	chaosLoad     = 0.75
+	chaosBudgetNS = 400e6
+
+	chaosWindowNS     = 2e9
+	chaosStormStartNS = 6e9
+	chaosStormEndNS   = 16e9
+	chaosCrashAtNS    = 9e9
+	chaosCrashMTTRNS  = 4e9
+	chaosCrashFrac    = 0.25
+	chaosSlowFrac     = 0.125
+	chaosSlowFactor   = 20
+)
+
+// ChaosRun is one measured leg of the chaos experiment.
+type ChaosRun struct {
+	Name string
+	Res  *des.Result
+	// PreRPS / StormRPS / PostRPS are mean windowed goodput before the
+	// storm starts, while it rages, and after it ends (partial and warmup
+	// windows excluded); Recovery is post over pre.
+	PreRPS, StormRPS, PostRPS, Recovery float64
+}
+
+// chaosStorm builds the storm schedule over the fleet's replica names.
+func chaosStorm(seed int64) *chaos.Schedule {
+	rnames := make([]string, chaosReplicas)
+	for i := range rnames {
+		rnames[i] = fmt.Sprintf("r%d", i)
+	}
+	return chaos.Merge(
+		chaos.SlowStorm(chaosStormStartNS, chaosStormEndNS-chaosStormStartNS, rnames,
+			chaosSlowFrac, chaosSlowFactor, seed),
+		chaos.CrashStorm(chaosCrashAtNS, chaosCrashMTTRNS, rnames, chaosCrashFrac, seed),
+	)
+}
+
+// chaosResilience is the stack the resilient leg runs: stock retry, hedge,
+// and breaker policies, with brownout sized to the service model. A
+// fill/interval-5 pipeline holds a natural standing backlog of ~3.75
+// queued per active replica at this load, so the sheddable class's
+// threshold (MaxQueuedPerActive/Levels per active) must clear that; two
+// levels at 8 put it at 4 per active — quiet in steady state, tripped
+// within a second of the storm opening a capacity hole, and ~40 ms of
+// queue wait at the pinned backlog (the single threshold stops the backlog
+// riding up a ladder of per-class shed points). The hedge delay is capped
+// at 100 ms so backups stay aggressive while the storm drags the observed
+// p95 up.
+func chaosResilience() chaos.Resilience {
+	return chaos.Resilience{
+		Retry:    &chaos.RetryPolicy{},
+		Hedge:    &chaos.HedgePolicy{MaxDelayNS: 100e6},
+		Breaker:  &chaos.BreakerConfig{},
+		Brownout: &chaos.BrownoutPolicy{MaxQueuedPerActive: 8, Levels: 2},
+	}
+}
+
+// ChaosRuns executes the three legs. Exported so the acceptance test can
+// assert the recovery criteria on exactly the numbers the table prints.
+func (s *Suite) ChaosRuns() ([]ChaosRun, error) {
+	rate := chaosLoad * float64(chaosReplicas) * 100 // 100 req/s per replica
+	legs := []struct {
+		name  string
+		storm bool
+		res   chaos.Resilience
+	}{
+		{"baseline (no faults)", false, chaos.Resilience{}},
+		{"storm, resilience off", true, chaos.Resilience{}},
+		{"storm + resilience", true, chaosResilience()},
+	}
+	var runs []ChaosRun
+	for _, leg := range legs {
+		cfg := des.DefaultConfig()
+		cfg.Policy = fleet.JoinShortestQueue
+		cfg.ClusterPolicy = fleet.JoinShortestQueue
+		cfg.Clusters = chaosClusters
+		cfg.QueueDepth = 64
+		cfg.Seed = s.Seed
+		cfg.StatsWindowNS = chaosWindowNS
+		cfg.Resilience = leg.res
+		if leg.storm {
+			cfg.Chaos = chaosStorm(s.Seed)
+		}
+		f, err := des.NewFleet(cfg, desSpecs(chaosReplicas)...)
+		if err != nil {
+			return nil, err
+		}
+		res, err := f.RunTrace(trace.Poisson(rate, s.Seed), chaosRequests, chaosBudgetNS)
+		if err != nil {
+			return nil, err
+		}
+		r := ChaosRun{
+			Name:     leg.name,
+			Res:      res,
+			PreRPS:   meanGoodput(res.Windows, chaosWindowNS, chaosWindowNS, chaosStormStartNS),
+			StormRPS: meanGoodput(res.Windows, chaosWindowNS, chaosStormStartNS, chaosStormEndNS),
+			PostRPS:  meanGoodput(res.Windows, chaosWindowNS, chaosStormEndNS+chaosWindowNS, lastFullWindowNS(res.Windows)),
+		}
+		if r.PreRPS > 0 {
+			r.Recovery = r.PostRPS / r.PreRPS
+		}
+		runs = append(runs, r)
+	}
+	return runs, nil
+}
+
+// meanGoodput averages GoodputRPS over the windows lying fully inside
+// [fromNS, toNS).
+func meanGoodput(ws []des.WindowStats, windowNS, fromNS, toNS float64) float64 {
+	var sum float64
+	n := 0
+	for _, w := range ws {
+		if w.StartNS >= fromNS && w.StartNS+windowNS <= toNS {
+			sum += w.GoodputRPS(windowNS)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// lastFullWindowNS is the start of the final window — everything before it
+// is complete; the final window itself is cut short by the end of arrivals.
+func lastFullWindowNS(ws []des.WindowStats) float64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	return ws[len(ws)-1].StartNS
+}
+
+// Chaos renders the chaos experiment table.
+func (s *Suite) Chaos() (*report.Table, error) {
+	runs, err := s.ChaosRuns()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("Extension — chaos: fault storm vs client-side resilience (%d replicas, %.0f%% load, %.0f ms SLO, jsq)",
+			chaosReplicas, 100*chaosLoad, chaosBudgetNS/1e6),
+		Note: fmt.Sprintf("An eighth of the fleet runs %dx slow from 6s to 16s; a quarter crashes at 9s and restarts at 13s. "+
+			"Lost = crash losses + dead-end routes (failed + unroutable); Expired = requests that burned the %.0f ms budget. "+
+			"Resilience (retry + hedging + breakers + brownout) sheds the lowest priority classes to keep the rest inside "+
+			"the SLO; recovery compares post-storm windowed goodput (%gs windows) to pre-storm.",
+			chaosSlowFactor, chaosBudgetNS/1e6, chaosWindowNS/1e9),
+		Header: []string{"Scenario", "Completed", "Lost", "Expired", "Shed", "Retried", "Hedged",
+			"p50 (ms)", "p99 (ms)", "Goodput storm", "Goodput post", "Recovery"},
+	}
+	for _, r := range runs {
+		res := r.Res
+		t.AddRow(r.Name, report.I(res.Completed), report.I(res.Failed+res.Unroutable),
+			report.I(res.Expired), report.I(res.Shed), report.I(res.Retried), report.I(int(res.Hedged)),
+			fmt.Sprintf("%.1f", res.P50NS/1e6), fmt.Sprintf("%.1f", res.P99NS/1e6),
+			fmt.Sprintf("%.0f", r.StormRPS), fmt.Sprintf("%.0f", r.PostRPS),
+			fmt.Sprintf("%.1f%%", 100*r.Recovery))
+	}
+	return t, nil
+}

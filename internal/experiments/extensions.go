@@ -21,7 +21,7 @@ import (
 // sensitivity, inter-layer pipelining, and the LLM-domain workload.
 
 // Extensions lists the extension experiment names.
-var Extensions = []string{"breakdown", "faults", "repair", "pipeline", "llm", "stability", "programming", "precision", "pruning", "noc", "adc", "fleet", "des"}
+var Extensions = []string{"breakdown", "faults", "repair", "pipeline", "llm", "stability", "programming", "precision", "pruning", "noc", "adc", "fleet", "des", "chaos"}
 
 // RunExtension generates the named extension experiment.
 func (s *Suite) RunExtension(name string) ([]*report.Table, error) {
@@ -62,6 +62,9 @@ func (s *Suite) RunExtension(name string) ([]*report.Table, error) {
 		return s.Fleet()
 	case "des":
 		return s.Des()
+	case "chaos":
+		t, err := s.Chaos()
+		return wrap(t, err)
 	default:
 		return nil, fmt.Errorf("experiments: unknown extension %q (have %v)", name, Extensions)
 	}

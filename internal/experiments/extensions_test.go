@@ -93,7 +93,7 @@ func TestRunExtensionDispatch(t *testing.T) {
 	if err != nil || len(tables) != 1 {
 		t.Fatalf("RunExtension(faults) = %v, %v", tables, err)
 	}
-	if len(Extensions) != 13 {
+	if len(Extensions) != 14 {
 		t.Fatalf("Extensions = %v", Extensions)
 	}
 }

@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"autohet/internal/chaos"
+	"autohet/internal/fault"
+	"autohet/internal/obs"
+)
+
+// Chaos injection for the goroutine runtime. Fault events either mutate
+// cheap per-replica atomics (crash flag, fail-slow factor, link cost) read
+// by the batching loops, or drive the existing repair sweep path (Faults
+// storms land as fault.Model injections that the online health loop heals).
+// The chaos driver (StartChaos) replays a chaos.Schedule against the
+// fleet's virtual clock so the same schedule that runs in seconds on the
+// DES engine paces faithfully here.
+
+// Crash fail-stops the named replica: it counts as degraded, so its
+// batching loop bounces queued work back to retry routing and dispatch
+// stops choosing it. Restart undoes it.
+func (f *Fleet) Crash(name string) error {
+	r := f.replicaByName(name)
+	if r == nil {
+		return fmt.Errorf("fleet: no replica %q", name)
+	}
+	r.crashed.Store(true)
+	return nil
+}
+
+// Restart returns a crashed replica to service.
+func (f *Fleet) Restart(name string) error {
+	r := f.replicaByName(name)
+	if r == nil {
+		return fmt.Errorf("fleet: no replica %q", name)
+	}
+	r.crashed.Store(false)
+	return nil
+}
+
+// SetSlowFactor installs a fail-slow service multiplier on the named
+// replica (1 restores full speed; values < 1 are rejected — chaos degrades,
+// it does not overclock).
+func (f *Fleet) SetSlowFactor(name string, factor float64) error {
+	if factor < 1 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return fmt.Errorf("fleet: slow factor %v (want >= 1)", factor)
+	}
+	r := f.replicaByName(name)
+	if r == nil {
+		return fmt.Errorf("fleet: no replica %q", name)
+	}
+	if factor == 1 {
+		r.slowBits.Store(0)
+		return nil
+	}
+	r.slowBits.Store(math.Float64bits(factor))
+	return nil
+}
+
+// SetLinkPenalty adds ns of degraded NoC/link transfer cost to every batch
+// the named replica serves (0 restores the healthy link).
+func (f *Fleet) SetLinkPenalty(name string, ns float64) error {
+	if ns < 0 || math.IsNaN(ns) || math.IsInf(ns, 0) {
+		return fmt.Errorf("fleet: link penalty %v ns", ns)
+	}
+	r := f.replicaByName(name)
+	if r == nil {
+		return fmt.Errorf("fleet: no replica %q", name)
+	}
+	if ns == 0 {
+		r.linkBits.Store(0)
+		return nil
+	}
+	r.linkBits.Store(math.Float64bits(ns))
+	return nil
+}
+
+func (f *Fleet) replicaByName(name string) *replica {
+	for _, r := range f.replicas {
+		if r.name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Apply executes one chaos event now. Faults events route through
+// InjectFault, so the online repair sweeps heal the storm exactly as a
+// directly injected fault model would.
+func (f *Fleet) Apply(ev chaos.Event) error {
+	switch ev.Kind {
+	case chaos.Crash:
+		return f.Crash(ev.Target)
+	case chaos.Restart:
+		return f.Restart(ev.Target)
+	case chaos.Slow:
+		factor := ev.Value
+		if factor <= 0 {
+			factor = 1
+		}
+		return f.SetSlowFactor(ev.Target, factor)
+	case chaos.Link:
+		return f.SetLinkPenalty(ev.Target, ev.Value)
+	case chaos.Faults:
+		if ev.Value <= 0 {
+			return f.InjectFault(ev.Target, nil)
+		}
+		return f.InjectFault(ev.Target, &fault.Model{StuckAtZero: ev.Value, Seed: f.cfg.Seed})
+	}
+	return fmt.Errorf("fleet: unknown chaos event kind %q", ev.Kind)
+}
+
+// StartChaos replays the schedule against the fleet's virtual clock in a
+// background goroutine: each event waits until VirtualNow reaches its
+// timestamp (re-deriving the wall deadline every tick, so Run's clock
+// resets are honored), then applies. The returned stop function cancels the
+// replay and waits for the driver to exit; it must be called before Close
+// returns the fleet to the caller's control flow (the driver also exits on
+// fleet shutdown). Apply errors on unknown replicas are ignored — a
+// schedule may name replicas a particular fleet does not have.
+func (f *Fleet) StartChaos(sched *chaos.Schedule) (stop func()) {
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	counter := obs.Default.Counter(`autohet_chaos_events_total{engine="goroutine"}`,
+		"Chaos fault events applied to the goroutine fleet.")
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if sched == nil {
+			return
+		}
+		for _, ev := range sched.Events {
+			if !f.waitVirtual(ev.AtNS, quit) {
+				return
+			}
+			if err := f.Apply(ev); err == nil {
+				counter.Add(1)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(quit) })
+		wg.Wait()
+	}
+}
+
+// waitVirtual sleeps until the fleet's virtual clock reaches virtualNS,
+// re-checking against clock resets, or returns false when cancelled.
+func (f *Fleet) waitVirtual(virtualNS float64, quit chan struct{}) bool {
+	for {
+		now := f.VirtualNow()
+		if now >= virtualNS {
+			select {
+			case <-quit:
+				return false
+			case <-f.quit:
+				return false
+			default:
+				return true
+			}
+		}
+		d := f.scaled(virtualNS - now)
+		// Cap each sleep so a resetClock mid-wait (Run re-anchoring the
+		// epoch) is noticed promptly instead of overshooting.
+		if d > 10*time.Millisecond {
+			d = 10 * time.Millisecond
+		}
+		if d < time.Microsecond {
+			d = time.Microsecond
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-quit:
+			timer.Stop()
+			return false
+		case <-f.quit:
+			timer.Stop()
+			return false
+		}
+	}
+}

@@ -130,7 +130,7 @@ func TestRunReplayDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Completed != b.Completed || a.Shed != b.Shed || a.Expired != b.Expired {
+	if a.Completed != b.Completed || a.Shed != b.Shed || a.Unroutable != b.Unroutable || a.Expired != b.Expired {
 		t.Fatalf("replay diverged: %+v vs %+v", a, b)
 	}
 	pairs := []struct {

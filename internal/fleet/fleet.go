@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autohet/internal/chaos"
 	"autohet/internal/fault"
 )
 
@@ -105,6 +106,12 @@ type Config struct {
 	TimeScale float64
 	// Seed drives the PowerOfTwo sampler (default 1).
 	Seed int64
+	// Breaker, when set, arms a per-replica circuit breaker
+	// (chaos.Breaker): dispatch skips replicas whose breaker refuses
+	// traffic, outcomes feed the state machine (served/expired requests
+	// and degraded-replica bounces), and open breakers heal via half-open
+	// probes. Nil (the default) disables breakers entirely.
+	Breaker *chaos.BreakerConfig
 }
 
 // DefaultConfig returns the documented defaults.
@@ -345,7 +352,8 @@ func (f *Fleet) resetClock() {
 // Submit routes the request to a replica's admission queue. It returns nil
 // once the request is accepted (its Outcome will arrive on the request's
 // done channel), ErrClosed after Close, ErrNoReplica when every replica is
-// degraded, and ErrShed when every healthy queue is full.
+// degraded (counted Unroutable — an outage), and ErrShed when every healthy
+// queue is full (counted Shed — overload backpressure).
 func (f *Fleet) Submit(rq *Request) error {
 	if rq == nil || rq.done == nil {
 		return fmt.Errorf("fleet: request without a done channel")
@@ -358,21 +366,47 @@ func (f *Fleet) Submit(rq *Request) error {
 	f.counters.Submitted.Add(1)
 	r := f.pick(nil)
 	if r == nil {
-		f.counters.Shed.Add(1)
+		f.counters.Unroutable.Add(1)
 		return ErrNoReplica
 	}
 	if f.enqueue(r, rq) {
+		f.routed(r)
 		return nil
 	}
 	// Backpressure: the chosen queue is full — fall back to any healthy
-	// replica with space before shedding.
+	// (and breaker-routable) replica with space before shedding.
+	now := f.breakerNow()
 	for _, alt := range f.replicas {
-		if alt != r && !alt.degraded() && f.enqueue(alt, rq) {
+		if alt != r && !alt.degraded() && alt.canRoute(now) && f.enqueue(alt, rq) {
+			f.routed(alt)
 			return nil
 		}
 	}
 	f.counters.Shed.Add(1)
 	return ErrShed
+}
+
+// breakerNow samples the virtual clock for breaker decisions — only when
+// breakers are armed, so breaker-free fleets pay nothing on dispatch.
+func (f *Fleet) breakerNow() float64 {
+	if f.cfg.Breaker == nil {
+		return 0
+	}
+	return f.VirtualNow()
+}
+
+// canRoute consults the replica's breaker (nowNS from breakerNow); replicas
+// without one always route.
+func (r *replica) canRoute(nowNS float64) bool {
+	return r.breaker == nil || r.breaker.CanRoute(nowNS)
+}
+
+// routed commits a dispatch decision to the replica's breaker (an open one
+// past cooldown claims this request as its half-open probe).
+func (f *Fleet) routed(r *replica) {
+	if r.breaker != nil {
+		r.breaker.OnRoute(f.VirtualNow())
+	}
 }
 
 // enqueue attempts a non-blocking admission to r. The outstanding counts
@@ -392,14 +426,16 @@ func (f *Fleet) enqueue(r *replica, rq *Request) bool {
 	}
 }
 
-// pick applies the configured policy over healthy (health > 0) replicas,
-// excluding one. The queue- and load-aware policies minimize health-weighted
-// scores, so a partially sick replica keeps serving but takes
-// proportionally less traffic.
+// pick applies the configured policy over healthy (health > 0) replicas
+// whose circuit breaker (if armed) admits traffic, excluding one. The
+// queue- and load-aware policies minimize health-weighted scores, so a
+// partially sick replica keeps serving but takes proportionally less
+// traffic.
 func (f *Fleet) pick(exclude *replica) *replica {
+	now := f.breakerNow()
 	healthy := make([]*replica, 0, len(f.replicas))
 	for _, r := range f.replicas {
-		if r != exclude && !r.degraded() {
+		if r != exclude && !r.degraded() && r.canRoute(now) {
 			healthy = append(healthy, r)
 		}
 	}
@@ -450,6 +486,11 @@ func (f *Fleet) pick(exclude *replica) *replica {
 func (f *Fleet) reroute(from *replica, rq *Request) {
 	from.outstanding.Add(-1)
 	from.rerouted.Add(1)
+	// A bounce off a degraded/crashed replica is a failure signal for its
+	// breaker (the health loop may heal it; probes then re-admit traffic).
+	if from.breaker != nil {
+		from.breaker.Record(f.VirtualNow(), false)
+	}
 	if rq.attempts >= f.cfg.MaxRetries {
 		f.resolve(rq, Outcome{Err: ErrRetries, Replica: from.name, Retries: rq.attempts})
 		f.counters.Failed.Add(1)
@@ -458,10 +499,13 @@ func (f *Fleet) reroute(from *replica, rq *Request) {
 	rq.attempts++
 	f.counters.Retried.Add(1)
 	if r := f.pick(from); r != nil && f.requeue(r, rq) {
+		f.routed(r)
 		return
 	}
+	now := f.breakerNow()
 	for _, alt := range f.replicas {
-		if alt != from && !alt.degraded() && f.requeue(alt, rq) {
+		if alt != from && !alt.degraded() && alt.canRoute(now) && f.requeue(alt, rq) {
+			f.routed(alt)
 			return
 		}
 	}
@@ -495,6 +539,11 @@ func (f *Fleet) finish(r *replica, rq *Request, out Outcome) {
 		f.counters.Expired.Add(1)
 	default:
 		f.counters.Failed.Add(1)
+	}
+	if r.breaker != nil {
+		// Budget expiries count as failures: that is how a breaker notices
+		// a fail-slow straggler whose completions never error outright.
+		r.breaker.Record(f.VirtualNow(), out.Err == nil)
 	}
 	f.resolve(rq, out)
 }
@@ -556,12 +605,13 @@ func (f *Fleet) Close() {
 // Snapshot returns a point-in-time view of the fleet and its replicas.
 func (f *Fleet) Snapshot() *Snapshot {
 	s := &Snapshot{
-		Submitted: f.counters.Submitted.Load(),
-		Completed: f.counters.Completed.Load(),
-		Shed:      f.counters.Shed.Load(),
-		Expired:   f.counters.Expired.Load(),
-		Retried:   f.counters.Retried.Load(),
-		Failed:    f.counters.Failed.Load(),
+		Submitted:  f.counters.Submitted.Load(),
+		Completed:  f.counters.Completed.Load(),
+		Shed:       f.counters.Shed.Load(),
+		Unroutable: f.counters.Unroutable.Load(),
+		Expired:    f.counters.Expired.Load(),
+		Retried:    f.counters.Retried.Load(),
+		Failed:     f.counters.Failed.Load(),
 		MeanNS:    f.hist.Mean(),
 		P50NS:     f.hist.Quantile(0.50),
 		P95NS:     f.hist.Quantile(0.95),

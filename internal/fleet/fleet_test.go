@@ -259,6 +259,55 @@ func TestAllDegradedFailsAfterRetry(t *testing.T) {
 	}
 }
 
+// Regression: overload rejections (ErrShed, every healthy queue full) and
+// outage rejections (ErrNoReplica, nothing healthy) land on separate
+// counters, so chaos experiments can tell backpressure from blast radius.
+func TestShedVsUnroutableSplit(t *testing.T) {
+	// Outage: a fully degraded fleet counts Unroutable, never Shed.
+	f, err := New(freeRunning(), ReplicaSpec{Name: "only", Pipeline: fastPipeline(),
+		Faults: &fault.Model{StuckAtZero: 0.02}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Outcome, 4)
+	for i := 0; i < 3; i++ {
+		if err := f.Submit(NewRequest(float64(i), 0, done)); err != ErrNoReplica {
+			t.Fatalf("submit %d: %v, want ErrNoReplica", i, err)
+		}
+	}
+	f.Close()
+	if s := f.Snapshot(); s.Unroutable != 3 || s.Shed != 0 {
+		t.Fatalf("outage accounting: %v, want 3 unroutable / 0 shed", s)
+	}
+
+	// Overload: a healthy fleet with full queues counts Shed, never
+	// Unroutable (the replica loop is not started, so queued work stays).
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 1
+	f2, err := newFleet(cfg, ReplicaSpec{Pipeline: fastPipeline()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed := 0
+	for i := 0; i < 3; i++ {
+		switch err := f2.Submit(NewRequest(float64(i), 0, done)); err {
+		case nil:
+		case ErrShed:
+			shed++
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if shed != 2 {
+		t.Fatalf("depth-1 queue took %d sheds from 3 submits, want 2", shed)
+	}
+	f2.start()
+	f2.Close()
+	if s := f2.Snapshot(); s.Shed != 2 || s.Unroutable != 0 {
+		t.Fatalf("overload accounting: %v, want 2 shed / 0 unroutable", s)
+	}
+}
+
 func TestInjectFaultBelowThresholdAndRecovery(t *testing.T) {
 	f, err := New(freeRunning(), ReplicaSpec{Name: "a", Pipeline: fastPipeline()})
 	if err != nil {

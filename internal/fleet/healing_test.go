@@ -246,7 +246,7 @@ func TestOnlineHealthLoopHealsUnderTraffic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Completed+res.Shed+res.Expired+res.Failed != res.Offered {
+		if res.Completed+res.Shed+res.Unroutable+res.Expired+res.Failed != res.Offered {
 			t.Fatalf("requests lost during healing: %+v", res)
 		}
 	}

@@ -30,12 +30,13 @@ type Workload struct {
 // (nearest-rank over the completed requests' virtual latencies), unlike
 // Snapshot's histogram-approximated ones.
 type Result struct {
-	Offered   int
-	Completed int
-	Shed      int // refused at admission (ErrShed / ErrNoReplica)
-	Expired   int // accepted but dropped for missing their budget
-	Failed    int // accepted but undeliverable (retries exhausted)
-	Retried   int // completed/resolved requests that were re-dispatched
+	Offered    int
+	Completed  int
+	Shed       int // refused at admission: every healthy queue full (ErrShed)
+	Unroutable int // refused at admission: no healthy replica (ErrNoReplica)
+	Expired    int // accepted but dropped for missing their budget
+	Failed     int // accepted but undeliverable (retries exhausted)
+	Retried    int // completed/resolved requests that were re-dispatched
 
 	MeanNS              float64
 	P50NS, P95NS, P99NS float64
@@ -81,8 +82,10 @@ func Run(f *Fleet, w Workload) (*Result, error) {
 		switch err {
 		case nil:
 			accepted++
-		case ErrShed, ErrNoReplica:
+		case ErrShed:
 			res.Shed++
+		case ErrNoReplica:
+			res.Unroutable++
 		default:
 			return nil, err
 		}
@@ -144,6 +147,6 @@ func percentile(sorted []float64, p float64) float64 {
 
 // String summarizes the run.
 func (r *Result) String() string {
-	return fmt.Sprintf("%d offered: %d completed, %d shed, %d expired, %d failed, %d retried; p50 %.4g ns, p99 %.4g ns, %.4g req/s",
-		r.Offered, r.Completed, r.Shed, r.Expired, r.Failed, r.Retried, r.P50NS, r.P99NS, r.ThroughputRPS)
+	return fmt.Sprintf("%d offered: %d completed, %d shed, %d unroutable, %d expired, %d failed, %d retried; p50 %.4g ns, p99 %.4g ns, %.4g req/s",
+		r.Offered, r.Completed, r.Shed, r.Unroutable, r.Expired, r.Failed, r.Retried, r.P50NS, r.P99NS, r.ThroughputRPS)
 }

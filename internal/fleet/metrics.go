@@ -19,12 +19,13 @@ type Histogram = obs.Histogram
 // Counters aggregates fleet-wide request outcomes. All fields are atomic;
 // read them through Snapshot for a consistent-enough view.
 type Counters struct {
-	Submitted obs.Counter // admission attempts (including shed ones)
-	Completed obs.Counter // successfully served
-	Shed      obs.Counter // refused at admission (queues full or no healthy replica)
-	Expired   obs.Counter // dropped for missing their latency budget
-	Retried   obs.Counter // re-dispatches away from a degraded replica
-	Failed    obs.Counter // accepted but undeliverable (retries exhausted)
+	Submitted  obs.Counter // admission attempts (including shed ones)
+	Completed  obs.Counter // successfully served
+	Shed       obs.Counter // refused at admission: every healthy queue full (overload)
+	Unroutable obs.Counter // refused at admission: no healthy replica (outage)
+	Expired    obs.Counter // dropped for missing their latency budget
+	Retried    obs.Counter // re-dispatches away from a degraded replica
+	Failed     obs.Counter // accepted but undeliverable (retries exhausted)
 }
 
 // registerMetrics publishes the fleet's counters, latency histogram, and
@@ -41,6 +42,7 @@ func (f *Fleet) registerMetrics() {
 		{"submitted", &f.counters.Submitted},
 		{"completed", &f.counters.Completed},
 		{"shed", &f.counters.Shed},
+		{"unroutable", &f.counters.Unroutable},
 		{"expired", &f.counters.Expired},
 		{"retried", &f.counters.Retried},
 		{"failed", &f.counters.Failed},
@@ -58,6 +60,12 @@ func (f *Fleet) registerMetrics() {
 		reg.GaugeFunc(fmt.Sprintf("autohet_fleet_replica_health{replica=%q}", r.name),
 			"Replica health score in [0,1] (1 pristine, 0 degraded).",
 			r.health)
+		if r.breaker != nil {
+			b := r.breaker
+			reg.GaugeFunc(fmt.Sprintf("autohet_fleet_breaker_state{replica=%q}", r.name),
+				"Circuit-breaker state per replica (0 closed, 1 open, 2 half-open).",
+				func() float64 { return float64(b.State()) })
+		}
 	}
 }
 
@@ -88,9 +96,12 @@ type ReplicaSnapshot struct {
 	AreaUM2 float64
 }
 
-// Snapshot is a point-in-time view of the whole fleet.
+// Snapshot is a point-in-time view of the whole fleet. Shed counts
+// overload rejections (every healthy queue full); Unroutable counts outage
+// rejections (no healthy replica at all) — chaos experiments need the two
+// apart to tell backpressure from blast radius.
 type Snapshot struct {
-	Submitted, Completed, Shed, Expired, Retried, Failed int64
+	Submitted, Completed, Shed, Unroutable, Expired, Retried, Failed int64
 	// Fleet-wide latency distribution over completed requests.
 	MeanNS, P50NS, P95NS, P99NS, MaxNS float64
 	Replicas                           []ReplicaSnapshot
@@ -98,6 +109,6 @@ type Snapshot struct {
 
 // String summarizes the fleet snapshot in one line.
 func (s *Snapshot) String() string {
-	return fmt.Sprintf("fleet[%d replicas]: %d submitted, %d completed, %d shed, %d expired, %d retried, %d failed; p50 %.4g ns, p99 %.4g ns",
-		len(s.Replicas), s.Submitted, s.Completed, s.Shed, s.Expired, s.Retried, s.Failed, s.P50NS, s.P99NS)
+	return fmt.Sprintf("fleet[%d replicas]: %d submitted, %d completed, %d shed, %d unroutable, %d expired, %d retried, %d failed; p50 %.4g ns, p99 %.4g ns",
+		len(s.Replicas), s.Submitted, s.Completed, s.Shed, s.Unroutable, s.Expired, s.Retried, s.Failed, s.P50NS, s.P99NS)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"autohet/internal/accel"
+	"autohet/internal/chaos"
 	"autohet/internal/fault"
 	"autohet/internal/sim"
 )
@@ -93,10 +94,23 @@ type replica struct {
 	// policies weight queue scores by it so traffic shifts smoothly away
 	// from sick replicas.
 	healthBits atomic.Uint64
-	faultMu    sync.Mutex
-	faults     *fault.Model
-	repair     *RepairSpec
-	hs         healthState
+	// crashed fail-stops the replica (chaos injection): degraded() while
+	// set, so the batching loop bounces its queue to retry routing.
+	crashed atomic.Bool
+	// slowBits / linkBits hold chaos service degradations as float64 bits:
+	// a fail-slow multiplier on fill and interval (0 bits = factor 1) and
+	// an added per-batch link transfer cost in ns. Written by the chaos
+	// driver, read by execute.
+	slowBits atomic.Uint64
+	linkBits atomic.Uint64
+	// breaker is the per-replica circuit breaker (nil unless
+	// Config.Breaker is set). Dispatch filters on CanRoute, commits with
+	// OnRoute, and finish/reroute feed Record.
+	breaker *chaos.Breaker
+	faultMu sync.Mutex
+	faults  *fault.Model
+	repair  *RepairSpec
+	hs      healthState
 
 	nextFree float64 // virtual ns; loop-owned
 	clockGen uint64  // fleet clock generation nextFree belongs to; loop-owned
@@ -131,6 +145,9 @@ func newReplica(index int, spec ReplicaSpec, cfg *Config) (*replica, error) {
 		rs := *spec.Repair
 		r.repair = &rs
 	}
+	if cfg.Breaker != nil {
+		r.breaker = chaos.NewBreaker(*cfg.Breaker)
+	}
 	r.setHealth(1)
 	if err := r.injectFault(spec.Faults, cfg.DegradeThreshold); err != nil {
 		return nil, err
@@ -139,9 +156,29 @@ func newReplica(index int, spec ReplicaSpec, cfg *Config) (*replica, error) {
 }
 
 func (r *replica) health() float64 { return math.Float64frombits(r.healthBits.Load()) }
-func (r *replica) degraded() bool  { return r.health() <= 0 }
+func (r *replica) degraded() bool  { return r.crashed.Load() || r.health() <= 0 }
 func (r *replica) setHealth(h float64) {
 	r.healthBits.Store(math.Float64bits(h))
+}
+
+// slowFactor returns the chaos fail-slow service multiplier (1 when none is
+// installed: the zero bit pattern decodes specially so untouched replicas
+// never pay a float multiply identity risk).
+func (r *replica) slowFactor() float64 {
+	bits := r.slowBits.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
+
+// linkNS returns the chaos degraded-link transfer cost added to each batch.
+func (r *replica) linkNS() float64 {
+	bits := r.linkBits.Load()
+	if bits == 0 {
+		return 0
+	}
+	return math.Float64frombits(bits)
 }
 
 // queueScore is the health-weighted admission-queue depth the JSQ and P2C
@@ -288,6 +325,12 @@ func (r *replica) execute(f *Fleet, batch []*Request, timedOut bool) {
 		r.clockGen = g
 		r.nextFree = 0
 	}
+	// Chaos service degradation: a fail-slow factor stretches fill and
+	// interval, a degraded link adds transfer cost to the batch fill. With
+	// no chaos installed (factor 1, link 0) both expressions are exact
+	// identities, so legacy accounting stays bit-for-bit.
+	fill := r.pr.FillNS*r.slowFactor() + r.linkNS()
+	interval := r.pr.IntervalNS * r.slowFactor()
 	entry := r.nextFree
 	for _, rq := range batch {
 		if rq.ArrivalNS > entry {
@@ -301,7 +344,7 @@ func (r *replica) execute(f *Fleet, batch []*Request, timedOut bool) {
 	}
 	kept := batch[:0]
 	for _, rq := range batch {
-		completion := entry + r.pr.FillNS + float64(len(kept))*r.pr.IntervalNS
+		completion := entry + fill + float64(len(kept))*interval
 		if rq.BudgetNS > 0 && completion-rq.ArrivalNS > rq.BudgetNS {
 			r.expired.Add(1)
 			f.finish(r, rq, Outcome{Err: ErrDeadline, Replica: r.name, Retries: rq.attempts})
@@ -312,12 +355,12 @@ func (r *replica) execute(f *Fleet, batch []*Request, timedOut bool) {
 	if len(kept) == 0 {
 		return
 	}
-	r.nextFree = entry + float64(len(kept))*r.pr.IntervalNS
+	r.nextFree = entry + float64(len(kept))*interval
 	r.batches.Add(1)
 	r.batchSum.Add(int64(len(kept)))
 	f.pace(r.nextFree)
 	for i, rq := range kept {
-		latency := entry + r.pr.FillNS + float64(i)*r.pr.IntervalNS - rq.ArrivalNS
+		latency := entry + fill + float64(i)*interval - rq.ArrivalNS
 		r.served.Add(1)
 		r.hist.Observe(latency)
 		f.finish(r, rq, Outcome{LatencyNS: latency, Replica: r.name, Retries: rq.attempts})

@@ -43,7 +43,7 @@ func TestStressConcurrentFleet(t *testing.T) {
 	}
 
 	done := make(chan Outcome, producers*perProducer)
-	var accepted, shed, rejected atomic.Int64
+	var accepted, shed, unroutable, rejected atomic.Int64
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
@@ -59,8 +59,10 @@ func TestStressConcurrentFleet(t *testing.T) {
 				switch {
 				case err == nil:
 					accepted.Add(1)
-				case errors.Is(err, ErrShed), errors.Is(err, ErrNoReplica):
+				case errors.Is(err, ErrShed):
 					shed.Add(1)
+				case errors.Is(err, ErrNoReplica):
+					unroutable.Add(1)
 				case errors.Is(err, ErrClosed):
 					rejected.Add(1)
 				default:
@@ -150,11 +152,14 @@ func TestStressConcurrentFleet(t *testing.T) {
 	}
 
 	s := f.Snapshot()
-	if total := accepted.Load() + shed.Load(); s.Submitted != total {
+	if total := accepted.Load() + shed.Load() + unroutable.Load(); s.Submitted != total {
 		t.Errorf("submitted %d, producers saw %d", s.Submitted, total)
 	}
 	if s.Shed != shed.Load() {
 		t.Errorf("shed counter %d, producers saw %d", s.Shed, shed.Load())
+	}
+	if s.Unroutable != unroutable.Load() {
+		t.Errorf("unroutable counter %d, producers saw %d", s.Unroutable, unroutable.Load())
 	}
 	if s.Completed != completed || s.Expired != expired || s.Failed != failed {
 		t.Errorf("counters (%d,%d,%d) disagree with outcomes (%d,%d,%d)",

@@ -1,0 +1,115 @@
+package repair
+
+import (
+	"testing"
+
+	"autohet/internal/fault"
+	"autohet/internal/quant"
+)
+
+// FuzzMarchTest drives the march-test detection path with random array
+// shapes, stuck-at rates, seeds, and detection miss rates, checking the
+// invariants the repair pipeline leans on: the truth map is deterministic
+// and genuinely describes the cells ApplyStuckAt pins, detection is a
+// subset of truth (no phantom faults), and thinning is deterministic.
+func FuzzMarchTest(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(4), uint16(500), uint16(300), uint8(64), int64(1), int64(3), []byte{0xa5, 0x3c})
+	f.Add(uint8(1), uint8(1), uint8(1), uint16(0), uint16(0), uint8(0), int64(0), int64(0), []byte{})
+	f.Add(uint8(31), uint8(7), uint8(8), uint16(9999), uint16(9999), uint8(255), int64(-5), int64(1<<40), []byte{0xff})
+	f.Fuzz(func(t *testing.T, rowsRaw, colsRaw, planesRaw uint8, zeroRaw, oneRaw uint16, missRaw uint8, seed, layerKey int64, data []byte) {
+		rows := int(rowsRaw)%32 + 1
+		cols := int(colsRaw)%32 + 1
+		planes := int(planesRaw)%8 + 1
+		// Rates in [0, 0.5] each so StuckAtZero+StuckAtOne ≤ 1 always validates.
+		z := float64(zeroRaw%10001) / 20000
+		o := float64(oneRaw%10001) / 20000
+		miss := float64(missRaw) / 256 // [0, 1)
+		m := &fault.Model{StuckAtZero: z, StuckAtOne: o, Seed: seed}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("clamped model rejected: %v", err)
+		}
+
+		truth := MarchTest(m, layerKey, rows, cols, planes)
+		again := MarchTest(m, layerKey, rows, cols, planes)
+		if truth.Count() != again.Count() {
+			t.Fatalf("march test nondeterministic: %d vs %d cells", truth.Count(), again.Count())
+		}
+		stuck := make(map[Cell]bool, truth.Count())
+		for i, c := range truth.Cells {
+			if again.Cells[i] != c {
+				t.Fatalf("march test nondeterministic at cell %d: %+v vs %+v", i, c, again.Cells[i])
+			}
+			if c.Plane < 0 || c.Plane >= planes || c.Row < 0 || c.Row >= rows || c.Col < 0 || c.Col >= cols {
+				t.Fatalf("cell %+v outside %dx%dx%d array", c, rows, cols, planes)
+			}
+			key := Cell{Plane: c.Plane, Row: c.Row, Col: c.Col}
+			if stuck[key] {
+				t.Fatalf("cell %+v reported twice", c)
+			}
+			stuck[key] = true
+		}
+
+		// Ground truth: program an arbitrary pattern and read it back through
+		// the model. Cells in the map must read their stuck value, cells off
+		// the map must read what was programmed.
+		pattern := patternPlanes(rows, cols, planes, 0)
+		for b, p := range pattern {
+			for i := range p.Bits {
+				if len(data) > 0 && data[(b*len(p.Bits)+i)%len(data)]&1 == 1 {
+					p.Bits[i] = 1
+				}
+			}
+		}
+		read := m.ApplyStuckAt(clonePlanes(pattern), layerKey)
+		want := make(map[Cell]uint8, truth.Count())
+		for _, c := range truth.Cells {
+			want[Cell{Plane: c.Plane, Row: c.Row, Col: c.Col}] = c.Stuck
+		}
+		for b := 0; b < planes; b++ {
+			for i, bit := range read[b].Bits {
+				key := Cell{Plane: b, Row: i / cols, Col: i % cols}
+				if s, ok := want[key]; ok {
+					if bit != s {
+						t.Fatalf("cell %+v in map as stuck-%d but reads %d", key, s, bit)
+					}
+				} else if bit != pattern[b].Bits[i] {
+					t.Fatalf("cell %+v not in map but reads %d after programming %d", key, bit, pattern[b].Bits[i])
+				}
+			}
+		}
+
+		// Detection: a thinned sweep never reports a cell the array doesn't
+		// have (detected ⊆ injected), and is reproducible in its seed.
+		p := Policy{DetectMissRate: miss, DetectSeed: seed}
+		gotTruth, detected := p.Detect(m, layerKey, rows, cols, planes)
+		if gotTruth.Count() != truth.Count() {
+			t.Fatalf("Detect truth %d cells, MarchTest %d", gotTruth.Count(), truth.Count())
+		}
+		if detected.Count() > truth.Count() {
+			t.Fatalf("detected %d faults, only %d injected", detected.Count(), truth.Count())
+		}
+		for _, c := range detected.Cells {
+			if !stuck[Cell{Plane: c.Plane, Row: c.Row, Col: c.Col}] {
+				t.Fatalf("detected phantom fault %+v", c)
+			}
+		}
+		if _, d2 := p.Detect(m, layerKey, rows, cols, planes); d2.Count() != detected.Count() {
+			t.Fatalf("detection nondeterministic: %d vs %d cells", detected.Count(), d2.Count())
+		}
+		if miss == 0 && detected.Count() != truth.Count() {
+			t.Fatalf("lossless sweep dropped cells: %d of %d", detected.Count(), truth.Count())
+		}
+	})
+}
+
+// clonePlanes deep-copies a bit-plane stack so read-back comparisons see the
+// original programming.
+func clonePlanes(in []*quant.BitPlane) []*quant.BitPlane {
+	out := make([]*quant.BitPlane, len(in))
+	for i, p := range in {
+		c := &quant.BitPlane{Rows: p.Rows, Cols: p.Cols, Bit: p.Bit, Bits: make([]uint8, len(p.Bits))}
+		copy(c.Bits, p.Bits)
+		out[i] = c
+	}
+	return out
+}

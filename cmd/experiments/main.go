@@ -102,10 +102,21 @@ func main() {
 				fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("mvm bench (%d workers): kernel %.0fns packed vs %.0fns scalar (%.0fx); %s end-to-end %.2fs/inf (%.1f inf/s, %.2f allocs/patch, est. %.0fx over scalar) -> %s\n",
+			fmt.Printf("mvm bench (%d workers): kernel %.0fns packed vs %.0fns scalar (%.0fx); %s end-to-end %.3fs/inf (%.1f inf/s, %.2f allocs/patch, est. %.0fx over scalar) -> %s\n",
 				b.Workers, b.Kernel.PackedNsPerMVM, b.Kernel.ScalarNsPerMVM, b.Kernel.Speedup,
 				b.EndToEnd.Model, b.EndToEnd.WallSecondsPerInf, b.EndToEnd.InferencesPerSec,
 				b.EndToEnd.AllocsPerPatch, b.EndToEnd.EstimatedSpeedup, *benchJSON)
+			fmt.Printf("  kernel batch sweep (Fig. 5 layer):\n")
+			fmt.Printf("    %6s  %12s  %12s  %8s\n", "batch", "ns/MVM", "MVMs/s", "vs B=1")
+			for _, kl := range b.KernelBatch {
+				fmt.Printf("    %6d  %12.0f  %12.0f  %7.2fx\n", kl.Batch, kl.NsPerMVM, kl.MVMsPerSec, kl.SpeedupVsB1)
+			}
+			fmt.Printf("  %s serving sweep (fast kernels; bit-exact pipeline %.2f inf/s):\n",
+				b.EndToEnd.Model, b.EndToEnd.BitExactInfPerSec)
+			fmt.Printf("    %6s  %12s  %12s\n", "batch", "s/inf", "inf/s")
+			for _, sl := range b.EndToEnd.ServeBatch {
+				fmt.Printf("    %6d  %12.4f  %12.2f\n", sl.Batch, sl.WallSecondsPerInf, sl.InferencesPerSec)
+			}
 		case "fleet":
 			b, err := experiments.BenchFleet(*seed)
 			if err != nil {

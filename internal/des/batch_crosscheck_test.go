@@ -1,0 +1,93 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"autohet/internal/fleet"
+	"autohet/internal/sim"
+)
+
+// TestCrossCheckBatchedService: the batched-kernel service model
+// (fleet.BatchService, derived from sim.PipelineResult.BatchCost) must
+// price identically in the goroutine runtime and the DES engine — a formed
+// batch of B requests is charged BaseNS + B·PerInputNS of engine
+// occupancy, with member i completing at entry + BaseNS + (i+1)·PerInputNS.
+//
+// Design for determinism: one replica, MaxBatch 32, a queue deep enough
+// for the whole trace, and arrivals ~10⁶× denser than service so every
+// batch closes by count with a full backlog behind it. The goroutine
+// runtime gets a batch timeout far longer than the submission burst (so
+// its wall-clock collect loop never truncates a batch); the DES gets a
+// 1 ns virtual collect window (so its first, timeout-closed window opens
+// with the full backlog already queued and enters within 1 ns of the
+// goroutine's count-closed first batch). Every batch in both engines is
+// then exactly MaxBatch, and throughput/mean-batch/latency statistics
+// agree to ≤1e-6 relative.
+func TestCrossCheckBatchedService(t *testing.T) {
+	// Measured batched-kernel shape: fill = base + per, interval = per.
+	pr := &sim.PipelineResult{FillNS: 110_000, IntervalNS: 10_000}
+	baseNS, perNS := pr.BatchCost()
+	svc := &fleet.BatchService{BaseNS: baseNS, PerInputNS: perNS}
+	const maxBatch = 32
+	w := fleet.Workload{ArrivalRate: 1e12, Requests: 64 * maxBatch, Seed: 11}
+
+	gcfg := fleet.DefaultConfig()
+	gcfg.TimeScale = 1e-3
+	gcfg.MaxBatch = maxBatch
+	gcfg.BatchTimeoutNS = 1e9
+	gcfg.QueueDepth = w.Requests
+	gf, err := fleet.New(gcfg, fleet.ReplicaSpec{Name: "batch", Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fleet.Run(gf, w)
+	gf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dcfg := DefaultConfig()
+	dcfg.MaxBatch = maxBatch
+	dcfg.BatchTimeoutNS = 1
+	dcfg.QueueDepth = w.Requests
+	df, err := NewFleet(dcfg, fleet.ReplicaSpec{Name: "batch", Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := df.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want.Completed != w.Requests || got.Completed != w.Requests {
+		t.Fatalf("completed: goroutine %d, des %d, want %d", want.Completed, got.Completed, w.Requests)
+	}
+	// Every batch full: the saturated fleet maps requests onto
+	// batched-kernel invocations of exactly MaxBatch inputs.
+	if want.MeanBatch != maxBatch || got.MeanBatch != maxBatch {
+		t.Fatalf("mean batch: goroutine %.6f (%d batches), des %.6f (%d batches), want exactly %d",
+			want.MeanBatch, want.Batches, got.MeanBatch, got.Batches, maxBatch)
+	}
+	for _, p := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"throughput", got.ThroughputRPS, want.ThroughputRPS},
+		{"mean batch", got.MeanBatch, want.MeanBatch},
+		{"mean latency", got.MeanNS, want.MeanNS},
+		{"p99 latency", got.P99NS, want.P99NS},
+	} {
+		if math.Abs(p.got-p.want) > 1e-6*math.Max(1, math.Abs(p.want)) {
+			t.Errorf("%s: des %.6f, goroutine %.6f (rel %.3g)", p.name, p.got, p.want,
+				math.Abs(p.got-p.want)/math.Max(1, math.Abs(p.want)))
+		}
+	}
+	// The throughput itself must be the batched-kernel rate: a full batch
+	// of B inputs every BaseNS + B·PerInputNS of occupancy.
+	kernelRPS := maxBatch / (baseNS + maxBatch*perNS) * 1e9
+	if rel := math.Abs(got.ThroughputRPS-kernelRPS) / kernelRPS; rel > 0.02 {
+		t.Errorf("des throughput %.1f rps, batched-kernel rate %.1f rps (rel %.3g)",
+			got.ThroughputRPS, kernelRPS, rel)
+	}
+}

@@ -216,6 +216,7 @@ type simReplica struct {
 	name        string
 	fill        float64
 	interval    float64
+	occBase     float64 // extra engine occupancy per batch (fleet.BatchService.BaseNS; 0 = pipelined)
 	capacityRPS float64
 	health      float64
 	area        float64
@@ -380,8 +381,11 @@ func NewFleet(cfg Config, specs ...fleet.ReplicaSpec) (*Fleet, error) {
 			return nil, fmt.Errorf("des: duplicate replica name %q", name)
 		}
 		names[name] = true
-		if spec.Pipeline == nil || spec.Pipeline.IntervalNS <= 0 || spec.Pipeline.FillNS <= 0 {
+		if spec.Service == nil && (spec.Pipeline == nil || spec.Pipeline.IntervalNS <= 0 || spec.Pipeline.FillNS <= 0) {
 			return nil, fmt.Errorf("des: replica %q has a degenerate pipeline", name)
+		}
+		if err := spec.Service.Validate(); err != nil {
+			return nil, fmt.Errorf("des: replica %q: %w", name, err)
 		}
 		if err := spec.Faults.Validate(); err != nil {
 			return nil, fmt.Errorf("des: replica %q: %w", name, err)
@@ -394,15 +398,24 @@ func NewFleet(cfg Config, specs ...fleet.ReplicaSpec) (*Fleet, error) {
 			}
 		}
 		r := &simReplica{
-			id:          i,
-			name:        name,
-			fill:        spec.Pipeline.FillNS,
-			interval:    spec.Pipeline.IntervalNS,
-			capacityRPS: 1e9 / spec.Pipeline.IntervalNS,
-			health:      health,
-			active:      true,
-			slow:        1,
+			id:     i,
+			name:   name,
+			health: health,
+			active: true,
+			slow:   1,
 		}
+		// The same spec→timing resolution as fleet.newReplica: a batch
+		// service holds the engine for BaseNS + kept·PerInputNS, a
+		// pipeline overlaps drain with the next batch (occBase 0).
+		if s := spec.Service; s != nil {
+			r.fill = s.BaseNS + s.PerInputNS
+			r.interval = s.PerInputNS
+			r.occBase = s.BaseNS
+		} else {
+			r.fill = spec.Pipeline.FillNS
+			r.interval = spec.Pipeline.IntervalNS
+		}
+		r.capacityRPS = 1e9 / r.interval
 		if cfg.Resilience.Breaker != nil {
 			r.breaker = chaos.NewBreaker(*cfg.Resilience.Breaker)
 		}
@@ -604,6 +617,15 @@ func (f *Fleet) compileResult(requests int, events int64, wall time.Duration) *R
 		HedgeWasted:   f.hedgeWasted.Load(),
 		BrownoutShed:  f.brownoutShed.Load(),
 		Windows:       f.windows,
+	}
+	for _, r := range f.replicas {
+		res.Batches += r.batches
+		res.MeanBatch += float64(r.batchSum) // members for now; divided below
+	}
+	if res.Batches > 0 {
+		res.MeanBatch /= float64(res.Batches)
+	} else {
+		res.MeanBatch = 0
 	}
 	sort.Float64s(f.latencies)
 	res.LatenciesNS = f.latencies

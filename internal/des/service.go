@@ -9,7 +9,9 @@ package des
 //
 // member i completes at entry + fill + i·interval, requests whose
 // completion would overshoot their budget are dropped without consuming
-// pipeline time, and the pipeline is next free at entry + kept·interval.
+// pipeline time, and the pipeline is next free at entry + occBase +
+// kept·interval (occBase is 0 for pipelined replicas, the batched-kernel
+// base cost for fleet.BatchService replicas).
 // The expressions are written in the same operation order so that, where
 // the dispatch decisions coincide (single replica; round robin), per-request
 // latencies match the goroutine fleet bit for bit.
@@ -135,7 +137,9 @@ func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
 	}
 	r.batches++
 	r.batchSum += int64(kept)
-	r.nextFree = entry + float64(kept)*interval
+	// Same operation order as fleet.replica.execute: with occBase 0 the
+	// pipelined arithmetic is preserved bit for bit.
+	r.nextFree = entry + r.occBase*r.slow + float64(kept)*interval
 	r.busy = true
 	r.inFlight = kept
 	f.inFlight += kept

@@ -45,6 +45,11 @@ type Result struct {
 	MakespanNS float64
 	// ThroughputRPS is the achieved completion rate over the makespan.
 	ThroughputRPS float64
+	// Batches counts executed batches during this run; MeanBatch is the
+	// average kept batch size — the currency of the batched-kernel service
+	// model (a saturated MaxBatch fleet should hold MeanBatch ≈ MaxBatch).
+	Batches   int64
+	MeanBatch float64
 }
 
 // Run offers the workload to the fleet and blocks until every request
@@ -52,6 +57,16 @@ type Result struct {
 // (same seed → same trace) and paced on the wall clock by the fleet's
 // TimeScale; with a free-running TimeScale the trace still replays
 // identically, only without pacing.
+// batchTotals sums executed-batch counters across replicas (cumulative
+// over the fleet's lifetime; Run takes deltas).
+func (f *Fleet) batchTotals() (batches, members int64) {
+	for _, r := range f.replicas {
+		batches += r.batches.Load()
+		members += r.batchSum.Load()
+	}
+	return
+}
+
 func Run(f *Fleet, w Workload) (*Result, error) {
 	if w.ArrivalRate <= 0 {
 		return nil, fmt.Errorf("fleet: arrival rate %v", w.ArrivalRate)
@@ -68,6 +83,7 @@ func Run(f *Fleet, w Workload) (*Result, error) {
 
 	done := make(chan Outcome, w.Requests)
 	res := &Result{Offered: w.Requests}
+	batches0, members0 := f.batchTotals()
 	f.resetClock()
 	// Re-seed the dispatch sampler and round-robin cursor: back-to-back
 	// runs on one fleet replay identical dispatch decisions, not a
@@ -106,6 +122,13 @@ func Run(f *Fleet, w Workload) (*Result, error) {
 		default:
 			res.Failed++
 		}
+	}
+	// Batch accounting deltas, so back-to-back runs on one fleet report
+	// only their own batches.
+	batches1, members1 := f.batchTotals()
+	res.Batches = batches1 - batches0
+	if res.Batches > 0 {
+		res.MeanBatch = float64(members1-members0) / float64(res.Batches)
 	}
 	if len(latencies) == 0 {
 		return res, nil

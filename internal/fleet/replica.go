@@ -42,14 +42,51 @@ func (s *RepairSpec) Validate() error {
 	return nil
 }
 
+// BatchService prices a replica's service directly from measured
+// batched-kernel costs: a formed batch of B kept requests occupies the
+// engine for BaseNS + B·PerInputNS, with member i completing at
+// entry + BaseNS + (i+1)·PerInputNS. Derive the two terms from a measured
+// pipeline with sim.PipelineResult.BatchCost(), or from a wall-clock
+// batched-kernel benchmark. The completion arithmetic is the pipelined
+// recurrence with fill = BaseNS + PerInputNS; what changes is occupancy —
+// a batched kernel holds the engine for the whole BaseNS + B·PerInputNS,
+// whereas a pipeline accepts its next batch while the last one drains.
+type BatchService struct {
+	// BaseNS is the per-batch cost paid once regardless of batch size
+	// (weight-plane walk, dispatch, scratch setup).
+	BaseNS float64
+	// PerInputNS is the marginal cost of one more batch member.
+	PerInputNS float64
+}
+
+// Validate rejects malformed batch service models.
+func (s *BatchService) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.PerInputNS <= 0 {
+		return fmt.Errorf("fleet: batch service per-input cost %v ns", s.PerInputNS)
+	}
+	if s.BaseNS < 0 {
+		return fmt.Errorf("fleet: batch service base cost %v ns", s.BaseNS)
+	}
+	return nil
+}
+
 // ReplicaSpec describes one accelerator instance in the fleet.
 type ReplicaSpec struct {
 	// Name identifies the replica in snapshots and fault injection
 	// (default "r<index>").
 	Name string
 	// Pipeline supplies the replica's service timing (fill latency and
-	// steady-state initiation interval). Required.
+	// steady-state initiation interval). Required unless Service is set.
 	Pipeline *sim.PipelineResult
+	// Service, when set, prices batches from batched-kernel costs instead
+	// of the pipelined recurrence: member i of a batch completes at
+	// entry + BaseNS + (i+1)·PerInputNS and the engine stays busy for
+	// BaseNS + kept·PerInputNS. Overrides Pipeline timing when both are
+	// given.
+	Service *BatchService
 	// Plan optionally records the mapped design behind the pipeline so
 	// snapshots can report silicon area.
 	Plan *accel.Plan
@@ -85,6 +122,14 @@ type replica struct {
 	pr    *sim.PipelineResult
 	plan  *accel.Plan
 	queue chan *Request
+
+	// Service timing resolved from the spec: member i of a batch completes
+	// at entry + fillNS + i·intervalNS, and the engine is next free at
+	// entry + occBaseNS + kept·intervalNS. Pipeline-derived replicas have
+	// occBaseNS = 0 (the pipeline overlaps drain with the next batch);
+	// BatchService replicas have fillNS = BaseNS + PerInputNS,
+	// intervalNS = PerInputNS, occBaseNS = BaseNS.
+	fillNS, intervalNS, occBaseNS float64
 
 	// outstanding counts queued + executing requests (the
 	// least-outstanding policy's signal).
@@ -129,8 +174,11 @@ func newReplica(index int, spec ReplicaSpec, cfg *Config) (*replica, error) {
 	if name == "" {
 		name = fmt.Sprintf("r%d", index)
 	}
-	if spec.Pipeline == nil || spec.Pipeline.IntervalNS <= 0 || spec.Pipeline.FillNS <= 0 {
+	if spec.Service == nil && (spec.Pipeline == nil || spec.Pipeline.IntervalNS <= 0 || spec.Pipeline.FillNS <= 0) {
 		return nil, fmt.Errorf("fleet: replica %q has a degenerate pipeline", name)
+	}
+	if err := spec.Service.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: replica %q: %w", name, err)
 	}
 	if err := spec.Repair.Validate(); err != nil {
 		return nil, fmt.Errorf("fleet: replica %q: %w", name, err)
@@ -140,6 +188,14 @@ func newReplica(index int, spec ReplicaSpec, cfg *Config) (*replica, error) {
 		pr:    spec.Pipeline,
 		plan:  spec.Plan,
 		queue: make(chan *Request, cfg.QueueDepth),
+	}
+	if s := spec.Service; s != nil {
+		r.fillNS = s.BaseNS + s.PerInputNS
+		r.intervalNS = s.PerInputNS
+		r.occBaseNS = s.BaseNS
+	} else {
+		r.fillNS = spec.Pipeline.FillNS
+		r.intervalNS = spec.Pipeline.IntervalNS
 	}
 	if spec.Repair != nil {
 		rs := *spec.Repair
@@ -329,8 +385,8 @@ func (r *replica) execute(f *Fleet, batch []*Request, timedOut bool) {
 	// interval, a degraded link adds transfer cost to the batch fill. With
 	// no chaos installed (factor 1, link 0) both expressions are exact
 	// identities, so legacy accounting stays bit-for-bit.
-	fill := r.pr.FillNS*r.slowFactor() + r.linkNS()
-	interval := r.pr.IntervalNS * r.slowFactor()
+	fill := r.fillNS*r.slowFactor() + r.linkNS()
+	interval := r.intervalNS * r.slowFactor()
 	entry := r.nextFree
 	for _, rq := range batch {
 		if rq.ArrivalNS > entry {
@@ -355,7 +411,10 @@ func (r *replica) execute(f *Fleet, batch []*Request, timedOut bool) {
 	if len(kept) == 0 {
 		return
 	}
-	r.nextFree = entry + float64(len(kept))*interval
+	// Pipeline-derived replicas overlap drain with the next batch
+	// (occBaseNS = 0, preserving the legacy arithmetic bit for bit); batch
+	// service replicas hold the engine for the whole batched kernel.
+	r.nextFree = entry + r.occBaseNS*r.slowFactor() + float64(len(kept))*interval
 	r.batches.Add(1)
 	r.batchSum.Add(int64(len(kept)))
 	f.pace(r.nextFree)
@@ -383,7 +442,7 @@ func (r *replica) snapshot() ReplicaSnapshot {
 		P95NS:       r.hist.Quantile(0.95),
 		P99NS:       r.hist.Quantile(0.99),
 		MaxNS:       r.hist.Max(),
-		CapacityRPS: 1e9 / r.pr.IntervalNS,
+		CapacityRPS: 1e9 / r.intervalNS,
 	}
 	if b := r.batches.Load(); b > 0 {
 		s.MeanBatch = float64(r.batchSum.Load()) / float64(b)

@@ -87,6 +87,121 @@ func FuzzPackedMVM(f *testing.F) {
 	})
 }
 
+// FuzzBatchedMVM checks the batched bit-matrix kernel four ways for any
+// quantized matrix (1–8 bit weights, ragged row counts), any batch size,
+// and any input codes: MulBatch must equal (1) B independent single-vector
+// packed MVMs (ColSum reconstruction) and (2) the scalar integer reference
+// Σ_i (q_i+offset)·u_i, `==` for every member — never a tolerance —
+// (3) splitting the batch sweep over an arbitrary row band must not change
+// any member's sums (the crossbar-banded form the sim engine executes), and
+// (4) the paired-column word-packed kernel (PairMatrix.MulBatch, the fast
+// path) must produce the identical integers through whole-byte MACs.
+func FuzzBatchedMVM(f *testing.F) {
+	f.Add(uint8(8), uint8(3), uint8(4), uint8(30), []byte{1, 255, 0, 127, 128, 5}, []byte{9, 0, 255})
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(0), []byte{0, 1, 2}, []byte{7})
+	// 70 rows: packed columns span two words with a ragged tail.
+	f.Add(uint8(4), uint8(2), uint8(9), uint8(65), make([]byte, 140), []byte{255, 1, 0, 128})
+	allOnes := make([]byte, 70)
+	for i := range allOnes {
+		allOnes[i] = 0xff
+	}
+	f.Add(uint8(8), uint8(1), uint8(32), uint8(64), allOnes, allOnes)
+	f.Fuzz(func(t *testing.T, bitsRaw, colsRaw, batchRaw, splitRaw uint8, wdata, xdata []byte) {
+		bits := int(bitsRaw)%8 + 1
+		cols := int(colsRaw)%8 + 1
+		B := int(batchRaw)%33 + 1
+		rows := len(wdata) / cols
+		if rows == 0 {
+			return
+		}
+		if rows > 200 {
+			rows = 200
+		}
+		off := 1 << (bits - 1)
+		m := &Matrix{Rows: rows, Cols: cols, Bits: bits, Scale: 1, Q: make([]int8, rows*cols)}
+		for i := range m.Q {
+			q := int(int8(wdata[i]))
+			if q > off-1 {
+				q = off - 1
+			}
+			if q < -off {
+				q = -off
+			}
+			m.Q[i] = int8(q)
+		}
+		// Derive B input vectors from xdata with member-dependent offsets so
+		// the batch is heterogeneous even from short fuzz payloads.
+		ins := make([]*Input, B)
+		for k := range ins {
+			u := make([]uint8, rows)
+			for i := range u {
+				if len(xdata) > 0 {
+					u[i] = xdata[(i+k*7)%len(xdata)] + uint8(k)
+				}
+			}
+			in := &Input{N: rows, Scale: 1, U: u, Digits: make([][]uint8, InputBits)}
+			for b := range in.Digits {
+				in.Digits[b] = make([]uint8, rows)
+				for i, v := range u {
+					in.Digits[b][i] = (v >> b) & 1
+				}
+			}
+			in.DigitWords = packDigits(nil, u)
+			ins[k] = in
+		}
+		pb := PackInputs(ins)
+		pm := m.Packed()
+
+		out := make([]int64, B*cols)
+		pm.MulBatch(pb, out)
+		pw := m.Pairs()
+		pout := make([]int64, B*cols)
+		pw.MulBatch(pb, pout, make([]uint64, B*pw.Pairs))
+		for i := range out {
+			if pout[i] != out[i] {
+				t.Fatalf("flat index %d: pair kernel %d, popcount kernel %d", i, pout[i], out[i])
+			}
+		}
+		split := int(splitRaw) % (rows + 1)
+		banded := make([]int64, B)
+		for j := 0; j < cols; j++ {
+			for k, in := range ins {
+				// (1) B independent single-vector packed MVMs.
+				var single int64
+				for _, p := range pm.Planes {
+					for b := 0; b < InputBits; b++ {
+						single += int64(p.ColSum(j, in.DigitWords[b])) << uint(b+p.Bit)
+					}
+				}
+				if out[k*cols+j] != single {
+					t.Fatalf("member %d col %d: batched %d, single-vector %d", k, j, out[k*cols+j], single)
+				}
+				// (2) scalar integer reference.
+				var want int64
+				for i := 0; i < rows; i++ {
+					want += (int64(m.Q[i*cols+j]) + int64(off)) * int64(in.U[i])
+				}
+				if out[k*cols+j] != want {
+					t.Fatalf("member %d col %d: batched %d, integer reference %d", k, j, out[k*cols+j], want)
+				}
+			}
+			// (3) band-split batch sweep equals the full-height sweep.
+			for _, p := range pm.Planes {
+				clear(banded)
+				p.ColRangeSumCycles(j, 0, split, pb, banded)
+				p.ColRangeSumCycles(j, split, rows, pb, banded)
+				full := make([]int64, B)
+				p.ColSumCycles(j, pb, full)
+				for k := range banded {
+					if banded[k] != full[k] {
+						t.Fatalf("col %d plane %d member %d: split at %d sums %d, full %d", j, p.Bit, k, split, banded[k], full[k])
+					}
+				}
+			}
+		}
+	})
+}
+
 func FuzzBitSliceRoundTrip(f *testing.F) {
 	f.Add(uint8(8), uint8(3), []byte{1, 255, 0, 127, 128, 5})
 	f.Add(uint8(1), uint8(1), []byte{0, 1, 2})

@@ -1,0 +1,211 @@
+package quant
+
+import "fmt"
+
+// Word-packed paired-column integer kernel — the fast-path counterpart of
+// the batched popcount sweep. The bit-serial kernels pay one popcount per
+// (plane, cycle, word, column, member); the ideal (noise-free) MVM result is
+// just the exact integer product Σ_i (q+offset)·u, so the fast path is free
+// to compute it with whole-byte arithmetic instead of bit-planes — as long
+// as it produces the identical integers (asserted by FuzzBatchedMVM and the
+// sim engine equivalence tests).
+//
+// PairMatrix packs two adjacent output columns' offset-binary codes into the
+// 32-bit lanes of one uint64:
+//
+//	Words[i*Pairs+jp] = code(i, 2jp) | code(i, 2jp+1)<<32
+//
+// One multiply by a member's input code u then performs two MACs at once —
+// each lane's partial product code·u ≤ 255·255 < 2^16, so lanes cannot carry
+// into each other — and lane sums stay exact as long as
+// Rows·255·255 < 2^32 (maxPairRows; larger matrices fall back to the scalar
+// kernel). Like the popcount slab kernels, MulBatch streams each packed
+// weight word once per row-block tile and reuses it for every batch member,
+// so serving batches amortize the weight traffic B ways.
+
+// maxPairRows bounds the row count for which a 32-bit accumulator lane
+// cannot overflow: Rows·(2^8−1)² < 2^32.
+const maxPairRows = (1<<32 - 1) / (255 * 255)
+
+// Tile shape for MulBatch: blocks of pairColBlock pair-words are accumulated
+// in registers across a pairRowTile-row sweep (one 64-byte weight line per
+// row, one 64-byte code line per member), and the weight tile stays
+// L1-resident while the member loop reuses it.
+const (
+	pairRowTile  = 64
+	pairColBlock = 8
+)
+
+// PairMatrix is the paired-column offset-binary packing of a quantized
+// weight matrix. Pairs = ⌈Cols/2⌉; an odd trailing column's high lane packs
+// code 0 and is discarded on unpack.
+type PairMatrix struct {
+	Rows, Cols, Pairs int
+	Words             []uint64 // row-major, len Rows*Pairs
+}
+
+// Pairs returns the matrix's paired-column packing, built once and memoized
+// like Packed(). Returns nil when Rows exceeds maxPairRows (accumulator
+// lanes could overflow); callers fall back to a scalar kernel. Safe for
+// concurrent use.
+func (m *Matrix) Pairs() *PairMatrix {
+	if m.Rows > maxPairRows {
+		return nil
+	}
+	m.memo.Lock()
+	defer m.memo.Unlock()
+	if m.memo.pairs == nil {
+		m.memo.pairs = buildPairs(m)
+	}
+	return m.memo.pairs
+}
+
+func buildPairs(m *Matrix) *PairMatrix {
+	pairs := (m.Cols + 1) / 2
+	pm := &PairMatrix{Rows: m.Rows, Cols: m.Cols, Pairs: pairs, Words: make([]uint64, m.Rows*pairs)}
+	off := int64(m.Offset())
+	for i := 0; i < m.Rows; i++ {
+		row := m.Q[i*m.Cols : (i+1)*m.Cols]
+		dst := pm.Words[i*pairs : (i+1)*pairs]
+		for jp := range dst {
+			w := uint64(int64(row[2*jp]) + off)
+			if 2*jp+1 < m.Cols {
+				w |= uint64(int64(row[2*jp+1])+off) << 32
+			}
+			dst[jp] = w
+		}
+	}
+	return pm
+}
+
+// mulBatchAcc accumulates the batched paired-column MVM into acc, which is
+// member-major with length B·Pairs and arrives zeroed: member k's lane-packed
+// column-pair sums land in acc[k*Pairs:(k+1)*Pairs]. The pair-word block is
+// the outermost loop so each member's accumulator tile (pairColBlock words)
+// stays register/L1-resident across the whole row sweep; inside, tiles of
+// pairRowTile rows keep the weight words hot across all batch members —
+// each packed weight word is loaded once per (batch, row-tile) regardless
+// of B. The inner sweep is branchless and two-row unrolled: skipping zero
+// input codes per row was measured slower than multiplying by them (the
+// data-dependent branch mispredicts on post-ReLU sparsity), so sparsity is
+// not special-cased.
+func (pm *PairMatrix) mulBatchAcc(pb *PackedBatch, acc []uint64) {
+	rows, pairs, B := pm.Rows, pm.Pairs, pb.B
+	W := pm.Words
+	fullJP := pairs - pairs%pairColBlock
+	for jp0 := 0; jp0 < fullJP; jp0 += pairColBlock {
+		for i0 := 0; i0 < rows; i0 += pairRowTile {
+			i1 := min(i0+pairRowTile, rows)
+			for k := 0; k < B; k++ {
+				u := pb.U[k*rows : (k+1)*rows : (k+1)*rows]
+				a := acc[k*pairs+jp0 : k*pairs+jp0+8 : k*pairs+jp0+8]
+				a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+				a4, a5, a6, a7 := a[4], a[5], a[6], a[7]
+				i := i0
+				for ; i+1 < i1; i += 2 {
+					u0, u1 := uint64(u[i]), uint64(u[i+1])
+					w0 := W[i*pairs+jp0 : i*pairs+jp0+8 : i*pairs+jp0+8]
+					w1 := W[(i+1)*pairs+jp0 : (i+1)*pairs+jp0+8 : (i+1)*pairs+jp0+8]
+					a0 += w0[0]*u0 + w1[0]*u1
+					a1 += w0[1]*u0 + w1[1]*u1
+					a2 += w0[2]*u0 + w1[2]*u1
+					a3 += w0[3]*u0 + w1[3]*u1
+					a4 += w0[4]*u0 + w1[4]*u1
+					a5 += w0[5]*u0 + w1[5]*u1
+					a6 += w0[6]*u0 + w1[6]*u1
+					a7 += w0[7]*u0 + w1[7]*u1
+				}
+				for ; i < i1; i++ {
+					uv := uint64(u[i])
+					w := W[i*pairs+jp0 : i*pairs+jp0+8 : i*pairs+jp0+8]
+					a0 += w[0] * uv
+					a1 += w[1] * uv
+					a2 += w[2] * uv
+					a3 += w[3] * uv
+					a4 += w[4] * uv
+					a5 += w[5] * uv
+					a6 += w[6] * uv
+					a7 += w[7] * uv
+				}
+				a[0], a[1], a[2], a[3] = a0, a1, a2, a3
+				a[4], a[5], a[6], a[7] = a4, a5, a6, a7
+			}
+		}
+	}
+	if fullJP == pairs {
+		return
+	}
+	jpw := pairs - fullJP
+	for i := 0; i < rows; i++ {
+		w := W[i*pairs+fullJP : (i+1)*pairs : (i+1)*pairs]
+		for k := 0; k < B; k++ {
+			uv := uint64(pb.U[k*rows+i])
+			if uv == 0 {
+				continue
+			}
+			a := acc[k*pairs+fullJP : (k+1)*pairs : (k+1)*pairs]
+			for jp := 0; jp < jpw; jp++ {
+				a[jp] += w[jp] * uv
+			}
+		}
+	}
+}
+
+// checkPairShapes validates pb/acc agreement for one batched pair MVM.
+func (pm *PairMatrix) checkPairShapes(pb *PackedBatch, outLen, accLen int) {
+	if pb.N != pm.Rows {
+		panic(fmt.Sprintf("quant: batch of %d-row vectors against %dx%d pair matrix", pb.N, pm.Rows, pm.Cols))
+	}
+	if outLen != pb.B*pm.Cols {
+		panic(fmt.Sprintf("quant: batched output %d, want %dx%d", outLen, pb.B, pm.Cols))
+	}
+	if accLen < pb.B*pm.Pairs {
+		panic(fmt.Sprintf("quant: pair scratch %d, want %dx%d", accLen, pb.B, pm.Pairs))
+	}
+}
+
+// MulBatch computes the batched offset-binary MVM
+//
+//	out[k*Cols+j] = Σ_i (q[i][j] + offset) · u_k[i]
+//
+// — the same exact integers as PackedMatrix.MulBatch, via paired-column MACs
+// instead of popcounts. out is member-major (length B·Cols, overwritten);
+// acc is caller scratch of length ≥ B·Pairs.
+func (pm *PairMatrix) MulBatch(pb *PackedBatch, out []int64, acc []uint64) {
+	pm.checkPairShapes(pb, len(out), len(acc))
+	acc = acc[:pb.B*pm.Pairs]
+	clear(acc)
+	pm.mulBatchAcc(pb, acc)
+	cols, pairs := pm.Cols, pm.Pairs
+	for k := 0; k < pb.B; k++ {
+		a := acc[k*pairs : (k+1)*pairs]
+		o := out[k*cols : (k+1)*cols]
+		for jp, v := range a {
+			o[2*jp] = int64(uint32(v))
+			if 2*jp+1 < cols {
+				o[2*jp+1] = int64(v >> 32)
+			}
+		}
+	}
+}
+
+// MulBatchFloat is MulBatch unpacking straight into a float64 output buffer
+// (the sim engine's accumulator type; every lane sum < 2^32 is exact in
+// float64). out must be member-major with length B·Cols; it is overwritten.
+func (pm *PairMatrix) MulBatchFloat(pb *PackedBatch, out []float64, acc []uint64) {
+	pm.checkPairShapes(pb, len(out), len(acc))
+	acc = acc[:pb.B*pm.Pairs]
+	clear(acc)
+	pm.mulBatchAcc(pb, acc)
+	cols, pairs := pm.Cols, pm.Pairs
+	for k := 0; k < pb.B; k++ {
+		a := acc[k*pairs : (k+1)*pairs]
+		o := out[k*cols : (k+1)*cols]
+		for jp, v := range a {
+			o[2*jp] = float64(uint32(v))
+			if 2*jp+1 < cols {
+				o[2*jp+1] = float64(v >> 32)
+			}
+		}
+	}
+}

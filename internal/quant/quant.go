@@ -43,8 +43,10 @@ type Matrix struct {
 	// once per sliding-window patch — a one-time cost per matrix instead.
 	memo struct {
 		sync.Mutex
-		planes []*BitPlane
-		packed *PackedMatrix
+		planes  []*BitPlane
+		packed  *PackedMatrix
+		pairs   *PairMatrix
+		blocked *BlockedMatrix
 	}
 }
 

@@ -32,6 +32,13 @@ type Engine struct {
 	weights  map[weightKey][]*quant.Matrix
 	faulted  map[faultKey]*quant.PackedMatrix
 	repaired map[repairKey]*RepairedLayer
+
+	// scratchMu guards a free list of batch scratch buffers reused across
+	// chunks, layers, and inferences — a plain list rather than sync.Pool so
+	// the warm path's zero-allocation invariant cannot be voided by a GC
+	// cycle emptying the pool mid-measurement.
+	scratchMu   sync.Mutex
+	scratchFree []*batchScratch
 }
 
 type weightKey struct {
@@ -63,6 +70,38 @@ func NewEngine(p *accel.Plan) *Engine {
 // minParallelPatches is the conv size below which patch streaming stays
 // sequential — tiny layers finish before a worker pool spins up.
 const minParallelPatches = 64
+
+// DefaultKernelBatch is the kernel batch size used when
+// InferenceOptions.KernelBatch is zero: big enough that the batched popcount
+// kernels amortize each weight-word load ~32×8 ways, small enough that every
+// AlexNet conv layer still splits into more chunks than typical core counts.
+const DefaultKernelBatch = 32
+
+// pairMinBatch is the kernel batch size at which modeFast switches from the
+// zero-skipping scalar integer kernel to the paired-column word-packed
+// kernel. Below it the pair matrix's 4-bytes-per-cell stream costs more than
+// the two-MACs-per-multiply saves; at and above it each packed weight word
+// amortizes across the batch.
+const pairMinBatch = 4
+
+// getScratch pops a warm batch scratch off the engine's free list (or
+// allocates the first time). putScratch returns it.
+func (e *Engine) getScratch() *batchScratch {
+	e.scratchMu.Lock()
+	defer e.scratchMu.Unlock()
+	if n := len(e.scratchFree); n > 0 {
+		s := e.scratchFree[n-1]
+		e.scratchFree = e.scratchFree[:n-1]
+		return s
+	}
+	return &batchScratch{pb: &quant.PackedBatch{}}
+}
+
+func (e *Engine) putScratch(s *batchScratch) {
+	e.scratchMu.Lock()
+	defer e.scratchMu.Unlock()
+	e.scratchFree = append(e.scratchFree, s)
+}
 
 // weightsFor returns the layer's quantized weight matrix under opts,
 // memoized across calls and inferences.
@@ -164,7 +203,9 @@ type layerExec struct {
 	la      *accel.LayerAlloc
 	w       *quant.Matrix
 	mode    execMode
-	pm      *quant.PackedMatrix // planes served (ideal, faulted, or repaired)
+	pm      *quant.PackedMatrix  // planes served (ideal, faulted, or repaired)
+	pw      *quant.PairMatrix    // paired-column packing for the fast batched path (nil → scalar)
+	bw      *quant.BlockedMatrix // AVX2 blocked packing, preferred fast kernel (nil → pairs/scalar)
 	fm      *fault.Model
 	key     int64
 	fastADC int64 // analytic ADC conversions per MVM on the fast paths
@@ -204,6 +245,8 @@ func (e *Engine) prepareLayer(l *dnn.Layer, opts InferenceOptions) (*layerExec, 
 		le.mode = modeBitExact
 	default:
 		le.mode = modeFast
+		le.bw = blockedTimed(w)
+		le.pw = pairsTimed(w)
 	}
 	return le, nil
 }
@@ -216,6 +259,24 @@ func packedTimed(w *quant.Matrix) *quant.PackedMatrix {
 	pm := w.Packed()
 	simStagePack.AddSince(start)
 	return pm
+}
+
+// pairsTimed bills the paired-column packing (memoized on the matrix, may be
+// nil for oversized row counts) to the pack stage counter.
+func pairsTimed(w *quant.Matrix) *quant.PairMatrix {
+	start := time.Now()
+	pw := w.Pairs()
+	simStagePack.AddSince(start)
+	return pw
+}
+
+// blockedTimed bills the AVX2 blocked packing (memoized on the matrix; nil
+// when the CPU lacks AVX2 or the shape doesn't fit) to the pack stage.
+func blockedTimed(w *quant.Matrix) *quant.BlockedMatrix {
+	start := time.Now()
+	bw := w.Blocked()
+	simStagePack.AddSince(start)
+	return bw
 }
 
 // mvmScratch is one worker's reusable buffers: the quantized input (U +
@@ -265,7 +326,7 @@ func (le *layerExec) apply(s *mvmScratch, patch []float64, stats *InferenceStats
 	out := s.outFor(le.w.Cols)
 	switch le.mode {
 	case modeFast:
-		integerMVMInto(out, s.accFor(le.w.Cols), le.w, in)
+		integerMVMInto(out, s.accFor(le.w.Cols), le.w, in.U)
 		stats.ADCConversions += le.fastADC
 	case modeAggregate:
 		packedAggregateMVM(le.cfg, le.pm, le.w, in, le.fm, le.fm.Noise(le.key), out)
@@ -288,26 +349,179 @@ func (le *layerExec) apply(s *mvmScratch, patch []float64, stats *InferenceStats
 	return out, nil
 }
 
-// Run executes one input through the plan's model on the mapped crossbars
-// and returns the output vector (logits for the zoo models).
-func (e *Engine) Run(input *dnn.Tensor, opts InferenceOptions) ([]float64, InferenceStats, error) {
-	m := e.p.Model
-	if input.C != m.InC || input.H != m.InH || input.W != m.InW {
-		return nil, InferenceStats{}, fmt.Errorf("sim: input %dx%dx%d, model %q wants %dx%dx%d",
-			input.C, input.H, input.W, m.Name, m.InC, m.InH, m.InW)
+// batchScratch is one worker's reusable batched buffers: the member-major
+// flat patch slab, the packed quantized batch, the member-major output
+// accumulator, the kernel's int64 scratch, and per-member noise streams.
+// With it, a warm kernel batch allocates nothing on the ideal paths.
+type batchScratch struct {
+	flat  []float64
+	pb    *quant.PackedBatch
+	out   []float64
+	acc   []int64
+	pacc  []uint64
+	u16   []uint16
+	noise []func() float64
+}
+
+func (s *batchScratch) flatFor(n int) []float64 {
+	if cap(s.flat) < n {
+		s.flat = make([]float64, n)
 	}
-	simInferences.Inc()
+	s.flat = s.flat[:n]
+	return s.flat
+}
+
+func (s *batchScratch) outFor(n int) []float64 {
+	if cap(s.out) < n {
+		s.out = make([]float64, n)
+	}
+	s.out = s.out[:n]
+	return s.out
+}
+
+func (s *batchScratch) accFor(n int) []int64 {
+	if cap(s.acc) < n {
+		s.acc = make([]int64, n)
+	}
+	return s.acc[:n]
+}
+
+func (s *batchScratch) paccFor(n int) []uint64 {
+	if cap(s.pacc) < n {
+		s.pacc = make([]uint64, n)
+	}
+	return s.pacc[:n]
+}
+
+func (s *batchScratch) u16For(n int) []uint16 {
+	if cap(s.u16) < n {
+		s.u16 = make([]uint16, n)
+	}
+	return s.u16[:n]
+}
+
+// noiseFor returns b per-member read-noise streams, each freshly keyed
+// exactly like the single-vector path keys its per-MVM stream — so member
+// k's draws are bit-identical to running its MVM alone.
+func (s *batchScratch) noiseFor(fm *fault.Model, key int64, b int) []func() float64 {
+	if cap(s.noise) < b {
+		s.noise = make([]func() float64, b)
+	}
+	s.noise = s.noise[:b]
+	for k := range s.noise {
+		s.noise[k] = fm.Noise(key)
+	}
+	return s.noise
+}
+
+// quantizeBatch packs one kernel batch for the layer's kernel. The fast
+// mode's byte-code kernels (blocked/pair/scalar) never read the bit-serial
+// digit slab, so packing it — the single largest non-kernel cost per batch
+// — is skipped there; every bit-serial mode gets the full slab.
+func (le *layerExec) quantizeBatch(pb *quant.PackedBatch, flat []float64, n, b int) *quant.PackedBatch {
+	if le.mode == modeFast {
+		return quant.QuantizeBatchFlatCodesInto(pb, flat, n, b)
+	}
+	return quant.QuantizeBatchFlatInto(pb, flat, n, b)
+}
+
+// applyBatch runs the prepared layer's kernel over the batch packed in
+// s.pb, writing dequantized member-major outputs into out (length B·Cols,
+// overwritten). Shape agreement is the caller's responsibility (checked
+// once per layer, not per batch).
+func (le *layerExec) applyBatch(s *batchScratch, out []float64, stats *InferenceStats) {
+	pb := s.pb
+	B := pb.B
+	cols := le.w.Cols
+	clear(out)
+	switch le.mode {
+	case modeFast:
+		switch {
+		case le.bw != nil:
+			// Signed product directly — no offset correction term.
+			le.bw.MulBatch(pb, out, s.u16For(B*pb.N))
+		case le.pw != nil && B >= pairMinBatch:
+			le.pw.MulBatchFloat(pb, out, s.paccFor(B*le.pw.Pairs))
+			applyCorrectionBatch(out, le.w, pb)
+		default:
+			integerMVMBatch(out, s.accFor(max(cols, B)), le.w, pb)
+		}
+		stats.ADCConversions += le.fastADC * int64(B)
+	case modeAggregate:
+		packedAggregateMVMBatch(le.cfg, le.pm, le.w, pb, le.fm, s.noiseFor(le.fm, le.key, B), s.accFor(B), out)
+		stats.ADCConversions += le.fastADC * int64(B)
+	case modeBitExact:
+		var es ExecStats
+		execPackedGridBatch(le.cfg, le.la, le.pm, pb, s.accFor(B), out, cols, &es)
+		applyCorrectionBatch(out, le.w, pb)
+		stats.ADCConversions += es.ADCConversions
+	case modeBitExactNoisy:
+		var es ExecStats
+		execPackedGridBatchNoisy(le.cfg, le.la, le.pm, pb, s.noiseFor(le.fm, le.key, B), s.accFor(B), out, cols, &es)
+		applyCorrectionBatch(out, le.w, pb)
+		stats.ADCConversions += es.ADCConversions
+	}
+	stats.MVMs += int64(B)
+	stats.KernelBatches++
+	if B > stats.MaxKernelBatch {
+		stats.MaxKernelBatch = B
+	}
+	for k := 0; k < B; k++ {
+		f := pb.Scales[k]
+		o := out[k*cols : (k+1)*cols]
+		for j := range o {
+			o[j] = le.w.ScaleFor(j) * f * o[j]
+		}
+	}
+}
+
+// Run executes one input through the plan's model on the mapped crossbars
+// and returns the output vector (logits for the zoo models). It is
+// RunBatch of a single input: the sliding-window positions of each conv
+// layer still stream through the batched kernels in kernel batches.
+func (e *Engine) Run(input *dnn.Tensor, opts InferenceOptions) ([]float64, InferenceStats, error) {
+	outs, stats, err := e.RunBatch([]*dnn.Tensor{input}, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	return outs[0], stats, nil
+}
+
+// RunBatch executes a batch of inputs through the plan's model, returning
+// one output vector per input. Conv layers flatten (input, position) into
+// one global MVM index space chunked into kernel batches of
+// opts.KernelBatch patches; FC layers batch across the inputs themselves —
+// so serving-side batches map directly onto kernel batches. Outputs are
+// bit-identical to running each input alone: members of a batch never mix,
+// and each member's noise stream is keyed per (layer, MVM) exactly as in
+// the single-input path.
+func (e *Engine) RunBatch(inputs []*dnn.Tensor, opts InferenceOptions) ([][]float64, InferenceStats, error) {
+	m := e.p.Model
+	if len(inputs) == 0 {
+		return nil, InferenceStats{}, fmt.Errorf("sim: empty inference batch")
+	}
+	for _, input := range inputs {
+		if input.C != m.InC || input.H != m.InH || input.W != m.InW {
+			return nil, InferenceStats{}, fmt.Errorf("sim: input %dx%dx%d, model %q wants %dx%dx%d",
+				input.C, input.H, input.W, m.Name, m.InC, m.InH, m.InW)
+		}
+	}
 	var stats InferenceStats
 	for _, l := range m.Mappable() {
 		if l.GroupCount() > 1 {
 			return nil, stats, fmt.Errorf("sim: functional inference does not support grouped convolutions (layer %s); metrics via Simulate do", l.Name)
 		}
 	}
+	simInferences.Add(int64(len(inputs)))
+	kb := opts.KernelBatch
+	if kb <= 0 {
+		kb = DefaultKernelBatch
+	}
 	mappables := m.Mappable()
 	last := mappables[len(mappables)-1]
-	cur := input
-	var flat []float64
-	scratch := &mvmScratch{}
+	curs := make([]*dnn.Tensor, len(inputs))
+	copy(curs, inputs)
+	var flats [][]float64
 	for _, l := range m.Layers {
 		switch l.Kind {
 		case dnn.Conv:
@@ -315,128 +529,190 @@ func (e *Engine) Run(input *dnn.Tensor, opts InferenceOptions) ([]float64, Infer
 			if err != nil {
 				return nil, stats, err
 			}
-			out := dnn.NewTensor(l.OutC, l.OutH, l.OutW)
-			if err := e.streamPatches(le, l, cur, out, &stats); err != nil {
+			outs := make([]*dnn.Tensor, len(curs))
+			for i := range outs {
+				outs[i] = dnn.NewTensor(l.OutC, l.OutH, l.OutW)
+			}
+			if err := e.streamPatchBatches(le, l, curs, outs, kb, &stats); err != nil {
 				return nil, stats, err
 			}
-			cur = out
+			curs = outs
 			if l != last {
-				dnn.ReLU(cur.Data)
+				for _, c := range curs {
+					dnn.ReLU(c.Data)
+				}
 			}
 		case dnn.Pool:
-			cur = dnn.PoolMaxRef(l, cur)
+			for i := range curs {
+				curs[i] = dnn.PoolMaxRef(l, curs[i])
+			}
 		case dnn.FC:
-			if flat == nil {
-				flat = cur.Flatten()
+			if flats == nil {
+				flats = make([][]float64, len(curs))
+				for i := range curs {
+					flats[i] = curs[i].Flatten()
+				}
 			}
 			le, err := e.prepareLayer(l, opts)
 			if err != nil {
 				return nil, stats, err
 			}
-			y, err := le.apply(scratch, flat, &stats)
-			if err != nil {
+			if err := e.runFCBatches(le, flats, kb, &stats); err != nil {
 				return nil, stats, err
 			}
-			flat = append(flat[:0:0], y...) // y aliases scratch; detach
 			if l != last {
-				dnn.ReLU(flat)
+				for _, f := range flats {
+					dnn.ReLU(f)
+				}
 			}
 		}
 	}
-	if flat == nil {
-		flat = cur.Flatten()
+	if flats == nil {
+		flats = make([][]float64, len(curs))
+		for i := range curs {
+			flats[i] = curs[i].Flatten()
+		}
 	}
-	return flat, stats, nil
+	return flats, stats, nil
 }
 
-// streamPatches computes every sliding-window MVM of one conv layer,
-// fanning independent output positions across a bounded worker pool
-// (sequentially below minParallelPatches). Each worker owns its scratch
-// buffers and stats; patches write disjoint cells of out, so the result is
-// deterministic regardless of schedule, and worker stats are summed after
-// the barrier. The returned error is the lowest-index one, as in
-// search.ParallelFor.
-func (e *Engine) streamPatches(le *layerExec, l *dnn.Layer, cur, out *dnn.Tensor, stats *InferenceStats) error {
+// streamPatchBatches computes every sliding-window MVM of one conv layer
+// for every input, chunking the global (input, position) index space into
+// kernel batches of ≤ kb patches: each chunk is extracted, quantized, and
+// packed in one pass, then run through the batched kernel. Chunks fan out
+// across a bounded worker pool; chunk boundaries are deterministic and
+// members never mix, so results are schedule-independent. kb shrinks
+// toward n/workers so small layers still occupy the pool.
+func (e *Engine) streamPatchBatches(le *layerExec, l *dnn.Layer, curs, outs []*dnn.Tensor, kb int, stats *InferenceStats) error {
 	defer simStageStream.AddSince(time.Now())
-	n := l.OutH * l.OutW
-	patchLen := cur.C * l.K * l.K
-	runOne := func(s *mvmScratch, idx int, st *InferenceStats) error {
-		oy, ox := idx/l.OutW, idx%l.OutW
-		patch := cur.PatchInto(s.patchFor(patchLen), l, oy, ox)
-		y, err := le.apply(s, patch, st)
-		if err != nil {
-			return err
-		}
-		for c, v := range y {
-			out.Set(c, oy, ox, v)
-		}
-		return nil
+	positions := l.OutH * l.OutW
+	patchLen := curs[0].C * l.K * l.K
+	if patchLen != le.w.Rows {
+		return lengthErr(patchLen, le.w.Rows)
 	}
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
+	cols := le.w.Cols
+	n := len(curs) * positions
+	if per := n / runtime.NumCPU(); per < kb {
+		kb = max(per, 1)
 	}
-	if n < minParallelPatches || workers <= 1 {
-		s := &mvmScratch{}
-		for idx := 0; idx < n; idx++ {
-			if err := runOne(s, idx, stats); err != nil {
-				return err
+	chunks := (n + kb - 1) / kb
+	e.runChunks(chunks, n, stats, func(s *batchScratch, c int, st *InferenceStats) {
+		lo := c * kb
+		hi := min(lo+kb, n)
+		bs := hi - lo
+		start := time.Now()
+		flat := s.flatFor(bs * patchLen)
+		for i := 0; i < bs; i++ {
+			idx := lo + i
+			ii, pos := idx/positions, idx%positions
+			curs[ii].PatchInto(flat[i*patchLen:(i+1)*patchLen], l, pos/l.OutW, pos%l.OutW)
+		}
+		s.pb = le.quantizeBatch(s.pb, flat, patchLen, bs)
+		simStageInputPack.AddSince(start)
+		out := s.outFor(bs * cols)
+		start = time.Now()
+		le.applyBatch(s, out, st)
+		simStageKernel.AddSince(start)
+		for i := 0; i < bs; i++ {
+			idx := lo + i
+			ii, pos := idx/positions, idx%positions
+			oy, ox := pos/l.OutW, pos%l.OutW
+			for ch, v := range out[i*cols : (i+1)*cols] {
+				outs[ii].Set(ch, oy, ox, v)
 			}
 		}
-		return nil
+	})
+	return nil
+}
+
+// runFCBatches runs one FC layer over every input's flattened activations,
+// batching across the inputs themselves in chunks of ≤ kb members and
+// replacing each flats[i] with the layer's outputs.
+func (e *Engine) runFCBatches(le *layerExec, flats [][]float64, kb int, stats *InferenceStats) error {
+	rows, cols := le.w.Rows, le.w.Cols
+	if len(flats[0]) != rows {
+		return lengthErr(len(flats[0]), rows)
 	}
-	type workerState struct {
-		stats  InferenceStats
-		errIdx int
-		err    error
+	n := len(flats)
+	if kb > n {
+		kb = n
 	}
-	states := make([]workerState, workers)
+	chunks := (n + kb - 1) / kb
+	e.runChunks(chunks, n, stats, func(s *batchScratch, c int, st *InferenceStats) {
+		lo := c * kb
+		hi := min(lo+kb, n)
+		bs := hi - lo
+		start := time.Now()
+		flat := s.flatFor(bs * rows)
+		for i := 0; i < bs; i++ {
+			copy(flat[i*rows:(i+1)*rows], flats[lo+i])
+		}
+		s.pb = le.quantizeBatch(s.pb, flat, rows, bs)
+		simStageInputPack.AddSince(start)
+		out := s.outFor(bs * cols)
+		start = time.Now()
+		le.applyBatch(s, out, st)
+		simStageKernel.AddSince(start)
+		for i := 0; i < bs; i++ {
+			flats[lo+i] = append(flats[lo+i][:0], out[i*cols:(i+1)*cols]...)
+		}
+	})
+	return nil
+}
+
+// runChunks fans chunk indices [0, chunks) across a bounded worker pool
+// (sequentially when the layer performs fewer than minParallelPatches MVMs
+// total). Each worker draws pooled scratch from the engine and accumulates
+// stats privately; the merge after the barrier is order-independent, so
+// aggregated stats are schedule-independent too.
+func (e *Engine) runChunks(chunks, totalMVMs int, stats *InferenceStats, runChunk func(s *batchScratch, c int, st *InferenceStats)) {
+	workers := runtime.NumCPU()
+	if workers > chunks {
+		workers = chunks
+	}
+	if totalMVMs < minParallelPatches || workers <= 1 {
+		s := e.getScratch()
+		defer e.putScratch(s)
+		for c := 0; c < chunks; c++ {
+			runChunk(s, c, stats)
+		}
+		return
+	}
+	parts := make([]InferenceStats, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(ws *workerState) {
+		go func(st *InferenceStats) {
 			defer wg.Done()
-			s := &mvmScratch{}
+			s := e.getScratch()
+			defer e.putScratch(s)
 			for {
-				idx := int(next.Add(1)) - 1
-				if idx >= n {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
 					return
 				}
-				if err := runOne(s, idx, &ws.stats); err != nil {
-					// Keep the lowest-index error this worker hit; the
-					// cross-worker minimum is taken after the barrier so
-					// error reporting is schedule-independent.
-					if ws.err == nil || idx < ws.errIdx {
-						ws.errIdx, ws.err = idx, err
-					}
-				}
+				runChunk(s, c, st)
 			}
-		}(&states[w])
+		}(&parts[w])
 	}
 	wg.Wait()
-	var firstErr error
-	firstIdx := n
-	for i := range states {
-		stats.MVMs += states[i].stats.MVMs
-		stats.ADCConversions += states[i].stats.ADCConversions
-		if states[i].err != nil && states[i].errIdx < firstIdx {
-			firstIdx, firstErr = states[i].errIdx, states[i].err
-		}
+	for i := range parts {
+		stats.merge(parts[i])
 	}
-	return firstErr
 }
 
 // integerMVMInto is the fast path: the exact integer product qᵀ·u the
 // analog pipeline reconstructs (proved equal to ExecuteMVM in tests),
-// accumulated in int64 with a 4-row-blocked loop. acc must have length
-// w.Cols and arrive zeroed; out receives the result.
-func integerMVMInto(out []float64, acc []int64, w *quant.Matrix, in *quant.Input) {
+// accumulated in int64 with a 4-row-blocked loop. u holds the input's
+// quantized codes (one per weight row); acc must have length w.Cols and
+// arrive zeroed; out receives the result.
+func integerMVMInto(out []float64, acc []int64, w *quant.Matrix, u []uint8) {
 	cols := w.Cols
 	i := 0
 	for ; i+3 < w.Rows; i += 4 {
-		u0, u1 := int64(in.U[i]), int64(in.U[i+1])
-		u2, u3 := int64(in.U[i+2]), int64(in.U[i+3])
+		u0, u1 := int64(u[i]), int64(u[i+1])
+		u2, u3 := int64(u[i+2]), int64(u[i+3])
 		if u0|u1|u2|u3 == 0 {
 			continue
 		}
@@ -449,13 +725,13 @@ func integerMVMInto(out []float64, acc []int64, w *quant.Matrix, in *quant.Input
 		}
 	}
 	for ; i < w.Rows; i++ {
-		u := int64(in.U[i])
-		if u == 0 {
+		uv := int64(u[i])
+		if uv == 0 {
 			continue
 		}
 		row := w.Q[i*cols : (i+1)*cols]
 		for j, q := range row {
-			acc[j] += u * int64(q)
+			acc[j] += uv * int64(q)
 		}
 	}
 	for j, v := range acc {

@@ -48,12 +48,33 @@ type InferenceOptions struct {
 	// (accel.Plan.Spares) instead. Ignored when Faults injects no stuck-at
 	// cells.
 	Repair *repair.Policy
+	// KernelBatch caps how many MVMs (conv patches, or FC members across a
+	// RunBatch) are quantized, packed, and executed per batched-kernel call.
+	// Zero selects DefaultKernelBatch. The choice never changes results —
+	// batch members are independent and bit-exact — only how far each packed
+	// weight-word load amortizes.
+	KernelBatch int
 }
 
-// InferenceStats aggregates the work one inference performed.
+// InferenceStats aggregates the work one inference (or RunBatch) performed.
 type InferenceStats struct {
 	MVMs           int64
 	ADCConversions int64
+	// KernelBatches counts batched-kernel invocations; MVMs/KernelBatches is
+	// the realized mean kernel batch size.
+	KernelBatches int64
+	// MaxKernelBatch is the largest batch any single kernel call served.
+	MaxKernelBatch int
+}
+
+// merge folds another accumulator (e.g. one worker's) into st.
+func (st *InferenceStats) merge(o InferenceStats) {
+	st.MVMs += o.MVMs
+	st.ADCConversions += o.ADCConversions
+	st.KernelBatches += o.KernelBatches
+	if o.MaxKernelBatch > st.MaxKernelBatch {
+		st.MaxKernelBatch = o.MaxKernelBatch
+	}
 }
 
 // RunInference executes one input through the plan's model on the mapped
@@ -73,7 +94,7 @@ func LayerMVM(p *accel.Plan, la *accel.LayerAlloc, w *quant.Matrix, patch []floa
 		return nil, lengthErr(in.N, w.Rows)
 	}
 	out := make([]float64, w.Cols)
-	integerMVMInto(out, make([]int64, w.Cols), w, in)
+	integerMVMInto(out, make([]int64, w.Cols), w, in.U)
 	for j := range out {
 		out[j] = w.ScaleFor(j) * in.Scale * out[j]
 	}
@@ -84,6 +105,6 @@ func LayerMVM(p *accel.Plan, la *accel.LayerAlloc, w *quant.Matrix, patch []floa
 // engines are asserted against in tests.
 func integerMVM(w *quant.Matrix, in *quant.Input) []float64 {
 	out := make([]float64, w.Cols)
-	integerMVMInto(out, make([]int64, w.Cols), w, in)
+	integerMVMInto(out, make([]int64, w.Cols), w, in.U)
 	return out
 }

@@ -18,6 +18,10 @@ var (
 		"Cumulative sim.Engine stage time in nanoseconds.")
 	simStageStream = obs.Default.Counter(`autohet_sim_stage_ns_total{stage="patch_stream"}`,
 		"Cumulative sim.Engine stage time in nanoseconds.")
+	simStageInputPack = obs.Default.Counter(`autohet_sim_stage_ns_total{stage="input_pack"}`,
+		"Cumulative sim.Engine stage time in nanoseconds.")
+	simStageKernel = obs.Default.Counter(`autohet_sim_stage_ns_total{stage="kernel"}`,
+		"Cumulative sim.Engine stage time in nanoseconds.")
 
 	simWeightsHit = obs.Default.Counter(`autohet_sim_cache_events_total{cache="weights",event="hit"}`,
 		"sim.Engine per-layer memo lookups by cache and outcome.")

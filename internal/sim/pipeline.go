@@ -69,6 +69,19 @@ func PipelineFromResult(r *Result, batch int) *PipelineResult {
 	return pr
 }
 
+// BatchCost expresses the pipelined batch latency as the linear service
+// model the serving layers charge for a formed batch of k inferences:
+//
+//	BatchLatency(k) = Fill + (k−1)·Interval = base + k·per
+//
+// with base = Fill − Interval and per = Interval. fleet.ReplicaSpec.Batch
+// and the DES service model consume exactly this pair, so a replica's
+// dynamic batch of size k is priced as one pipelined (batched-kernel) pass,
+// not k independent inferences.
+func (pr *PipelineResult) BatchCost() (baseNS, perInputNS float64) {
+	return pr.FillNS - pr.IntervalNS, pr.IntervalNS
+}
+
 // String summarizes the pipelined run.
 func (pr *PipelineResult) String() string {
 	name := "?"

@@ -41,7 +41,7 @@ type reqState struct {
 	failed       bool // resolved: every avenue exhausted
 	expired      bool // some copy missed the budget (final loss counts as Expired)
 
-	hedge   *Timer // pending hedge launch (nil once fired or cancelled)
+	hedge   Handle // pending hedge launch (zero once fired or cancelled)
 	primary *simReplica
 }
 
@@ -59,7 +59,9 @@ func (f *Fleet) newState(id int, arrival, budget float64) *reqState {
 func (f *Fleet) applyChaos(ev chaos.Event) {
 	now := f.eng.Now()
 	f.chaosEvents.Add(1)
-	f.logf("K t=%.3f kind=%s target=%s v=%g\n", now, ev.Kind, ev.Target, ev.Value)
+	if f.logging {
+		f.logf("K t=%.3f kind=%s target=%s v=%g\n", now, ev.Kind, ev.Target, ev.Value)
+	}
 	r := f.replicaByName(ev.Target)
 	if r == nil {
 		return
@@ -72,9 +74,9 @@ func (f *Fleet) applyChaos(ev chaos.Event) {
 		r.crashed = true
 		f.refreshDispatch()
 		if r.collecting {
-			r.collect.Cancel()
+			f.eng.Cancel(r.collect)
 			r.collecting = false
-			r.collect = nil
+			r.collect = Handle{}
 		}
 		for r.queue.n > 0 {
 			rq := r.queue.pop()
@@ -172,14 +174,18 @@ func (f *Fleet) failCopy(rq simReq, r *simReplica, reason string) {
 	if st == nil {
 		f.failed.Add(1)
 		f.window(now).Failed++
-		f.logf("X t=%.3f id=%d r=%s reason=%s\n", now, rq.id, r.name, reason)
+		if f.logging {
+			f.logf("X t=%.3f id=%d r=%s reason=%s\n", now, rq.id, r.name, reason)
+		}
 		return
 	}
 	if st.done || st.failed {
 		return // cancelled copy swept out with the queue
 	}
 	st.live--
-	f.logf("E t=%.3f id=%d r=%s reason=%s\n", now, rq.id, r.name, reason)
+	if f.logging {
+		f.logf("E t=%.3f id=%d r=%s reason=%s\n", now, rq.id, r.name, reason)
+	}
 	f.tryRetry(st)
 }
 
@@ -192,8 +198,10 @@ func (f *Fleet) tryRetry(st *reqState) {
 		st.attempts++
 		delay := rp.BackoffNS(st.attempts-1, f.retryRng)
 		f.retried.Add(1)
-		f.logf("R t=%.3f id=%d attempt=%d wait=%.3f\n", f.eng.Now(), st.id, st.attempts, delay)
-		f.eng.Schedule(delay, func() { f.redispatch(st) })
+		if f.logging {
+			f.logf("R t=%.3f id=%d attempt=%d wait=%.3f\n", f.eng.Now(), st.id, st.attempts, delay)
+		}
+		f.eng.ScheduleEvent(delay, evRetry, 0, 0, st)
 		return
 	}
 	f.settle(st)
@@ -230,19 +238,21 @@ func (f *Fleet) settle(st *reqState) {
 		return
 	}
 	st.failed = true
-	if st.hedge != nil {
-		st.hedge.Cancel()
-		st.hedge = nil
-	}
+	f.eng.Cancel(st.hedge)
+	st.hedge = Handle{}
 	now := f.eng.Now()
 	if st.expired {
 		f.expired.Add(1)
 		f.window(now).Expired++
-		f.logf("X t=%.3f id=%d reason=budget\n", now, st.id)
+		if f.logging {
+			f.logf("X t=%.3f id=%d reason=budget\n", now, st.id)
+		}
 	} else {
 		f.failed.Add(1)
 		f.window(now).Failed++
-		f.logf("X t=%.3f id=%d reason=failed\n", now, st.id)
+		if f.logging {
+			f.logf("X t=%.3f id=%d reason=failed\n", now, st.id)
+		}
 	}
 }
 
@@ -255,12 +265,12 @@ func (f *Fleet) armHedge(st *reqState) {
 		return
 	}
 	d := hp.DelayNS(f.hedgeHist.Count(), f.hedgeHist.Quantile(hp.Quantile))
-	st.hedge = f.eng.Schedule(d, func() { f.fireHedge(st) })
+	st.hedge = f.eng.ScheduleEvent(d, evHedge, 0, 0, st)
 }
 
 // fireHedge launches the backup copy (first-wins with the primary).
 func (f *Fleet) fireHedge(st *reqState) {
-	st.hedge = nil
+	st.hedge = Handle{}
 	if st.done || st.failed {
 		return
 	}
@@ -286,7 +296,9 @@ func (f *Fleet) fireHedge(st *reqState) {
 	f.hedged.Add(1)
 	f.route(r)
 	now := f.eng.Now()
-	f.logf("G t=%.3f id=%d r=%s\n", now, st.id, r.name)
+	if f.logging {
+		f.logf("G t=%.3f id=%d r=%s\n", now, st.id, r.name)
+	}
 	f.enqueue(r, simReq{id: st.id, arrival: st.arrival, budget: st.budget, enqueued: now, st: st})
 }
 
@@ -297,14 +309,14 @@ func (f *Fleet) resolveCopy(st *reqState, r *simReplica, completion float64) {
 	now := f.eng.Now()
 	if st.done || st.failed {
 		f.hedgeWasted.Add(1)
-		f.logf("W t=%.3f id=%d r=%s\n", now, st.id, r.name)
+		if f.logging {
+			f.logf("W t=%.3f id=%d r=%s\n", now, st.id, r.name)
+		}
 		return
 	}
 	st.done = true
-	if st.hedge != nil {
-		st.hedge.Cancel()
-		st.hedge = nil
-	}
+	f.eng.Cancel(st.hedge)
+	st.hedge = Handle{}
 	latency := completion - st.arrival
 	f.latencies = append(f.latencies, latency)
 	f.completed.Add(1)
@@ -318,7 +330,9 @@ func (f *Fleet) resolveCopy(st *reqState, r *simReplica, completion float64) {
 	if completion > f.makespan {
 		f.makespan = completion
 	}
-	f.logf("S t=%.3f id=%d r=%s c=%.3f\n", now, st.id, r.name, completion)
+	if f.logging {
+		f.logf("S t=%.3f id=%d r=%s c=%.3f\n", now, st.id, r.name, completion)
+	}
 }
 
 // window returns the stats bucket for virtual time t, or a discard sink

@@ -74,13 +74,13 @@ func TestCancel(t *testing.T) {
 	e := New()
 	fired := false
 	tm := e.At(10, func() { fired = true })
-	if !tm.Active() {
+	if !e.Active(tm) {
 		t.Fatal("timer not active after schedule")
 	}
-	if !tm.Cancel() {
+	if !e.Cancel(tm) {
 		t.Fatal("first Cancel returned false")
 	}
-	if tm.Cancel() {
+	if e.Cancel(tm) {
 		t.Fatal("second Cancel returned true")
 	}
 	e.Run()
@@ -90,8 +90,38 @@ func TestCancel(t *testing.T) {
 	// Cancelling after firing reports false.
 	tm2 := e.At(20, func() {})
 	e.Run()
-	if tm2.Active() || tm2.Cancel() {
+	if e.Active(tm2) || e.Cancel(tm2) {
 		t.Fatal("fired timer still active / cancellable")
+	}
+	// The zero Handle is inert.
+	var zero Handle
+	if e.Active(zero) || e.Cancel(zero) {
+		t.Fatal("zero Handle active / cancellable")
+	}
+}
+
+// A stale handle must not resurrect or cancel a later event that reuses its
+// arena slot — the generation check.
+func TestStaleHandleCannotTouchReusedSlot(t *testing.T) {
+	e := New()
+	h1 := e.At(10, func() {})
+	if !e.Cancel(h1) {
+		t.Fatal("cancel failed")
+	}
+	fired := false
+	h2 := e.At(20, func() { fired = true }) // reuses h1's slot
+	if e.Active(h1) {
+		t.Fatal("stale handle reports active after slot reuse")
+	}
+	if e.Cancel(h1) {
+		t.Fatal("stale handle cancelled the reused slot's event")
+	}
+	if !e.Active(h2) {
+		t.Fatal("fresh handle inactive")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("event on reused slot did not fire")
 	}
 }
 
@@ -100,13 +130,13 @@ func TestCancel(t *testing.T) {
 func TestCancelKeepsOrder(t *testing.T) {
 	e := New()
 	var got []int
-	timers := make([]*Timer, 0, 10)
+	timers := make([]Handle, 0, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		timers = append(timers, e.At(float64(10-i), func() { got = append(got, 10-i) }))
 	}
-	timers[3].Cancel() // event at time 7
-	timers[8].Cancel() // event at time 2
+	e.Cancel(timers[3]) // event at time 7
+	e.Cancel(timers[8]) // event at time 2
 	e.Run()
 	if want := []int{1, 3, 4, 5, 6, 8, 9, 10}; !reflect.DeepEqual(got, want) {
 		t.Fatalf("fired %v, want %v", got, want)

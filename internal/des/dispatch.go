@@ -25,7 +25,9 @@ func (f *Fleet) arrive(id int, arrival, budget float64) {
 	f.submitted.Add(1)
 	f.arrivalsTick++
 	f.window(arrival).Arrived++
-	f.logf("A t=%.3f id=%d\n", arrival, id)
+	if f.logging {
+		f.logf("A t=%.3f id=%d\n", arrival, id)
+	}
 	if bp := f.res.Brownout; bp != nil && bp.Shed(bp.Priority(id), f.queued, f.active) {
 		f.brownoutShed.Add(1)
 		f.shedReq(id, "brownout")
@@ -83,7 +85,9 @@ func (f *Fleet) shedReq(id int, reason string) {
 		f.shed.Add(1)
 		f.window(now).Shed++
 	}
-	f.logf("H t=%.3f id=%d reason=%s\n", now, id, reason)
+	if f.logging {
+		f.logf("H t=%.3f id=%d reason=%s\n", now, id, reason)
+	}
 }
 
 // enqueue places the request on r's admission queue and starts service if
@@ -94,11 +98,13 @@ func (f *Fleet) enqueue(r *simReplica, rq simReq) {
 	if q := r.cl.queued.Add(1); q > r.cl.peakQueued {
 		r.cl.peakQueued = q
 	}
-	f.logf("D t=%.3f id=%d r=%s q=%d\n", f.eng.Now(), rq.id, r.name, r.queue.n)
+	if f.logging {
+		f.logf("D t=%.3f id=%d r=%s q=%d\n", f.eng.Now(), rq.id, r.name, r.queue.n)
+	}
 	if r.collecting {
 		// A collecting batch fills early when the queue reaches MaxBatch.
 		if r.queue.n >= f.cfg.MaxBatch {
-			r.collect.Cancel()
+			f.eng.Cancel(r.collect)
 			r.collecting = false
 			f.executeBatch(r, f.cfg.MaxBatch, false)
 			f.maybeService(r)
@@ -261,7 +267,14 @@ func (f *Fleet) fallback(full *simReplica) *simReplica {
 }
 
 // logf appends one deterministic event-log line when logging is enabled.
+// Lane sub-fleets record structured entries (keyed by the current event's
+// virtual time and class) for the canonical merge instead of writing
+// directly.
 func (f *Fleet) logf(format string, args ...any) {
+	if f.laneSink != nil {
+		f.laneSink.add(f.eng.Now(), logLine(format, args...))
+		return
+	}
 	if f.log == nil {
 		return
 	}

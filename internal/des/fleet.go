@@ -82,8 +82,27 @@ type Config struct {
 	// Log, when set, receives one line per simulation event. Identical
 	// configs and seeds produce byte-identical logs — the determinism
 	// anchor asserted in tests. Logging a million-request run is large;
-	// leave nil outside tests and small experiments.
+	// leave nil outside tests and small experiments. With Workers > 1 the
+	// canonical virtual-time-ordered merged log is written (byte-identical
+	// to the workers=1 log).
 	Log io.Writer
+	// Workers > 1 shards the clusters into that many lanes, each advanced
+	// by its own engine on its own goroutine under conservative time-window
+	// barriers (see parallel.go). Results are exact: workers=N equals
+	// workers=1 bit for bit. Parallelism engages only for configurations
+	// whose cross-lane interactions are precomputable (Clusters >= workers,
+	// round-robin cluster routing, no PowerOfTwo sampling, no admission
+	// hook, no resilience stack); anything else — and any run that develops
+	// a cross-cluster interaction such as whole-cluster backpressure —
+	// falls back to the serial engine, still exact. Default 1.
+	Workers int
+
+	// lane marks a sub-fleet built by the parallel coordinator: skips
+	// global metric registration (the parent owns the series) and uses
+	// laneBounds for the cluster split so lane cluster boundaries match the
+	// parent's exactly.
+	lane       bool
+	laneBounds []int
 }
 
 // DefaultConfig mirrors fleet.DefaultConfig for the fields the DES mode
@@ -153,6 +172,12 @@ func (c *Config) normalize() error {
 	if c.StatsWindowNS < 0 {
 		return fmt.Errorf("des: stats window %v ns", c.StatsWindowNS)
 	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("des: worker count %d", c.Workers)
+	}
 	if p := c.Resilience.Retry; p != nil {
 		d := p.WithDefaults()
 		c.Resilience.Retry = &d
@@ -166,6 +191,53 @@ func (c *Config) normalize() error {
 		c.Resilience.Brownout = &d
 	}
 	return nil
+}
+
+// Typed event kinds for the fleet's hot events: the steady-state loop
+// (arrival → dispatch → batch → free) schedules zero closures and zero
+// per-event allocations. Payload conventions are documented per kind.
+const (
+	evArrival     uint16 = iota + 1 // serial arrival chain; i = request id
+	evLaneArrival                   // lane-mode arrival; i = index into lane.arrivals
+	evFree                          // pipeline free; i = replica index
+	evCollect                       // batch collect timeout; i = replica index
+	evControl                       // autoscaler control tick
+	evChaos                         // chaos schedule event; i = index into cfg.Chaos.Events
+	evResolve                       // resilient copy completion; i = replica index, x = completion, p = *reqState
+	evRetry                         // retry backoff expiry; p = *reqState
+	evHedge                         // hedge launch; p = *reqState
+)
+
+// handle dispatches typed events from the engine to the fleet's handlers.
+func (f *Fleet) handle(kind uint16, i int64, x float64, p any) {
+	switch kind {
+	case evArrival:
+		f.fireArrival(int(i))
+	case evLaneArrival:
+		f.fireLaneArrival(int(i))
+	case evFree:
+		f.onFree(f.replicas[i])
+	case evCollect:
+		f.onCollectTimeout(f.replicas[i])
+	case evControl:
+		f.controlTick()
+	case evChaos:
+		if s := f.laneSink; s != nil {
+			// Chaos-origin log lines carry the global schedule index so the
+			// merged log can reproduce the serial equal-time order.
+			s.curClass, s.curTie = classChaos, int32(f.laneChaosIdx[i])
+			f.applyChaos(f.cfg.Chaos.Events[i])
+			s.curClass, s.curTie = classNormal, 0
+		} else {
+			f.applyChaos(f.cfg.Chaos.Events[i])
+		}
+	case evResolve:
+		f.resolveCopy(p.(*reqState), f.replicas[i], x)
+	case evRetry:
+		f.redispatch(p.(*reqState))
+	case evHedge:
+		f.fireHedge(p.(*reqState))
+	}
 }
 
 // simReq is one queued request copy. enqueued is the virtual time it joined
@@ -228,7 +300,7 @@ type simReplica struct {
 	busy       bool    // a batch occupies the pipeline until nextFree
 	inFlight   int     // kept members of the executing batch
 	collecting bool
-	collect    *Timer
+	collect    Handle
 
 	// Chaos state: crashed fail-stops the replica, slow multiplies fill and
 	// interval (1 = healthy), link adds degraded-NoC transfer cost per batch
@@ -302,6 +374,10 @@ type Fleet struct {
 	replicas []*simReplica
 	rng      *rand.Rand
 	log      io.Writer
+	// logging gates every logf call site: the variadic args would otherwise
+	// box to the heap per event even with logging off, which alone costs
+	// ~6 allocs/event on the steady-state path.
+	logging bool
 
 	clusterRR uint64
 
@@ -325,6 +401,23 @@ type Fleet struct {
 	lastArrival   float64
 	arrivalsTick  int64 // arrivals since the last control tick
 	traceDone     bool
+
+	// Arrival-chain state for the typed evArrival event (the closure-free
+	// replacement for the old self-scheduling arrival closure).
+	traceGen      trace.Generator
+	budgetNS      float64
+	totalRequests int
+	nextArrivalAt float64
+
+	// Parallel-lane state (see parallel.go). specs is retained on parent
+	// fleets so the coordinator can build lane sub-fleets; the lane* fields
+	// are live only when this fleet runs as one lane of a parallel run.
+	specs        []fleet.ReplicaSpec
+	laneArrivals []laneArrival
+	laneSched    int // laneArrivals already scheduled as events
+	laneAbort    bool
+	laneSink     *laneLog
+	laneChaosIdx []int // lane chaos event index -> global schedule index
 	speedupGauge  *gaugeHandle
 	ran           bool
 	clusterBuf    []*simCluster // reusable scratch for degraded-path picks
@@ -371,6 +464,8 @@ func NewFleet(cfg Config, specs ...fleet.ReplicaSpec) (*Fleet, error) {
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 		log: cfg.Log,
 	}
+	f.logging = cfg.Log != nil
+	f.eng.SetHandler(f.handle)
 	names := map[string]bool{}
 	for i, spec := range specs {
 		name := spec.Name
@@ -424,11 +519,20 @@ func NewFleet(cfg Config, specs ...fleet.ReplicaSpec) (*Fleet, error) {
 		}
 		f.replicas = append(f.replicas, r)
 	}
-	// Contiguous, near-equal cluster split.
+	// Contiguous, near-equal cluster split. A lane sub-fleet uses the
+	// parent-supplied boundaries instead so its clusters match the parent's
+	// split of the same replicas exactly.
 	n := len(f.replicas)
+	bounds := cfg.laneBounds
+	if bounds == nil {
+		bounds = make([]int, cfg.Clusters+1)
+		for ci := 0; ci <= cfg.Clusters; ci++ {
+			bounds[ci] = ci * n / cfg.Clusters
+		}
+	}
 	for ci := 0; ci < cfg.Clusters; ci++ {
-		lo := ci * n / cfg.Clusters
-		hi := (ci + 1) * n / cfg.Clusters
+		lo := bounds[ci]
+		hi := bounds[ci+1]
 		cl := &simCluster{id: ci, name: fmt.Sprintf("c%d", ci), replicas: f.replicas[lo:hi]}
 		for _, r := range cl.replicas {
 			r.cl = cl
@@ -445,7 +549,10 @@ func NewFleet(cfg Config, specs ...fleet.ReplicaSpec) (*Fleet, error) {
 		f.retryBudget = chaos.NewRetryBudget(*cfg.Resilience.Retry)
 	}
 	f.recountSignal()
-	f.registerMetrics()
+	if !cfg.lane {
+		f.specs = append([]fleet.ReplicaSpec(nil), specs...)
+		f.registerMetrics()
+	}
 	return f, nil
 }
 
@@ -493,39 +600,51 @@ func (f *Fleet) RunTrace(gen trace.Generator, requests int, budgetNS float64) (*
 		return nil, fmt.Errorf("des: fleet already ran; build a new one per workload")
 	}
 	f.ran = true
-	f.latencies = make([]float64, 0, requests)
-
 	wallStart := time.Now()
+	if f.parallelEligible() {
+		return f.runParallel(gen, requests, budgetNS, wallStart), nil
+	}
+	return f.runSerial(gen, requests, budgetNS, wallStart), nil
+}
+
+// runSerial is the classic single-engine run: the reference semantics every
+// parallel run must reproduce bit for bit.
+func (f *Fleet) runSerial(gen trace.Generator, requests int, budgetNS float64, wallStart time.Time) *Result {
+	f.latencies = make([]float64, 0, requests)
 	if f.cfg.Scaler != nil {
-		f.eng.Schedule(f.cfg.ControlPeriodNS, f.controlTick)
+		f.eng.ScheduleEvent(f.cfg.ControlPeriodNS, evControl, 0, 0, nil)
 	}
 	if f.cfg.Chaos != nil {
-		for _, ev := range f.cfg.Chaos.Events {
-			ev := ev
-			f.eng.At(ev.AtNS, func() { f.applyChaos(ev) })
+		for i := range f.cfg.Chaos.Events {
+			f.eng.AtEvent(f.cfg.Chaos.Events[i].AtNS, evChaos, int64(i), 0, nil)
 		}
 	}
-	arrival := 0.0
-	id := 0
-	var nextArrival func()
-	nextArrival = func() {
-		f.arrive(id, arrival, budgetNS)
-		id++
-		if id < requests {
-			arrival += gen.NextGapNS()
-			f.lastArrival = arrival
-			f.eng.At(arrival, nextArrival)
-		} else {
-			f.traceDone = true
-		}
-	}
-	arrival += gen.NextGapNS()
-	f.lastArrival = arrival
-	f.eng.At(arrival, nextArrival)
+	f.traceGen, f.totalRequests, f.budgetNS = gen, requests, budgetNS
+	f.nextArrivalAt = gen.NextGapNS()
+	f.lastArrival = f.nextArrivalAt
+	f.eng.AtEvent(f.nextArrivalAt, evArrival, 0, 0, nil)
 	events := f.eng.Run()
-	wall := time.Since(wallStart)
 
-	return f.compileResult(requests, events, wall), nil
+	res := f.compileResult(requests, events, time.Since(wallStart))
+	res.Lanes = 1
+	return res
+}
+
+// fireArrival handles one evArrival event: admit request id at the current
+// virtual time, then schedule the next arrival — the allocation-free
+// replacement for the old self-scheduling arrival closure, with the exact
+// same float accumulation (nextArrivalAt += gap) so schedules are
+// bit-identical.
+func (f *Fleet) fireArrival(id int) {
+	f.arrive(id, f.nextArrivalAt, f.budgetNS)
+	id++
+	if id < f.totalRequests {
+		f.nextArrivalAt += f.traceGen.NextGapNS()
+		f.lastArrival = f.nextArrivalAt
+		f.eng.AtEvent(f.nextArrivalAt, evArrival, int64(id), 0, nil)
+	} else {
+		f.traceDone = true
+	}
 }
 
 // Result is a DES run summary: the goroutine runtime's fleet.Result fields
@@ -537,6 +656,10 @@ type Result struct {
 	LatenciesNS []float64
 	// Events is the number of simulation events fired.
 	Events int64
+	// Lanes is the number of parallel lanes that actually ran: Config.Workers
+	// when the sharded path engaged, 1 for serial runs — including parallel
+	// attempts that fell back mid-run (the exactness escape hatch).
+	Lanes int
 	// VirtualNS is the simulated span (last completion or arrival).
 	VirtualNS float64
 	// WallSeconds is the wall-clock cost of the run; SpeedupVsWall is

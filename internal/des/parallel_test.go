@@ -1,0 +1,117 @@
+package des
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// shardableScenarios are the golden scenarios whose configs are eligible
+// for lane sharding (round-robin cluster routing, no admission/resilience).
+func shardableScenarios() []goldenScenario {
+	var out []goldenScenario
+	for _, sc := range goldenScenarios() {
+		switch sc.name {
+		case "shard_plain", "shard_storm", "shard_scaler", "shard_rr":
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// runWithWorkers executes one scenario at the given worker count with
+// logging on.
+func runWithWorkers(t *testing.T, sc goldenScenario, workers int) (*Result, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := sc.cfg()
+	cfg.Workers = workers
+	cfg.Log = &buf
+	f, err := NewFleet(cfg, sc.specs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.RunTrace(sc.gen(), sc.requests, sc.budgetNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, res)
+	return res, &buf
+}
+
+// stripWall zeroes the wall-clock-dependent fields so exact Result
+// comparison is meaningful across worker counts.
+func stripWall(r *Result) *Result {
+	c := *r
+	c.WallSeconds, c.SpeedupVsWall, c.EventsPerSec, c.Lanes = 0, 0, 0, 0
+	return &c
+}
+
+// TestParallelIdenticalToSerial is the workers=N exactness contract:
+// identical Result structs (modulo wall-clock speed fields) and a merged
+// event log byte-identical to the serial log, for every shardable scenario
+// including mid-storm chaos and the autoscaler in the loop.
+func TestParallelIdenticalToSerial(t *testing.T) {
+	for _, sc := range shardableScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			serialRes, serialLog := runWithWorkers(t, sc, 1)
+			if serialRes.Lanes != 1 {
+				t.Fatalf("serial run reports %d lanes", serialRes.Lanes)
+			}
+			for _, w := range []int{2, 4, 8} {
+				res, log := runWithWorkers(t, sc, w)
+				if res.Lanes < 2 {
+					t.Errorf("workers=%d: parallel path did not engage (lanes=%d)", w, res.Lanes)
+				}
+				if !reflect.DeepEqual(stripWall(res), stripWall(serialRes)) {
+					t.Errorf("workers=%d: Result diverged from serial\nserial:   %+v\nparallel: %+v",
+						w, stripWall(serialRes), stripWall(res))
+				}
+				if !bytes.Equal(log.Bytes(), serialLog.Bytes()) {
+					t.Errorf("workers=%d: merged log diverged from serial (%d vs %d bytes); first diff at %d",
+						w, log.Len(), serialLog.Len(), firstDiff(log.Bytes(), serialLog.Bytes()))
+				}
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestParallelIneligibleFallsBack: configurations with cross-lane coupling
+// run serially (and still exactly) even when Workers is set.
+func TestParallelIneligibleFallsBack(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		switch sc.name {
+		case "mixed", "resilience_storm": // jsq cluster routing, admit, resilience
+		default:
+			continue
+		}
+		t.Run(sc.name, func(t *testing.T) {
+			serialRes, serialLog := runWithWorkers(t, sc, 1)
+			res, log := runWithWorkers(t, sc, 4)
+			if res.Lanes != 1 {
+				t.Fatalf("ineligible config engaged %d lanes", res.Lanes)
+			}
+			if !reflect.DeepEqual(stripWall(res), stripWall(serialRes)) {
+				t.Fatal("workers=4 fallback Result diverged from serial")
+			}
+			if !bytes.Equal(log.Bytes(), serialLog.Bytes()) {
+				t.Fatal("workers=4 fallback log diverged from serial")
+			}
+		})
+	}
+}

@@ -122,10 +122,12 @@ func (f *Fleet) controlTick() {
 	}
 	if desired != f.active {
 		f.setActive(desired)
-		f.logf("C t=%.3f active=%d rate=%.0f\n", f.eng.Now(), f.active, f.arrivalRate)
+		if f.logging {
+			f.logf("C t=%.3f active=%d rate=%.0f\n", f.eng.Now(), f.active, f.arrivalRate)
+		}
 	}
 	if !f.traceDone || f.queued+f.inFlight > 0 {
-		f.eng.Schedule(f.cfg.ControlPeriodNS, f.controlTick)
+		f.eng.ScheduleEvent(f.cfg.ControlPeriodNS, evControl, 0, 0, nil)
 	}
 }
 

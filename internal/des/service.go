@@ -23,8 +23,7 @@ func (f *Fleet) maybeService(r *simReplica) {
 			// Partial batch: open a collect window, timed from pickup like
 			// the goroutine loop's wall timer.
 			r.collecting = true
-			rr := r
-			r.collect = f.eng.Schedule(f.cfg.BatchTimeoutNS, func() { f.onCollectTimeout(rr) })
+			r.collect = f.eng.ScheduleEvent(f.cfg.BatchTimeoutNS, evCollect, int64(r.id), 0, nil)
 			return
 		}
 		take := 1
@@ -37,7 +36,7 @@ func (f *Fleet) maybeService(r *simReplica) {
 
 func (f *Fleet) onCollectTimeout(r *simReplica) {
 	r.collecting = false
-	r.collect = nil
+	r.collect = Handle{}
 	take := r.queue.n
 	if take > f.cfg.MaxBatch {
 		take = f.cfg.MaxBatch
@@ -86,7 +85,9 @@ func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
 			// First-wins cancellation: a copy whose request already
 			// resolved is dropped at pop without consuming a slot.
 			f.hedgeWasted.Add(1)
-			f.logf("W t=%.3f id=%d r=%s\n", f.eng.Now(), rq.id, r.name)
+			if f.logging {
+				f.logf("W t=%.3f id=%d r=%s\n", f.eng.Now(), rq.id, r.name)
+			}
 			continue
 		}
 		completion := entry + fill + float64(kept)*interval
@@ -98,12 +99,16 @@ func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
 				if r.breaker != nil {
 					r.breaker.Record(f.eng.Now(), false)
 				}
-				f.logf("E t=%.3f id=%d r=%s reason=budget\n", f.eng.Now(), rq.id, r.name)
+				if f.logging {
+					f.logf("E t=%.3f id=%d r=%s reason=budget\n", f.eng.Now(), rq.id, r.name)
+				}
 				f.tryRetry(st)
 			} else {
 				f.expired.Add(1)
 				f.window(f.eng.Now()).Expired++
-				f.logf("X t=%.3f id=%d r=%s reason=budget\n", f.eng.Now(), rq.id, r.name)
+				if f.logging {
+					f.logf("X t=%.3f id=%d r=%s reason=budget\n", f.eng.Now(), rq.id, r.name)
+				}
 			}
 			continue
 		}
@@ -116,8 +121,7 @@ func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
 			if r.breaker != nil {
 				r.breaker.Record(f.eng.Now(), true)
 			}
-			rr, c := r, completion
-			f.eng.At(c, func() { f.resolveCopy(st, rr, c) })
+			f.eng.AtEvent(completion, evResolve, int64(r.id), completion, st)
 		} else {
 			latency := completion - rq.arrival
 			f.latencies = append(f.latencies, latency)
@@ -128,7 +132,9 @@ func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
 			if completion > f.makespan {
 				f.makespan = completion
 			}
-			f.logf("S t=%.3f id=%d r=%s e=%.3f c=%.3f\n", f.eng.Now(), rq.id, r.name, entry, completion)
+			if f.logging {
+				f.logf("S t=%.3f id=%d r=%s e=%.3f c=%.3f\n", f.eng.Now(), rq.id, r.name, entry, completion)
+			}
 		}
 		kept++
 	}
@@ -143,8 +149,7 @@ func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
 	r.busy = true
 	r.inFlight = kept
 	f.inFlight += kept
-	rr := r
-	f.eng.At(r.nextFree, func() { f.onFree(rr) })
+	f.eng.AtEvent(r.nextFree, evFree, int64(r.id), 0, nil)
 }
 
 // onFree fires when the pipeline can accept its next batch.
@@ -152,6 +157,8 @@ func (f *Fleet) onFree(r *simReplica) {
 	r.busy = false
 	f.inFlight -= r.inFlight
 	r.inFlight = 0
-	f.logf("F t=%.3f r=%s\n", f.eng.Now(), r.name)
+	if f.logging {
+		f.logf("F t=%.3f r=%s\n", f.eng.Now(), r.name)
+	}
 	f.maybeService(r)
 }

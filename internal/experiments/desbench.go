@@ -10,11 +10,16 @@ import (
 	"autohet/internal/fleet"
 )
 
-// FleetBenchLeg is one measured DES fleet size.
+// FleetBenchLeg is one measured DES fleet configuration.
 type FleetBenchLeg struct {
-	Replicas  int   `json:"replicas"`
-	Clusters  int   `json:"clusters"`
-	Requests  int   `json:"requests"`
+	Replicas int `json:"replicas"`
+	Clusters int `json:"clusters"`
+	Requests int `json:"requests"`
+	// Workers is des.Config.Workers for this leg; Lanes is how many
+	// parallel lanes the run actually used (1 when the sharded path was
+	// ineligible or not worthwhile).
+	Workers   int   `json:"workers"`
+	Lanes     int   `json:"lanes"`
 	Completed int   `json:"completed"`
 	Shed      int   `json:"shed"`
 	Events    int64 `json:"events"`
@@ -27,18 +32,26 @@ type FleetBenchLeg struct {
 	EventsPerSec  float64 `json:"events_per_sec"`
 	// RequestsPerSec is simulated requests resolved per wall second.
 	RequestsPerSec float64 `json:"requests_per_sec"`
+	// AllocsPerEvent is heap allocations per processed event over the whole
+	// run (process-wide malloc delta, so build cost amortizes in). The
+	// steady-state contract (~0, asserted in internal/des tests) holds on
+	// the serial legs; parallel legs pay lane setup up front.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
 	P99US          float64 `json:"p99_us"`
 }
 
-// FleetBench is the JSON document cmd/experiments -bench fleet writes:
-// the DES engine driven at three fleet sizes up to the cluster-scale
-// 10k-replica / 1M-request recipe, all under a bursty MMPP trace with
-// two-level jsq routing.
+// FleetBench is the JSON document cmd/experiments -bench fleet writes: the
+// DES engine driven from laptop scale to the cluster-scale 100k-replica /
+// 10M-request recipe, under a bursty MMPP trace with jsq replica routing
+// below round-robin cluster routing (the shardable two-level combination),
+// sweeping Config.Workers at the 10k-replica size.
 type FleetBench struct {
-	Seed    int64  `json:"seed"`
-	Workers int    `json:"workers"` // GOMAXPROCS during the run (engine is single-threaded)
-	Trace   string `json:"trace"`
-	Policy  string `json:"policy"`
+	Seed int64 `json:"seed"`
+	// CPUs is GOMAXPROCS during the run — the ceiling on useful Workers.
+	CPUs          int    `json:"cpus"`
+	Trace         string `json:"trace"`
+	Policy        string `json:"policy"`
+	ClusterPolicy string `json:"cluster_policy"`
 	// FillNS/IntervalNS describe the per-replica service model (100 req/s
 	// serving-scale replicas).
 	FillNS     float64         `json:"fill_ns"`
@@ -47,45 +60,65 @@ type FleetBench struct {
 	Legs       []FleetBenchLeg `json:"legs"`
 }
 
-// BenchFleet measures DES fleet simulation cost at 100, 1k, and 10k
-// replicas (100k, 300k, 1M requests) at 70% load.
+// BenchFleet measures DES fleet simulation cost at 100, 1k, 10k, and 100k
+// replicas at 70% load. The 10k-replica / 1M-request size is re-run at
+// workers 1, 2, 4, and NumCPU to expose the sharded-lane scaling curve; the
+// 100k-replica / 10M-request leg runs at NumCPU.
 func BenchFleet(seed int64) (*FleetBench, error) {
+	ncpu := runtime.GOMAXPROCS(0)
 	b := &FleetBench{
-		Seed:       seed,
-		Workers:    runtime.GOMAXPROCS(0),
-		Trace:      "bursty",
-		Policy:     string(fleet.JoinShortestQueue),
-		FillNS:     5e7,
-		IntervalNS: 1e7,
-		Load:       0.7,
+		Seed:          seed,
+		CPUs:          ncpu,
+		Trace:         "bursty",
+		Policy:        string(fleet.JoinShortestQueue),
+		ClusterPolicy: string(fleet.RoundRobin),
+		FillNS:        5e7,
+		IntervalNS:    1e7,
+		Load:          0.7,
 	}
-	legs := []struct {
-		replicas, clusters, requests int
-	}{
-		{100, 4, 100_000},
-		{1_000, 32, 300_000},
-		{10_000, 100, 1_000_000},
+	type legSpec struct {
+		replicas, clusters, requests, workers int
 	}
+	legs := []legSpec{
+		{100, 4, 100_000, 1},
+		{1_000, 32, 300_000, 1},
+	}
+	seen := map[int]bool{}
+	for _, w := range []int{1, 2, 4, ncpu} {
+		if w < 1 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		legs = append(legs, legSpec{10_000, 100, 1_000_000, w})
+	}
+	legs = append(legs, legSpec{100_000, 1_000, 10_000_000, ncpu})
 	for _, l := range legs {
 		cfg := des.DefaultConfig()
 		cfg.Policy = fleet.JoinShortestQueue
-		cfg.ClusterPolicy = fleet.JoinShortestQueue
+		cfg.ClusterPolicy = fleet.RoundRobin
 		cfg.Clusters = l.clusters
 		cfg.QueueDepth = 64
 		cfg.Seed = seed
+		cfg.Workers = l.workers
 		f, err := des.NewFleet(cfg, desSpecs(l.replicas)...)
 		if err != nil {
 			return nil, err
 		}
 		rate := b.Load * float64(l.replicas) * (1e9 / b.IntervalNS)
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
 		res, err := f.RunTrace(trace.Bursty(rate, 1.8, 50e6, seed), l.requests, 0)
 		if err != nil {
 			return nil, err
 		}
+		runtime.ReadMemStats(&m1)
 		leg := FleetBenchLeg{
 			Replicas:       l.replicas,
 			Clusters:       l.clusters,
 			Requests:       l.requests,
+			Workers:        l.workers,
+			Lanes:          res.Lanes,
 			Completed:      res.Completed,
 			Shed:           res.Shed,
 			Events:         res.Events,
@@ -94,6 +127,9 @@ func BenchFleet(seed int64) (*FleetBench, error) {
 			SpeedupVsWall:  res.SpeedupVsWall,
 			EventsPerSec:   res.EventsPerSec,
 			P99US:          res.P99NS / 1000,
+		}
+		if res.Events > 0 {
+			leg.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(res.Events)
 		}
 		if res.WallSeconds > 0 {
 			leg.RequestsPerSec = float64(l.requests) / res.WallSeconds

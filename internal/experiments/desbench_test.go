@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"autohet/internal/des"
+	"autohet/internal/des/trace"
+	"autohet/internal/fleet"
+)
+
+// desFloorRun drives one moderate-scale DES leg (4k replicas, 64 clusters,
+// 400k requests, the shardable jsq-under-rr policy pair) at the given worker
+// count and returns the result plus allocs/event.
+func desFloorRun(t *testing.T, workers int) (*des.Result, float64) {
+	t.Helper()
+	cfg := des.DefaultConfig()
+	cfg.Policy = fleet.JoinShortestQueue
+	cfg.ClusterPolicy = fleet.RoundRobin
+	cfg.Clusters = 64
+	cfg.QueueDepth = 64
+	cfg.Seed = 1
+	cfg.Workers = workers
+	f, err := des.NewFleet(cfg, desSpecs(4000)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 0.7 * 4000 * 100 // 70% of aggregate capacity at 100 req/s per replica
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	res, err := f.RunTrace(trace.Bursty(rate, 1.8, 50e6, 1), 400_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	return res, float64(m1.Mallocs-m0.Mallocs) / float64(res.Events)
+}
+
+// TestDESParallelFloorSmoke is the CI bench-floor gate for the DES engine:
+// the serial leg must stay near allocation-free per event, and on a machine
+// with at least 4 CPUs the sharded-lane run must clear 2x the serial leg's
+// events/sec (the regenerated BENCH_fleet.json tracks the full scaling
+// curve; this is the floor that fails the build). Timing-sensitive, so it
+// only runs when asked for explicitly (AUTOHET_BENCH_SMOKE=1).
+func TestDESParallelFloorSmoke(t *testing.T) {
+	if os.Getenv("AUTOHET_BENCH_SMOKE") == "" {
+		t.Skip("set AUTOHET_BENCH_SMOKE=1 to run the timing-sensitive bench smoke")
+	}
+	serial, allocs := desFloorRun(t, 1)
+	t.Logf("serial: %.0f ev/s, %.4f allocs/event", serial.EventsPerSec, allocs)
+	if allocs > 0.05 {
+		t.Fatalf("serial leg allocates %.4f allocs/event, ceiling 0.05", allocs)
+	}
+	ncpu := runtime.NumCPU()
+	if ncpu < 4 {
+		t.Logf("skipping parallel floor: %d CPUs (need >= 4 for a meaningful speedup bound)", ncpu)
+		return
+	}
+	par, _ := desFloorRun(t, ncpu)
+	if par.Lanes < 2 {
+		t.Fatalf("workers=%d engaged only %d lanes", ncpu, par.Lanes)
+	}
+	t.Logf("parallel (%d lanes): %.0f ev/s (%.2fx serial)",
+		par.Lanes, par.EventsPerSec, par.EventsPerSec/serial.EventsPerSec)
+	if par.EventsPerSec < 2*serial.EventsPerSec {
+		t.Fatalf("parallel leg %.0f ev/s < 2x serial %.0f ev/s",
+			par.EventsPerSec, serial.EventsPerSec)
+	}
+	// The exactness contract rides along for free: same virtual outcome.
+	if par.Completed != serial.Completed || par.VirtualNS != serial.VirtualNS || par.P99NS != serial.P99NS {
+		t.Fatalf("parallel run diverged from serial: completed %d/%d, virtual %g/%g, p99 %g/%g",
+			par.Completed, serial.Completed, par.VirtualNS, serial.VirtualNS, par.P99NS, serial.P99NS)
+	}
+}

@@ -39,6 +39,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/ on http.DefaultServeMux
@@ -55,6 +56,7 @@ import (
 	"autohet/internal/fault"
 	"autohet/internal/fleet"
 	"autohet/internal/hw"
+	"autohet/internal/noc"
 	"autohet/internal/obs"
 	"autohet/internal/serving"
 	"autohet/internal/sim"
@@ -124,6 +126,8 @@ func main() {
 		"address serving /metrics (Prometheus text) and /debug/pprof/ (empty = disabled)")
 	hold := flag.Duration("hold", 0,
 		"keep the metrics endpoint up this long after the run (for scraping; needs -metrics-addr)")
+	shards := flag.Int("shards", 1,
+		"pipeline-parallel stages: cut the model into this many latency-balanced stages and chain requests through one replica per stage (needs a single-design -spec)")
 	engine := flag.String("engine", "goroutine", "runtime: goroutine (wall-clock paced) or des (virtual time)")
 	traceName := flag.String("trace", "poisson",
 		"arrival process for -engine des: poisson, diurnal, bursty, pareto")
@@ -157,7 +161,7 @@ func main() {
 		slowFrac: *chaosSlowFrac, slowFactor: *chaosSlowFactor, resilience: *resilience}
 	if err := run(*model, *spec, *policy, *load, *requests, *batch, *batchTimeout,
 		*queue, *budget, *seed, *timescale, *faultReplica, *faultRate, *faultAt,
-		*repairCap, *repairMiss, *hwConfig, *metricsAddr, *hold, dopts, copts); err != nil {
+		*repairCap, *repairMiss, *hwConfig, *metricsAddr, *hold, *shards, dopts, copts); err != nil {
 		fmt.Fprintln(os.Stderr, "fleet:", err)
 		os.Exit(1)
 	}
@@ -237,7 +241,7 @@ func parseSpec(cfg hw.Config, m *dnn.Model, text string, batch int) ([]fleet.Rep
 func run(modelName, specText, policyText string, load float64, requests, batch int,
 	batchTimeoutUS float64, queue int, budgetUS float64, seed int64, timescale float64,
 	faultReplica string, faultRate, faultAt, repairCap, repairMiss float64, hwConfig string,
-	metricsAddr string, hold time.Duration, dopts desOpts, copts chaosOpts) error {
+	metricsAddr string, hold time.Duration, shards int, dopts desOpts, copts chaosOpts) error {
 	if dopts.engine != "goroutine" && dopts.engine != "des" {
 		return fmt.Errorf("unknown engine %q (want goroutine or des)", dopts.engine)
 	}
@@ -268,12 +272,18 @@ func run(modelName, specText, policyText string, load float64, requests, batch i
 	if err != nil {
 		return err
 	}
+	var sr *sim.ShardResult
+	if shards > 1 {
+		if sr, err = shardDesign(cfg, specs, shards); err != nil {
+			return err
+		}
+	}
 	if dopts.engine == "des" {
 		if faultReplica != "" || repairCap > 0 {
 			return fmt.Errorf("mid-run fault injection and self-repair need -engine goroutine")
 		}
 		return desRun(specs, policy, load, requests, batch, batchTimeoutUS, queue,
-			budgetUS, seed, dopts, copts, hold, metricsAddr)
+			budgetUS, seed, dopts, copts, hold, metricsAddr, sr)
 	}
 	if repairCap > 0 {
 		rs := fleet.RepairSpec{Capacity: repairCap, MissRate: repairMiss}
@@ -285,11 +295,18 @@ func run(modelName, specText, policyText string, load float64, requests, batch i
 	}
 
 	var aggregate float64
-	for _, s := range specs {
-		aggregate += 1e9 / s.Pipeline.IntervalNS
+	if sr != nil {
+		specs = shardSpecs(specs, sr)
+		aggregate = chainCapacityRPS(len(specs), sr)
+		fmt.Printf("fleet: %d replicas across %d pipeline stages, chain capacity %.0f req/s; offering %.0f%% = %.0f req/s\n\n",
+			len(specs), len(sr.Stages), aggregate, 100*load, load*aggregate)
+	} else {
+		for _, s := range specs {
+			aggregate += 1e9 / s.Pipeline.IntervalNS
+		}
+		fmt.Printf("fleet: %d replicas, aggregate capacity %.0f req/s; offering %.0f%% = %.0f req/s\n\n",
+			len(specs), aggregate, 100*load, load*aggregate)
 	}
-	fmt.Printf("fleet: %d replicas, aggregate capacity %.0f req/s; offering %.0f%% = %.0f req/s\n\n",
-		len(specs), aggregate, 100*load, load*aggregate)
 
 	fcfg := fleet.Config{
 		Policy:         policy,
@@ -298,6 +315,10 @@ func run(modelName, specText, policyText string, load float64, requests, batch i
 		QueueDepth:     queue,
 		TimeScale:      timescale,
 		Seed:           seed,
+	}
+	if sr != nil {
+		fcfg.Shards = len(sr.Stages)
+		fcfg.StageTransferNS = stageTransfers(sr)
 	}
 	if copts.resilience {
 		fcfg.Breaker = &chaos.BreakerConfig{}
@@ -376,6 +397,77 @@ func tileSpecs(specs []fleet.ReplicaSpec, n int) []fleet.ReplicaSpec {
 	return tiled
 }
 
+// shardDesign cuts the (single) parsed design into priced pipeline stages
+// on the bank's mesh and prints the stage table.
+func shardDesign(cfg hw.Config, specs []fleet.ReplicaSpec, shards int) (*sim.ShardResult, error) {
+	for _, s := range specs[1:] {
+		if s.Plan != specs[0].Plan {
+			return nil, fmt.Errorf("-shards needs a single-design -spec: every replica must share one plan")
+		}
+	}
+	mesh, err := noc.NewMeshFor(cfg.TilesPerBank)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := sim.ShardPlan(specs[0].Plan, mesh, shards)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("sharded: %d stages, chain fill %.0f ns, interval %.0f ns, inter-stage transfer %.0f ns total\n",
+		len(sr.Stages), sr.FillNS(), sr.IntervalNS(), sr.TransferNS)
+	fmt.Printf("%-6s %-8s %-11s %-13s %-11s %s\n", "stage", "layers", "fill (ns)", "interval (ns)", "area (mm²)", "transfer (ns)")
+	for si := range sr.Stages {
+		st := &sr.Stages[si]
+		fmt.Printf("s%-5d %-8s %-11.0f %-13.0f %-11.2f %.0f\n",
+			si, fmt.Sprintf("%d-%d", st.Stage.Lo, st.Stage.Hi-1), st.FillNS, st.IntervalNS, st.AreaUM2/1e6, st.TransferNS)
+	}
+	fmt.Println()
+	return sr, nil
+}
+
+// shardSpecs rewrites the replica specs for pipeline-parallel serving: the
+// fleet engines split replicas into contiguous stage groups (stage s is
+// replicas[s·N/K : (s+1)·N/K]), so the same bounds here hand each replica
+// exactly the timing of the stage it will host. The whole-model plan pointer
+// is dropped — its area no longer describes a stage replica.
+func shardSpecs(specs []fleet.ReplicaSpec, sr *sim.ShardResult) []fleet.ReplicaSpec {
+	n, k := len(specs), len(sr.Stages)
+	out := make([]fleet.ReplicaSpec, n)
+	for s := 0; s < k; s++ {
+		st := &sr.Stages[s]
+		pr := &sim.PipelineResult{FillNS: st.FillNS, IntervalNS: st.IntervalNS}
+		for i := s * n / k; i < (s+1)*n/k; i++ {
+			out[i] = specs[i]
+			out[i].Pipeline = pr
+			out[i].Plan = nil
+		}
+	}
+	return out
+}
+
+// stageTransfers extracts the fleet-config transfer vector (entries 0..K−2).
+func stageTransfers(sr *sim.ShardResult) []float64 {
+	transfers := make([]float64, len(sr.Stages)-1)
+	for s := range transfers {
+		transfers[s] = sr.Stages[s].TransferNS
+	}
+	return transfers
+}
+
+// chainCapacityRPS is the sharded fleet's steady-state service ceiling: the
+// bottleneck stage's aggregate initiation rate over its replica group.
+func chainCapacityRPS(n int, sr *sim.ShardResult) float64 {
+	k := len(sr.Stages)
+	cap := math.Inf(1)
+	for s := 0; s < k; s++ {
+		group := float64((s+1)*n/k - s*n/k)
+		if c := group * 1e9 / sr.Stages[s].IntervalNS; c < cap {
+			cap = c
+		}
+	}
+	return cap
+}
+
 // replicaNames collects the (already assigned) spec names for a storm.
 func replicaNames(specs []fleet.ReplicaSpec) []string {
 	names := make([]string, len(specs))
@@ -389,19 +481,32 @@ func replicaNames(specs []fleet.ReplicaSpec) []string {
 // pacing, cluster-scale fleet sizes.
 func desRun(specs []fleet.ReplicaSpec, policy fleet.Policy, load float64,
 	requests, batch int, batchTimeoutUS float64, queue int, budgetUS float64,
-	seed int64, dopts desOpts, copts chaosOpts, hold time.Duration, metricsAddr string) error {
+	seed int64, dopts desOpts, copts chaosOpts, hold time.Duration, metricsAddr string,
+	sr *sim.ShardResult) error {
 	specs = tileSpecs(specs, dopts.replicas)
 	clusters := dopts.clusters
 	if clusters <= 0 {
 		clusters = (len(specs) + 99) / 100
 	}
 	var aggregate float64
-	for _, s := range specs {
-		aggregate += 1e9 / s.Pipeline.IntervalNS
+	if sr != nil {
+		if dopts.clusters > 1 {
+			return fmt.Errorf("-shards needs flat routing (-clusters 1)")
+		}
+		clusters = 1
+		specs = shardSpecs(specs, sr)
+		aggregate = chainCapacityRPS(len(specs), sr)
+		rate := load * aggregate
+		fmt.Printf("des fleet: %d replicas across %d pipeline stages, chain capacity %.0f req/s; offering %.0f%% = %.0f req/s (%s arrivals)\n",
+			len(specs), len(sr.Stages), aggregate, 100*load, rate, dopts.traceName)
+	} else {
+		for _, s := range specs {
+			aggregate += 1e9 / s.Pipeline.IntervalNS
+		}
+		fmt.Printf("des fleet: %d replicas in %d clusters, aggregate capacity %.0f req/s; offering %.0f%% = %.0f req/s (%s arrivals)\n",
+			len(specs), clusters, aggregate, 100*load, load*aggregate, dopts.traceName)
 	}
 	rate := load * aggregate
-	fmt.Printf("des fleet: %d replicas in %d clusters, aggregate capacity %.0f req/s; offering %.0f%% = %.0f req/s (%s arrivals)\n",
-		len(specs), clusters, aggregate, 100*load, rate, dopts.traceName)
 
 	clusterPolicy := policy
 	if dopts.clusterPolicy != "" {
@@ -420,6 +525,10 @@ func desRun(specs []fleet.ReplicaSpec, policy fleet.Policy, load float64,
 		QueueDepth:     queue,
 		Seed:           seed,
 		Workers:        dopts.workers,
+	}
+	if sr != nil {
+		cfg.Shards = len(sr.Stages)
+		cfg.StageTransferNS = stageTransfers(sr)
 	}
 	if dopts.scaleTarget > 0 {
 		cfg.Scaler = des.TargetUtilization{Target: dopts.scaleTarget, Min: 1}

@@ -1,0 +1,84 @@
+package accel
+
+import "fmt"
+
+// Pipeline-parallel model sharding: a Plan's layers are cut into K
+// contiguous stages so each stage can live on its own replica and requests
+// flow through the chain. Layers already map independently (per-layer
+// heterogeneous shapes, §3.1), so any contiguous cut is a valid shard
+// boundary; the partitioner's job is purely load balance — minimize the
+// slowest stage, which bounds the pipeline's steady-state interval.
+
+// Stage is one contiguous pipeline stage: layers [Lo, Hi) of the plan's
+// mappable layer sequence, with the stage's summed per-inference latency.
+type Stage struct {
+	Lo, Hi    int
+	LatencyNS float64
+}
+
+// Layers returns the number of layers in the stage.
+func (s Stage) Layers() int { return s.Hi - s.Lo }
+
+// ShardLayers partitions n per-layer latencies into k contiguous non-empty
+// stages minimizing the maximum stage latency — the classic linear
+// partition problem, solved exactly by DP in O(n²k). The optimum is never
+// worse than total/k + max(layer): a greedy fill against that cap always
+// fits in k bins, so the fuzz target asserts that bound.
+func ShardLayers(latencies []float64, k int) ([]Stage, error) {
+	n := len(latencies)
+	if n == 0 {
+		return nil, fmt.Errorf("accel: sharding an empty layer list")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("accel: %d stages for %d layers", k, n)
+	}
+	for i, l := range latencies {
+		if l < 0 || l != l {
+			return nil, fmt.Errorf("accel: layer %d latency %v", i, l)
+		}
+	}
+	prefix := make([]float64, n+1)
+	for i, l := range latencies {
+		prefix[i+1] = prefix[i] + l
+	}
+	sum := func(lo, hi int) float64 { return prefix[hi] - prefix[lo] }
+
+	// dp[j][i] = minimal max-stage latency splitting layers [0,i) into j
+	// stages; cut[j][i] = the last stage's start achieving it.
+	const inf = 1e308
+	dp := make([][]float64, k+1)
+	cut := make([][]int, k+1)
+	for j := 0; j <= k; j++ {
+		dp[j] = make([]float64, n+1)
+		cut[j] = make([]int, n+1)
+		for i := range dp[j] {
+			dp[j][i] = inf
+		}
+	}
+	dp[0][0] = 0
+	for j := 1; j <= k; j++ {
+		for i := j; i <= n-(k-j); i++ {
+			for c := j - 1; c < i; c++ {
+				if dp[j-1][c] >= inf {
+					continue
+				}
+				m := dp[j-1][c]
+				if s := sum(c, i); s > m {
+					m = s
+				}
+				if m < dp[j][i] {
+					dp[j][i] = m
+					cut[j][i] = c
+				}
+			}
+		}
+	}
+	stages := make([]Stage, k)
+	hi := n
+	for j := k; j >= 1; j-- {
+		lo := cut[j][hi]
+		stages[j-1] = Stage{Lo: lo, Hi: hi, LatencyNS: sum(lo, hi)}
+		hi = lo
+	}
+	return stages, nil
+}

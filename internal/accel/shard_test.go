@@ -1,0 +1,166 @@
+package accel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShardLayersBasic(t *testing.T) {
+	lat := []float64{4, 1, 1, 1, 4}
+	stages, err := ShardLayers(lat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal 3-way split is [4][1 1 1][4]: max stage 4.
+	if len(stages) != 3 {
+		t.Fatalf("got %d stages", len(stages))
+	}
+	if stages[0].Hi != 1 || stages[1].Hi != 4 || stages[2].Hi != 5 {
+		t.Fatalf("cuts %+v", stages)
+	}
+	if stages[1].LatencyNS != 3 {
+		t.Fatalf("middle stage latency %v", stages[1].LatencyNS)
+	}
+}
+
+func TestShardLayersSingleStage(t *testing.T) {
+	stages, err := ShardLayers([]float64{2, 3, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 1 || stages[0].Lo != 0 || stages[0].Hi != 3 || stages[0].LatencyNS != 10 {
+		t.Fatalf("stages %+v", stages)
+	}
+}
+
+func TestShardLayersValidation(t *testing.T) {
+	if _, err := ShardLayers(nil, 1); err == nil {
+		t.Fatal("empty list must error")
+	}
+	if _, err := ShardLayers([]float64{1, 2}, 3); err == nil {
+		t.Fatal("more stages than layers must error")
+	}
+	if _, err := ShardLayers([]float64{1}, 0); err == nil {
+		t.Fatal("zero stages must error")
+	}
+	if _, err := ShardLayers([]float64{-1, 2}, 1); err == nil {
+		t.Fatal("negative latency must error")
+	}
+	if _, err := ShardLayers([]float64{math.NaN()}, 1); err == nil {
+		t.Fatal("NaN latency must error")
+	}
+}
+
+// The DP is exact: compare against brute-force enumeration of all cuts on
+// small inputs.
+func TestShardLayersOptimal(t *testing.T) {
+	lat := []float64{7, 2, 9, 4, 1, 6, 3, 8}
+	for k := 1; k <= len(lat); k++ {
+		stages, err := ShardLayers(lat, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0.0
+		for _, s := range stages {
+			if s.LatencyNS > got {
+				got = s.LatencyNS
+			}
+		}
+		want := bruteBestMax(lat, k)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("k=%d: DP max stage %v, brute force %v", k, got, want)
+		}
+	}
+}
+
+// bruteBestMax enumerates every contiguous k-partition.
+func bruteBestMax(lat []float64, k int) float64 {
+	n := len(lat)
+	best := math.Inf(1)
+	var rec func(start, left int, cur float64)
+	rec = func(start, left int, cur float64) {
+		if left == 1 {
+			s := 0.0
+			for _, v := range lat[start:] {
+				s += v
+			}
+			if s > cur {
+				cur = s
+			}
+			if cur < best {
+				best = cur
+			}
+			return
+		}
+		for end := start + 1; end <= n-(left-1); end++ {
+			s := 0.0
+			for _, v := range lat[start:end] {
+				s += v
+			}
+			m := cur
+			if s > m {
+				m = s
+			}
+			rec(end, left-1, m)
+		}
+	}
+	rec(0, k, 0)
+	return best
+}
+
+// FuzzShardPartition checks the two shard-partition invariants on arbitrary
+// inputs: the K stages cover every layer exactly once (contiguous, in
+// order, non-empty), and the balance is never worse than total/K plus the
+// single worst layer — the bound a greedy fill guarantees, which the exact
+// DP can only improve on.
+func FuzzShardPartition(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 50}, uint8(2))
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 200}, uint8(4))
+	f.Add([]byte{0, 0, 0, 5}, uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw uint8) {
+		if len(raw) == 0 || len(raw) > 256 {
+			t.Skip()
+		}
+		lat := make([]float64, len(raw))
+		total, maxLayer := 0.0, 0.0
+		for i, b := range raw {
+			lat[i] = float64(b)
+			total += lat[i]
+			if lat[i] > maxLayer {
+				maxLayer = lat[i]
+			}
+		}
+		k := 1 + int(kRaw)%len(lat)
+		stages, err := ShardLayers(lat, k)
+		if err != nil {
+			t.Fatalf("valid input rejected: %v", err)
+		}
+		if len(stages) != k {
+			t.Fatalf("got %d stages, want %d", len(stages), k)
+		}
+		next := 0
+		maxStage := 0.0
+		for i, s := range stages {
+			if s.Lo != next || s.Hi <= s.Lo {
+				t.Fatalf("stage %d [%d,%d) breaks coverage at %d", i, s.Lo, s.Hi, next)
+			}
+			sum := 0.0
+			for _, v := range lat[s.Lo:s.Hi] {
+				sum += v
+			}
+			if math.Abs(sum-s.LatencyNS) > 1e-9 {
+				t.Fatalf("stage %d latency %v, layers sum %v", i, s.LatencyNS, sum)
+			}
+			if s.LatencyNS > maxStage {
+				maxStage = s.LatencyNS
+			}
+			next = s.Hi
+		}
+		if next != len(lat) {
+			t.Fatalf("stages end at %d, want %d", next, len(lat))
+		}
+		if bound := total/float64(k) + maxLayer; maxStage > bound+1e-9 {
+			t.Fatalf("max stage %v exceeds balance bound %v", maxStage, bound)
+		}
+	})
+}

@@ -44,7 +44,14 @@ func (f *Fleet) arrive(id int, arrival, budget float64) {
 		f.shedReq(id, "admit")
 		return
 	}
-	r := f.pickInCluster(cl)
+	var r *simReplica
+	if f.cfg.Shards > 1 {
+		// Sharded admission dispatches into stage 0 only; the stage-hop
+		// events route the later stages.
+		r = f.pickStage(0)
+	} else {
+		r = f.pickInCluster(cl)
+	}
 	if r == nil && f.breakersOn {
 		// Breakers filtered every candidate the policy offered; any
 		// routable replica beats shedding.
@@ -55,7 +62,11 @@ func (f *Fleet) arrive(id int, arrival, budget float64) {
 		return
 	}
 	if r.queue.n >= f.cfg.QueueDepth {
-		r = f.fallback(r)
+		if f.cfg.Shards > 1 {
+			r = f.stageFallback(0, r)
+		} else {
+			r = f.fallback(r)
+		}
 		if r == nil {
 			f.shedReq(id, "full")
 			return
@@ -191,7 +202,7 @@ func (f *Fleet) pickInCluster(cl *simCluster) *simReplica {
 	// Breakers force the filtered path: an open breaker must drop its
 	// replica from the candidate set even when all are dispatchable.
 	if !f.breakersOn && cl.dispatchable == len(cl.replicas) {
-		return f.pickAmong(cl, cl.replicas)
+		return f.pickAmong(&cl.rrNext, cl.replicas)
 	}
 	now := f.eng.Now()
 	cands := f.replicaBuf[:0]
@@ -204,10 +215,74 @@ func (f *Fleet) pickInCluster(cl *simCluster) *simReplica {
 	if len(cands) == 0 {
 		return nil
 	}
-	return f.pickAmong(cl, cands)
+	return f.pickAmong(&cl.rrNext, cands)
 }
 
-func (f *Fleet) pickAmong(cl *simCluster, cands []*simReplica) *simReplica {
+// stageReplicas returns the replicas serving pipeline stage s.
+func (f *Fleet) stageReplicas(s int) []*simReplica {
+	return f.replicas[f.stageLo[s]:f.stageLo[s+1]]
+}
+
+// stageTransfer is the priced activation handoff between stages s and s+1.
+func (f *Fleet) stageTransfer(s int) float64 {
+	if f.cfg.StageTransferNS == nil {
+		return 0
+	}
+	return f.cfg.StageTransferNS[s]
+}
+
+// pickStage applies the replica policy over stage s's dispatchable replicas,
+// with a per-stage round-robin cursor — the DES mirror of the goroutine
+// fleet's stage-scoped pick.
+func (f *Fleet) pickStage(s int) *simReplica {
+	cands := f.replicaBuf[:0]
+	for _, r := range f.stageReplicas(s) {
+		if r.dispatchable() {
+			cands = append(cands, r)
+		}
+	}
+	f.replicaBuf = cands[:0]
+	if len(cands) == 0 {
+		return nil
+	}
+	return f.pickAmong(&f.stageRR[s], cands)
+}
+
+// stageFallback scans stage s for any dispatchable replica with queue space
+// after the picked one was full. Unlike the unsharded fallback it never
+// leaves the stage: a request cannot skip ahead in the pipeline.
+func (f *Fleet) stageFallback(s int, full *simReplica) *simReplica {
+	for _, r := range f.stageReplicas(s) {
+		if r != full && r.dispatchable() && r.queue.n < f.cfg.QueueDepth {
+			return r
+		}
+	}
+	return nil
+}
+
+// onStageHop lands one request at stage s after its priced transfer from
+// stage s−1 (the event fires at the hop-arrival instant, which becomes the
+// queue-join time; arrival stays the original admission time so budgets and
+// latency span the whole chain). A dead end — no dispatchable stage replica
+// with queue space — fails the request: it was admitted long ago, so this is
+// a delivery failure, not backpressure shedding.
+func (f *Fleet) onStageHop(id, s int, arrival float64) {
+	r := f.pickStage(s)
+	if r != nil && r.queue.n >= f.cfg.QueueDepth {
+		r = f.stageFallback(s, r)
+	}
+	if r == nil {
+		f.failed.Add(1)
+		f.window(f.eng.Now()).Failed++
+		if f.logging {
+			f.logf("N t=%.3f id=%d s=%d reason=nostage\n", f.eng.Now(), id, s)
+		}
+		return
+	}
+	f.enqueue(r, simReq{id: id, arrival: arrival, budget: f.budgetNS, enqueued: f.eng.Now()})
+}
+
+func (f *Fleet) pickAmong(rr *uint64, cands []*simReplica) *simReplica {
 	if len(cands) == 1 {
 		return cands[0]
 	}
@@ -240,8 +315,8 @@ func (f *Fleet) pickAmong(cl *simCluster, cands []*simReplica) *simReplica {
 		}
 		return a
 	default: // RoundRobin
-		cl.rrNext++
-		return cands[cl.rrNext%uint64(len(cands))]
+		*rr++
+		return cands[*rr%uint64(len(cands))]
 	}
 }
 

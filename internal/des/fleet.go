@@ -53,6 +53,21 @@ type Config struct {
 	BatchTimeoutNS   float64
 	QueueDepth       int
 	DegradeThreshold float64
+	// Shards splits the replicas into that many contiguous pipeline-parallel
+	// stages (default 1 = every replica hosts the whole model), mirroring
+	// fleet.Config.Shards: arrivals dispatch into stage 0, each stage's
+	// completion schedules a stage-hop event that re-queues the request at
+	// the next stage after the priced transfer, and only the final stage
+	// records the request's latency (measured from its original arrival, so
+	// budgets span the whole chain). Sharding requires flat routing
+	// (Clusters == 1) and no resilience stack, and always runs on the serial
+	// engine — Workers > 1 falls back, keeping the byte-identical-log
+	// contract trivially intact.
+	Shards int
+	// StageTransferNS prices the Shards−1 inter-stage activation handoffs
+	// (fleet.Config.StageTransferNS semantics: nil = free, else entry s is
+	// added between completion on stage s and arrival at stage s+1).
+	StageTransferNS []float64
 	// Seed drives the dispatch sampler (PowerOfTwo), default 1.
 	Seed int64
 	// Scaler, when set, is consulted every ControlPeriodNS of virtual time
@@ -178,6 +193,28 @@ func (c *Config) normalize() error {
 	if c.Workers < 1 {
 		return fmt.Errorf("des: worker count %d", c.Workers)
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 || c.Shards >= 1<<16 {
+		return fmt.Errorf("des: %d shard stages", c.Shards)
+	}
+	if c.Shards > 1 {
+		if c.Clusters != 1 {
+			return fmt.Errorf("des: sharding requires flat routing, have %d clusters", c.Clusters)
+		}
+		if c.Resilience.Enabled() {
+			return fmt.Errorf("des: sharding and the resilience stack are mutually exclusive")
+		}
+	}
+	if c.StageTransferNS != nil && len(c.StageTransferNS) != c.Shards-1 {
+		return fmt.Errorf("des: %d stage transfers for %d shard stages", len(c.StageTransferNS), c.Shards)
+	}
+	for i, t := range c.StageTransferNS {
+		if t < 0 || math.IsNaN(t) {
+			return fmt.Errorf("des: stage %d transfer %v ns", i, t)
+		}
+	}
 	if p := c.Resilience.Retry; p != nil {
 		d := p.WithDefaults()
 		c.Resilience.Retry = &d
@@ -206,6 +243,7 @@ const (
 	evResolve                       // resilient copy completion; i = replica index, x = completion, p = *reqState
 	evRetry                         // retry backoff expiry; p = *reqState
 	evHedge                         // hedge launch; p = *reqState
+	evStageHop                      // sharded stage handoff; i = id<<16|stage, x = original arrival
 )
 
 // handle dispatches typed events from the engine to the fleet's handlers.
@@ -237,6 +275,8 @@ func (f *Fleet) handle(kind uint16, i int64, x float64, p any) {
 		f.redispatch(p.(*reqState))
 	case evHedge:
 		f.fireHedge(p.(*reqState))
+	case evStageHop:
+		f.onStageHop(int(i>>16), int(i&0xffff), x)
 	}
 }
 
@@ -286,6 +326,7 @@ func (r *reqRing) peek() simReq { return r.buf[r.head] }
 type simReplica struct {
 	id          int
 	name        string
+	stage       int // pipeline stage served (0 without sharding)
 	fill        float64
 	interval    float64
 	occBase     float64 // extra engine occupancy per batch (fleet.BatchService.BaseNS; 0 = pipelined)
@@ -314,6 +355,7 @@ type simReplica struct {
 	expired  int64
 	batches  int64
 	batchSum int64
+	busyNS   float64 // cumulative pipeline occupancy (bubble-fraction currency)
 }
 
 func (r *simReplica) healthy() bool { return r.health > 0 }
@@ -381,6 +423,13 @@ type Fleet struct {
 
 	clusterRR uint64
 
+	// Pipeline-stage bounds over replicas (Config.Shards > 1): stage s is
+	// replicas[stageLo[s]:stageLo[s+1]], the same contiguous near-equal split
+	// formula as the cluster bounds and the goroutine fleet's stages. stageRR
+	// holds one round-robin cursor per stage.
+	stageLo []int
+	stageRR []uint64
+
 	// O(1) fleet-wide dispatch/signal state, maintained incrementally.
 	queued      int
 	inFlight    int
@@ -396,11 +445,11 @@ type Fleet struct {
 	expired    atomic.Int64
 	failed     atomic.Int64
 
-	latencies     []float64
-	makespan      float64
-	lastArrival   float64
-	arrivalsTick  int64 // arrivals since the last control tick
-	traceDone     bool
+	latencies    []float64
+	makespan     float64
+	lastArrival  float64
+	arrivalsTick int64 // arrivals since the last control tick
+	traceDone    bool
 
 	// Arrival-chain state for the typed evArrival event (the closure-free
 	// replacement for the old self-scheduling arrival closure).
@@ -412,12 +461,12 @@ type Fleet struct {
 	// Parallel-lane state (see parallel.go). specs is retained on parent
 	// fleets so the coordinator can build lane sub-fleets; the lane* fields
 	// are live only when this fleet runs as one lane of a parallel run.
-	specs        []fleet.ReplicaSpec
-	laneArrivals []laneArrival
-	laneSched    int // laneArrivals already scheduled as events
-	laneAbort    bool
-	laneSink     *laneLog
-	laneChaosIdx []int // lane chaos event index -> global schedule index
+	specs         []fleet.ReplicaSpec
+	laneArrivals  []laneArrival
+	laneSched     int // laneArrivals already scheduled as events
+	laneAbort     bool
+	laneSink      *laneLog
+	laneChaosIdx  []int // lane chaos event index -> global schedule index
 	speedupGauge  *gaugeHandle
 	ran           bool
 	clusterBuf    []*simCluster // reusable scratch for degraded-path picks
@@ -541,6 +590,19 @@ func NewFleet(cfg Config, specs ...fleet.ReplicaSpec) (*Fleet, error) {
 			}
 		}
 		f.clusters = append(f.clusters, cl)
+	}
+	if cfg.Shards > len(f.replicas) {
+		return nil, fmt.Errorf("des: %d shard stages need at least as many replicas, have %d", cfg.Shards, len(f.replicas))
+	}
+	f.stageLo = make([]int, cfg.Shards+1)
+	f.stageRR = make([]uint64, cfg.Shards)
+	for s := 0; s <= cfg.Shards; s++ {
+		f.stageLo[s] = s * n / cfg.Shards
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		for _, r := range f.replicas[f.stageLo[s]:f.stageLo[s+1]] {
+			r.stage = s
+		}
 	}
 	f.res = cfg.Resilience
 	f.breakersOn = cfg.Resilience.Breaker != nil
@@ -741,9 +803,11 @@ func (f *Fleet) compileResult(requests int, events int64, wall time.Duration) *R
 		BrownoutShed:  f.brownoutShed.Load(),
 		Windows:       f.windows,
 	}
+	var busy float64
 	for _, r := range f.replicas {
 		res.Batches += r.batches
 		res.MeanBatch += float64(r.batchSum) // members for now; divided below
+		busy += r.busyNS
 	}
 	if res.Batches > 0 {
 		res.MeanBatch /= float64(res.Batches)
@@ -767,6 +831,8 @@ func (f *Fleet) compileResult(requests int, events int64, wall time.Duration) *R
 	res.VirtualNS = math.Max(res.MakespanNS, f.eng.Now())
 	if res.MakespanNS > 0 {
 		res.ThroughputRPS = float64(res.Completed) / res.MakespanNS * 1e9
+		idle := 1 - busy/(float64(len(f.replicas))*res.MakespanNS)
+		res.BubbleFraction = math.Min(1, math.Max(0, idle))
 	}
 	if res.WallSeconds > 0 {
 		res.SpeedupVsWall = res.VirtualNS / 1e9 / res.WallSeconds

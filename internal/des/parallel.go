@@ -154,6 +154,7 @@ func (f *Fleet) laneFallback(full *simReplica) *simReplica {
 // re-picking clusters, breakers, retries) couple lanes per arrival.
 func (f *Fleet) parallelEligible() bool {
 	return f.cfg.Workers > 1 &&
+		f.cfg.Shards <= 1 &&
 		f.cfg.Clusters >= 2 &&
 		f.cfg.ClusterPolicy == fleet.RoundRobin &&
 		f.cfg.Policy != fleet.PowerOfTwo &&
@@ -629,6 +630,7 @@ func (f *Fleet) runParallel(gen trace.Generator, requests int, budgetNS float64,
 			pr.expired = lr.expired
 			pr.batches = lr.batches
 			pr.batchSum = lr.batchSum
+			pr.busyNS = lr.busyNS
 		}
 		for j, lcl := range ln.f.clusters {
 			pcl := f.clusters[ln.cLo+j]

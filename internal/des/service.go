@@ -122,6 +122,19 @@ func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
 				r.breaker.Record(f.eng.Now(), true)
 			}
 			f.eng.AtEvent(completion, evResolve, int64(r.id), completion, st)
+		} else if r.stage < f.cfg.Shards-1 {
+			// Sharded chain: this stage's completion hands the request to the
+			// next stage after the priced transfer. The hop event carries the
+			// original arrival so budgets and latency stay anchored there,
+			// while the hop time becomes the next queue-join (enqueued) time —
+			// the same recurrence as the goroutine fleet's
+			// rq.ArrivalNS = completion + transfer.
+			hop := completion + f.stageTransfer(r.stage)
+			r.served++
+			if f.logging {
+				f.logf("P t=%.3f id=%d r=%s c=%.3f hop=%.3f\n", f.eng.Now(), rq.id, r.name, completion, hop)
+			}
+			f.eng.AtEvent(hop, evStageHop, int64(rq.id)<<16|int64(r.stage+1), rq.arrival, nil)
 		} else {
 			latency := completion - rq.arrival
 			f.latencies = append(f.latencies, latency)
@@ -146,6 +159,7 @@ func (f *Fleet) executeBatch(r *simReplica, take int, timedOut bool) {
 	// Same operation order as fleet.replica.execute: with occBase 0 the
 	// pipelined arithmetic is preserved bit for bit.
 	r.nextFree = entry + r.occBase*r.slow + float64(kept)*interval
+	r.busyNS += r.nextFree - entry
 	r.busy = true
 	r.inFlight = kept
 	f.inFlight += kept

@@ -18,8 +18,13 @@ type FleetBenchLeg struct {
 	// Workers is des.Config.Workers for this leg; Lanes is how many
 	// parallel lanes the run actually used (1 when the sharded path was
 	// ineligible or not worthwhile).
-	Workers   int   `json:"workers"`
-	Lanes     int   `json:"lanes"`
+	Workers int `json:"workers"`
+	Lanes   int `json:"lanes"`
+	// Shards is the pipeline-parallel stage count (1 = whole-model
+	// replicas). Sharded legs run flat (one cluster) and serial — the
+	// engine pins sharded runs to the serial path for log determinism — so
+	// they measure the per-hop event cost of chained serving.
+	Shards    int   `json:"shards"`
 	Completed int   `json:"completed"`
 	Shed      int   `json:"shed"`
 	Events    int64 `json:"events"`
@@ -77,11 +82,18 @@ func BenchFleet(seed int64) (*FleetBench, error) {
 		Load:          0.7,
 	}
 	type legSpec struct {
-		replicas, clusters, requests, workers int
+		replicas, clusters, requests, workers, shards int
 	}
 	legs := []legSpec{
-		{100, 4, 100_000, 1},
-		{1_000, 32, 300_000, 1},
+		{100, 4, 100_000, 1, 1},
+		{1_000, 32, 300_000, 1, 1},
+	}
+	// Sharded serving legs: the same 1k-replica fleet cut into 1, 2, and 4
+	// pipeline stages (flat routing, as sharding requires). Each extra stage
+	// adds one hop event per request and divides chain capacity by the stage
+	// count, so these legs expose the marginal cost of chained dispatch.
+	for _, k := range []int{1, 2, 4} {
+		legs = append(legs, legSpec{1_000, 1, 300_000, 1, k})
 	}
 	seen := map[int]bool{}
 	for _, w := range []int{1, 2, 4, ncpu} {
@@ -89,9 +101,9 @@ func BenchFleet(seed int64) (*FleetBench, error) {
 			continue
 		}
 		seen[w] = true
-		legs = append(legs, legSpec{10_000, 100, 1_000_000, w})
+		legs = append(legs, legSpec{10_000, 100, 1_000_000, w, 1})
 	}
-	legs = append(legs, legSpec{100_000, 1_000, 10_000_000, ncpu})
+	legs = append(legs, legSpec{100_000, 1_000, 10_000_000, ncpu, 1})
 	for _, l := range legs {
 		cfg := des.DefaultConfig()
 		cfg.Policy = fleet.JoinShortestQueue
@@ -100,11 +112,22 @@ func BenchFleet(seed int64) (*FleetBench, error) {
 		cfg.QueueDepth = 64
 		cfg.Seed = seed
 		cfg.Workers = l.workers
+		capacity := float64(l.replicas) * (1e9 / b.IntervalNS)
+		if l.shards > 1 {
+			cfg.Shards = l.shards
+			// A nominal 0.1 ms NoC hop per stage boundary; the chain's
+			// capacity is the slowest stage's, replicas/shards of the total.
+			cfg.StageTransferNS = make([]float64, l.shards-1)
+			for i := range cfg.StageTransferNS {
+				cfg.StageTransferNS[i] = 1e5
+			}
+			capacity /= float64(l.shards)
+		}
 		f, err := des.NewFleet(cfg, desSpecs(l.replicas)...)
 		if err != nil {
 			return nil, err
 		}
-		rate := b.Load * float64(l.replicas) * (1e9 / b.IntervalNS)
+		rate := b.Load * capacity
 		var m0, m1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
@@ -119,6 +142,7 @@ func BenchFleet(seed int64) (*FleetBench, error) {
 			Requests:       l.requests,
 			Workers:        l.workers,
 			Lanes:          res.Lanes,
+			Shards:         l.shards,
 			Completed:      res.Completed,
 			Shed:           res.Shed,
 			Events:         res.Events,

@@ -21,7 +21,7 @@ import (
 // sensitivity, inter-layer pipelining, and the LLM-domain workload.
 
 // Extensions lists the extension experiment names.
-var Extensions = []string{"breakdown", "faults", "repair", "pipeline", "llm", "stability", "programming", "precision", "pruning", "noc", "adc", "fleet", "des", "chaos"}
+var Extensions = []string{"breakdown", "faults", "repair", "pipeline", "llm", "stability", "programming", "precision", "pruning", "noc", "adc", "fleet", "des", "chaos", "shard"}
 
 // RunExtension generates the named extension experiment.
 func (s *Suite) RunExtension(name string) ([]*report.Table, error) {
@@ -64,6 +64,9 @@ func (s *Suite) RunExtension(name string) ([]*report.Table, error) {
 		return s.Des()
 	case "chaos":
 		t, err := s.Chaos()
+		return wrap(t, err)
+	case "shard":
+		t, err := s.Shard()
 		return wrap(t, err)
 	default:
 		return nil, fmt.Errorf("experiments: unknown extension %q (have %v)", name, Extensions)
@@ -379,8 +382,9 @@ func (s *Suite) NoC() (*report.Table, error) {
 	}
 	t := &report.Table{
 		Title: "Extension — mesh NoC vs flat bus interconnect accounting (VGG16)",
-		Note: "Mesh gather cost grows with how far a layer's tiles spread; small crossbars " +
-			"scatter layers over many tiles and pay the most. Tile sharing never increases it.",
+		Note: "Per MVM each replicated copy scatters its input patch from the root tile and " +
+			"gathers partial outputs back, both priced on the copy's own tile subset; small " +
+			"crossbars spread layers over many tiles and pay the most. Tile sharing never increases it.",
 		Header: []string{"Accelerator", "Tiles", "Bus flat (nJ)", "Bus mesh (nJ)", "Mesh/flat", "Latency mesh (ns)"},
 	}
 	for _, shape := range []xbar.Shape{xbar.Square(64), xbar.Square(256), xbar.Rect(576, 512)} {

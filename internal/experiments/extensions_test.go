@@ -93,7 +93,7 @@ func TestRunExtensionDispatch(t *testing.T) {
 	if err != nil || len(tables) != 1 {
 		t.Fatalf("RunExtension(faults) = %v, %v", tables, err)
 	}
-	if len(Extensions) != 14 {
+	if len(Extensions) != 15 {
 		t.Fatalf("Extensions = %v", Extensions)
 	}
 }
@@ -178,5 +178,34 @@ func TestNoCExperiment(t *testing.T) {
 			t.Errorf("mesh/flat ratio not decreasing: %v after %v", ratio, prev)
 		}
 		prev = ratio
+	}
+}
+
+func TestShardExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three sharded fleet runs skipped in -short")
+	}
+	s := quickSuite()
+	tab, err := s.Shard()
+	if err != nil {
+		t.Fatal(err) // includes a goroutine-vs-DES deviation beyond 1e-6
+	}
+	renderOK(t, []*report.Table{tab})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		rep, sh := tab.Rows[i], tab.Rows[i+1]
+		if rep[1] != "replicated" || sh[1] != "sharded" {
+			t.Fatalf("row pair %d: %v / %v", i, rep, sh)
+		}
+		// Sharding's win: the largest single chip shrinks.
+		if repChip, shChip := cellFloat(t, rep[4]), cellFloat(t, sh[4]); shChip >= repChip {
+			t.Errorf("%s: sharded max chip %v mm² not below replicated %v mm²", rep[0], shChip, repChip)
+		}
+		// Its cost: end-to-end p50 grows (transfers + per-stage queueing).
+		if repP50, shP50 := cellFloat(t, rep[7]), cellFloat(t, sh[7]); shP50 <= repP50 {
+			t.Errorf("%s: sharded p50 %v µs not above replicated %v µs", rep[0], shP50, repP50)
+		}
 	}
 }

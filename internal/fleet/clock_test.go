@@ -85,7 +85,7 @@ func TestResetDispatch(t *testing.T) {
 	}
 	f.rng.Int63()
 	f.rng.Int63()
-	f.rrNext.Add(17)
+	f.rr[0].Add(17)
 	f.resetDispatch()
 	fresh := rand.New(rand.NewSource(123))
 	for i := 0; i < 5; i++ {
@@ -93,8 +93,8 @@ func TestResetDispatch(t *testing.T) {
 			t.Fatalf("draw %d after reset: %d, want %d", i, got, want)
 		}
 	}
-	if f.rrNext.Load() != 0 {
-		t.Fatalf("rrNext = %d after reset", f.rrNext.Load())
+	if f.rr[0].Load() != 0 {
+		t.Fatalf("rrNext = %d after reset", f.rr[0].Load())
 	}
 }
 

@@ -112,6 +112,22 @@ type Config struct {
 	// and degraded-replica bounces), and open breakers heal via half-open
 	// probes. Nil (the default) disables breakers entirely.
 	Breaker *chaos.BreakerConfig
+	// Shards splits the fleet into that many pipeline-parallel stages
+	// (default 1 — every replica hosts the whole model). Replicas are
+	// grouped into contiguous near-equal stages in construction order
+	// (replica i serves stage i·Shards/N-ish, mirroring the DES cluster
+	// bounds), and a request chains through one replica per stage:
+	// admission dispatches into stage 0, each stage's completion re-routes
+	// the request into the next stage's queues, and only the final stage
+	// resolves it. Latency and budget accounting stay anchored at the
+	// original arrival.
+	Shards int
+	// StageTransferNS prices the inter-stage activation handoffs: entry s
+	// is added to a request's virtual timeline between its completion on
+	// stage s and its arrival at stage s+1 (typically
+	// sim.ShardStage.TransferNS, the mesh-priced activation transfer).
+	// Nil means free transfers; otherwise the length must be Shards−1.
+	StageTransferNS []float64
 }
 
 // DefaultConfig returns the documented defaults.
@@ -175,6 +191,20 @@ func (c *Config) normalize() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("fleet: %d shard stages", c.Shards)
+	}
+	if c.StageTransferNS != nil && len(c.StageTransferNS) != c.Shards-1 {
+		return fmt.Errorf("fleet: %d stage transfers for %d shard stages", len(c.StageTransferNS), c.Shards)
+	}
+	for i, t := range c.StageTransferNS {
+		if t < 0 || math.IsNaN(t) {
+			return fmt.Errorf("fleet: stage %d transfer %v ns", i, t)
+		}
+	}
 	return nil
 }
 
@@ -184,7 +214,12 @@ type Fleet struct {
 	cfg      Config
 	replicas []*replica
 
-	rrNext   atomic.Uint64
+	// stageLo holds the pipeline-stage bounds over replicas: stage s is
+	// replicas[stageLo[s]:stageLo[s+1]] (one stage spanning everything when
+	// sharding is off). rr holds one round-robin cursor per stage.
+	stageLo []int
+	rr      []atomic.Uint64
+
 	rngMu    sync.Mutex
 	rng      *rand.Rand
 	counters Counters
@@ -254,8 +289,35 @@ func newFleet(cfg Config, specs ...ReplicaSpec) (*Fleet, error) {
 		names[r.name] = true
 		f.replicas = append(f.replicas, r)
 	}
+	k := cfg.Shards
+	if len(f.replicas) < k {
+		return nil, fmt.Errorf("fleet: %d shard stages need at least as many replicas, have %d", k, len(f.replicas))
+	}
+	f.stageLo = make([]int, k+1)
+	f.rr = make([]atomic.Uint64, k)
+	for s := 0; s <= k; s++ {
+		f.stageLo[s] = s * len(f.replicas) / k
+	}
+	for s := 0; s < k; s++ {
+		for _, r := range f.replicas[f.stageLo[s]:f.stageLo[s+1]] {
+			r.stage = s
+		}
+	}
 	f.registerMetrics()
 	return f, nil
+}
+
+// stageReplicas returns the replicas serving pipeline stage s.
+func (f *Fleet) stageReplicas(s int) []*replica {
+	return f.replicas[f.stageLo[s]:f.stageLo[s+1]]
+}
+
+// transferNS is the priced activation handoff between stages s and s+1.
+func (f *Fleet) transferNS(s int) float64 {
+	if f.cfg.StageTransferNS == nil {
+		return 0
+	}
+	return f.cfg.StageTransferNS[s]
 }
 
 func (f *Fleet) start() {
@@ -334,7 +396,9 @@ func (f *Fleet) resetDispatch() {
 	f.rngMu.Lock()
 	f.rng = rand.New(rand.NewSource(f.cfg.Seed))
 	f.rngMu.Unlock()
-	f.rrNext.Store(0)
+	for s := range f.rr {
+		f.rr[s].Store(0)
+	}
 }
 
 // resetClock re-anchors virtual time 0 to the present wall-clock instant.
@@ -364,7 +428,12 @@ func (f *Fleet) Submit(rq *Request) error {
 		return ErrClosed
 	}
 	f.counters.Submitted.Add(1)
-	r := f.pick(nil)
+	// A fresh request enters the pipeline at stage 0 with its latency and
+	// budget accounting anchored to this arrival (stage hops advance
+	// ArrivalNS but never origNS).
+	rq.origNS = rq.ArrivalNS
+	rq.stage = 0
+	r := f.pick(0, nil)
 	if r == nil {
 		f.counters.Unroutable.Add(1)
 		return ErrNoReplica
@@ -374,9 +443,9 @@ func (f *Fleet) Submit(rq *Request) error {
 		return nil
 	}
 	// Backpressure: the chosen queue is full — fall back to any healthy
-	// (and breaker-routable) replica with space before shedding.
+	// (and breaker-routable) stage-0 replica with space before shedding.
 	now := f.breakerNow()
-	for _, alt := range f.replicas {
+	for _, alt := range f.stageReplicas(0) {
 		if alt != r && !alt.degraded() && alt.canRoute(now) && f.enqueue(alt, rq) {
 			f.routed(alt)
 			return nil
@@ -426,15 +495,16 @@ func (f *Fleet) enqueue(r *replica, rq *Request) bool {
 	}
 }
 
-// pick applies the configured policy over healthy (health > 0) replicas
-// whose circuit breaker (if armed) admits traffic, excluding one. The
-// queue- and load-aware policies minimize health-weighted scores, so a
-// partially sick replica keeps serving but takes proportionally less
-// traffic.
-func (f *Fleet) pick(exclude *replica) *replica {
+// pick applies the configured policy over the given stage's healthy
+// (health > 0) replicas whose circuit breaker (if armed) admits traffic,
+// excluding one. The queue- and load-aware policies minimize
+// health-weighted scores, so a partially sick replica keeps serving but
+// takes proportionally less traffic.
+func (f *Fleet) pick(stage int, exclude *replica) *replica {
 	now := f.breakerNow()
-	healthy := make([]*replica, 0, len(f.replicas))
-	for _, r := range f.replicas {
+	candidates := f.stageReplicas(stage)
+	healthy := make([]*replica, 0, len(candidates))
+	for _, r := range candidates {
 		if r != exclude && !r.degraded() && r.canRoute(now) {
 			healthy = append(healthy, r)
 		}
@@ -476,7 +546,7 @@ func (f *Fleet) pick(exclude *replica) *replica {
 		}
 		return a
 	default: // RoundRobin
-		return healthy[f.rrNext.Add(1)%uint64(len(healthy))]
+		return healthy[f.rr[stage].Add(1)%uint64(len(healthy))]
 	}
 }
 
@@ -498,13 +568,35 @@ func (f *Fleet) reroute(from *replica, rq *Request) {
 	}
 	rq.attempts++
 	f.counters.Retried.Add(1)
-	if r := f.pick(from); r != nil && f.requeue(r, rq) {
+	if r := f.pick(rq.stage, from); r != nil && f.requeue(r, rq) {
 		f.routed(r)
 		return
 	}
 	now := f.breakerNow()
-	for _, alt := range f.replicas {
+	for _, alt := range f.stageReplicas(rq.stage) {
 		if alt != from && !alt.degraded() && alt.canRoute(now) && f.requeue(alt, rq) {
+			f.routed(alt)
+			return
+		}
+	}
+	f.resolve(rq, Outcome{Err: ErrNoReplica, Replica: from.name, Retries: rq.attempts})
+	f.counters.Failed.Add(1)
+}
+
+// advance hands a request that completed stage s to a replica of stage
+// s+1 (rq.stage was already advanced and its ArrivalNS moved to the
+// transfer-priced handoff time). The request was admitted long ago, so a
+// dead end — no healthy next-stage replica with queue space — resolves it
+// as failed rather than shedding.
+func (f *Fleet) advance(from *replica, rq *Request) {
+	from.outstanding.Add(-1)
+	if r := f.pick(rq.stage, nil); r != nil && f.requeue(r, rq) {
+		f.routed(r)
+		return
+	}
+	now := f.breakerNow()
+	for _, alt := range f.stageReplicas(rq.stage) {
+		if !alt.degraded() && alt.canRoute(now) && f.requeue(alt, rq) {
 			f.routed(alt)
 			return
 		}
@@ -612,11 +704,11 @@ func (f *Fleet) Snapshot() *Snapshot {
 		Expired:    f.counters.Expired.Load(),
 		Retried:    f.counters.Retried.Load(),
 		Failed:     f.counters.Failed.Load(),
-		MeanNS:    f.hist.Mean(),
-		P50NS:     f.hist.Quantile(0.50),
-		P95NS:     f.hist.Quantile(0.95),
-		P99NS:     f.hist.Quantile(0.99),
-		MaxNS:     f.hist.Max(),
+		MeanNS:     f.hist.Mean(),
+		P50NS:      f.hist.Quantile(0.50),
+		P95NS:      f.hist.Quantile(0.95),
+		P99NS:      f.hist.Quantile(0.99),
+		MaxNS:      f.hist.Max(),
 	}
 	for _, r := range f.replicas {
 		s.Replicas = append(s.Replicas, r.snapshot())

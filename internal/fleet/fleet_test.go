@@ -359,7 +359,7 @@ func TestPolicyPick(t *testing.T) {
 	rr.replicas[1].setHealth(0)
 	seen := map[string]int{}
 	for i := 0; i < 6; i++ {
-		seen[rr.pick(nil).name]++
+		seen[rr.pick(0, nil).name]++
 	}
 	if seen["a"] != 3 || seen["c"] != 3 || seen["b"] != 0 {
 		t.Fatalf("round-robin over healthy replicas: %v", seen)
@@ -369,17 +369,17 @@ func TestPolicyPick(t *testing.T) {
 	stage(t, jsq, 0, NewRequest(0, 0, done))
 	stage(t, jsq, 0, NewRequest(0, 0, done))
 	stage(t, jsq, 1, NewRequest(0, 0, done))
-	if got := jsq.pick(nil).name; got != "c" {
+	if got := jsq.pick(0, nil).name; got != "c" {
 		t.Fatalf("jsq picked %q, want the empty queue c", got)
 	}
-	if got := jsq.pick(jsq.replicas[2]).name; got != "b" {
+	if got := jsq.pick(0, jsq.replicas[2]).name; got != "b" {
 		t.Fatalf("jsq excluding c picked %q, want b", got)
 	}
 
 	lo := mk(LeastOutstanding)
 	lo.replicas[0].outstanding.Add(5)
 	lo.replicas[2].outstanding.Add(2)
-	if got := lo.pick(nil).name; got != "b" {
+	if got := lo.pick(0, nil).name; got != "b" {
 		t.Fatalf("least-outstanding picked %q, want b", got)
 	}
 
@@ -391,7 +391,7 @@ func TestPolicyPick(t *testing.T) {
 	// c is empty; of any sampled pair, p2c never picks the strictly longer
 	// queue, so across draws c must win whenever sampled and a/b tie.
 	for i := 0; i < 32; i++ {
-		r := p2c.pick(nil)
+		r := p2c.pick(0, nil)
 		if len(r.queue) > 2 {
 			t.Fatalf("p2c picked an impossible queue length %d", len(r.queue))
 		}

@@ -98,7 +98,7 @@ func TestHealthWeightedDispatch(t *testing.T) {
 	jsq := mk(JoinShortestQueue)
 	jsq.replicas[1].setHealth(0.4)
 	// Empty queues: the sick replica scores 1/0.4 = 2.5 vs 1 — avoid it.
-	if got := jsq.pick(nil).name; got != "a" {
+	if got := jsq.pick(0, nil).name; got != "a" {
 		t.Fatalf("jsq with sick b picked %q, want a", got)
 	}
 	// But pile 3 requests onto a (score 4) and the sick replica at 2.5
@@ -106,14 +106,14 @@ func TestHealthWeightedDispatch(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		stage(t, jsq, 0, NewRequest(0, 0, done))
 	}
-	if got := jsq.pick(nil).name; got != "b" {
+	if got := jsq.pick(0, nil).name; got != "b" {
 		t.Fatalf("jsq with a loaded picked %q, want the half-healthy b", got)
 	}
 
 	lo := mk(LeastOutstanding)
 	lo.replicas[1].setHealth(0.4)
 	lo.replicas[0].outstanding.Add(3)
-	if got := lo.pick(nil).name; got != "b" {
+	if got := lo.pick(0, nil).name; got != "b" {
 		t.Fatalf("least-outstanding picked %q, want b (score 2.5 vs 4)", got)
 	}
 
@@ -122,7 +122,7 @@ func TestHealthWeightedDispatch(t *testing.T) {
 	// Two replicas: p2c always samples both; equal queues, so health
 	// decides every draw.
 	for i := 0; i < 16; i++ {
-		if got := p2c.pick(nil).name; got != "a" {
+		if got := p2c.pick(0, nil).name; got != "a" {
 			t.Fatalf("p2c draw %d picked %q, want a", i, got)
 		}
 	}
@@ -202,7 +202,7 @@ func TestSelfHealingSweepRecurrence(t *testing.T) {
 	if h := f3.Snapshot().Replicas[0].Health; math.Abs(h-0.5) > 1e-12 {
 		t.Fatalf("health %v, want 0.5 (0.5%% masked residue)", h)
 	}
-	if f3.pick(nil) == nil {
+	if f3.pick(0, nil) == nil {
 		t.Fatal("half-healthy replica must stay in rotation")
 	}
 

@@ -50,6 +50,11 @@ type Result struct {
 	// model (a saturated MaxBatch fleet should hold MeanBatch ≈ MaxBatch).
 	Batches   int64
 	MeanBatch float64
+	// BubbleFraction is the share of replica-time the engines sat idle
+	// over the run's makespan — 1 − Σ(replica occupancy)/(N·makespan). In
+	// a sharded fleet this is the pipeline bubble: stage imbalance and
+	// transfer gaps show up here even when every stage is healthy.
+	BubbleFraction float64
 }
 
 // Run offers the workload to the fleet and blocks until every request
@@ -65,6 +70,15 @@ func (f *Fleet) batchTotals() (batches, members int64) {
 		members += r.batchSum.Load()
 	}
 	return
+}
+
+// busyTotal sums replica occupancy spans (cumulative; Run takes deltas).
+func (f *Fleet) busyTotal() float64 {
+	var total float64
+	for _, r := range f.replicas {
+		total += r.busyNS()
+	}
+	return total
 }
 
 func Run(f *Fleet, w Workload) (*Result, error) {
@@ -84,6 +98,7 @@ func Run(f *Fleet, w Workload) (*Result, error) {
 	done := make(chan Outcome, w.Requests)
 	res := &Result{Offered: w.Requests}
 	batches0, members0 := f.batchTotals()
+	busy0 := f.busyTotal()
 	f.resetClock()
 	// Re-seed the dispatch sampler and round-robin cursor: back-to-back
 	// runs on one fleet replay identical dispatch decisions, not a
@@ -148,6 +163,8 @@ func Run(f *Fleet, w Workload) (*Result, error) {
 	res.MakespanNS = arrival + res.MaxNS
 	if res.MakespanNS > 0 {
 		res.ThroughputRPS = float64(res.Completed) / res.MakespanNS * 1e9
+		idle := 1 - (f.busyTotal()-busy0)/(float64(len(f.replicas))*res.MakespanNS)
+		res.BubbleFraction = math.Min(1, math.Max(0, idle))
 	}
 	return res, nil
 }

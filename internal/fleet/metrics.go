@@ -72,6 +72,8 @@ func (f *Fleet) registerMetrics() {
 // ReplicaSnapshot is a point-in-time view of one replica.
 type ReplicaSnapshot struct {
 	Name string
+	// Stage is the pipeline stage the replica serves (0 without sharding).
+	Stage int
 	// Health is the continuous health score in [0,1]: 1 − uncovered fault
 	// rate over Config.DegradeThreshold. Queue-aware dispatch weights by
 	// it; Degraded reports the score having reached zero.

@@ -122,6 +122,9 @@ type replica struct {
 	pr    *sim.PipelineResult
 	plan  *accel.Plan
 	queue chan *Request
+	// stage is the pipeline stage this replica serves (always 0 without
+	// sharding); set once at fleet construction.
+	stage int
 
 	// Service timing resolved from the spec: member i of a batch completes
 	// at entry + fillNS + i·intervalNS, and the engine is next free at
@@ -163,6 +166,10 @@ type replica struct {
 	served   atomic.Int64
 	batches  atomic.Int64
 	batchSum atomic.Int64
+	// busyBits accumulates the replica's virtual occupancy span in ns
+	// (float64 bits; single writer — the loop goroutine). Run turns the
+	// fleet-wide total into the pipeline bubble fraction.
+	busyBits atomic.Uint64
 	expired  atomic.Int64
 	rerouted atomic.Int64
 	repairs  atomic.Int64 // sweeps that repaired or masked a nonzero rate
@@ -401,7 +408,7 @@ func (r *replica) execute(f *Fleet, batch []*Request, timedOut bool) {
 	kept := batch[:0]
 	for _, rq := range batch {
 		completion := entry + fill + float64(len(kept))*interval
-		if rq.BudgetNS > 0 && completion-rq.ArrivalNS > rq.BudgetNS {
+		if rq.BudgetNS > 0 && completion-rq.origNS > rq.BudgetNS {
 			r.expired.Add(1)
 			f.finish(r, rq, Outcome{Err: ErrDeadline, Replica: r.name, Retries: rq.attempts})
 			continue
@@ -415,20 +422,40 @@ func (r *replica) execute(f *Fleet, batch []*Request, timedOut bool) {
 	// (occBaseNS = 0, preserving the legacy arithmetic bit for bit); batch
 	// service replicas hold the engine for the whole batched kernel.
 	r.nextFree = entry + r.occBaseNS*r.slowFactor() + float64(len(kept))*interval
+	r.addBusy(r.nextFree - entry)
 	r.batches.Add(1)
 	r.batchSum.Add(int64(len(kept)))
 	f.pace(r.nextFree)
+	lastStage := r.stage == f.cfg.Shards-1
 	for i, rq := range kept {
-		latency := entry + fill + float64(i)*interval - rq.ArrivalNS
+		completion := entry + fill + float64(i)*interval
 		r.served.Add(1)
-		r.hist.Observe(latency)
-		f.finish(r, rq, Outcome{LatencyNS: latency, Replica: r.name, Retries: rq.attempts})
+		if lastStage {
+			latency := completion - rq.origNS
+			r.hist.Observe(latency)
+			f.finish(r, rq, Outcome{LatencyNS: latency, Replica: r.name, Retries: rq.attempts})
+			continue
+		}
+		// Hand off to the next pipeline stage: the request re-arrives
+		// there after the priced activation transfer.
+		rq.ArrivalNS = completion + f.transferNS(rq.stage)
+		rq.stage++
+		f.advance(r, rq)
 	}
 }
+
+// addBusy accumulates occupancy; only the loop goroutine writes, so a
+// load+store pair is a safe atomic read-modify-write here.
+func (r *replica) addBusy(d float64) {
+	r.busyBits.Store(math.Float64bits(math.Float64frombits(r.busyBits.Load()) + d))
+}
+
+func (r *replica) busyNS() float64 { return math.Float64frombits(r.busyBits.Load()) }
 
 func (r *replica) snapshot() ReplicaSnapshot {
 	s := ReplicaSnapshot{
 		Name:        r.name,
+		Stage:       r.stage,
 		Health:      r.health(),
 		Degraded:    r.degraded(),
 		Queued:      len(r.queue),

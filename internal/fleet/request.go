@@ -32,6 +32,14 @@ type Request struct {
 
 	done     chan<- Outcome
 	attempts int // re-dispatches so far; owned by whichever goroutine holds the request
+
+	// origNS anchors latency and budget accounting at the request's
+	// original arrival; stage hops in a sharded fleet advance ArrivalNS to
+	// the handoff time but never origNS (Submit sets origNS = ArrivalNS).
+	// stage is the pipeline stage the request currently targets. Both are
+	// owned by whichever goroutine holds the request, like attempts.
+	origNS float64
+	stage  int
 }
 
 // NewRequest builds a request whose Outcome will be delivered on done. The

@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"autohet/internal/sim"
+)
+
+// shardedConfig is a free-running two-stage pipeline config with a priced
+// transfer between the stages.
+func shardedConfig(k int, transfers ...float64) Config {
+	cfg := freeRunning()
+	cfg.Shards = k
+	cfg.StageTransferNS = transfers
+	return cfg
+}
+
+// TestShardedChainRecurrence pins the exact two-stage recurrence with one
+// replica per stage and no batching: request i enters stage 0 at
+// max(arrival, stage-0 free), completes one fill later, re-arrives at
+// stage 1 after the transfer, and resolves with latency measured from its
+// original arrival.
+func TestShardedChainRecurrence(t *testing.T) {
+	f, err := New(shardedConfig(2, 10),
+		ReplicaSpec{Pipeline: &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}},
+		ReplicaSpec{Pipeline: &sim.PipelineResult{FillNS: 600, IntervalNS: 200}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	done := make(chan Outcome, n)
+	arrivals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		arrivals[i] = float64(i) * 50
+		if err := f.Submit(NewRequest(arrivals[i], 0, done)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	// Model the chain: stage 0 (fill 1000, interval 100), transfer 10,
+	// stage 1 (fill 600, interval 200). Requests traverse in FIFO order.
+	free0, free1 := 0.0, 0.0
+	want := map[float64]int{}
+	for _, a := range arrivals {
+		e0 := math.Max(free0, a)
+		c0 := e0 + 1000
+		free0 = e0 + 100
+		hop := c0 + 10
+		e1 := math.Max(free1, hop)
+		c1 := e1 + 600
+		free1 = e1 + 200
+		want[c1-a]++
+	}
+	got := map[float64]int{}
+	for i := 0; i < n; i++ {
+		out := <-done
+		if out.Err != nil {
+			t.Fatal(out.Err)
+		}
+		if out.Replica != "r1" {
+			t.Fatalf("resolved by %q, want the stage-1 replica", out.Replica)
+		}
+		got[out.LatencyNS]++
+	}
+	for l, c := range want {
+		if got[l] != c {
+			t.Fatalf("latency %v appears %d times, want %d\ngot: %v", l, got[l], c, got)
+		}
+	}
+	s := f.Snapshot()
+	if s.Completed != n {
+		t.Fatalf("completed %d of %d", s.Completed, n)
+	}
+	if s.Replicas[0].Stage != 0 || s.Replicas[1].Stage != 1 {
+		t.Fatalf("stage assignment %d,%d", s.Replicas[0].Stage, s.Replicas[1].Stage)
+	}
+	// Both stages served every request; only the final stage records
+	// fleet-level latencies.
+	if s.Replicas[0].Served != n || s.Replicas[1].Served != n {
+		t.Fatalf("served %d,%d", s.Replicas[0].Served, s.Replicas[1].Served)
+	}
+}
+
+// Budgets are measured from the original arrival, so a request can expire
+// at a later stage even though stage 0 served it comfortably.
+func TestShardedBudgetSpansStages(t *testing.T) {
+	f, err := New(shardedConfig(2, 0),
+		ReplicaSpec{Pipeline: &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}},
+		ReplicaSpec{Pipeline: &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Outcome, 1)
+	// Chain completion is 2000; a 1500 budget clears stage 0 (1000) but
+	// expires at stage 1.
+	if err := f.Submit(NewRequest(0, 1500, done)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := <-done
+	if out.Err != ErrDeadline {
+		t.Fatalf("outcome %+v, want deadline expiry", out)
+	}
+	s := f.Snapshot()
+	if s.Expired != 1 || s.Completed != 0 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+// Multiple replicas per stage split contiguously, and a sharded workload
+// run reports a pipeline bubble fraction inside (0,1).
+func TestShardedRunBubbleFraction(t *testing.T) {
+	cfg := shardedConfig(2, 5)
+	cfg.QueueDepth = 4096
+	specs := []ReplicaSpec{
+		{Pipeline: &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}},
+		{Pipeline: &sim.PipelineResult{FillNS: 1000, IntervalNS: 100}},
+		{Pipeline: &sim.PipelineResult{FillNS: 900, IntervalNS: 300}},
+		{Pipeline: &sim.PipelineResult{FillNS: 900, IntervalNS: 300}},
+	}
+	f, err := New(cfg, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := Run(f, Workload{ArrivalRate: 5e6, Requests: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2000 {
+		t.Fatalf("completed %d: %v", res.Completed, res)
+	}
+	if res.BubbleFraction <= 0 || res.BubbleFraction >= 1 {
+		t.Fatalf("bubble fraction %v outside (0,1)", res.BubbleFraction)
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	if _, err := New(shardedConfig(3), ReplicaSpec{Pipeline: fastPipeline()}, ReplicaSpec{Pipeline: fastPipeline()}); err == nil {
+		t.Fatal("more stages than replicas must error")
+	}
+	if _, err := New(shardedConfig(2, 1, 2), ReplicaSpec{Pipeline: fastPipeline()}, ReplicaSpec{Pipeline: fastPipeline()}); err == nil {
+		t.Fatal("wrong transfer vector length must error")
+	}
+	if _, err := New(shardedConfig(2, -1), ReplicaSpec{Pipeline: fastPipeline()}, ReplicaSpec{Pipeline: fastPipeline()}); err == nil {
+		t.Fatal("negative transfer must error")
+	}
+	cfg := freeRunning()
+	cfg.Shards = -2
+	if _, err := New(cfg, ReplicaSpec{Pipeline: fastPipeline()}); err == nil {
+		t.Fatal("negative shards must error")
+	}
+}

@@ -20,14 +20,19 @@ type Mesh struct {
 	HopLatencyNS float64
 	// HopEnergyPJPerByte prices one byte over one hop.
 	HopEnergyPJPerByte float64
+	// LinkBytesPerNS is the link bandwidth used to serialize bulk
+	// transfers (TransferCost). Non-positive means DefaultLinkBytesPerNS.
+	LinkBytesPerNS float64
 }
 
 // Default mesh constants: a 256-wide mesh holds the paper's
 // 256×256 = 65,536-tile bank (hw.Config.TilesPerBank); hop costs follow
-// on-chip-network literature (~1 ns, ~0.05 pJ/byte per hop at edge scales).
+// on-chip-network literature (~1 ns, ~0.05 pJ/byte per hop at edge scales;
+// 32 B/ns ≈ a 256-bit link at 1 GHz).
 const (
-	DefaultHopLatencyNS = 1.0
-	DefaultHopEnergy    = 0.05
+	DefaultHopLatencyNS   = 1.0
+	DefaultHopEnergy      = 0.05
+	DefaultLinkBytesPerNS = 32.0
 )
 
 // NewMesh returns a W×W mesh with default hop costs.
@@ -35,7 +40,12 @@ func NewMesh(width int) (*Mesh, error) {
 	if width <= 0 {
 		return nil, fmt.Errorf("noc: mesh width %d", width)
 	}
-	return &Mesh{Width: width, HopLatencyNS: DefaultHopLatencyNS, HopEnergyPJPerByte: DefaultHopEnergy}, nil
+	return &Mesh{
+		Width:              width,
+		HopLatencyNS:       DefaultHopLatencyNS,
+		HopEnergyPJPerByte: DefaultHopEnergy,
+		LinkBytesPerNS:     DefaultLinkBytesPerNS,
+	}, nil
 }
 
 // WidthFor returns the smallest mesh width whose W×W grid holds tiles
@@ -125,4 +135,29 @@ func (m *Mesh) GatherCost(tileIDs []int, bytesPerTile float64) (energyPJ, latenc
 // input-distribution phase. By symmetry it equals GatherCost.
 func (m *Mesh) ScatterCost(tileIDs []int, bytesPerTile float64) (energyPJ, latencyNS float64, err error) {
 	return m.GatherCost(tileIDs, bytesPerTile)
+}
+
+// TransferCost prices a bulk point-to-point transfer of bytes from tile a
+// to tile b: wormhole-style latency (one hop traversal per router plus
+// serialization of the payload at the link bandwidth) and per-hop per-byte
+// energy. A zero-hop transfer (a == b) is free — the data never leaves the
+// tile. Inter-shard activation handoffs are priced with this.
+func (m *Mesh) TransferCost(a, b int, bytes float64) (energyPJ, latencyNS float64, err error) {
+	if bytes < 0 {
+		return 0, 0, fmt.Errorf("noc: transferring %v bytes", bytes)
+	}
+	h, err := m.Hops(a, b)
+	if err != nil {
+		return 0, 0, err
+	}
+	if h == 0 {
+		return 0, 0, nil
+	}
+	bw := m.LinkBytesPerNS
+	if bw <= 0 {
+		bw = DefaultLinkBytesPerNS
+	}
+	energyPJ = float64(h) * bytes * m.HopEnergyPJPerByte
+	latencyNS = float64(h)*m.HopLatencyNS + bytes/bw
+	return energyPJ, latencyNS, nil
 }

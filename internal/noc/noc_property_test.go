@@ -1,0 +1,89 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Hops is symmetric on arbitrary mesh widths and tile pairs.
+func TestHopsSymmetryAcrossWidths(t *testing.T) {
+	f := func(wRaw, aRaw, bRaw uint16) bool {
+		w := 1 + int(wRaw)%64
+		m, err := NewMesh(w)
+		if err != nil {
+			return false
+		}
+		a, b := int(aRaw)%(w*w), int(bRaw)%(w*w)
+		ab, err1 := m.Hops(a, b)
+		ba, err2 := m.Hops(b, a)
+		return err1 == nil && err2 == nil && ab == ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WidthFor is exact at perfect squares and their neighbors — a
+// w×w bank needs exactly width w, one tile more forces w+1, one tile fewer
+// still fits in w.
+func TestWidthForPerfectSquareNeighbors(t *testing.T) {
+	for w := 1; w <= 300; w++ {
+		if got := WidthFor(w * w); got != w {
+			t.Fatalf("WidthFor(%d²) = %d, want %d", w, got, w)
+		}
+		if got := WidthFor(w*w + 1); got != w+1 {
+			t.Fatalf("WidthFor(%d²+1) = %d, want %d", w, got, w+1)
+		}
+		if w >= 2 {
+			if got := WidthFor(w*w - 1); got != w {
+				t.Fatalf("WidthFor(%d²−1) = %d, want %d", w, got, w)
+			}
+		}
+	}
+}
+
+// Property: adding tiles above the root never decreases gather energy or
+// latency — more sources mean more traffic over the same tree. (Scoped to
+// added IDs above the current root on purpose: a new tile below the root
+// takes over as gather root and moves the whole tree, so cost can
+// legitimately drop — e.g. a central new root replacing an eccentric one.)
+func TestGatherCostMonotonicUnderAddedTiles(t *testing.T) {
+	m := mesh(t, 16)
+	rng := rand.New(rand.NewSource(7))
+	n := m.Width * m.Width
+	for trial := 0; trial < 200; trial++ {
+		root := rng.Intn(n - 8)
+		set := map[int]bool{root: true}
+		tiles := []int{root}
+		for len(tiles) < 2+rng.Intn(6) {
+			id := root + 1 + rng.Intn(n-root-1)
+			if !set[id] {
+				set[id] = true
+				tiles = append(tiles, id)
+			}
+		}
+		e0, l0, err := m.GatherCost(tiles, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grow the set by one tile above the root.
+		var extra int
+		for {
+			extra = root + 1 + rng.Intn(n-root-1)
+			if !set[extra] {
+				break
+			}
+		}
+		e1, l1, err := m.GatherCost(append(tiles, extra), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e1 <= e0 {
+			t.Fatalf("adding tile %d to %v left energy %v <= %v", extra, tiles, e1, e0)
+		}
+		if l1 < l0 {
+			t.Fatalf("adding tile %d to %v decreased latency %v < %v", extra, tiles, l1, l0)
+		}
+	}
+}

@@ -12,8 +12,61 @@ import (
 // traffic on a 2-D mesh instead of the flat bus constant, making the cost
 // placement-dependent. Everything else (ADC/DAC/cell/…) is unchanged.
 
+// copyTileSets splits a layer's placements into per-copy tile sets: copy c
+// owns the next Mapping.Crossbars() slots in placement order (Build and the
+// sharing pass both lay copies out consecutively), and within each copy the
+// tile IDs are deduplicated — a tile holding several of the copy's crossbars
+// still sends its partial outputs once per MVM, not once per crossbar.
+func copyTileSets(la *accel.LayerAlloc) [][]int {
+	per := la.Mapping.Crossbars()
+	if per <= 0 {
+		per = la.SlotsNeeded()
+	}
+	copies := la.Copies
+	if copies < 1 {
+		copies = 1
+	}
+	sets := make([][]int, 0, copies)
+	seen := map[int]bool{}
+	var cur []int
+	remaining := per
+	for _, pl := range la.Placements {
+		slots := pl.Slots
+		for slots > 0 {
+			take := slots
+			if take > remaining {
+				take = remaining
+			}
+			if !seen[pl.TileID] {
+				seen[pl.TileID] = true
+				cur = append(cur, pl.TileID)
+			}
+			slots -= take
+			remaining -= take
+			if remaining == 0 {
+				sets = append(sets, cur)
+				cur = nil
+				seen = map[int]bool{}
+				remaining = per
+			}
+		}
+	}
+	if len(cur) > 0 {
+		sets = append(sets, cur)
+	}
+	return sets
+}
+
 // SimulateNoC simulates the plan with mesh-based interconnect pricing. The
 // mesh must be at least as wide as the plan's tile count requires.
+//
+// Per MVM each replicated copy of a layer pays two mesh phases over the
+// tiles that copy occupies: a scatter of the input patch (UnfoldedRows
+// bytes, the same volume LayerBase charges the input buffer for) from the
+// copy's root tile, and a gather of partial outputs (2 bytes per output
+// channel) back to it. Copies run concurrently on disjoint tile sets, so
+// latency is the worst copy's critical path — not the single-grid path
+// divided by the replication factor.
 func SimulateNoC(p *accel.Plan, mesh *noc.Mesh) (*Result, error) {
 	res, err := Simulate(p)
 	if err != nil {
@@ -33,28 +86,34 @@ func SimulateNoC(p *accel.Plan, mesh *noc.Mesh) (*Result, error) {
 	for i := range res.Layers {
 		lr := &res.Layers[i]
 		la := p.Layers[lr.Layer.Index]
-		tiles := make([]int, 0, len(la.Placements))
-		for _, pl := range la.Placements {
-			tiles = append(tiles, pl.TileID)
-		}
-		// Per MVM, each tile contributes partial outputs (2 bytes per
-		// output channel) gathered at the layer's root tile.
-		bytesPerTile := 2 * float64(lr.Layer.OutC)
-		gatherPJ, gatherNS, err := mesh.GatherCost(tiles, bytesPerTile)
-		if err != nil {
-			return nil, err
-		}
-		mvms := float64(lr.MVMs)
-		newBus := mvms * gatherPJ
 		copies := la.Copies
 		if copies < 1 {
 			copies = 1
 		}
-		newLatency := lr.LatencyNS + mvms*gatherNS/float64(copies)
+		inBytes := float64(lr.Layer.UnfoldedRows())
+		outBytes := 2 * float64(lr.Layer.OutC)
+		mvmsPerCopy := float64(lr.MVMs) / float64(copies)
 
-		totalPJDelta += newBus - lr.Energy.Bus
+		var meshPJ, maxCopyNS float64
+		for _, tiles := range copyTileSets(la) {
+			scatterPJ, scatterNS, err := mesh.ScatterCost(tiles, inBytes)
+			if err != nil {
+				return nil, err
+			}
+			gatherPJ, gatherNS, err := mesh.GatherCost(tiles, outBytes)
+			if err != nil {
+				return nil, err
+			}
+			meshPJ += mvmsPerCopy * (scatterPJ + gatherPJ)
+			if ns := scatterNS + gatherNS; ns > maxCopyNS {
+				maxCopyNS = ns
+			}
+		}
+		newLatency := lr.LatencyNS + mvmsPerCopy*maxCopyNS
+
+		totalPJDelta += meshPJ - lr.Energy.Bus
 		totalNSDelta += newLatency - lr.LatencyNS
-		lr.Energy.Bus = newBus
+		lr.Energy.Bus = meshPJ
 		lr.EnergyPJ = lr.Energy.Total()
 		lr.LatencyNS = newLatency
 	}

@@ -1,0 +1,229 @@
+package sim
+
+// Regression tests for the three NoC accounting fixes:
+//  1. duplicate placements on one tile must not multiply gather traffic,
+//  2. the scatter (input-distribution) phase is charged, not just gather,
+//  3. replicated copies gather to different roots concurrently — latency is
+//     the worst copy's path, not the union path divided by Copies.
+// Each test pins behavior the pre-fix SimulateNoC got wrong.
+
+import (
+	"math"
+	"testing"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/noc"
+	"autohet/internal/xbar"
+)
+
+// multiTilePlan builds a one-layer plan whose layer spans several tiles:
+// k=3, InC=16 → 144 unfolded rows (3 grid rows at 64), OutC=128 (2 grid
+// cols) → 6 crossbars → 2 tiles at the default 4 PEs/tile.
+func multiTilePlan(t *testing.T) *accel.Plan {
+	t.Helper()
+	l := &dnn.Layer{Name: "c", Kind: dnn.Conv, K: 3, InC: 16, OutC: 128, Stride: 1, Pad: 0, InH: 8, InW: 8}
+	m, err := dnn.NewFlatModel("one", 8, 8, 16, []*dnn.Layer{l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := accel.BuildPlan(cfg(), m, accel.Homogeneous(1, xbar.Square(64)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Layers[0].Placements) < 2 {
+		t.Fatalf("plan not multi-tile: %v", p.Layers[0].Placements)
+	}
+	return p
+}
+
+// Splitting one tile's placement entry into several entries on the same
+// tile describes the identical physical layout, so the mesh cost must not
+// change. The pre-fix code priced every placement entry as a distinct
+// gather source, charging a 4-crossbar tile 4× for the same bytes.
+func TestNoCDedupesSameTilePlacements(t *testing.T) {
+	mesh, _ := noc.NewMesh(16)
+	whole := multiTilePlan(t)
+	want, err := SimulateNoC(whole, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	split := multiTilePlan(t)
+	la := split.Layers[0]
+	last := la.Placements[len(la.Placements)-1]
+	if last.Slots < 2 {
+		t.Fatalf("need a placement with >=2 slots to split, got %+v", last)
+	}
+	pls := la.Placements[:len(la.Placements)-1]
+	for i := 0; i < last.Slots; i++ {
+		pls = append(pls, accel.Placement{TileID: last.TileID, Slots: 1})
+	}
+	la.Placements = pls
+	if err := split.Validate(); err != nil {
+		t.Fatalf("split plan invalid: %v", err)
+	}
+	got, err := SimulateNoC(split, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Energy.Bus != want.Energy.Bus {
+		t.Fatalf("same-tile placement split changed bus energy: %v vs %v", got.Energy.Bus, want.Energy.Bus)
+	}
+	if got.LatencyNS != want.LatencyNS {
+		t.Fatalf("same-tile placement split changed latency: %v vs %v", got.LatencyNS, want.LatencyNS)
+	}
+}
+
+// The mesh bus charge covers both phases: scatter of the input patch
+// (UnfoldedRows bytes) plus gather of partial outputs (2·OutC bytes), each
+// per MVM. The pre-fix code priced only the gather half.
+func TestNoCChargesScatterAndGather(t *testing.T) {
+	mesh, _ := noc.NewMesh(16)
+	p := multiTilePlan(t)
+	r, err := SimulateNoC(p, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := p.Layers[0]
+	l := la.Layer
+	tiles := make([]int, 0, len(la.Placements))
+	for _, pl := range la.Placements {
+		tiles = append(tiles, pl.TileID)
+	}
+	scatterPJ, scatterNS, err := mesh.ScatterCost(tiles, float64(l.UnfoldedRows()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gatherPJ, gatherNS, err := mesh.GatherCost(tiles, 2*float64(l.OutC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvms := float64(l.OutputPositions())
+	if want := mvms * (scatterPJ + gatherPJ); math.Abs(r.Energy.Bus-want) > 1e-9*want {
+		t.Fatalf("bus energy %v, want scatter+gather %v", r.Energy.Bus, want)
+	}
+	flat, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := flat.LatencyNS + mvms*(scatterNS+gatherNS); math.Abs(r.LatencyNS-want) > 1e-9*want {
+		t.Fatalf("latency %v, want base+scatter+gather %v", r.LatencyNS, want)
+	}
+	if gatherPJ >= scatterPJ+gatherPJ {
+		t.Fatal("scatter phase priced at zero")
+	}
+}
+
+// Property: mesh pricing with both phases charged never undercuts the flat
+// bus constant on the zoo plans — the pre-fix gather-only accounting did
+// (e.g. the 576x512 row of the -run noc table came out 0.7× flat).
+func TestNoCAtLeastFlatBusOnZoo(t *testing.T) {
+	for _, m := range []*dnn.Model{dnn.AlexNet(), dnn.VGG11(), dnn.VGG16()} {
+		for _, shape := range []xbar.Shape{xbar.Square(64), xbar.Square(128)} {
+			p, err := accel.BuildPlan(cfg(), m, accel.Homogeneous(m.NumMappable(), shape), true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mesh, err := noc.NewMeshFor(cfg().TilesPerBank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, err := Simulate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			meshed, err := SimulateNoC(p, mesh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if meshed.Energy.Bus < flat.Energy.Bus {
+				t.Fatalf("%s %v: mesh bus %v undercuts flat bus %v",
+					m.Name, shape, meshed.Energy.Bus, flat.Energy.Bus)
+			}
+		}
+	}
+}
+
+// Replicated copies occupy disjoint tile sets and gather to their own roots
+// concurrently. With asymmetric placements (one copy packed, one spread),
+// latency follows the worst copy's own path — not the union of all copies'
+// tiles divided by the replication factor, which both undercounts the far
+// copy and pretends replication shortens a single gather tree.
+func TestNoCCopiesGatherConcurrently(t *testing.T) {
+	c := hw.DefaultConfig()
+	c.PEsPerTile = 2 // force each copy across 2 tiles
+	// 72 unfolded rows × 128 out channels at 64×64 → 2×2 grid = 4 crossbars
+	// per copy; copies=2 → 8 slots → 4 tiles at 2 PEs/tile.
+	l := &dnn.Layer{Name: "c", Kind: dnn.Conv, K: 3, InC: 8, OutC: 128, Stride: 1, Pad: 0, InH: 8, InW: 8}
+	m, err := dnn.NewFlatModel("one", 8, 8, 8, []*dnn.Layer{l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := accel.BuildPlanReplicated(c, m, accel.Homogeneous(1, xbar.Square(64)), accel.Replication{2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := p.Layers[0]
+	if la.Copies != 2 || len(la.Placements) != 4 {
+		t.Fatalf("unexpected layout: copies=%d placements=%v", la.Copies, la.Placements)
+	}
+	// Copy 1 keeps adjacent tiles 0,1; copy 2's second tile moves far away
+	// (tile 40 = mesh coordinate (8,2) on a 16-wide mesh) so the two copies'
+	// critical paths differ sharply.
+	far := 40
+	p.Tiles[3].ID = far
+	la.Placements[3].TileID = far
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mesh, _ := noc.NewMesh(16)
+	r, err := SimulateNoC(p, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inBytes := float64(l.UnfoldedRows())
+	outBytes := 2 * float64(l.OutC)
+	copy1, copy2 := []int{0, 1}, []int{2, far}
+	var wantPJ float64
+	var worstNS float64
+	for _, tiles := range [][]int{copy1, copy2} {
+		sPJ, sNS, err := mesh.ScatterCost(tiles, inBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gPJ, gNS, err := mesh.GatherCost(tiles, outBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPJ += sPJ + gPJ
+		if ns := sNS + gNS; ns > worstNS {
+			worstNS = ns
+		}
+	}
+	mvmsPerCopy := float64(l.OutputPositions()) / 2
+	if want := mvmsPerCopy * wantPJ; math.Abs(r.Energy.Bus-want) > 1e-9*want {
+		t.Fatalf("bus energy %v, want per-copy sum %v", r.Energy.Bus, want)
+	}
+	wantNS := flat.LatencyNS + mvmsPerCopy*worstNS
+	if math.Abs(r.LatencyNS-wantNS) > 1e-9*wantNS {
+		t.Fatalf("latency %v, want worst-copy path %v", r.LatencyNS, wantNS)
+	}
+	// The old union-set/÷copies model yields a different (smaller) latency
+	// adder: max hop over all four tiles halved by the replication factor.
+	unionTiles := []int{0, 1, 2, far}
+	_, unionNS, err := mesh.GatherCost(unionTiles, outBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := flat.LatencyNS + float64(l.OutputPositions())*unionNS/2
+	if math.Abs(r.LatencyNS-old) < 1e-9*old {
+		t.Fatal("latency matches the pre-fix union/÷copies model")
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+
+	"autohet/internal/accel"
+	"autohet/internal/hw"
+	"autohet/internal/noc"
+)
+
+// Pipeline-parallel sharding: ShardPlan cuts a plan's layers into K
+// contiguous stages balanced by per-stage latency (the mesh-priced
+// latencies, so placement-dependent interconnect cost shapes the cuts) and
+// prices the inter-stage activation handoffs on the same mesh. Each stage
+// can then serve as its own replica: the fleet engines chain a request
+// through one replica per stage, separated by the transfer latencies
+// computed here.
+
+// ShardStage is one priced pipeline stage.
+type ShardStage struct {
+	// Stage gives the layer range [Lo,Hi) into the plan's mappable layers.
+	Stage accel.Stage
+	// FillNS is the stage's per-inference latency (sum over its layers);
+	// IntervalNS its internal pipelined initiation interval (worst layer).
+	FillNS     float64
+	IntervalNS float64
+	// AreaUM2 is the silicon a replica hosting only this stage provisions:
+	// the stage's occupied tiles plus its own global controller. With
+	// tile-sharing a tile hosting layers of two stages is counted in both
+	// (each stage replica instantiates the whole tile).
+	AreaUM2 float64
+	// RootTile is the stage's lowest occupied tile ID — the mesh endpoint
+	// its activations leave from and arrive at.
+	RootTile int
+	// TransferBytes/TransferNS/TransferPJ price handing this stage's output
+	// activations (2 bytes × OutC × spatial positions of the stage's last
+	// layer) to the next stage's root tile. All zero for the final stage.
+	TransferBytes float64
+	TransferNS    float64
+	TransferPJ    float64
+}
+
+// BatchCost expresses the stage's batched service time in the linear model
+// the serving layers consume (see PipelineResult.BatchCost).
+func (s *ShardStage) BatchCost() (baseNS, perInputNS float64) {
+	return s.FillNS - s.IntervalNS, s.IntervalNS
+}
+
+// ShardResult is a plan cut into a priced K-stage pipeline.
+type ShardResult struct {
+	// Result is the mesh-priced whole-model simulation the cuts were
+	// balanced on.
+	Result *Result
+	Stages []ShardStage
+	// TransferNS/TransferPJ total the inter-stage activation handoffs per
+	// inference.
+	TransferNS float64
+	TransferPJ float64
+}
+
+// FillNS is the sharded pipeline's end-to-end single-inference latency:
+// every stage traversed once plus every inter-stage transfer.
+func (sr *ShardResult) FillNS() float64 {
+	total := sr.TransferNS
+	for i := range sr.Stages {
+		total += sr.Stages[i].FillNS
+	}
+	return total
+}
+
+// IntervalNS is the sharded pipeline's steady-state initiation interval —
+// the slowest stage bounds throughput (transfers overlap with compute).
+func (sr *ShardResult) IntervalNS() float64 {
+	worst := 0.0
+	for i := range sr.Stages {
+		if sr.Stages[i].FillNS > worst {
+			worst = sr.Stages[i].FillNS
+		}
+	}
+	return worst
+}
+
+// ShardPlan cuts the plan into k latency-balanced contiguous stages and
+// prices the inter-stage transfers on the mesh.
+func ShardPlan(p *accel.Plan, mesh *noc.Mesh, k int) (*ShardResult, error) {
+	res, err := SimulateNoC(p, mesh)
+	if err != nil {
+		return nil, err
+	}
+	lat := make([]float64, len(res.Layers))
+	for i := range res.Layers {
+		lat[i] = res.Layers[i].LatencyNS
+	}
+	stages, err := accel.ShardLayers(lat, k)
+	if err != nil {
+		return nil, err
+	}
+	sr := &ShardResult{Result: res, Stages: make([]ShardStage, len(stages))}
+	for si, st := range stages {
+		ss := &sr.Stages[si]
+		ss.Stage = st
+		ss.RootTile = -1
+		tiles := map[int]bool{}
+		for li := st.Lo; li < st.Hi; li++ {
+			lr := &res.Layers[li]
+			ss.FillNS += lr.LatencyNS
+			if lr.LatencyNS > ss.IntervalNS {
+				ss.IntervalNS = lr.LatencyNS
+			}
+			for _, pl := range p.Layers[lr.Layer.Index].Placements {
+				tiles[pl.TileID] = true
+				if ss.RootTile < 0 || pl.TileID < ss.RootTile {
+					ss.RootTile = pl.TileID
+				}
+			}
+		}
+		ss.AreaUM2 = hw.GlobalCtrlArea
+		for _, t := range p.Tiles {
+			if t.Used() > 0 && tiles[t.ID] {
+				s := t.Shape
+				s.C += p.Spares.SpareCols
+				ss.AreaUM2 += p.Cfg.TileArea(s) + float64(p.Spares.SpareXBs)*p.Cfg.PEArea(s)
+			}
+		}
+	}
+	for si := 0; si < len(sr.Stages)-1; si++ {
+		ss, next := &sr.Stages[si], &sr.Stages[si+1]
+		producer := res.Layers[ss.Stage.Hi-1].Layer
+		ss.TransferBytes = 2 * float64(producer.OutC) * float64(producer.OutputPositions())
+		pj, ns, err := mesh.TransferCost(ss.RootTile, next.RootTile, ss.TransferBytes)
+		if err != nil {
+			return nil, fmt.Errorf("sim: stage %d→%d transfer: %w", si, si+1, err)
+		}
+		ss.TransferPJ, ss.TransferNS = pj, ns
+		sr.TransferNS += ns
+		sr.TransferPJ += pj
+	}
+	return sr, nil
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"autohet/internal/accel"
+	"autohet/internal/dnn"
+	"autohet/internal/hw"
+	"autohet/internal/noc"
+	"autohet/internal/xbar"
+)
+
+func vggShards(t *testing.T, k int) (*accel.Plan, *noc.Mesh, *ShardResult) {
+	t.Helper()
+	m := dnn.VGG16()
+	p, err := accel.BuildPlan(cfg(), m, accel.Homogeneous(16, xbar.Square(64)), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := noc.NewMeshFor(cfg().TilesPerBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := ShardPlan(p, mesh, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, mesh, sr
+}
+
+func TestShardPlanCoversAndPrices(t *testing.T) {
+	_, _, sr := vggShards(t, 4)
+	if len(sr.Stages) != 4 {
+		t.Fatalf("got %d stages", len(sr.Stages))
+	}
+	next := 0
+	var fillSum float64
+	for i, ss := range sr.Stages {
+		if ss.Stage.Lo != next || ss.Stage.Hi <= ss.Stage.Lo {
+			t.Fatalf("stage %d range [%d,%d) breaks coverage at %d", i, ss.Stage.Lo, ss.Stage.Hi, next)
+		}
+		next = ss.Stage.Hi
+		fillSum += ss.FillNS
+		if ss.IntervalNS <= 0 || ss.IntervalNS > ss.FillNS {
+			t.Fatalf("stage %d interval %v outside (0, fill %v]", i, ss.IntervalNS, ss.FillNS)
+		}
+		if ss.AreaUM2 <= hw.GlobalCtrlArea {
+			t.Fatalf("stage %d area %v holds no tiles", i, ss.AreaUM2)
+		}
+		if ss.RootTile < 0 {
+			t.Fatalf("stage %d has no root tile", i)
+		}
+		last := i == len(sr.Stages)-1
+		if last && (ss.TransferBytes != 0 || ss.TransferNS != 0 || ss.TransferPJ != 0) {
+			t.Fatalf("final stage has an outgoing transfer: %+v", ss)
+		}
+		if !last && ss.TransferBytes <= 0 {
+			t.Fatalf("stage %d transfers no bytes", i)
+		}
+	}
+	if next != len(sr.Result.Layers) {
+		t.Fatalf("stages end at layer %d of %d", next, len(sr.Result.Layers))
+	}
+	// Stage fills sum to the whole-model latency; the pipeline fill adds
+	// the transfers on top.
+	if math.Abs(fillSum-sr.Result.LatencyNS) > 1e-6*sr.Result.LatencyNS {
+		t.Fatalf("stage fills %v != model latency %v", fillSum, sr.Result.LatencyNS)
+	}
+	if got := sr.FillNS(); math.Abs(got-(fillSum+sr.TransferNS)) > 1e-6*got {
+		t.Fatalf("pipeline fill %v != stages+transfers %v", got, fillSum+sr.TransferNS)
+	}
+	if sr.IntervalNS() <= 0 || sr.IntervalNS() > fillSum {
+		t.Fatalf("pipeline interval %v", sr.IntervalNS())
+	}
+}
+
+// More stages never slow the bottleneck: the K+1-way optimum can always
+// replicate the K-way cut with one stage split, so the worst stage is
+// non-increasing in K.
+func TestShardPlanBottleneckMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for k := 1; k <= 8; k++ {
+		_, _, sr := vggShards(t, k)
+		iv := sr.IntervalNS()
+		if iv > prev+1e-9 {
+			t.Fatalf("k=%d bottleneck %v worse than k-1's %v", k, iv, prev)
+		}
+		prev = iv
+	}
+}
+
+func TestShardPlanSingleStageMatchesWhole(t *testing.T) {
+	_, _, sr := vggShards(t, 1)
+	if sr.TransferNS != 0 || sr.TransferPJ != 0 {
+		t.Fatalf("single stage pays transfers: %v ns %v pJ", sr.TransferNS, sr.TransferPJ)
+	}
+	if math.Abs(sr.FillNS()-sr.Result.LatencyNS) > 1e-9*sr.Result.LatencyNS {
+		t.Fatalf("single-stage fill %v != model latency %v", sr.FillNS(), sr.Result.LatencyNS)
+	}
+}
+
+func TestShardPlanValidation(t *testing.T) {
+	m := dnn.VGG16()
+	p, err := accel.BuildPlan(cfg(), m, accel.Homogeneous(16, xbar.Square(64)), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, _ := noc.NewMeshFor(cfg().TilesPerBank)
+	if _, err := ShardPlan(p, mesh, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := ShardPlan(p, mesh, 17); err == nil {
+		t.Fatal("more stages than layers must error")
+	}
+}
